@@ -1,0 +1,21 @@
+"""Experiment E6: Figure 9 — the functional-density figure of merit chart."""
+
+from repro.analysis.density import render_chart
+from repro.analysis.literature import LITERATURE_TABLE1
+
+
+def test_fig9_literature_chart(benchmark, emit):
+    """The exact Figure 9: the paper's three published rows."""
+    rows = [entry.as_row() for entry in LITERATURE_TABLE1]
+    chart = benchmark(lambda: render_chart(rows))
+    emit("fig9_literature", chart)
+    bars = {line.split()[0]: line.count("#")
+            for line in chart.splitlines()[1:]}
+    assert bars["YAEA"] > bars["MHHEA"] > bars["HHEA"]
+
+
+def test_fig9_measured_chart(benchmark, table1_paper_accounting, emit):
+    """The same chart over our measured implementations."""
+    chart = benchmark(lambda: render_chart(table1_paper_accounting.measured))
+    emit("fig9_measured", chart)
+    assert "#" in chart

@@ -1,0 +1,88 @@
+"""Experiments E7–E9: the implementation reports of Appendix A.
+
+Design summary (slices / FFs / LUTs / IOBs / TBUFs / gate count), timing
+summary (min period / f_max / max net delay) and the floor plan, all from
+our own CAD flow on the structural MHHEA netlist, printed next to the
+paper's reported values.
+"""
+
+from repro.analysis.literature import PAPER_REPORTS
+from repro.fpga.techmap import flowmap
+from repro.fpga.timing import analyse_timing
+from repro.rtl.top import build_mhhea_top
+
+
+def _mhhea_flow(table1):
+    return table1.flows["MHHEA"]
+
+
+def test_design_summary(benchmark, table1_paper_accounting, emit):
+    """E7: the map-report numbers (paper: 337 slices, 205 FFs, 393 LUTs,
+    57 IOBs, 206 TBUFs, 5051 gates)."""
+    flow = _mhhea_flow(table1_paper_accounting)
+    summary = flow.summary
+    paper = PAPER_REPORTS
+    comparison = "\n".join([
+        flow.summary.render(),
+        "",
+        "paper-vs-measured:",
+        f"  slices : paper {paper['n_slices']:>5}  measured {summary.n_slices:>5}",
+        f"  FFs    : paper {paper['n_ffs']:>5}  measured {summary.n_ffs:>5}",
+        f"  LUTs   : paper {paper['n_luts']:>5}  measured {summary.n_luts:>5}",
+        f"  IOBs   : paper {paper['n_iobs']:>5}  measured {summary.n_iobs:>5}",
+        f"  TBUFs  : paper {paper['n_tbufs']:>5}  measured {summary.n_tbufs:>5}",
+        f"  gates  : paper {paper['equivalent_gates']:>5}  "
+        f"measured {summary.equivalent_gates:>5}",
+    ])
+    emit("design_summary", comparison)
+
+    # shape assertions: every resource within 2x of the paper's count
+    assert 0.5 <= summary.n_ffs / paper["n_ffs"] <= 2.0
+    assert 0.5 <= summary.n_luts / paper["n_luts"] <= 2.0
+    assert 0.5 <= summary.n_tbufs / paper["n_tbufs"] <= 2.0
+    assert 0.3 <= summary.n_slices / paper["n_slices"] <= 2.0
+    assert 0.5 <= summary.equivalent_gates / paper["equivalent_gates"] <= 2.0
+
+    # time the mapping stage on the full netlist
+    circuit = build_mhhea_top().circuit
+    benchmark(lambda: flowmap(circuit, k=4))
+
+
+def test_timing_summary(benchmark, table1_paper_accounting, emit):
+    """E8: min period 41.871ns / 23.883MHz / max net 6.770ns (paper)."""
+    flow = _mhhea_flow(table1_paper_accounting)
+    timing = flow.timing
+    paper = PAPER_REPORTS
+    comparison = "\n".join([
+        flow.timing_report.render(),
+        "",
+        "paper-vs-measured:",
+        f"  min period : paper {paper['min_period_ns']:7.3f}ns  "
+        f"measured {timing.min_period_ns:7.3f}ns",
+        f"  f_max      : paper {paper['max_frequency_mhz']:7.3f}MHz "
+        f"measured {timing.max_frequency_mhz:7.3f}MHz",
+        f"  max net    : paper {paper['max_net_delay_ns']:7.3f}ns  "
+        f"measured {timing.max_net_delay_ns:7.3f}ns",
+        "",
+        "critical path:",
+        *[f"  {step}" for step in timing.critical_path],
+    ])
+    emit("timing_summary", comparison)
+
+    # shape: tens of nanoseconds, within ~2.5x of the paper's period
+    assert 0.4 <= timing.min_period_ns / paper["min_period_ns"] <= 2.5
+    assert 0.3 <= timing.max_net_delay_ns / paper["max_net_delay_ns"] <= 3.0
+
+    benchmark(lambda: analyse_timing(flow.routing))
+
+
+def test_floorplan(benchmark, table1_paper_accounting, emit):
+    """E9: the floor plan of the placed design (paper Fig. 10)."""
+    flow = _mhhea_flow(table1_paper_accounting)
+    plan = benchmark(flow.floorplan)
+    emit("fig10_floorplan", plan)
+    assert "Floor plan" in plan
+    # the design occupies a contiguous region, not the whole die
+    used_rows = [line for line in plan.splitlines()
+                 if ("#" in line or "+" in line)]
+    assert 3 <= len(used_rows) < flow.device.rows

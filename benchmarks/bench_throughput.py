@@ -1,0 +1,90 @@
+"""Experiment E12: cycle-level throughput and the key-independence claim.
+
+The paper's headline: the improved design emits one vector every two
+cycles regardless of the key, and the throughput is "of the order of
+10^2 Mbps".  This bench measures cycles/vector and bits/cycle for all
+three micro-architectures over the same workload and checks the claimed
+independence.
+"""
+
+from repro.analysis.workloads import message_bits
+from repro.core.key import Key
+from repro.rtl.cycle_model import MhheaCycleModel
+from repro.rtl.serial_model import HheaSerialCycleModel
+from repro.rtl.yaea_like import YaeaLikeCycleModel
+
+WORKLOAD = message_bits(8192, seed=0xC0FFEE)
+
+
+def test_cycles_per_vector(benchmark, bench_key, emit):
+    mhhea_run = MhheaCycleModel(bench_key).run(WORKLOAD)
+    serial_run = HheaSerialCycleModel(bench_key).run(WORKLOAD)
+    yaea_run = YaeaLikeCycleModel(seed=0x7777).run(WORKLOAD)
+    rows = [
+        f"{'design':10s} {'cyc/vec':>8s} {'bits/cyc':>9s} {'vectors':>8s} {'cycles':>8s}",
+        f"{'MHHEA':10s} {mhhea_run.cycles_per_vector:8.3f} "
+        f"{mhhea_run.bits_per_cycle:9.3f} {len(mhhea_run.vectors):8d} "
+        f"{mhhea_run.total_cycles:8d}",
+        f"{'HHEA-ser':10s} {serial_run.cycles_per_vector:8.3f} "
+        f"{serial_run.bits_per_cycle:9.3f} {len(serial_run.vectors):8d} "
+        f"{serial_run.total_cycles:8d}",
+        f"{'YAEA-like':10s} {yaea_run.cycles_per_vector:8.3f} "
+        f"{yaea_run.bits_per_cycle:9.3f} {len(yaea_run.vectors):8d} "
+        f"{yaea_run.total_cycles:8d}",
+    ]
+    emit("throughput_cycle_level", "\n".join(rows))
+
+    # paper claim: ~2 cycles per vector for the improved design
+    assert 1.9 <= mhhea_run.cycles_per_vector <= 2.5
+    # the serial baseline pays ~1 + mean window per vector
+    assert serial_run.cycles_per_vector > mhhea_run.cycles_per_vector
+    # end-to-end information rate ordering
+    assert (yaea_run.bits_per_cycle > mhhea_run.bits_per_cycle
+            > serial_run.bits_per_cycle)
+
+    benchmark(lambda: MhheaCycleModel(bench_key).run(WORKLOAD[:1024]))
+
+
+def test_per_output_timing_is_key_independent(benchmark, emit):
+    """Cycles between Ready pulses must not depend on key spans in the
+    improved design — the closed side channel."""
+    bits = message_bits(2048, seed=3)
+
+    def measure():
+        lines = [f"{'key':14s} {'modal gap (cycles)':>20s}"]
+        modal_gaps = set()
+        for label, key in (("span-1 pairs", Key([(3, 3), (5, 5)])),
+                           ("span-8 pairs", Key([(0, 7), (7, 0)])),
+                           ("mixed pairs", Key.generate(seed=2005))):
+            run = MhheaCycleModel(key).run(bits)
+            gaps = [b - a for a, b in
+                    zip(run.ready_cycles, run.ready_cycles[1:])]
+            modal = max(set(gaps), key=gaps.count)
+            modal_gaps.add(modal)
+            lines.append(f"{label:14s} {modal:20d}")
+        return lines, modal_gaps
+
+    lines, modal_gaps = benchmark(measure)
+    emit("key_independence", "\n".join(lines))
+    assert modal_gaps == {2}
+
+
+def test_serial_timing_is_key_dependent(benchmark, emit):
+    """The baseline's modal gap tracks the key span directly."""
+    bits = message_bits(2048, seed=3)
+
+    def measure():
+        observed = {}
+        for span, key in ((1, Key([(3, 3)])), (4, Key([(2, 5)])),
+                          (8, Key([(0, 7)]))):
+            run = HheaSerialCycleModel(key).run(bits)
+            gaps = [b - a for a, b in
+                    zip(run.ready_cycles, run.ready_cycles[1:])]
+            observed[span] = max(set(gaps), key=gaps.count)
+        return observed
+
+    observed = benchmark(measure)
+    emit("serial_key_dependence",
+         "\n".join(f"span {s}: modal gap {g}" for s, g in observed.items()))
+    assert observed[1] < observed[4] < observed[8]
+    assert observed[8] == 1 + 8  # setup + one cycle per bit

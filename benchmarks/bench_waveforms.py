@@ -1,0 +1,83 @@
+"""Experiments E1–E4: the simulation waveforms of paper Figs 5–8.
+
+Each bench regenerates one figure as an ASCII timing diagram from the
+cycle-accurate model, asserts the values the paper annotates, and times
+the underlying simulation.
+"""
+
+from repro.hdl.wave import render_wave
+from repro.rtl import states
+from repro.rtl.cycle_model import MhheaCycleModel, ScriptedVectorSource
+from repro.core.key import Key
+from repro.util.bits import int_to_bits
+
+
+def _traced(key, bits, source=None, seed=0xACE1):
+    return MhheaCycleModel(key).run(bits, seed=seed, source=source,
+                                    record_trace=True)
+
+
+def test_fig5_lmsg_plaintext_loading(benchmark, bench_key, emit):
+    """Fig 5: the 32-bit plaintext 0xABCD1234 buffered during LMSG."""
+    bits = int_to_bits(0xABCD1234, 32)
+    run = benchmark(lambda: _traced(bench_key, bits))
+    trace = run.trace
+    lmsg = trace.find("state", states.LMSG)
+    assert trace.at(lmsg, "plaintext") == 0xABCD1234
+    assert trace.at(lmsg + 1, "msg_cache") == 0xABCD1234
+    emit("fig5_lmsg", render_wave(
+        trace, 0, min(6, len(trace) - 1),
+        signals=["state", "go", "plaintext", "msg_cache"],
+    ))
+
+
+def test_fig6_lkey_pair_loading(benchmark, bench_key, emit):
+    """Fig 6: key pairs loaded in parallel, one address per cycle."""
+    run = benchmark(lambda: _traced(bench_key, [1] * 32))
+    trace = run.trace
+    start = trace.find("state", states.LKEY)
+    for offset, pair in enumerate(bench_key.pairs):
+        assert trace.at(start + offset, "key_left") == pair.k1
+        assert trace.at(start + offset, "key_right") == pair.k2
+    emit("fig6_lkey", render_wave(
+        trace, start, start + min(7, len(bench_key) - 1),
+        signals=["state", "key_addr", "key_left", "key_right"],
+    ))
+
+
+def test_fig7_lmsgcache_low_half(benchmark, bench_key, emit):
+    """Fig 7: the least-significant 16 bits enter the alignment buffer."""
+    bits = int_to_bits(0xABCD1234, 32)
+    run = benchmark(lambda: _traced(bench_key, bits))
+    trace = run.trace
+    cycle = trace.find("state", states.LMSGCACHE)
+    assert trace.at(cycle + 1, "buffer") == 0x1234
+    emit("fig7_lmsgcache", render_wave(
+        trace, cycle - 1, cycle + 2,
+        signals=["state", "msg_cache", "buffer", "bits_done"],
+    ))
+
+
+def test_fig8_circ_encrypt_worked_example(benchmark, emit):
+    """Fig 8: V=0xCA06, K=(0,3) -> KN=(2,5); buffer 0x48D0 -> 0x2341 ->
+    cipher 0xCA02 -> buffer 0x048D, Ready pulse."""
+    key = Key([(0, 3)])
+
+    def run_example():
+        source = ScriptedVectorSource([0xCA06] + [0xFFFF] * 24)
+        return _traced(key, int_to_bits(0x48D0, 16), source=source)
+
+    run = benchmark(run_example)
+    trace = run.trace
+    circ = trace.find("state", states.CIRC)
+    assert trace.at(circ, "v") == 0xCA06
+    assert (trace.at(circ, "kn_small"), trace.at(circ, "kn_large")) == (2, 5)
+    assert trace.at(circ + 1, "buffer") == 0x2341
+    assert trace.at(circ + 2, "buffer") == 0x048D
+    assert trace.at(circ + 2, "cipher") == 0xCA02
+    assert trace.at(circ + 2, "ready") == 1
+    emit("fig8_encrypt", render_wave(
+        trace, 0, min(10, len(trace) - 1),
+        signals=["state", "buffer", "v", "kn_small", "kn_large",
+                 "cipher", "ready"],
+    ))

@@ -1,0 +1,61 @@
+"""Experiment E15: the variable hiding-vector-width claim (section VI).
+
+"A design that allows the size of the hiding vector registers to be
+varied.  Accordingly, a variable level of data security can be obtained
+... it extends the key space with added security."  The sweep quantifies
+what each width buys: key space, expected window (throughput), ciphertext
+expansion, and cycle-level information rate.
+"""
+
+import math
+
+from repro.analysis.throughput import expected_scrambled_window
+from repro.analysis.workloads import message_bits
+from repro.core.key import MAX_PAIRS, Key
+from repro.core.params import VectorParams
+from repro.rtl.cycle_model import MhheaCycleModel
+
+WIDTHS = (8, 16, 32, 64)
+
+
+def test_width_sweep(benchmark, emit):
+    bits = message_bits(2048, seed=9)
+    rows = [
+        f"{'width':>5s} {'key space':>10s} {'E[window]':>10s} "
+        f"{'bits/cyc':>9s} {'expansion':>10s}"
+    ]
+    measured = {}
+    for width in WIDTHS:
+        params = VectorParams(width)
+        key = Key.generate(seed=3, params=params)
+        run = MhheaCycleModel(key, params).run(bits, seed=5)
+        key_space_bits = 2 * params.key_bits * MAX_PAIRS
+        expected = float(expected_scrambled_window(params))
+        expansion = len(run.vectors) * width / len(bits)
+        measured[width] = {
+            "expected": expected,
+            "rate": run.bits_per_cycle,
+            "expansion": expansion,
+        }
+        rows.append(
+            f"{width:5d} {'2^' + str(key_space_bits):>10s} {expected:10.3f} "
+            f"{run.bits_per_cycle:9.3f} {expansion:10.2f}"
+        )
+    emit("width_sweep", "\n".join(rows))
+
+    # wider vectors: more key space, wider expected windows, higher rate
+    expectations = [measured[w]["expected"] for w in WIDTHS]
+    assert expectations == sorted(expectations)
+    rates = [measured[w]["rate"] for w in WIDTHS]
+    assert rates == sorted(rates)
+    # expansion stays roughly constant (~width / E[window] * safety): the
+    # security knob does not blow up bandwidth unboundedly
+    for width in WIDTHS:
+        ratio = measured[width]["expansion"] / (
+            width / measured[width]["expected"]
+        )
+        assert math.isclose(ratio, 1.0, rel_tol=0.35)
+
+    params = VectorParams(32)
+    key = Key.generate(seed=3, params=params)
+    benchmark(lambda: MhheaCycleModel(key, params).run(bits[:512], seed=5))

@@ -1,0 +1,48 @@
+"""Implement the micro-architecture with the built-in FPGA CAD flow.
+
+Elaborates the structural MHHEA netlist, maps it to 4-input LUTs
+(FlowMap), packs slices, anneals a placement, routes, runs timing, and
+prints the Appendix-A style reports next to the paper's numbers.
+
+Run with::
+
+    python examples/fpga_flow.py [effort]
+"""
+
+import sys
+
+from repro.analysis.literature import PAPER_REPORTS
+from repro.fpga.flow import run_flow
+from repro.hdl.netlist import netlist_stats
+from repro.rtl.top import build_mhhea_top
+
+
+def main(effort: float = 0.6) -> None:
+    top = build_mhhea_top()
+    stats = netlist_stats(top.circuit)
+    print(f"elaborated netlist: {stats.n_gates} gates, {stats.n_dffs} FFs, "
+          f"{stats.n_tbufs} TBUFs, {stats.n_io_bits} IO bits")
+    print(f"running flow (effort={effort}) ...\n")
+
+    result = run_flow(top.circuit, seed=7, effort=effort)
+    print(result.summary.render())
+    print()
+    print(result.timing_report.render())
+    print()
+    print("critical path:")
+    for step in result.timing.critical_path:
+        print("  ", step)
+    print()
+    print(result.floorplan())
+    print()
+    print("paper reference: "
+          f"{PAPER_REPORTS['n_slices']} slices, "
+          f"{PAPER_REPORTS['n_luts']} LUTs, "
+          f"{PAPER_REPORTS['n_ffs']} FFs, "
+          f"{PAPER_REPORTS['n_tbufs']} TBUFs, "
+          f"{PAPER_REPORTS['min_period_ns']} ns, "
+          f"{PAPER_REPORTS['max_frequency_mhz']} MHz")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.6)

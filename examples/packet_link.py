@@ -1,0 +1,64 @@
+"""Packet-level encryption over an unreliable link.
+
+The paper pitches the micro-architecture "for packet-level encryption"
+on high-speed networks.  This example pushes an IMIX-style packet mix
+through the container format, corrupts some packets in flight, and shows
+the receiver detecting damage via the CRC while decrypting the rest.
+
+Run with::
+
+    python examples/packet_link.py
+"""
+
+from repro.analysis.workloads import packet_payloads
+from repro.core.errors import CipherFormatError
+from repro.core.key import Key
+from repro.core.stream import decrypt_packet, encrypt_packet, split_packets
+from repro.util.rng import make_rng
+
+
+def main() -> None:
+    key = Key.generate(seed=99)
+    payloads = packet_payloads(20, seed=7)
+    print(f"sending {len(payloads)} packets "
+          f"({sum(len(p) for p in payloads)} payload bytes)")
+
+    wire = b"".join(
+        encrypt_packet(p, key, nonce=i + 1) for i, p in enumerate(payloads)
+    )
+    print(f"wire stream: {len(wire)} bytes")
+
+    # Corrupt a few payload bytes in flight (headers left alone so the
+    # framing survives; a broken header would also be caught).
+    damaged = bytearray(wire)
+    rng = make_rng(5)
+    packets = split_packets(wire)
+    offsets = []
+    position = 0
+    for packet in packets:
+        offsets.append(position)
+        position += len(packet)
+    victims = sorted(rng.sample(range(len(packets)), 3))
+    for victim in victims:
+        where = offsets[victim] + len(packets[victim]) - 1
+        damaged[where] ^= 0x40
+    print(f"corrupting packets {victims} in flight")
+
+    delivered = 0
+    rejected = []
+    for index, packet in enumerate(split_packets(bytes(damaged))):
+        try:
+            payload = decrypt_packet(packet, key)
+        except CipherFormatError as exc:
+            rejected.append((index, str(exc).split(":")[0]))
+            continue
+        assert payload == payloads[index]
+        delivered += 1
+    print(f"delivered {delivered} packets, rejected {len(rejected)}:")
+    for index, reason in rejected:
+        print(f"  packet {index}: {reason}")
+    assert [i for i, _ in rejected] == victims
+
+
+if __name__ == "__main__":
+    main()

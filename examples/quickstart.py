@@ -1,0 +1,40 @@
+"""Quickstart: keys, encryption, decryption, and the packet format.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.key import Key
+from repro.core.mhhea import MhheaCipher
+from repro.core.stream import decrypt_packet, encrypt_packet
+
+
+def main() -> None:
+    # --- key material ---------------------------------------------------
+    # A key is up to 16 pairs of 3-bit integers.  Generate one from a
+    # seed (or build from explicit pairs / parse the hex form).
+    key = Key.generate(seed=2005)
+    print("key:", key.to_hex())
+
+    # --- raw cipher API ---------------------------------------------------
+    cipher = MhheaCipher(key)
+    message = cipher.encrypt(b"attack at dawn", seed=0xACE1)
+    print(f"ciphertext: {len(message.vectors)} hiding vectors of 16 bits "
+          f"({message.expansion:.1f}x expansion)")
+    print("first vectors:", [hex(v) for v in message.vectors[:4]])
+    assert cipher.decrypt(message) == b"attack at dawn"
+    print("decrypted ok")
+
+    # --- packet format ------------------------------------------------------
+    # The link format adds a header (algorithm, width, nonce, length) and
+    # a CRC-16 so a receiver can parse, validate, and decrypt with the
+    # key alone.
+    packet = encrypt_packet(b"packet payload", key, nonce=0x5EED)
+    print(f"packet: {len(packet)} bytes on the wire")
+    assert decrypt_packet(packet, key) == b"packet payload"
+    print("packet round trip ok")
+
+
+if __name__ == "__main__":
+    main()

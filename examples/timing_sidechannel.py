@@ -1,0 +1,48 @@
+"""The timing side channel: why the paper reworked the serial design.
+
+An observer timestamps ciphertext outputs on the link.  Against the
+serial HHEA design the inter-output gap is 1 + window width, a direct
+function of the key pair; against the improved design it is a constant
+two cycles.  This script mounts the attack on both and prints what the
+attacker learns.
+
+Run with::
+
+    python examples/timing_sidechannel.py
+"""
+
+from repro.analysis.workloads import message_bits
+from repro.core.key import Key
+from repro.rtl.cycle_model import MhheaCycleModel
+from repro.rtl.serial_model import HheaSerialCycleModel
+from repro.security.timing_attack import timing_attack
+
+
+def main() -> None:
+    key = Key.generate(seed=77)
+    traffic = message_bits(4096, seed=1)
+    print("secret key spans  :", [pair.span for pair in key.pairs])
+
+    serial_run = HheaSerialCycleModel(key).run(traffic)
+    report = timing_attack(serial_run, key)
+    print("\n--- serial HHEA micro-architecture [SAEB04a] ---")
+    print("recovered spans   :", report.recovered_spans)
+    print(f"accuracy          : {report.accuracy:.0%}")
+    print(f"key entropy lost  : {report.entropy_reduction_bits():.1f} bits "
+          f"of {2 * 3 * len(key)}")
+
+    improved_run = MhheaCycleModel(key).run(traffic)
+    report = timing_attack(improved_run, key)
+    print("\n--- improved MHHEA micro-architecture (this paper) ---")
+    print("recovered spans   :", report.recovered_spans)
+    print(f"accuracy          : {report.accuracy:.0%} (chance: every gap "
+          f"is the constant 2-cycle CIRC/ENCRYPT loop)")
+
+    gaps = {b - a for a, b in zip(improved_run.ready_cycles,
+                                  improved_run.ready_cycles[1:])}
+    print("observed gaps     :", sorted(gaps),
+          "(2 = steady state; larger = buffer reloads)")
+
+
+if __name__ == "__main__":
+    main()

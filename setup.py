@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable builds fail with ``invalid command 'bdist_wheel'``.  All
+project metadata lives in ``pyproject.toml``; this file only exists so the
+legacy ``setup.py develop`` code path is available.
+"""
+
+from setuptools import setup
+
+setup()

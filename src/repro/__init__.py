@@ -1,0 +1,46 @@
+"""repro — reproduction of Farouk & Saeb, "An Improved FPGA Implementation
+of the Modified Hybrid Hiding Encryption Algorithm (MHHEA) for Data
+Communication Security", DATE 2005.
+
+The package re-exports the most commonly used entry points; subpackages
+carry the full system:
+
+* :mod:`repro.core` — the (M)HHEA cipher family (reference models);
+* :mod:`repro.hdl` — gate-level hardware modelling substrate;
+* :mod:`repro.rtl` — the paper's micro-architecture (behavioural cycle
+  models and the structural gate-level build);
+* :mod:`repro.fpga` — a self-contained FPGA CAD flow (LUT mapping,
+  packing, placement, routing, timing, reports);
+* :mod:`repro.analysis` — throughput / functional-density evaluation
+  (Table 1, Figure 9);
+* :mod:`repro.security` — the attacks and statistical tests behind the
+  paper's security claims;
+* :mod:`repro.stego` — steganographic (cover-data) operation.
+"""
+
+from repro.core import (
+    EncryptedMessage,
+    HheaCipher,
+    Key,
+    KeyPair,
+    MhheaCipher,
+    PAPER_PARAMS,
+    TraceRecorder,
+    VectorParams,
+)
+from repro.util.lfsr import Lfsr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EncryptedMessage",
+    "HheaCipher",
+    "Key",
+    "KeyPair",
+    "MhheaCipher",
+    "PAPER_PARAMS",
+    "TraceRecorder",
+    "VectorParams",
+    "Lfsr",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Functional density — the paper's figure of merit.
+
+``F = throughput (Mbps) / area (CLB)`` (section V).  This module holds
+the comparison-row structure shared by Table 1 and Figure 9 plus the
+ASCII rendering of the Figure 9 bar chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComparisonRow", "functional_density", "render_chart", "render_table"]
+
+
+def functional_density(throughput_mbps: float, area_clb: int) -> float:
+    """The figure of merit ``Mbps / CLB``."""
+    if area_clb <= 0:
+        raise ValueError(f"area must be positive, got {area_clb}")
+    if throughput_mbps < 0:
+        raise ValueError(f"throughput must be non-negative, got {throughput_mbps}")
+    return throughput_mbps / area_clb
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One algorithm/implementation row of Table 1 / Figure 9."""
+
+    name: str
+    throughput_mbps: float
+    area_clb: int
+    source: str = "measured"
+    """``measured`` (our flow) or ``literature`` (the paper's Table 1)."""
+
+    note: str = ""
+
+    @property
+    def density(self) -> float:
+        """Functional density in Mbps/CLB."""
+        return functional_density(self.throughput_mbps, self.area_clb)
+
+
+def render_table(rows: list[ComparisonRow], title: str = "Table 1") -> str:
+    """Text rendering of the comparison table."""
+    lines = [
+        title,
+        f"{'Algorithm':24s} {'Source':11s} {'Mbps':>9s} {'CLB':>6s} {'Mbps/CLB':>9s}  Note",
+        "-" * 78,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:24s} {row.source:11s} {row.throughput_mbps:9.3f} "
+            f"{row.area_clb:6d} {row.density:9.3f}  {row.note}"
+        )
+    return "\n".join(lines)
+
+
+def render_chart(rows: list[ComparisonRow], width: int = 50,
+                 title: str = "Functional Density (F = Mbps / CLB)") -> str:
+    """ASCII bar chart in the shape of the paper's Figure 9."""
+    if not rows:
+        raise ValueError("chart needs at least one row")
+    peak = max(row.density for row in rows)
+    if peak <= 0:
+        peak = 1.0
+    lines = [title]
+    label_pad = max(len(f"{r.name} [{r.source}]") for r in rows) + 2
+    for row in rows:
+        bar = "#" * max(1, round(width * row.density / peak))
+        label = f"{row.name} [{row.source}]"
+        lines.append(f"{label:{label_pad}s} {bar} {row.density:.3f}")
+    return "\n".join(lines)

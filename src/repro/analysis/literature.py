@@ -1,0 +1,94 @@
+"""Reported numbers from the paper and its citations.
+
+These are the *literature* rows that the measured rows are printed next
+to: the three implementations of Table 1, exactly as published, plus
+context figures the paper cites for other FPGA cipher implementations.
+Keeping them as data (rather than scattering magic numbers through
+benches) makes every paper-vs-measured comparison auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.density import ComparisonRow
+
+__all__ = ["LiteratureEntry", "LITERATURE_TABLE1", "PAPER_REPORTS", "CITED_IMPLEMENTATIONS"]
+
+
+@dataclass(frozen=True)
+class LiteratureEntry:
+    """One published implementation data point."""
+
+    name: str
+    device: str
+    throughput_mbps: float
+    area_clb: int
+    reference: str
+
+    @property
+    def density(self) -> float:
+        """Functional density as defined in the paper."""
+        return self.throughput_mbps / self.area_clb
+
+    def as_row(self) -> ComparisonRow:
+        """Convert to a comparison-table row."""
+        return ComparisonRow(
+            name=self.name,
+            throughput_mbps=self.throughput_mbps,
+            area_clb=self.area_clb,
+            source="literature",
+            note=f"{self.device} [{self.reference}]",
+        )
+
+
+#: Table 1 of the paper, verbatim.
+LITERATURE_TABLE1: list[LiteratureEntry] = [
+    LiteratureEntry(
+        name="YAEA",
+        device="XC4005XL",
+        throughput_mbps=129.1,
+        area_clb=149,
+        reference="SAEB02",
+    ),
+    LiteratureEntry(
+        name="HHEA",
+        device="(serial uarch)",
+        throughput_mbps=15.8,
+        area_clb=144,
+        reference="MARW04",
+    ),
+    LiteratureEntry(
+        name="MHHEA",
+        device="xc2s100",
+        throughput_mbps=95.532,
+        area_clb=168,
+        reference="this paper",
+    ),
+]
+
+#: The paper's own implementation reports (Appendix A), used by the
+#: report-reproduction benches as the comparison target.
+PAPER_REPORTS = {
+    "n_slices": 337,
+    "slice_total": 1200,
+    "n_ffs": 205,
+    "n_luts": 393,
+    "n_iobs": 57,
+    "iob_total": 92,
+    "n_tbufs": 206,
+    "tbuf_total": 1280,
+    "equivalent_gates": 5051,
+    "jtag_gates": 2784,
+    "min_period_ns": 41.871,
+    "max_frequency_mhz": 23.883,
+    "max_net_delay_ns": 6.770,
+}
+
+#: Other cited FPGA cipher implementations (context only; different
+#: devices and area metrics, so they never enter the density chart).
+CITED_IMPLEMENTATIONS = [
+    ("DES encryptor/decryptor core", 12_000.0, "TRIM00"),
+    ("Serpent (dynamic FPGA)", 0.0, "PATT00"),
+    ("AES finalists comparative study", 0.0, "DAND00"),
+]

@@ -1,0 +1,133 @@
+"""End-to-end Table 1 reproduction.
+
+Runs the three micro-architectures through the same pipeline the paper
+used for its own design — implement on the device, take f_max from the
+timing report, convert to throughput, divide by CLB area — and prints
+the measured rows next to the literature rows.  Flow runs are cached on
+the builder because placement is by far the slowest stage and Table 1,
+Figure 9 and the report benches all want the same three implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.density import ComparisonRow, render_chart, render_table
+from repro.analysis.literature import LITERATURE_TABLE1
+from repro.analysis.throughput import (
+    Accounting,
+    expected_scrambled_window,
+    measured_bits_per_cycle,
+    paper_table1_throughput,
+    throughput_mbps,
+)
+from repro.analysis.workloads import message_bits
+from repro.core.key import Key
+from repro.core.params import PAPER_PARAMS
+from repro.fpga.flow import FlowResult, run_flow
+from repro.rtl.cycle_model import MhheaCycleModel
+from repro.rtl.serial_model import HheaSerialCycleModel
+from repro.rtl.serial_top import build_serial_top
+from repro.rtl.top import build_mhhea_top
+from repro.rtl.yaea_like import YaeaLikeCycleModel
+from repro.rtl.yaea_top import build_yaea_top
+
+__all__ = ["Table1", "build_table1"]
+
+_WORKLOAD_BITS = 4096
+_WORKLOAD_SEED = 0xC0FFEE
+_KEY_SEED = 2005
+
+
+@dataclass
+class Table1:
+    """The reproduced comparison: measured and literature rows."""
+
+    measured: list[ComparisonRow]
+    literature: list[ComparisonRow]
+    accounting: Accounting
+    flows: dict[str, FlowResult] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[ComparisonRow]:
+        """All rows, literature first (as the paper prints them)."""
+        return self.literature + self.measured
+
+    def render(self) -> str:
+        """Table 1 as text."""
+        return render_table(
+            self.rows,
+            title=f"Table 1 — FPGA implementation comparison "
+                  f"(accounting: {self.accounting.value})",
+        )
+
+    def chart(self) -> str:
+        """Figure 9 as an ASCII bar chart."""
+        return render_chart(self.rows)
+
+
+def build_table1(
+    accounting: Accounting = Accounting.PAPER_MAX_WINDOW,
+    effort: float = 0.6,
+    seed: int = 7,
+) -> Table1:
+    """Implement all three designs and assemble the comparison table."""
+    key = Key.generate(seed=_KEY_SEED, n_pairs=16)
+    bits = message_bits(_WORKLOAD_BITS, seed=_WORKLOAD_SEED)
+    params = PAPER_PARAMS
+
+    flows: dict[str, FlowResult] = {
+        "MHHEA": run_flow(build_mhhea_top().circuit, seed=seed, effort=effort),
+        "HHEA": run_flow(build_serial_top().circuit, seed=seed, effort=effort),
+        "YAEA-like": run_flow(build_yaea_top().circuit, seed=seed, effort=effort),
+    }
+
+    mhhea_run = MhheaCycleModel(key, params).run(bits)
+    serial_run = HheaSerialCycleModel(key, params).run(bits)
+    yaea_run = YaeaLikeCycleModel(params=params).run(bits)
+
+    def rate(name: str) -> float:
+        fmax = flows[name].timing.max_frequency_mhz
+        if accounting is Accounting.PAPER_MAX_WINDOW:
+            if name == "MHHEA":
+                return paper_table1_throughput(fmax, params)
+            if name == "HHEA":
+                # serial: max window bits over (1 setup + max window) cycles
+                return throughput_mbps(
+                    fmax, params.max_window / (params.max_window + 1)
+                )
+            return throughput_mbps(fmax, float(params.width))
+        if accounting is Accounting.EXPECTED_WINDOW:
+            if name == "MHHEA":
+                return throughput_mbps(
+                    fmax, float(expected_scrambled_window(params)) / 2.0
+                )
+            if name == "HHEA":
+                from repro.analysis.throughput import expected_raw_window
+
+                expected = float(expected_raw_window(params))
+                return throughput_mbps(fmax, expected / (expected + 1.0))
+            return throughput_mbps(fmax, float(params.width))
+        runs = {"MHHEA": mhhea_run, "HHEA": serial_run, "YAEA-like": yaea_run}
+        return throughput_mbps(fmax, measured_bits_per_cycle(runs[name]))
+
+    measured = []
+    for name in ("YAEA-like", "HHEA", "MHHEA"):
+        flow = flows[name]
+        measured.append(
+            ComparisonRow(
+                name=name,
+                throughput_mbps=round(rate(name), 3),
+                area_clb=flow.summary.n_clbs,
+                source="measured",
+                note=f"fmax {flow.timing.max_frequency_mhz:.2f} MHz, "
+                     f"{flow.summary.n_slices} slices",
+            )
+        )
+    literature = [entry.as_row() for entry in LITERATURE_TABLE1]
+    return Table1(
+        measured=measured,
+        literature=literature,
+        accounting=accounting,
+        flows=flows,
+    )

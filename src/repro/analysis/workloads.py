@@ -1,0 +1,76 @@
+"""Deterministic workload generators.
+
+Every benchmark and security experiment draws its plaintext from here so
+runs are reproducible and the traffic mix is explicit.  Four flavours:
+
+* :func:`message_bits` — pseudo-random bits (the generic traffic of the
+  throughput benches);
+* :func:`ascii_text` — natural-language-ish bytes (biased bit
+  statistics, for the randomness tests);
+* :func:`constant_bits` — the all-zero/all-one messages of the
+  chosen-plaintext attack;
+* :func:`packet_payloads` — a deterministic mix of packet sizes shaped
+  like link traffic (IMIX-style) for the packet-layer benches.
+"""
+
+from __future__ import annotations
+
+from repro.util.bits import bytes_to_bits
+from repro.util.rng import make_rng, random_bytes
+
+__all__ = ["message_bits", "ascii_text", "constant_bits", "packet_payloads"]
+
+_WORDS = (
+    "packet", "cipher", "vector", "hiding", "random", "stream", "secure",
+    "channel", "message", "key", "fpga", "slice", "rotate", "buffer",
+)
+
+
+def message_bits(n_bits: int, seed: int = 1) -> list[int]:
+    """``n_bits`` reproducible pseudo-random message bits."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    rng = make_rng(seed)
+    return [rng.getrandbits(1) for _ in range(n_bits)]
+
+
+def ascii_text(n_bytes: int, seed: int = 1) -> bytes:
+    """Readable filler text of exactly ``n_bytes`` bytes."""
+    if n_bytes < 0:
+        raise ValueError(f"n_bytes must be non-negative, got {n_bytes}")
+    rng = make_rng(seed)
+    pieces: list[str] = []
+    length = 0
+    while length < n_bytes:
+        word = _WORDS[rng.randrange(len(_WORDS))]
+        pieces.append(word)
+        length += len(word) + 1
+    text = " ".join(pieces)[:n_bytes]
+    return text.encode("ascii")
+
+
+def constant_bits(n_bits: int, value: int = 0) -> list[int]:
+    """The constant message of the chosen-plaintext attack."""
+    if value not in (0, 1):
+        raise ValueError(f"value must be 0 or 1, got {value}")
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return [value] * n_bits
+
+
+def packet_payloads(n_packets: int, seed: int = 1) -> list[bytes]:
+    """An IMIX-flavoured mix of payload sizes (40 / 576 / 1500 bytes)."""
+    if n_packets < 0:
+        raise ValueError(f"n_packets must be non-negative, got {n_packets}")
+    rng = make_rng(seed)
+    sizes = [40] * 7 + [576] * 4 + [1500]
+    payloads = []
+    for i in range(n_packets):
+        size = sizes[rng.randrange(len(sizes))]
+        payloads.append(random_bytes(seed + 1000 + i, size))
+    return payloads
+
+
+def bits_of_text(n_bytes: int, seed: int = 1) -> list[int]:
+    """Bit stream of :func:`ascii_text` (convenience for bit-level APIs)."""
+    return bytes_to_bits(ascii_text(n_bytes, seed))

@@ -1,0 +1,186 @@
+"""Command-line interface (``repro-mhhea``).
+
+Subcommands map one-to-one onto the library's public surface:
+
+* ``keygen`` — generate a key schedule and print it in hex;
+* ``encrypt`` / ``decrypt`` — packet-format file encryption;
+* ``embed`` / ``extract`` — steganographic cover embedding;
+* ``wave`` — print the simulation waveforms of Figs 5–8;
+* ``report`` — run the FPGA flow and print the Appendix-A reports;
+* ``table1`` — print the Table 1 / Figure 9 reproduction.
+
+Every subcommand is a thin shim over library calls so behaviour is
+always test-covered through the API, not through the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.key import Key
+from repro.core.params import PAPER_PARAMS
+from repro.core.stream import decrypt_packet, encrypt_packet
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mhhea",
+        description="MHHEA hybrid hiding cipher — DATE 2005 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    keygen = sub.add_parser("keygen", help="generate a key schedule")
+    keygen.add_argument("--seed", type=int, required=True)
+    keygen.add_argument("--pairs", type=int, default=16)
+
+    encrypt = sub.add_parser("encrypt", help="encrypt a file into a packet")
+    encrypt.add_argument("--key", required=True, help="hex key (keygen output)")
+    encrypt.add_argument("--nonce", type=lambda s: int(s, 0), default=0xACE1)
+    encrypt.add_argument("input")
+    encrypt.add_argument("output")
+
+    decrypt = sub.add_parser("decrypt", help="decrypt a packet file")
+    decrypt.add_argument("--key", required=True)
+    decrypt.add_argument("input")
+    decrypt.add_argument("output")
+
+    embed = sub.add_parser("embed", help="hide a message file in a cover file")
+    embed.add_argument("--key", required=True)
+    embed.add_argument("message")
+    embed.add_argument("cover")
+    embed.add_argument("output")
+
+    extract = sub.add_parser("extract", help="recover a message from a stego file")
+    extract.add_argument("--key", required=True)
+    extract.add_argument("--bits", type=int, required=True,
+                         help="message length in bits (from embed)")
+    extract.add_argument("--vectors", type=int, required=True,
+                         help="vector count (from embed)")
+    extract.add_argument("input")
+    extract.add_argument("output")
+
+    wave = sub.add_parser("wave", help="print the Figs 5-8 waveforms")
+    wave.add_argument("--seed", type=lambda s: int(s, 0), default=0xACE1)
+
+    report = sub.add_parser("report", help="run the FPGA flow, print reports")
+    report.add_argument("--design", choices=("mhhea", "serial", "yaea"),
+                        default="mhhea")
+    report.add_argument("--effort", type=float, default=0.6)
+    report.add_argument("--place-seed", type=int, default=7)
+
+    table1 = sub.add_parser("table1", help="print the Table 1 reproduction")
+    table1.add_argument(
+        "--accounting",
+        choices=("paper-max-window", "expected-window", "measured"),
+        default="paper-max-window",
+    )
+    table1.add_argument("--effort", type=float, default=0.5)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "keygen":
+        key = Key.generate(seed=args.seed, n_pairs=args.pairs)
+        out.write(key.to_hex() + "\n")
+        return 0
+
+    if args.command == "encrypt":
+        key = Key.from_hex(args.key)
+        with open(args.input, "rb") as handle:
+            payload = handle.read()
+        packet = encrypt_packet(payload, key, nonce=args.nonce)
+        with open(args.output, "wb") as handle:
+            handle.write(packet)
+        out.write(f"wrote {len(packet)} bytes ({len(payload)} plaintext)\n")
+        return 0
+
+    if args.command == "decrypt":
+        key = Key.from_hex(args.key)
+        with open(args.input, "rb") as handle:
+            packet = handle.read()
+        payload = decrypt_packet(packet, key)
+        with open(args.output, "wb") as handle:
+            handle.write(payload)
+        out.write(f"recovered {len(payload)} bytes\n")
+        return 0
+
+    if args.command == "embed":
+        from repro.stego.cover import embed_in_cover
+
+        key = Key.from_hex(args.key)
+        with open(args.message, "rb") as handle:
+            message = handle.read()
+        with open(args.cover, "rb") as handle:
+            cover = handle.read()
+        stego = embed_in_cover(message, cover, key)
+        with open(args.output, "wb") as handle:
+            handle.write(stego.data)
+        out.write(
+            f"embedded {stego.n_bits} bits in {stego.n_vectors} vectors; "
+            f"extract with --bits {stego.n_bits} --vectors {stego.n_vectors}\n"
+        )
+        return 0
+
+    if args.command == "extract":
+        from repro.stego.cover import StegoObject, extract_from_cover
+
+        key = Key.from_hex(args.key)
+        with open(args.input, "rb") as handle:
+            data = handle.read()
+        stego = StegoObject(data=data, n_bits=args.bits,
+                            n_vectors=args.vectors, width=PAPER_PARAMS.width)
+        message = extract_from_cover(stego, key)
+        with open(args.output, "wb") as handle:
+            handle.write(message)
+        out.write(f"recovered {len(message)} bytes\n")
+        return 0
+
+    if args.command == "wave":
+        from repro.hdl.wave import render_wave
+        from repro.rtl.cycle_model import MhheaCycleModel
+        from repro.util.bits import bytes_to_bits
+
+        key = Key.generate(seed=2005)
+        model = MhheaCycleModel(key)
+        run = model.run(bytes_to_bits(bytes.fromhex("34124d3c" * 2)),
+                        seed=args.seed, record_trace=True)
+        out.write(render_wave(run.trace, 0, min(24, len(run.trace) - 1)) + "\n")
+        return 0
+
+    if args.command == "report":
+        from repro.fpga.flow import run_flow
+        from repro.rtl.serial_top import build_serial_top
+        from repro.rtl.top import build_mhhea_top
+        from repro.rtl.yaea_top import build_yaea_top
+
+        builders = {
+            "mhhea": lambda: build_mhhea_top().circuit,
+            "serial": lambda: build_serial_top().circuit,
+            "yaea": lambda: build_yaea_top().circuit,
+        }
+        result = run_flow(builders[args.design](), seed=args.place_seed,
+                          effort=args.effort)
+        out.write(result.render_reports() + "\n")
+        return 0
+
+    if args.command == "table1":
+        from repro.analysis.table1 import build_table1
+        from repro.analysis.throughput import Accounting
+
+        table = build_table1(Accounting(args.accounting), effort=args.effort)
+        out.write(table.render() + "\n\n" + table.chart() + "\n")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

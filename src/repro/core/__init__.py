@@ -1,0 +1,47 @@
+"""The paper's primary contribution: the (M)HHEA cipher family.
+
+Public surface:
+
+* :class:`repro.core.mhhea.MhheaCipher` — the modified algorithm
+  (location + data scrambling), the subject of the paper;
+* :class:`repro.core.hhea.HheaCipher` — the unscrambled baseline the
+  paper improves on;
+* :class:`repro.core.key.Key` — key schedules (up to 16 pairs of small
+  integers);
+* :class:`repro.core.params.VectorParams` — hiding-vector geometry
+  (the paper's configuration is :data:`repro.core.params.PAPER_PARAMS`);
+* :mod:`repro.core.stream` — the packet container for link-level use.
+"""
+
+from repro.core.errors import (
+    CipherFormatError,
+    CoverExhaustedError,
+    FlowError,
+    HardwareModelError,
+    KeyError_,
+    ReproError,
+)
+from repro.core.hhea import HheaCipher
+from repro.core.key import Key, KeyPair, scramble_pair
+from repro.core.mhhea import EncryptedMessage, MhheaCipher
+from repro.core.params import PAPER_PARAMS, VectorParams
+from repro.core.trace import TraceRecorder, VectorTrace
+
+__all__ = [
+    "CipherFormatError",
+    "CoverExhaustedError",
+    "FlowError",
+    "HardwareModelError",
+    "KeyError_",
+    "ReproError",
+    "HheaCipher",
+    "Key",
+    "KeyPair",
+    "scramble_pair",
+    "EncryptedMessage",
+    "MhheaCipher",
+    "PAPER_PARAMS",
+    "VectorParams",
+    "TraceRecorder",
+    "VectorTrace",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Subclasses separate the three
+failure domains a caller can actually handle differently: bad key
+material, malformed cipher payloads, and exhausted cover/vector sources.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "KeyError_",
+    "CipherFormatError",
+    "CoverExhaustedError",
+    "HardwareModelError",
+    "FlowError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class KeyError_(ReproError):
+    """Invalid key material (range, length, parse failures).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`KeyError` while keeping the obvious name.
+    """
+
+
+class CipherFormatError(ReproError):
+    """A ciphertext container or vector stream is malformed or truncated."""
+
+
+class CoverExhaustedError(ReproError):
+    """The steganographic cover ran out of capacity for the message."""
+
+
+class HardwareModelError(ReproError):
+    """An RTL model was driven outside its contract (protocol misuse)."""
+
+
+class FlowError(ReproError):
+    """The FPGA CAD flow could not complete (capacity, unroutable, ...)."""

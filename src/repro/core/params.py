@@ -1,0 +1,90 @@
+"""Parameter set of the (M)HHEA family.
+
+The paper evaluates a 16-bit hiding vector but explicitly sells the
+architecture as parametric: "A design that allows the size of the hiding
+vector registers to be varied.  Accordingly, a variable level of data
+security can be obtained" (section VI).  :class:`VectorParams` captures
+that degree of freedom once so the cipher, the RTL models and the width
+sweep benchmark (experiment E15) all derive the same geometry:
+
+* the vector is ``width`` bits;
+* replacement windows live in the *low half*, locations
+  ``0 .. width//2 - 1``;
+* the *high half* supplies the location-scrambling bits and is never
+  overwritten, which is what makes decryption possible;
+* key values are ``key_bits``-wide integers indexing the low half
+  (``key_bits = log2(width//2)``, 3 bits for the paper's 16-bit vector);
+* the data-scrambling index ``q`` cycles modulo ``key_bits``
+  (the pseudocode's ``q := q mod 3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VectorParams", "PAPER_PARAMS"]
+
+
+@dataclass(frozen=True)
+class VectorParams:
+    """Geometry of the hiding vector and key space.
+
+    Parameters
+    ----------
+    width:
+        Hiding-vector width in bits.  Must be a power of two, at least 4,
+        so the low half is a power of two and key values pack exactly.
+    """
+
+    width: int = 16
+
+    def __post_init__(self) -> None:
+        if self.width < 4:
+            raise ValueError(f"vector width must be >= 4, got {self.width}")
+        if self.width & (self.width - 1):
+            raise ValueError(f"vector width must be a power of two, got {self.width}")
+
+    @property
+    def half(self) -> int:
+        """Size of the replacement region (and of the scramble region)."""
+        return self.width // 2
+
+    @property
+    def key_bits(self) -> int:
+        """Width of one key integer: ``log2(half)`` (3 for the paper)."""
+        return self.half.bit_length() - 1
+
+    @property
+    def key_max(self) -> int:
+        """Largest legal key value (7 for the paper)."""
+        return self.half - 1
+
+    @property
+    def max_window(self) -> int:
+        """Widest possible replacement window (8 bits for the paper)."""
+        return self.half
+
+    @property
+    def scramble_low(self) -> int:
+        """Lowest bit index of the scramble region (8 for the paper)."""
+        return self.half
+
+    def expected_window(self) -> float:
+        """Expected *raw* window width ``E[|K1-K2|] + 1`` for uniform keys.
+
+        For the paper's 3-bit keys this is 2.625 + 1 = 3.625 bits.  The
+        paper's Table 1 instead charges the architecture the *maximum*
+        window (8 bits) per output; see ``repro.analysis.throughput`` for
+        the three accounting conventions.
+        """
+        n = self.half
+        total = sum(abs(i - j) for i in range(n) for j in range(n))
+        return total / (n * n) + 1.0
+
+    def __str__(self) -> str:
+        return f"VectorParams(width={self.width}, key_bits={self.key_bits})"
+
+
+#: The exact configuration evaluated in the paper: 16-bit hiding vector,
+#: 3-bit key integers, up to 8-bit replacement windows.
+PAPER_PARAMS = VectorParams(width=16)

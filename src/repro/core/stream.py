@@ -1,0 +1,213 @@
+"""Packet container for (M)HHEA ciphertext.
+
+The paper positions the micro-architecture for "packet-level encryption"
+on high-speed links (section VI).  This module defines the wire format a
+software peer of that hardware would speak: a fixed 22-byte header
+followed by the hiding vectors, little-endian, with a CRC-16 over the
+payload.  The header carries exactly the non-secret metadata decryption
+needs — algorithm, vector width, message bit count — plus the RNG nonce
+for auditability.
+
+Wire layout (all multi-byte fields little-endian)::
+
+    offset  size  field
+    0       4     magic  b"MHEA"
+    4       1     version (currently 1)
+    5       1     algorithm: 1 = MHHEA, 0 = plain HHEA
+    6       1     vector width in bits
+    7       1     flags (reserved, must be zero)
+    8       4     nonce (LFSR seed used by the sender)
+    12      4     message length in bits
+    16      4     vector count
+    20      2     CRC-16/CCITT-FALSE of the payload
+    22      ...   payload: vector_count * width/8 bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core import hhea, mhhea
+from repro.core.errors import CipherFormatError
+from repro.core.key import Key
+from repro.core.params import VectorParams
+from repro.util.bits import bits_to_bytes, bytes_to_bits
+from repro.util.crc import crc16_ccitt
+from repro.util.lfsr import Lfsr
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "ALGORITHM_HHEA",
+    "ALGORITHM_MHHEA",
+    "PacketHeader",
+    "encrypt_packet",
+    "decrypt_packet",
+    "split_packets",
+]
+
+MAGIC = b"MHEA"
+VERSION = 1
+ALGORITHM_HHEA = 0
+ALGORITHM_MHHEA = 1
+
+_HEADER = struct.Struct("<4sBBBBIIIH")
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    """Decoded header of one ciphertext packet."""
+
+    algorithm: int
+    width: int
+    nonce: int
+    n_bits: int
+    n_vectors: int
+    crc: int
+
+    @property
+    def payload_size(self) -> int:
+        """Payload length in bytes implied by the header."""
+        return self.n_vectors * (self.width // 8)
+
+    def pack(self) -> bytes:
+        """Serialise to the 22-byte wire header."""
+        return _HEADER.pack(
+            MAGIC, VERSION, self.algorithm, self.width, 0,
+            self.nonce, self.n_bits, self.n_vectors, self.crc,
+        )
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "PacketHeader":
+        """Parse and validate the wire header."""
+        if len(blob) < HEADER_SIZE:
+            raise CipherFormatError(
+                f"packet too short for header: {len(blob)} < {HEADER_SIZE}"
+            )
+        magic, version, algorithm, width, flags, nonce, n_bits, n_vectors, crc = (
+            _HEADER.unpack_from(blob)
+        )
+        if magic != MAGIC:
+            raise CipherFormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise CipherFormatError(f"unsupported version {version}")
+        if algorithm not in (ALGORITHM_HHEA, ALGORITHM_MHHEA):
+            raise CipherFormatError(f"unknown algorithm id {algorithm}")
+        if flags != 0:
+            raise CipherFormatError(f"reserved flags set: {flags:#x}")
+        if width == 0 or width % 8 != 0:
+            raise CipherFormatError(f"vector width {width} is not a whole byte count")
+        return cls(algorithm, width, nonce, n_bits, n_vectors, crc)
+
+
+def _vectors_to_payload(vectors: tuple[int, ...] | list[int], width: int) -> bytes:
+    step = width // 8
+    out = bytearray()
+    for vector in vectors:
+        out += vector.to_bytes(step, "little")
+    return bytes(out)
+
+
+def _payload_to_vectors(payload: bytes, width: int) -> list[int]:
+    step = width // 8
+    if len(payload) % step != 0:
+        raise CipherFormatError(
+            f"payload length {len(payload)} not a multiple of vector size {step}"
+        )
+    return [
+        int.from_bytes(payload[i : i + step], "little")
+        for i in range(0, len(payload), step)
+    ]
+
+
+def encrypt_packet(
+    plaintext: bytes,
+    key: Key,
+    nonce: int = 0xACE1,
+    algorithm: int = ALGORITHM_MHHEA,
+) -> bytes:
+    """Encrypt ``plaintext`` into one self-describing packet.
+
+    ``nonce`` seeds the hiding-vector LFSR; it must be non-zero and should
+    differ between packets encrypted under the same key (vector reuse
+    degrades the hiding, exactly as IV reuse does for a stream cipher).
+    """
+    params = key.params
+    if params.width % 8 != 0:
+        raise CipherFormatError(
+            f"packet format requires byte-multiple vector widths, got {params.width}"
+        )
+    source = Lfsr(params.width, seed=nonce)
+    bits = bytes_to_bits(plaintext)
+    if algorithm == ALGORITHM_MHHEA:
+        vectors = mhhea.encrypt_bits(bits, key, source, params)
+    elif algorithm == ALGORITHM_HHEA:
+        vectors = hhea.encrypt_bits(bits, key, source, params)
+    else:
+        raise CipherFormatError(f"unknown algorithm id {algorithm}")
+    payload = _vectors_to_payload(vectors, params.width)
+    header = PacketHeader(
+        algorithm=algorithm,
+        width=params.width,
+        nonce=nonce & 0xFFFFFFFF,
+        n_bits=len(bits),
+        n_vectors=len(vectors),
+        crc=crc16_ccitt(payload),
+    )
+    return header.pack() + payload
+
+
+def decrypt_packet(packet: bytes, key: Key) -> bytes:
+    """Decrypt one packet produced by :func:`encrypt_packet`.
+
+    Raises :class:`CipherFormatError` on any structural damage: bad magic,
+    truncation, CRC mismatch, or a width that disagrees with the key's
+    parameter set.
+    """
+    header = PacketHeader.unpack(packet)
+    params = key.params
+    if header.width != params.width:
+        raise CipherFormatError(
+            f"packet uses {header.width}-bit vectors but key is for {params.width}"
+        )
+    payload = packet[HEADER_SIZE : HEADER_SIZE + header.payload_size]
+    if len(payload) != header.payload_size:
+        raise CipherFormatError(
+            f"truncated payload: have {len(payload)}, header says {header.payload_size}"
+        )
+    if len(packet) > HEADER_SIZE + header.payload_size:
+        raise CipherFormatError("trailing bytes after payload")
+    actual_crc = crc16_ccitt(payload)
+    if actual_crc != header.crc:
+        raise CipherFormatError(
+            f"payload CRC mismatch: header {header.crc:#06x}, computed {actual_crc:#06x}"
+        )
+    vectors = _payload_to_vectors(payload, header.width)
+    if header.algorithm == ALGORITHM_MHHEA:
+        bits = mhhea.decrypt_bits(vectors, key, header.n_bits, params)
+    else:
+        bits = hhea.decrypt_bits(vectors, key, header.n_bits, params)
+    return bits_to_bytes(bits)
+
+
+def split_packets(stream: bytes) -> list[bytes]:
+    """Split a byte stream of back-to-back packets into individual packets.
+
+    This is what a receiver does on a framed link: parse each header,
+    consume the advertised payload, repeat.  Raises
+    :class:`CipherFormatError` if the stream ends mid-packet.
+    """
+    packets: list[bytes] = []
+    offset = 0
+    while offset < len(stream):
+        header = PacketHeader.unpack(stream[offset:])
+        end = offset + HEADER_SIZE + header.payload_size
+        if end > len(stream):
+            raise CipherFormatError(
+                f"stream ends mid-packet at offset {offset} (need {end - len(stream)} more bytes)"
+            )
+        packets.append(stream[offset:end])
+        offset = end
+    return packets

@@ -1,0 +1,91 @@
+"""Structured trace records emitted by the reference ciphers.
+
+A trace is the reference-model analogue of a logic-analyser capture: one
+:class:`VectorTrace` per emitted hiding vector, recording every
+intermediate value of the algorithm.  The waveform examples, the model
+equivalence tests and the security analyses all consume these records
+instead of re-deriving intermediates, so there is a single source of
+truth for "what happened on iteration i".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VectorTrace", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class VectorTrace:
+    """Everything the algorithm computed for one hiding vector."""
+
+    iteration: int
+    """Global iteration counter ``i`` (0-based)."""
+
+    pair_index: int
+    """Which key pair was used (``i mod L``)."""
+
+    k1: int
+    """Sorted smaller key half actually used for scrambling."""
+
+    k2: int
+    """Sorted larger key half."""
+
+    vector_in: int
+    """Hiding vector V as produced by the RNG / cover source."""
+
+    kn1: int
+    """Lower scrambled window bound (equals ``k1`` for plain HHEA)."""
+
+    kn2: int
+    """Upper scrambled window bound (equals ``k2`` for plain HHEA)."""
+
+    m_start: int
+    """Index of the first message bit consumed by this vector."""
+
+    bits_consumed: int
+    """How many message bits this vector embedded (may be < window width
+    on the final, partially filled vector)."""
+
+    vector_out: int
+    """The emitted ciphertext vector."""
+
+    @property
+    def window_width(self) -> int:
+        """Full window width ``kn2 - kn1 + 1`` (capacity, not usage)."""
+        return self.kn2 - self.kn1 + 1
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates :class:`VectorTrace` records during a cipher run.
+
+    Pass an instance as the ``trace`` argument of the encrypt/decrypt
+    entry points; it is deliberately append-only so analyses can trust
+    the order.
+    """
+
+    records: list[VectorTrace] = field(default_factory=list)
+
+    def add(self, record: VectorTrace) -> None:
+        """Append one record (called by the cipher engine)."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> VectorTrace:
+        return self.records[index]
+
+    def total_bits(self) -> int:
+        """Total message bits embedded across all records."""
+        return sum(r.bits_consumed for r in self.records)
+
+    def mean_window(self) -> float:
+        """Mean scrambled-window width — feeds the throughput analysis."""
+        if not self.records:
+            raise ValueError("trace is empty")
+        return sum(r.window_width for r in self.records) / len(self.records)

@@ -1,0 +1,153 @@
+"""FPGA device models.
+
+Capacity and geometry come from the public Spartan-II data sheet
+(DS001): the XC2S100 has a 20x30 CLB array, two slices per CLB, two
+4-input LUTs and two flip-flops per slice — 1,200 slices, matching the
+paper's "Number of Slices: 337 out of 1200".  The tq144 package bonds 92
+user I/Os and the part provides hundreds of TBUFs driving horizontal
+long lines (we model the data-sheet figure of up to four per CLB plus
+the bus capacity the paper reports: "206 out of 1280, 16%").
+
+The delay model is deliberately simple — fixed cell delays plus a
+distance-proportional net delay — but its constants are taken from the
+-6 speed grade data-sheet values, so the timing report lands in the
+right regime (tens of nanoseconds for a design with deep combinational
+cones and tristate buses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FpgaDevice", "SPARTAN2_XC2S100", "XC4005XL"]
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Geometry, capacity and timing of one FPGA part."""
+
+    name: str
+    family: str
+    package: str
+    speed_grade: str
+    rows: int
+    """CLB rows."""
+    cols: int
+    """CLB columns."""
+    slices_per_clb: int
+    luts_per_slice: int
+    ffs_per_slice: int
+    n_iobs: int
+    """Bonded user I/O in this package."""
+    n_tbufs: int
+    """Tristate buffers available on the long lines."""
+    channel_width: int
+    """Routing wires per channel segment of the grid routing graph."""
+
+    # --- timing (nanoseconds) -----------------------------------------
+    t_lut: float
+    """LUT (combinational CLB) propagation delay, T_ILO."""
+    t_clk_to_q: float
+    """Flip-flop clock-to-out, T_CKO."""
+    t_setup: float
+    """Flip-flop setup at the slice input, T_ICK."""
+    t_tbuf: float
+    """TBUF input-to-long-line delay, T_IOP-ish."""
+    t_iob: float
+    """IOB input or output buffer delay."""
+    t_net_base: float
+    """Fixed component of every net's delay (local interconnect)."""
+    t_net_per_hop: float
+    """Incremental delay per routed channel segment."""
+    t_longline: float
+    """Delay of a dedicated TBUF long line, independent of distance
+    (tristate buses ride the horizontal long lines, not the segmented
+    general routing)."""
+
+    @property
+    def n_clbs(self) -> int:
+        """Total CLBs in the array."""
+        return self.rows * self.cols
+
+    @property
+    def n_slices(self) -> int:
+        """Total slices in the array."""
+        return self.n_clbs * self.slices_per_clb
+
+    @property
+    def n_luts(self) -> int:
+        """Total 4-input LUTs in the array."""
+        return self.n_slices * self.luts_per_slice
+
+    @property
+    def n_ffs(self) -> int:
+        """Total slice flip-flops in the array."""
+        return self.n_slices * self.ffs_per_slice
+
+    def net_delay(self, hops: int) -> float:
+        """Delay of one routed connection spanning ``hops`` grid hops.
+
+        Models the segmented interconnect of the real part: the first
+        three hops ride single-length lines at the full per-hop cost;
+        anything longer promotes onto hex/long segments, which cover six
+        CLBs per switch and therefore cost roughly a third per CLB.
+        """
+        if hops < 0:
+            raise ValueError(f"hops must be non-negative, got {hops}")
+        short = min(hops, 3)
+        long = hops - short
+        return self.t_net_base + self.t_net_per_hop * (short + long / 3.0)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.package}{self.speed_grade})"
+
+
+#: The paper's target: Spartan-II XC2S100, tq144 package, -6 speed grade.
+SPARTAN2_XC2S100 = FpgaDevice(
+    name="xc2s100",
+    family="spartan2",
+    package="tq144",
+    speed_grade="-06",
+    rows=20,
+    cols=30,
+    slices_per_clb=2,
+    luts_per_slice=2,
+    ffs_per_slice=2,
+    n_iobs=92,
+    n_tbufs=1280,
+    channel_width=24,
+    t_lut=0.8,
+    t_clk_to_q=1.3,
+    t_setup=1.2,
+    t_tbuf=1.6,
+    t_iob=2.0,
+    t_net_base=1.0,
+    t_net_per_hop=0.45,
+    t_longline=2.4,
+)
+
+#: The XC4000XL part the YAEA literature row was implemented on; its CLB
+#: is two 4-LUTs plus an F-mux, so LUT capacity per CLB is comparable to
+#: one Spartan-II slice pair.  Used only for literature-row context.
+XC4005XL = FpgaDevice(
+    name="xc4005xl",
+    family="xc4000xl",
+    package="pc84",
+    speed_grade="-09",
+    rows=14,
+    cols=14,
+    slices_per_clb=1,
+    luts_per_slice=2,
+    ffs_per_slice=2,
+    n_iobs=61,
+    n_tbufs=448,
+    channel_width=12,
+    t_lut=1.2,
+    t_clk_to_q=1.6,
+    t_setup=1.4,
+    t_tbuf=2.0,
+    t_iob=2.4,
+    t_net_base=1.3,
+    t_net_per_hop=0.6,
+    t_longline=3.1,
+)

@@ -1,0 +1,57 @@
+"""Floor-plan rendering (the paper's Figure 10).
+
+The paper shows the placed design as a screenshot of the Xilinx floor
+planner; our equivalent is an ASCII density map of the CLB array — one
+character per CLB, shaded by how many of its slice slots are occupied —
+plus a utilisation histogram.  Fully textual so it renders in any
+terminal and diffs cleanly in regression tests.
+"""
+
+from __future__ import annotations
+
+from repro.fpga.place import Placement
+
+__all__ = ["render_floorplan", "occupancy_histogram"]
+
+_SHADES = {0: ".", 1: "+", 2: "#"}
+
+
+def render_floorplan(placement: Placement) -> str:
+    """ASCII density map of the placed design.
+
+    ``.`` empty CLB, ``+`` one slice used, ``#`` both slices used (for
+    devices with more slices per CLB the shade saturates at ``#``).
+    """
+    device = placement.device
+    occupancy = placement.occupancy()
+    lines = [
+        f"Floor plan: {placement.design.circuit.name} on {device} "
+        f"({device.rows}x{device.cols} CLBs)"
+    ]
+    header = "    " + "".join(str(c % 10) for c in range(device.cols))
+    lines.append(header)
+    for row in range(device.rows):
+        cells = []
+        for col in range(device.cols):
+            used = occupancy.get((row, col), 0)
+            cells.append(_SHADES.get(min(used, 2), "#"))
+        lines.append(f"{row:3d} " + "".join(cells))
+    used_slices = len(placement.slice_sites)
+    lines.append(
+        f"slices placed: {used_slices} / {device.n_slices} "
+        f"({used_slices / device.n_slices:.0%}), "
+        f"total HPWL: {placement.cost:.0f}"
+    )
+    return "\n".join(lines)
+
+
+def occupancy_histogram(placement: Placement) -> dict[int, int]:
+    """CLB occupancy histogram: slices-used-per-CLB -> CLB count."""
+    device = placement.device
+    occupancy = placement.occupancy()
+    histogram: dict[int, int] = {}
+    for row in range(device.rows):
+        for col in range(device.cols):
+            used = occupancy.get((row, col), 0)
+            histogram[used] = histogram.get(used, 0) + 1
+    return histogram

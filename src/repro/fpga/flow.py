@@ -1,0 +1,80 @@
+"""The end-to-end implementation flow.
+
+``circuit → FlowMap → pack → place → route → STA → reports`` — the
+reproduction's equivalent of pushing the design through the Xilinx
+Foundation toolchain.  :func:`run_flow` is deterministic for a given
+(circuit, device, seed, effort) tuple; results are plain dataclasses so
+benchmarks can cache and compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.device import FpgaDevice, SPARTAN2_XC2S100
+from repro.fpga.floorplan import render_floorplan
+from repro.fpga.pack import PackedDesign, pack_design
+from repro.fpga.place import Placement, place_design
+from repro.fpga.reports import (
+    DesignSummary,
+    TimingSummary,
+    design_summary,
+    timing_summary,
+)
+from repro.fpga.route import RoutingResult, route_design
+from repro.fpga.techmap import LutMapping, flowmap
+from repro.fpga.timing import TimingAnalysis, analyse_timing
+from repro.hdl.circuit import Circuit
+
+__all__ = ["FlowResult", "run_flow"]
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced for one design."""
+
+    circuit: Circuit
+    device: FpgaDevice
+    mapping: LutMapping
+    packed: PackedDesign
+    placement: Placement
+    routing: RoutingResult
+    timing: TimingAnalysis
+    summary: DesignSummary
+    timing_report: TimingSummary
+
+    def floorplan(self) -> str:
+        """ASCII floor plan of the placed design (Figure 10)."""
+        return render_floorplan(self.placement)
+
+    def render_reports(self) -> str:
+        """The full Appendix-A style report block."""
+        return "\n\n".join(
+            [self.summary.render(), self.timing_report.render(), self.floorplan()]
+        )
+
+
+def run_flow(
+    circuit: Circuit,
+    device: FpgaDevice = SPARTAN2_XC2S100,
+    seed: int = 1,
+    effort: float = 1.0,
+    k: int = 4,
+) -> FlowResult:
+    """Implement ``circuit`` on ``device``; returns all stage artefacts."""
+    mapping = flowmap(circuit, k=k)
+    packed = pack_design(mapping, device)
+    placement = place_design(packed, seed=seed, effort=effort)
+    routing = route_design(placement)
+    timing = analyse_timing(routing)
+    return FlowResult(
+        circuit=circuit,
+        device=device,
+        mapping=mapping,
+        packed=packed,
+        placement=placement,
+        routing=routing,
+        timing=timing,
+        summary=design_summary(packed),
+        timing_report=timing_summary(timing, circuit.name),
+    )

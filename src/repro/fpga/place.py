@@ -1,0 +1,339 @@
+"""Simulated-annealing placement.
+
+Slices are placed onto the device's (row, col, slice) sites; IOBs are
+pre-assigned around the package perimeter in port-declaration order.
+The optimiser is the standard VPR-style annealer: random pairwise
+moves/swaps, accepted by the Metropolis criterion on the change in total
+half-perimeter wirelength (HPWL), with a geometric cooling schedule.
+Everything is seeded, so placements — and therefore the timing reports
+derived from them — are reproducible.
+
+Tristate buffers are modelled as living next to the slice that produces
+their data input (Spartan-II TBUFs sit beside the CLBs), so tristate
+nets simply contribute their driver/load sites to the net list like any
+other net.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.errors import FlowError
+from repro.fpga.device import FpgaDevice
+from repro.fpga.pack import PackedDesign
+from repro.hdl.gates import Gate, TristateGroup
+from repro.hdl.signal import Signal
+from repro.util.rng import SplitMix64
+
+__all__ = ["Net", "Placement", "place_design"]
+
+
+@dataclass
+class Net:
+    """One routed signal: a driver terminal and one or more load terminals.
+
+    Terminals are ``("S", slice_index)`` or ``("I", io_index)``.  The
+    first terminal is the driver (for tristate nets, every TBUF driver
+    terminal precedes the loads; ``n_drivers`` records how many).
+    """
+
+    name: str
+    terminals: list[tuple[str, int]]
+    n_drivers: int = 1
+    signal_index: int = -1
+
+
+@dataclass
+class Placement:
+    """A complete placement of one packed design."""
+
+    design: PackedDesign
+    device: FpgaDevice
+    slice_sites: dict[int, tuple[int, int, int]]
+    """slice index -> (row, col, slot)."""
+
+    io_sites: dict[int, tuple[int, int]]
+    """io index -> perimeter (row, col) in CLB coordinates."""
+
+    nets: list[Net] = field(default_factory=list)
+    cost: float = 0.0
+    moves_tried: int = 0
+    moves_accepted: int = 0
+
+    def terminal_position(self, terminal: tuple[str, int]) -> tuple[int, int]:
+        """CLB-grid coordinates of one net terminal."""
+        kind, index = terminal
+        if kind == "S":
+            row, col, _slot = self.slice_sites[index]
+            return row, col
+        return self.io_sites[index]
+
+    def net_hpwl(self, net: Net) -> int:
+        """Half-perimeter wirelength of one net."""
+        rows = []
+        cols = []
+        for terminal in net.terminals:
+            r, c = self.terminal_position(terminal)
+            rows.append(r)
+            cols.append(c)
+        return (max(rows) - min(rows)) + (max(cols) - min(cols))
+
+    def total_hpwl(self) -> int:
+        """Sum of HPWL over all nets (the annealer's cost function)."""
+        return sum(self.net_hpwl(net) for net in self.nets)
+
+    def occupancy(self) -> dict[tuple[int, int], int]:
+        """CLB coordinate -> number of occupied slice slots (floorplan)."""
+        counts: dict[tuple[int, int], int] = {}
+        for row, col, _slot in self.slice_sites.values():
+            counts[(row, col)] = counts.get((row, col), 0) + 1
+        return counts
+
+
+def place_design(
+    design: PackedDesign,
+    seed: int = 1,
+    effort: float = 1.0,
+) -> Placement:
+    """Anneal a placement for ``design``; ``effort`` scales move count."""
+    if effort <= 0:
+        raise FlowError(f"placement effort must be positive, got {effort}")
+    device = design.device
+    rng = SplitMix64(seed)
+
+    io_sites = _assign_io_sites(design)
+    placement = Placement(
+        design=design, device=device,
+        slice_sites=_initial_sites(design),
+        io_sites=io_sites,
+    )
+    placement.nets = _extract_nets(design, io_sites)
+    nets_of_slice = _nets_by_slice(placement.nets, design.n_slices)
+
+    site_to_slice: dict[tuple[int, int, int], int] = {
+        site: idx for idx, site in placement.slice_sites.items()
+    }
+
+    cost = float(placement.total_hpwl())
+    n_moves = max(4000, int(effort * 600 * max(1, design.n_slices)))
+    # VPR-style schedule: hot start, geometric cooling, and a move window
+    # that shrinks from the whole die down to neighbouring CLBs.
+    temperature = max(0.5, 2.0 * cost / max(1, len(placement.nets)))
+    max_radius = max(device.rows, device.cols)
+
+    moves_done = 0
+    while moves_done < n_moves:
+        progress = moves_done / n_moves
+        radius = max(1, int(round(max_radius * (1.0 - progress))))
+        accepted_in_block = 0
+        block = max(128, design.n_slices * 4)
+        for _ in range(block):
+            moves_done += 1
+            a = rng.below(design.n_slices)
+            source = placement.slice_sites[a]
+            target = _site_near(source, radius, device, rng)
+            if target == source:
+                continue
+            b = site_to_slice.get(target)
+            affected = set(nets_of_slice[a])
+            if b is not None:
+                affected |= set(nets_of_slice[b])
+            before = sum(placement.net_hpwl(placement.nets[i]) for i in affected)
+            _apply_move(placement, site_to_slice, a, source, b, target)
+            after = sum(placement.net_hpwl(placement.nets[i]) for i in affected)
+            delta = after - before
+            placement.moves_tried += 1
+            if delta <= 0 or (
+                temperature > 1e-9 and rng.uniform() < math.exp(-delta / temperature)
+            ):
+                cost += delta
+                placement.moves_accepted += 1
+                accepted_in_block += 1
+            else:
+                _apply_move(placement, site_to_slice, a, target, b, source)
+        # standard VPR temperature update keyed on acceptance rate
+        rate = accepted_in_block / block
+        if rate > 0.96:
+            temperature *= 0.5
+        elif rate > 0.8:
+            temperature *= 0.9
+        elif rate > 0.15:
+            temperature *= 0.95
+        else:
+            temperature *= 0.8
+    placement.cost = float(placement.total_hpwl())
+    return placement
+
+
+def _site_near(
+    source: tuple[int, int, int], radius: int, device, rng: SplitMix64
+) -> tuple[int, int, int]:
+    """Random legal site within ``radius`` CLBs of ``source``."""
+    row, col, _slot = source
+    r_lo = max(0, row - radius)
+    r_hi = min(device.rows - 1, row + radius)
+    c_lo = max(0, col - radius)
+    c_hi = min(device.cols - 1, col + radius)
+    new_row = r_lo + rng.below(r_hi - r_lo + 1)
+    new_col = c_lo + rng.below(c_hi - c_lo + 1)
+    return (new_row, new_col, rng.below(device.slices_per_clb))
+
+
+def _apply_move(placement, site_to_slice, a, source, b, target) -> None:
+    placement.slice_sites[a] = target
+    site_to_slice[target] = a
+    if b is not None:
+        placement.slice_sites[b] = source
+        site_to_slice[source] = b
+    else:
+        del site_to_slice[source]
+
+
+def _initial_sites(design: PackedDesign) -> dict[int, tuple[int, int, int]]:
+    """Compact initial placement: fill a centred block in scan order.
+
+    Starting compact (rather than scattered) gives the annealer a
+    wirelength already within a small factor of optimal, so the cooling
+    schedule spends its moves on refinement.
+    """
+    device = design.device
+    per_clb = device.slices_per_clb
+    n_clbs_needed = (design.n_slices + per_clb - 1) // per_clb
+    import math as _math
+
+    side = max(1, int(_math.ceil(_math.sqrt(n_clbs_needed))))
+    rows = min(device.rows, side)
+    cols = min(device.cols, (n_clbs_needed + rows - 1) // rows)
+    row0 = max(0, (device.rows - rows) // 2)
+    col0 = max(0, (device.cols - cols) // 2)
+
+    sites: list[tuple[int, int, int]] = []
+    for r in range(device.rows):
+        for c in range(device.cols):
+            in_block = row0 <= r < row0 + rows and col0 <= c < col0 + cols
+            if in_block:
+                for s in range(per_clb):
+                    sites.append((r, c, s))
+    # overflow beyond the block (possible when the block clips the die)
+    if len(sites) < design.n_slices:
+        for r in range(device.rows):
+            for c in range(device.cols):
+                for s in range(per_clb):
+                    site = (r, c, s)
+                    if site not in sites:
+                        sites.append(site)
+    if design.n_slices > len(sites):
+        raise FlowError("more slices than sites")  # pack checked already
+    return {idx: sites[idx] for idx in range(design.n_slices)}
+
+
+def _assign_io_sites(design: PackedDesign) -> dict[int, tuple[int, int]]:
+    """Distribute IO bits evenly around the CLB-grid perimeter."""
+    device = design.device
+    perimeter: list[tuple[int, int]] = []
+    for c in range(device.cols):
+        perimeter.append((-1, c))
+    for r in range(device.rows):
+        perimeter.append((r, device.cols))
+    for c in reversed(range(device.cols)):
+        perimeter.append((device.rows, c))
+    for r in reversed(range(device.rows)):
+        perimeter.append((r, -1))
+
+    circuit = design.circuit
+    io_signals: list[Signal] = []
+    for bus in circuit.inputs.values():
+        io_signals.extend(bus)
+    for bus in circuit.outputs.values():
+        io_signals.extend(bus)
+    if len(io_signals) > len(perimeter):
+        # more IO than perimeter slots at CLB pitch: double up
+        step = 1
+    else:
+        step = len(perimeter) // max(1, len(io_signals))
+    sites: dict[int, tuple[int, int]] = {}
+    for i, _sig in enumerate(io_signals):
+        sites[i] = perimeter[(i * step) % len(perimeter)]
+    return sites
+
+
+def _extract_nets(design: PackedDesign, io_sites: dict[int, tuple[int, int]]
+                  ) -> list[Net]:
+    """Build the net list connecting slices and IOBs."""
+    circuit = design.circuit
+    mapping = design.mapping
+
+    # Where is each signal produced?
+    producer: dict[int, tuple[str, int]] = {}
+    for slice_ in design.slices:
+        for cell in slice_.cells:
+            for sig in cell.output_signals:
+                producer[sig.index] = ("S", slice_.index)
+
+    io_index: dict[int, int] = {}
+    position = 0
+    for bus in circuit.inputs.values():
+        for sig in bus:
+            io_index[sig.index] = position
+            producer.setdefault(sig.index, ("I", position))
+            position += 1
+    for bus in circuit.outputs.values():
+        for sig in bus:
+            io_index.setdefault(sig.index, position)
+            position += 1
+
+    # Where is each signal consumed?  TBUFs sit at the site producing
+    # their data input, so the data needs no routing but the enable must
+    # be routed to that host site, and the resolved bus net is driven
+    # from every host site.
+    loads: dict[int, list[tuple[str, int]]] = {}
+
+    def add_load(sig: Signal, terminal: tuple[str, int]) -> None:
+        loads.setdefault(sig.index, []).append(terminal)
+
+    def tbuf_host(t) -> tuple[str, int]:
+        host = producer.get(t.input.index)
+        if host is None:
+            host = ("I", io_index.get(t.input.index, 0))
+        return host
+
+    for slice_ in design.slices:
+        for cell in slice_.cells:
+            for sig in cell.input_signals:
+                add_load(sig, ("S", slice_.index))
+    for bus in circuit.outputs.values():
+        for sig in bus:
+            add_load(sig, ("I", io_index[sig.index]))
+    for group in circuit.tristate_groups:
+        for t in group.buffers:
+            add_load(t.enable, tbuf_host(t))
+
+    nets: list[Net] = []
+    for sig in circuit.signals:
+        driver = sig.driver
+        if isinstance(driver, Gate) and driver.kind in ("CONST0", "CONST1"):
+            continue  # constants are local, not routed
+        sig_loads = loads.get(sig.index, [])
+        if not sig_loads:
+            continue
+        if isinstance(driver, TristateGroup):
+            drivers = [tbuf_host(t) for t in driver.buffers]
+            nets.append(Net(name=sig.name, terminals=drivers + sig_loads,
+                            n_drivers=len(drivers), signal_index=sig.index))
+            continue
+        src = producer.get(sig.index)
+        if src is None:
+            continue  # unconnected (e.g. swept logic) or slice-internal
+        nets.append(Net(name=sig.name, terminals=[src] + sig_loads,
+                        n_drivers=1, signal_index=sig.index))
+    return nets
+
+
+def _nets_by_slice(nets: list[Net], n_slices: int) -> list[list[int]]:
+    table: list[list[int]] = [[] for _ in range(n_slices)]
+    for i, net in enumerate(nets):
+        for kind, index in net.terminals:
+            if kind == "S":
+                table[index].append(i)
+    return table

@@ -1,0 +1,218 @@
+"""PathFinder-style negotiated-congestion routing.
+
+The routing fabric is modelled as the CLB grid: one routing node per CLB
+coordinate (perimeter IOB positions clamp onto the nearest CLB), edges
+between 4-neighbours with a capacity of ``device.channel_width`` wires.
+Every net is routed as a Steiner-ish tree: sinks are connected one at a
+time by a cheapest-path search seeded from the partially built tree
+(Prim/Dijkstra hybrid, bounded to the net's bounding box plus a margin).
+
+Congestion is negotiated across iterations exactly as in PathFinder
+(McMurchie & Ebeling, 1995): every edge carries a *present* overuse
+penalty that rises with demand and a *history* penalty that accumulates
+each iteration it stays over capacity; all nets are ripped up and
+re-routed until no edge is over capacity or the iteration budget runs
+out (the latter raises — an unroutable design must not silently produce
+timing numbers).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.errors import FlowError
+from repro.fpga.place import Net, Placement
+
+__all__ = ["RoutedNet", "RoutingResult", "route_design"]
+
+_BBOX_MARGIN = 3
+
+
+@dataclass
+class RoutedNet:
+    """The routed tree of one net."""
+
+    net: Net
+    edges: list[tuple[tuple[int, int], tuple[int, int]]]
+    """Undirected grid edges (a, b) with a < b, forming the net's tree."""
+
+    sink_hops: dict[int, int] = field(default_factory=dict)
+    """terminal index (into net.terminals) -> tree-path hops from driver."""
+
+    @property
+    def wirelength(self) -> int:
+        """Total routed wirelength in channel segments."""
+        return len(self.edges)
+
+
+@dataclass
+class RoutingResult:
+    """The full routing of one placement."""
+
+    placement: Placement
+    routed: list[RoutedNet]
+    iterations: int
+    total_wirelength: int
+    max_edge_usage: int
+    channel_width: int
+
+    def hops_to_sink(self, net_index: int, terminal_index: int) -> int:
+        """Routed hops from a net's driver to one of its sink terminals."""
+        return self.routed[net_index].sink_hops[terminal_index]
+
+
+def _clamp(placement: Placement, terminal: tuple[str, int]) -> tuple[int, int]:
+    row, col = placement.terminal_position(terminal)
+    device = placement.device
+    row = min(max(row, 0), device.rows - 1)
+    col = min(max(col, 0), device.cols - 1)
+    return row, col
+
+
+def _edge_key(a: tuple[int, int], b: tuple[int, int]):
+    return (a, b) if a <= b else (b, a)
+
+
+def route_design(placement: Placement, max_iterations: int = 12) -> RoutingResult:
+    """Route every net of a placement; raises :class:`FlowError` if the
+    channels stay over capacity after ``max_iterations`` rounds."""
+    device = placement.device
+    capacity = device.channel_width
+    usage: dict[tuple, int] = {}
+    history: dict[tuple, float] = {}
+    routed: list[RoutedNet] = [None] * len(placement.nets)  # type: ignore
+
+    def present_cost(edge, extra: int = 0) -> float:
+        over = usage.get(edge, 0) + extra - capacity
+        penalty = 1.0 + history.get(edge, 0.0)
+        if over >= 0:
+            penalty += 4.0 * (over + 1)
+        return penalty
+
+    iterations = 0
+    for iteration in range(1, max_iterations + 1):
+        iterations = iteration
+        congested = False
+        for index, net in enumerate(placement.nets):
+            previous = routed[index]
+            if previous is not None:
+                for edge in previous.edges:
+                    usage[edge] -= 1
+            tree = _route_net(placement, net, present_cost)
+            for edge in tree.edges:
+                usage[edge] = usage.get(edge, 0) + 1
+            routed[index] = tree
+        over_edges = [e for e, u in usage.items() if u > capacity]
+        if over_edges:
+            congested = True
+            for edge in over_edges:
+                history[edge] = history.get(edge, 0.0) + 1.0
+        if not congested:
+            break
+    else:  # pragma: no cover - capacity is generous for these designs
+        raise FlowError("routing failed to converge: channels over capacity")
+    if any(u > capacity for u in usage.values()):
+        raise FlowError("routing failed to converge: channels over capacity")
+
+    total = sum(tree.wirelength for tree in routed)
+    max_usage = max(usage.values(), default=0)
+    return RoutingResult(
+        placement=placement,
+        routed=routed,
+        iterations=iterations,
+        total_wirelength=total,
+        max_edge_usage=max_usage,
+        channel_width=capacity,
+    )
+
+
+def _route_net(placement: Placement, net: Net, present_cost) -> RoutedNet:
+    device = placement.device
+    positions = [_clamp(placement, t) for t in net.terminals]
+    driver_positions = positions[: net.n_drivers]
+    sink_positions = positions[net.n_drivers :]
+
+    rows = [r for r, _ in positions]
+    cols = [c for _, c in positions]
+    r_lo = max(0, min(rows) - _BBOX_MARGIN)
+    r_hi = min(device.rows - 1, max(rows) + _BBOX_MARGIN)
+    c_lo = max(0, min(cols) - _BBOX_MARGIN)
+    c_hi = min(device.cols - 1, max(cols) + _BBOX_MARGIN)
+
+    tree_nodes: set[tuple[int, int]] = set(driver_positions)
+    tree_edges: set[tuple] = set()
+    # tristate buses: connect the driver sites together first, then sinks
+    targets = list(dict.fromkeys(driver_positions[1:])) + list(sink_positions)
+    for target in targets:
+        if target in tree_nodes:
+            continue
+        came_from = _cheapest_path(
+            tree_nodes, target, (r_lo, r_hi, c_lo, c_hi), present_cost, tree_edges
+        )
+        node = target
+        while came_from[node] is not None:
+            parent = came_from[node]
+            tree_edges.add(_edge_key(parent, node))
+            tree_nodes.add(node)
+            node = parent
+        tree_nodes.add(target)
+
+    routed = RoutedNet(net=net, edges=sorted(tree_edges))
+    _annotate_sink_hops(routed, positions, net)
+    return routed
+
+
+def _cheapest_path(tree_nodes, target, bbox, present_cost, tree_edges):
+    """Dijkstra from the existing tree to ``target`` inside the bbox.
+
+    Edges already owned by this net's tree are free, which is what makes
+    the result a tree rather than a set of independent paths.
+    """
+    r_lo, r_hi, c_lo, c_hi = bbox
+    dist: dict[tuple[int, int], float] = {}
+    came_from: dict[tuple[int, int], tuple[int, int] | None] = {}
+    heap: list[tuple[float, tuple[int, int]]] = []
+    for node in tree_nodes:
+        dist[node] = 0.0
+        came_from[node] = None
+        heapq.heappush(heap, (0.0, node))
+    while heap:
+        d, node = heapq.heappop(heap)
+        if d > dist.get(node, float("inf")):
+            continue
+        if node == target:
+            return came_from
+        row, col = node
+        for nrow, ncol in ((row - 1, col), (row + 1, col), (row, col - 1), (row, col + 1)):
+            if not (r_lo <= nrow <= r_hi and c_lo <= ncol <= c_hi):
+                continue
+            neighbour = (nrow, ncol)
+            edge = _edge_key(node, neighbour)
+            step = 0.0 if edge in tree_edges else present_cost(edge, 1)
+            nd = d + step + 1e-6  # tiny bias keeps paths short
+            if nd < dist.get(neighbour, float("inf")):
+                dist[neighbour] = nd
+                came_from[neighbour] = node
+                heapq.heappush(heap, (nd, neighbour))
+    raise FlowError(f"no path to sink at {target} within bounding box")
+
+
+def _annotate_sink_hops(routed: RoutedNet, positions, net: Net) -> None:
+    """Per-sink hop counts from the (first) driver through the tree."""
+    adjacency: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for a, b in routed.edges:
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+    start = positions[0]
+    hops = {start: 0}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency.get(node, []):
+            if neighbour not in hops:
+                hops[neighbour] = hops[node] + 1
+                frontier.append(neighbour)
+    for t_index in range(net.n_drivers, len(net.terminals)):
+        position = positions[t_index]
+        routed.sink_hops[t_index] = hops.get(position, 0)

@@ -1,0 +1,255 @@
+"""Static timing analysis of the implemented design.
+
+Walks the mapped netlist (LUTs, tristate groups, flip-flops, IOBs) in
+topological order, accumulating cell delays from the device model and
+*per-sink* routed net delays: each consumer is charged the tree distance
+from the driver to its own site (``t_net_base + t_net_per_hop * hops``),
+exactly like a production STA, rather than every consumer paying for the
+net's worst sink.  Produces the two numbers of the paper's timing
+summary — minimum period / maximum frequency and maximum net delay —
+plus the full critical path for inspection.
+
+Conventions:
+
+* a path starts at a flip-flop Q (``t_clk_to_q``) or a primary input
+  (``t_iob``) and ends at a flip-flop D/CE/SR (``t_setup``); the minimum
+  period is the worst such path (the paper's synchronous core regime);
+* slice-internal connections (fused LUT→FF) have zero net delay, which
+  falls out naturally because the packer never emits a net for them;
+* tristate groups are combinational: arrival at the resolved net is the
+  worst arrival over all drivers plus ``t_tbuf``, and the resolved net
+  itself rides a dedicated long line with distance-independent delay
+  ``t_longline``;
+* ``max net delay`` is reported Xilinx-style: the worst sink delay over
+  all routed nets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.errors import FlowError
+from repro.fpga.route import RoutingResult
+from repro.hdl.gates import Gate, TristateGroup
+from repro.hdl.signal import Signal
+
+__all__ = ["TimingAnalysis", "analyse_timing"]
+
+Terminal = tuple[str, int]
+
+
+@dataclass
+class TimingAnalysis:
+    """The timing report of one implemented design."""
+
+    min_period_ns: float
+    max_net_delay_ns: float
+    critical_path: list[str] = field(default_factory=list)
+    n_timing_paths: int = 0
+    logic_levels_on_critical_path: int = 0
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        """Maximum clock frequency implied by the minimum period."""
+        if self.min_period_ns <= 0:
+            return float("inf")
+        return 1000.0 / self.min_period_ns
+
+
+class _NetDelays:
+    """Per-sink routed delay lookup for every signal."""
+
+    def __init__(self, routing: RoutingResult):
+        placement = routing.placement
+        device = placement.device
+        circuit = placement.design.circuit
+        self._device = device
+        self._tristate_outputs = {
+            g.output.index for g in circuit.tristate_groups
+        }
+        # signal index -> {terminal -> hops}, plus the worst sink per net.
+        self._hops: dict[int, dict[Terminal, int]] = {}
+        self._worst: dict[int, int] = {}
+        self.max_net_delay = 0.0
+        for tree in routing.routed:
+            sig_index = tree.net.signal_index
+            per_terminal: dict[Terminal, int] = {}
+            for t_index, hops in tree.sink_hops.items():
+                terminal = tree.net.terminals[t_index]
+                per_terminal[terminal] = max(per_terminal.get(terminal, 0), hops)
+            self._hops[sig_index] = per_terminal
+            worst = max(tree.sink_hops.values(), default=0)
+            self._worst[sig_index] = worst
+            if sig_index in self._tristate_outputs:
+                delay = device.t_longline
+            else:
+                delay = device.net_delay(worst)
+            self.max_net_delay = max(self.max_net_delay, delay)
+
+    def delay(self, sig: Signal, consumer: Terminal | None) -> float:
+        """Routed delay from ``sig``'s driver to one consumer terminal."""
+        if sig.index in self._tristate_outputs:
+            return self._device.t_longline
+        per_terminal = self._hops.get(sig.index)
+        if per_terminal is None:
+            return 0.0  # slice-internal or unrouted
+        if consumer is not None and consumer in per_terminal:
+            return self._device.net_delay(per_terminal[consumer])
+        return self._device.net_delay(self._worst.get(sig.index, 0))
+
+
+def analyse_timing(routing: RoutingResult) -> TimingAnalysis:
+    """Run STA over a routed design."""
+    placement = routing.placement
+    design = placement.design
+    device = placement.device
+    circuit = design.circuit
+    mapping = design.mapping
+    delays = _NetDelays(routing)
+
+    # --- consumer-site lookup tables -------------------------------------
+    slice_of_lut: dict[int, int] = {}
+    slice_of_ff: dict[int, int] = {}
+    for slice_ in design.slices:
+        for cell in slice_.cells:
+            if cell.lut is not None:
+                slice_of_lut[cell.lut.output.index] = slice_.index
+            if cell.ff is not None:
+                slice_of_ff[id(cell.ff)] = slice_.index
+    producer_site: dict[int, Terminal] = {}
+    for slice_ in design.slices:
+        for cell in slice_.cells:
+            for sig in cell.output_signals:
+                producer_site[sig.index] = ("S", slice_.index)
+    io_terminal: dict[int, Terminal] = {}
+    position = 0
+    for bus in circuit.inputs.values():
+        for sig in bus:
+            io_terminal[sig.index] = ("I", position)
+            position += 1
+    for bus in circuit.outputs.values():
+        for sig in bus:
+            io_terminal.setdefault(sig.index, ("I", position))
+            position += 1
+
+    # --- arrival-time propagation ----------------------------------------
+    arrival: dict[int, float] = {}
+    reason: dict[int, tuple[int | None, str]] = {}
+
+    for bus in circuit.inputs.values():
+        for sig in bus:
+            arrival[sig.index] = device.t_iob
+            reason[sig.index] = (None, f"IOB {sig.name}")
+    for ff in circuit.dffs:
+        arrival[ff.q.index] = device.t_clk_to_q
+        reason[ff.q.index] = (None, f"FF {ff.q.name} (clk->q)")
+
+    def source_arrival(sig: Signal) -> float:
+        driver = sig.driver
+        if isinstance(driver, Gate) and driver.kind in ("CONST0", "CONST1"):
+            return 0.0
+        if sig.index not in arrival:
+            raise FlowError(f"no arrival for {sig.name!r}; broken topo order")
+        return arrival[sig.index]
+
+    nodes: list = list(mapping.luts) + list(circuit.tristate_groups)
+    indegree: dict[int, int] = {}
+    consumers: dict[int, list] = {}
+    produced_by: dict[int, object] = {}
+    for node in nodes:
+        produced_by[node.output.index] = node
+
+    def node_inputs(node) -> list[tuple[Signal, Terminal | None]]:
+        if isinstance(node, TristateGroup):
+            pairs: list[tuple[Signal, Terminal | None]] = []
+            for t in node.buffers:
+                host = producer_site.get(t.input.index,
+                                         io_terminal.get(t.input.index))
+                pairs.append((t.input, host))
+                pairs.append((t.enable, host))
+            return pairs
+        host = ("S", slice_of_lut[node.output.index])
+        return [(sig, host) for sig in node.inputs]
+
+    for node in nodes:
+        count = 0
+        for sig, _term in node_inputs(node):
+            upstream = produced_by.get(sig.index)
+            if upstream is not None:
+                count += 1
+                consumers.setdefault(id(upstream), []).append(node)
+        indegree[id(node)] = count
+    ready = deque(node for node in nodes if indegree[id(node)] == 0)
+    processed = 0
+    while ready:
+        node = ready.popleft()
+        processed += 1
+        is_tristate = isinstance(node, TristateGroup)
+        cell_delay = device.t_tbuf if is_tristate else device.t_lut
+        best = 0.0
+        best_sig: int | None = None
+        for sig, terminal in node_inputs(node):
+            candidate = source_arrival(sig) + delays.delay(sig, terminal)
+            if candidate >= best:
+                best = candidate
+                best_sig = sig.index
+        out = node.output
+        arrival[out.index] = best + cell_delay
+        label = "TBUF" if is_tristate else "LUT"
+        reason[out.index] = (best_sig, f"{label} {out.name}")
+        for consumer in consumers.get(id(node), []):
+            indegree[id(consumer)] -= 1
+            if indegree[id(consumer)] == 0:
+                ready.append(consumer)
+    if processed != len(nodes):
+        raise FlowError("timing graph contains a combinational cycle")
+
+    # --- endpoint analysis ---------------------------------------------
+    min_period = 0.0
+    worst_endpoint: int | None = None
+    worst_label = ""
+    n_paths = 0
+    for ff in circuit.dffs:
+        ff_site: Terminal | None = (
+            ("S", slice_of_ff[id(ff)]) if id(ff) in slice_of_ff else None
+        )
+        for sig, pin in ((ff.d, "D"), (ff.enable, "CE"), (ff.reset, "SR")):
+            if sig is None:
+                continue
+            driver = sig.driver
+            if isinstance(driver, Gate) and driver.kind in ("CONST0", "CONST1"):
+                continue
+            if sig.index not in arrival:
+                continue  # swept / unconnected cone
+            n_paths += 1
+            total = (
+                arrival[sig.index]
+                + delays.delay(sig, ff_site)
+                + device.t_setup
+            )
+            if total > min_period:
+                min_period = total
+                worst_endpoint = sig.index
+                worst_label = f"FF {ff.q.name}.{pin} (setup)"
+
+    critical: list[str] = []
+    levels = 0
+    if worst_endpoint is not None:
+        critical.append(worst_label)
+        cursor: int | None = worst_endpoint
+        while cursor is not None:
+            pred, label = reason.get(cursor, (None, "?"))
+            critical.append(f"{label} @ {arrival.get(cursor, 0.0):.3f}ns")
+            if label.startswith(("LUT", "TBUF")):
+                levels += 1
+            cursor = pred
+        critical.reverse()
+
+    return TimingAnalysis(
+        min_period_ns=round(min_period, 3),
+        max_net_delay_ns=round(delays.max_net_delay, 3),
+        critical_path=critical,
+        n_timing_paths=n_paths,
+        logic_levels_on_critical_path=levels,
+    )

@@ -1,0 +1,193 @@
+"""The primitive cell library.
+
+Three families of primitives exist, mirroring the resources of the
+paper's Spartan-II target:
+
+* **combinational gates** (:class:`Gate`) with fanin capped at
+  :data:`MAX_FANIN` = 4 so every gate is trivially LUT-mappable — the
+  circuit builder decomposes wider operations into trees;
+* **D flip-flops** (:class:`Dff`) with optional clock enable and
+  synchronous reset, the slice register resource;
+* **tristate buffers** (:class:`Tbuf`) grouped on shared nets by
+  :class:`TristateGroup`, the TBUF/long-line resource that the paper's
+  design summary reports separately (206 TBUFs).
+
+Gate behaviour is a pure function of input values; all evaluation
+functions live in :data:`GATE_EVAL` so the simulator, the LUT mapper's
+truth-table extractor and the netlist checker share one definition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.hdl.signal import Signal
+
+__all__ = ["MAX_FANIN", "Gate", "Dff", "Tbuf", "TristateGroup", "GATE_EVAL", "GATE_ARITY"]
+
+#: Hard fanin bound for combinational gates: the 4-input LUT of the
+#: Spartan-II slice.  The builder rejects wider gates at construction.
+MAX_FANIN = 4
+
+
+def _mux2(sel: int, a: int, b: int) -> int:
+    """2:1 multiplexer: ``a`` when sel=0, ``b`` when sel=1."""
+    return b if sel else a
+
+
+#: kind -> evaluation function over input bit values (in declared order).
+GATE_EVAL: dict[str, Callable[..., int]] = {
+    "CONST0": lambda: 0,
+    "CONST1": lambda: 1,
+    "BUF": lambda a: a,
+    "NOT": lambda a: 1 - a,
+    "AND2": lambda a, b: a & b,
+    "AND3": lambda a, b, c: a & b & c,
+    "AND4": lambda a, b, c, d: a & b & c & d,
+    "OR2": lambda a, b: a | b,
+    "OR3": lambda a, b, c: a | b | c,
+    "OR4": lambda a, b, c, d: a | b | c | d,
+    "NAND2": lambda a, b: 1 - (a & b),
+    "NOR2": lambda a, b: 1 - (a | b),
+    "XOR2": lambda a, b: a ^ b,
+    "XOR3": lambda a, b, c: a ^ b ^ c,
+    "XNOR2": lambda a, b: 1 - (a ^ b),
+    "MUX2": _mux2,
+    "ANDN2": lambda a, b: a & (1 - b),  # a AND NOT b: carry/borrow helper
+}
+
+#: kind -> required number of inputs (derived once, used for validation).
+GATE_ARITY: dict[str, int] = {
+    kind: fn.__code__.co_argcount for kind, fn in GATE_EVAL.items()
+}
+
+
+class Gate:
+    """One combinational primitive instance."""
+
+    __slots__ = ("kind", "inputs", "output", "level", "index", "_eval")
+
+    def __init__(self, kind: str, inputs: Sequence[Signal], output: Signal, index: int):
+        if kind not in GATE_EVAL:
+            raise ValueError(f"unknown gate kind {kind!r}")
+        arity = GATE_ARITY[kind]
+        if len(inputs) != arity:
+            raise ValueError(f"{kind} needs {arity} inputs, got {len(inputs)}")
+        if arity > MAX_FANIN:
+            raise ValueError(f"{kind} exceeds LUT fanin bound {MAX_FANIN}")
+        self.kind = kind
+        self.inputs = list(inputs)
+        self.output = output
+        #: Topological level, assigned by the simulator's levelizer.
+        self.level = -1
+        #: Dense id within the circuit's gate list.
+        self.index = index
+        self._eval = GATE_EVAL[kind]
+
+    def evaluate(self) -> int:
+        """Output value implied by the current input values."""
+        return self._eval(*(sig.value for sig in self.inputs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ins = ",".join(s.name for s in self.inputs)
+        return f"{self.kind}({ins})->{self.output.name}"
+
+
+class Dff:
+    """D flip-flop with optional clock enable and synchronous reset.
+
+    Update rule on the active clock edge::
+
+        q' = 0        if reset is asserted
+        q' = d        if enable is asserted (or absent)
+        q' = q        otherwise
+
+    Reset dominates enable, matching the Spartan-II slice FF.
+    """
+
+    __slots__ = ("d", "q", "enable", "reset", "init", "index")
+
+    def __init__(self, d: Signal, q: Signal, enable: Signal | None,
+                 reset: Signal | None, init: int, index: int):
+        if init not in (0, 1):
+            raise ValueError(f"init must be 0 or 1, got {init}")
+        self.d = d
+        self.q = q
+        self.enable = enable
+        self.reset = reset
+        self.init = init
+        self.index = index
+
+    def next_value(self) -> int:
+        """The value q will take on the coming clock edge."""
+        if self.reset is not None and self.reset.value:
+            return 0
+        if self.enable is None or self.enable.value:
+            return self.d.value
+        return self.q.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DFF({self.d.name}->{self.q.name})"
+
+
+class Tbuf:
+    """One tristate buffer: drives ``input`` onto the group net when
+    ``enable`` is high, floats otherwise."""
+
+    __slots__ = ("input", "enable", "index")
+
+    def __init__(self, input_: Signal, enable: Signal, index: int):
+        self.input = input_
+        self.enable = enable
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TBUF({self.input.name} if {self.enable.name})"
+
+
+class TristateGroup:
+    """All tristate buffers sharing one resolved net.
+
+    The design contract is one-hot enables.  When no buffer drives, the
+    net keeps its previous value (a weak-keeper model, which is how the
+    Xilinx long lines with pull-ups behave for reads of an idle bus).
+    When more than one drives with conflicting values the group raises —
+    that is a genuine design bug the simulator must not paper over.
+    """
+
+    __slots__ = ("output", "buffers", "level", "index")
+
+    def __init__(self, output: Signal, index: int):
+        self.output = output
+        self.buffers: list[Tbuf] = []
+        self.level = -1
+        self.index = index
+
+    def evaluate(self) -> int:
+        """Resolved value of the shared net under the current inputs."""
+        driving = [t for t in self.buffers if t.enable.value]
+        if not driving:
+            return self.output.value  # keeper: retain previous value
+        first = driving[0].input.value
+        for other in driving[1:]:
+            if other.input.value != first:
+                raise BusContentionError(
+                    f"tristate net {self.output.name!r}: "
+                    f"{len(driving)} simultaneous drivers with conflicting values"
+                )
+        return first
+
+    def input_signals(self) -> list[Signal]:
+        """Every signal whose change can alter the resolved value."""
+        signals = []
+        for t in self.buffers:
+            signals.append(t.input)
+            signals.append(t.enable)
+        return signals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TristateGroup({self.output.name}, {len(self.buffers)} drivers)"
+
+
+class BusContentionError(RuntimeError):
+    """Two enabled tristate drivers disagreed on a shared net's value."""

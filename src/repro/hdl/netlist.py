@@ -1,0 +1,171 @@
+"""Netlist statistics, text dumps and CAD-facing DAG views.
+
+The FPGA flow consumes circuits through this module rather than poking at
+:class:`~repro.hdl.circuit.Circuit` internals:
+
+* :func:`netlist_stats` — the raw resource inventory (gate histogram,
+  flip-flops, tristate buffers, I/O bits) that seeds the design summary;
+* :func:`netlist_text` — a human-readable structural dump, our analogue
+  of the paper's circuit diagrams (Figs 11–14);
+* :func:`combinational_dag` — the gate-level DAG between *mapping
+  boundaries* (primary I/O, flip-flop pins, tristate pins) in topological
+  order, which is exactly what the FlowMap mapper needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.gates import Gate, TristateGroup
+from repro.hdl.signal import Signal
+
+__all__ = ["NetlistStats", "netlist_stats", "netlist_text", "combinational_dag", "MappingDag"]
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Resource inventory of one circuit."""
+
+    name: str
+    n_signals: int
+    n_gates: int
+    gate_histogram: dict[str, int]
+    n_dffs: int
+    n_tbufs: int
+    n_tristate_nets: int
+    n_input_bits: int
+    n_output_bits: int
+
+    @property
+    def n_io_bits(self) -> int:
+        """Total bonded-I/O bits (inputs + outputs), the IOB demand."""
+        return self.n_input_bits + self.n_output_bits
+
+
+def netlist_stats(circuit: Circuit) -> NetlistStats:
+    """Compute the :class:`NetlistStats` of a circuit."""
+    histogram: dict[str, int] = {}
+    for gate in circuit.gates:
+        histogram[gate.kind] = histogram.get(gate.kind, 0) + 1
+    return NetlistStats(
+        name=circuit.name,
+        n_signals=len(circuit.signals),
+        n_gates=len(circuit.gates),
+        gate_histogram=dict(sorted(histogram.items())),
+        n_dffs=len(circuit.dffs),
+        n_tbufs=circuit.n_tbufs(),
+        n_tristate_nets=len(circuit.tristate_groups),
+        n_input_bits=sum(b.width for b in circuit.inputs.values()),
+        n_output_bits=sum(b.width for b in circuit.outputs.values()),
+    )
+
+
+def netlist_text(circuit: Circuit, max_gates: int | None = None) -> str:
+    """Render a structural dump: ports, registers, gates, tristate nets.
+
+    This is the reproduction's stand-in for the paper's appendix circuit
+    diagrams — the full connectivity, one instance per line.
+    """
+    stats = netlist_stats(circuit)
+    lines = [f"circuit {circuit.name}"]
+    for name, bus in circuit.inputs.items():
+        lines.append(f"  input  {name}[{bus.width}]")
+    for name, bus in circuit.outputs.items():
+        lines.append(f"  output {name}[{bus.width}]")
+    lines.append(
+        f"  ; {stats.n_gates} gates, {stats.n_dffs} dffs, {stats.n_tbufs} tbufs"
+    )
+    for ff in circuit.dffs:
+        extras = []
+        if ff.enable is not None:
+            extras.append(f"ce={ff.enable.name}")
+        if ff.reset is not None:
+            extras.append(f"sr={ff.reset.name}")
+        suffix = (" " + " ".join(extras)) if extras else ""
+        lines.append(f"  dff  {ff.q.name} <= {ff.d.name}{suffix}")
+    shown = circuit.gates if max_gates is None else circuit.gates[:max_gates]
+    for gate in shown:
+        ins = ", ".join(s.name for s in gate.inputs)
+        lines.append(f"  {gate.kind.lower():6s} {gate.output.name} <= {ins}")
+    if max_gates is not None and len(circuit.gates) > max_gates:
+        lines.append(f"  ; ... {len(circuit.gates) - max_gates} more gates")
+    for group in circuit.tristate_groups:
+        for t in group.buffers:
+            lines.append(
+                f"  tbuf  {group.output.name} <= {t.input.name} when {t.enable.name}"
+            )
+    return "\n".join(lines)
+
+
+@dataclass
+class MappingDag:
+    """The combinational DAG between sequential/IO boundaries.
+
+    ``nodes``
+        Gates in topological order (excludes constants — they become
+        free inputs to the mapper).
+    ``sources``
+        Signals that logic cones may *start* from: primary inputs,
+        flip-flop Q pins, tristate-group outputs and constants.
+    ``sinks``
+        Signals whose values must exist as mapped nets: primary outputs,
+        flip-flop D/CE/SR pins and tristate data/enable pins.
+    """
+
+    nodes: list[Gate] = field(default_factory=list)
+    sources: list[Signal] = field(default_factory=list)
+    sinks: list[Signal] = field(default_factory=list)
+
+
+def combinational_dag(circuit: Circuit) -> MappingDag:
+    """Extract the mapper-facing DAG from a circuit.
+
+    Requires a levelised circuit (gate ``level`` fields set), which the
+    simulator's constructor guarantees; the FPGA flow levelises via a
+    throwaway :class:`~repro.hdl.sim.Simulator` when necessary.
+    """
+    dag = MappingDag()
+    seen_sources: set[int] = set()
+
+    def add_source(sig: Signal) -> None:
+        if id(sig) not in seen_sources:
+            seen_sources.add(id(sig))
+            dag.sources.append(sig)
+
+    for bus in circuit.inputs.values():
+        for sig in bus:
+            add_source(sig)
+    for ff in circuit.dffs:
+        add_source(ff.q)
+    for group in circuit.tristate_groups:
+        add_source(group.output)
+
+    const_kinds = ("CONST0", "CONST1")
+    for gate in sorted(circuit.gates, key=lambda g: g.level):
+        if gate.kind in const_kinds:
+            add_source(gate.output)
+        else:
+            dag.nodes.append(gate)
+
+    seen_sinks: set[int] = set()
+
+    def add_sink(sig: Signal) -> None:
+        if id(sig) not in seen_sinks:
+            seen_sinks.add(id(sig))
+            dag.sinks.append(sig)
+
+    for bus in circuit.outputs.values():
+        for sig in bus:
+            add_sink(sig)
+    for ff in circuit.dffs:
+        add_sink(ff.d)
+        if ff.enable is not None:
+            add_sink(ff.enable)
+        if ff.reset is not None:
+            add_sink(ff.reset)
+    for group in circuit.tristate_groups:
+        for t in group.buffers:
+            add_sink(t.input)
+            add_sink(t.enable)
+    return dag

@@ -1,0 +1,106 @@
+"""Single-bit nets and multi-bit buses.
+
+A :class:`Signal` is one net: it has a current logic value, at most one
+driver (a gate, flip-flop, tristate group or primary input) and a fanout
+list used by the event-driven simulator.  A :class:`Bus` is an ordered
+little-endian collection of signals (``bus[0]`` is the LSB, matching the
+paper's location-zero-is-LSB convention).
+
+Values are plain ints 0/1.  There is no X/Z propagation: flip-flops reset
+to defined values and tristate groups are checked for driver conflicts,
+so the model never needs unknowns — a deliberate simplification that
+keeps simulation exact and fast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.util.bits import check_uint
+
+__all__ = ["Signal", "Bus"]
+
+
+class Signal:
+    """One single-bit net."""
+
+    __slots__ = ("name", "value", "driver", "fanout", "index", "is_input")
+
+    def __init__(self, name: str, index: int):
+        self.name = name
+        #: Current simulated logic value (0 or 1).
+        self.value = 0
+        #: The gate/flip-flop/tristate-group driving this net, or ``None``
+        #: for primary inputs and constants.
+        self.driver = None
+        #: Gates that read this net (filled in by the circuit builder).
+        self.fanout: list = []
+        #: Dense id assigned by the circuit; used as an array index.
+        self.index = index
+        #: True for primary inputs (set via :meth:`Simulator.set_input`).
+        self.is_input = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name}={self.value})"
+
+
+class Bus:
+    """An ordered, little-endian group of signals."""
+
+    __slots__ = ("name", "signals")
+
+    def __init__(self, name: str, signals: Sequence[Signal]):
+        if not signals:
+            raise ValueError(f"bus {name!r} must have at least one signal")
+        self.name = name
+        self.signals = list(signals)
+
+    @property
+    def width(self) -> int:
+        """Number of bits in the bus."""
+        return len(self.signals)
+
+    def __len__(self) -> int:
+        return len(self.signals)
+
+    def __iter__(self) -> Iterator[Signal]:
+        return iter(self.signals)
+
+    def __getitem__(self, index):
+        """Single signal for int index; a sub-:class:`Bus` for slices."""
+        if isinstance(index, slice):
+            return Bus(f"{self.name}[{index.start}:{index.stop}]", self.signals[index])
+        return self.signals[index]
+
+    def value(self) -> int:
+        """Pack the current bit values into an integer (bit 0 = LSB)."""
+        word = 0
+        for i, sig in enumerate(self.signals):
+            word |= sig.value << i
+        return word
+
+    def field(self, high: int, low: int) -> "Bus":
+        """Sub-bus ``[high down to low]`` inclusive, paper notation."""
+        if high < low or low < 0 or high >= self.width:
+            raise ValueError(
+                f"field [{high}:{low}] out of range for {self.width}-bit bus {self.name!r}"
+            )
+        return Bus(f"{self.name}[{high}:{low}]", self.signals[low : high + 1])
+
+    def poke(self, value: int) -> list[Signal]:
+        """Force the bus bits to ``value``; returns the signals that changed.
+
+        Only legal on primary-input buses — the simulator enforces this,
+        this method just writes values.
+        """
+        check_uint(value, self.width, f"value for bus {self.name!r}")
+        changed = []
+        for i, sig in enumerate(self.signals):
+            bit = (value >> i) & 1
+            if sig.value != bit:
+                sig.value = bit
+                changed.append(sig)
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bus({self.name}[{self.width}]={self.value():#x})"

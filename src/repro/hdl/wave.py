@@ -1,0 +1,150 @@
+"""ASCII timing-diagram renderer.
+
+The paper's simulation section is four screenshots of the Xilinx logic
+simulator (Figs 5–8).  Our equivalent is textual: a :class:`WaveTrace`
+records named values cycle by cycle (from either the behavioural cycle
+model or the gate-level simulator), and :func:`render_wave` lays them out
+as one row per signal with hex bus values and drawn single-bit waves::
+
+    cycle        0    1    2    3
+    state        INIT LMSG LKEY LKEY
+    plaintext    ---- ABCD ABCD ABCD
+    ready        ____/~~~~
+
+Traces are also the data behind the VCD export and the waveform
+regression tests, so the figures are asserted, not just printed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.hdl.vcd import VcdWriter
+
+__all__ = ["WaveTrace", "render_wave"]
+
+
+class WaveTrace:
+    """A per-cycle table of named signal values."""
+
+    def __init__(self, signals: Sequence[tuple[str, int]]):
+        """``signals`` is an ordered list of (name, width-in-bits) pairs;
+        width 0 marks a *symbolic* signal (e.g. an FSM state name)."""
+        if not signals:
+            raise ValueError("a trace needs at least one signal")
+        self.widths: dict[str, int] = {}
+        self.order: list[str] = []
+        for name, width in signals:
+            if name in self.widths:
+                raise ValueError(f"duplicate signal {name!r}")
+            self.widths[name] = width
+            self.order.append(name)
+        self.rows: list[dict[str, int | str]] = []
+
+    def record(self, **values: int | str) -> None:
+        """Append one cycle of values; every declared signal is required."""
+        missing = set(self.order) - set(values)
+        if missing:
+            raise ValueError(f"missing signals in record: {sorted(missing)}")
+        extra = set(values) - set(self.order)
+        if extra:
+            raise ValueError(f"undeclared signals in record: {sorted(extra)}")
+        self.rows.append(dict(values))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list[int | str]:
+        """All values of one signal across cycles."""
+        if name not in self.widths:
+            raise KeyError(f"no signal {name!r}")
+        return [row[name] for row in self.rows]
+
+    def at(self, cycle: int, name: str) -> int | str:
+        """Value of ``name`` at ``cycle``."""
+        return self.rows[cycle][name]
+
+    def find(self, name: str, value: int | str, start: int = 0) -> int:
+        """First cycle >= ``start`` where ``name`` equals ``value``; -1 if none."""
+        for cycle in range(start, len(self.rows)):
+            if self.rows[cycle][name] == value:
+                return cycle
+        return -1
+
+    def to_vcd(self, timescale: str = "10ns") -> str:
+        """Export the numeric signals as a VCD document.
+
+        Symbolic signals (width 0) are skipped — VCD has no string type
+        in the subset common viewers support.
+        """
+        writer = VcdWriter(timescale=timescale)
+        numeric = [name for name in self.order if self.widths[name] > 0]
+        for name in numeric:
+            writer.declare(name, self.widths[name])
+        for cycle, row in enumerate(self.rows):
+            writer.sample(cycle, {name: int(row[name]) for name in numeric})
+        return writer.render()
+
+
+def _format_value(value: int | str, width: int, cell: int) -> str:
+    if width == 0:
+        return str(value)[:cell].ljust(cell)
+    hex_digits = (width + 3) // 4
+    return f"{int(value):0{hex_digits}X}".rjust(cell)[:cell].ljust(cell)
+
+
+def render_wave(
+    trace: WaveTrace,
+    first: int = 0,
+    last: int | None = None,
+    signals: Sequence[str] | None = None,
+) -> str:
+    """Render a cycle range of a trace as an ASCII timing diagram."""
+    if last is None:
+        last = len(trace) - 1
+    if not 0 <= first <= last < len(trace):
+        raise ValueError(
+            f"cycle range [{first}, {last}] invalid for a {len(trace)}-cycle trace"
+        )
+    names = list(signals) if signals is not None else list(trace.order)
+    for name in names:
+        if name not in trace.widths:
+            raise KeyError(f"no signal {name!r}")
+
+    cycles = list(range(first, last + 1))
+    label_pad = max(len("cycle"), max(len(n) for n in names)) + 2
+
+    cells: dict[str, int] = {}
+    for name in names:
+        width = trace.widths[name]
+        if width == 1:
+            cells[name] = 1
+        elif width == 0:
+            longest = max((len(str(trace.at(c, name))) for c in cycles), default=1)
+            cells[name] = max(longest, 4)
+        else:
+            cells[name] = max((width + 3) // 4, 4)
+
+    column = max(cells.values()) + 1
+    header = "cycle".ljust(label_pad) + "".join(
+        str(c).rjust(column - 1).ljust(column) for c in cycles
+    )
+    lines = [header]
+    for name in names:
+        width = trace.widths[name]
+        row = [name.ljust(label_pad)]
+        previous_bit: int | None = None
+        for cycle in cycles:
+            value = trace.at(cycle, name)
+            if width == 1:
+                bit = int(value)
+                if previous_bit is None or previous_bit == bit:
+                    glyph = "~" if bit else "_"
+                else:
+                    glyph = "/" if bit else "\\"
+                row.append((glyph * 1).ljust(column, "~" if bit else "_"))
+                previous_bit = bit
+            else:
+                row.append(_format_value(value, width, column - 1) + " ")
+        lines.append("".join(row).rstrip())
+    return "\n".join(lines)

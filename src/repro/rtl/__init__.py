@@ -1,0 +1,36 @@
+"""The paper's micro-architecture, modelled at two levels.
+
+* **Behavioural cycle models** — register-accurate, one Python step per
+  clock, fast enough for throughput measurement and waveform generation:
+
+  - :class:`repro.rtl.cycle_model.MhheaCycleModel` — the improved
+    parallel-replacement design (paper sections III–IV);
+  - :class:`repro.rtl.serial_model.HheaSerialCycleModel` — the earlier
+    serial design [SAEB04a] whose key-dependent timing the paper
+    criticises;
+  - :class:`repro.rtl.yaea_like.YaeaLikeCycleModel` — the YAEA stand-in
+    stream design used for the Table 1 comparison pipeline.
+
+* **Structural gate-level builds** (:mod:`repro.rtl.structure`) — the
+  same designs elaborated into :class:`repro.hdl.circuit.Circuit`
+  netlists of LUT-mappable gates, flip-flops and tristate buffers, which
+  are what the FPGA CAD flow implements and what the gate-level
+  equivalence tests simulate.
+
+All models share the FSM vocabulary of :mod:`repro.rtl.states`, which
+mirrors the six states of the paper's Figure 1.
+"""
+
+from repro.rtl.cycle_model import CycleModelRun, MhheaCycleModel
+from repro.rtl.serial_model import HheaSerialCycleModel
+from repro.rtl.states import FSM_STATES, fsm_dot
+from repro.rtl.yaea_like import YaeaLikeCycleModel
+
+__all__ = [
+    "CycleModelRun",
+    "MhheaCycleModel",
+    "HheaSerialCycleModel",
+    "FSM_STATES",
+    "fsm_dot",
+    "YaeaLikeCycleModel",
+]

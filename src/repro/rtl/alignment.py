@@ -1,0 +1,83 @@
+"""Structural Message Alignment module (paper section 3.2, Fig. 3).
+
+Holds the ``width``-bit working half of the plaintext and rotates it so
+that the bits to embed line up with the replacement window:
+
+* **load** (LMSGCACHE): the buffer takes the selected message-cache half;
+* **circulate left** (CIRC): rotate by the *smaller* scrambled key, so
+  the next message bit sits at window position ``KN1`` (Fig. 3b);
+* **circulate right** (ENCRYPT): rotate by the *larger* scrambled key
+  plus one, which nets out to shifting the consumed bits away so "the
+  least significant bits of the message buffer are always the bits yet
+  to be encrypted" (Fig. 3c);
+* **hold** otherwise.
+
+Both rotators are combinational mux barrels ("multiplexers are used for
+n-bit rotations.  Hence, the circulate operation takes only one clock
+cycle").  The four sources drive the register input through a tristate
+bus with one-hot state-decoded enables, the TBUF-heavy style of the
+original implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus, Signal
+
+__all__ = ["AlignmentPorts", "build_alignment"]
+
+
+@dataclass
+class AlignmentPorts:
+    """Handles exposed by the alignment module."""
+
+    buffer: Bus
+    """The working message-half register."""
+
+    rotated_left: Bus
+    """Combinational left-rotation of the buffer (CIRC result)."""
+
+    rotated_right: Bus
+    """Combinational right-rotation of the buffer (ENCRYPT result)."""
+
+
+def build_alignment(
+    circuit: Circuit,
+    load_data: Bus,
+    rotl_amount: Bus,
+    rotr_amount: Bus,
+    sel_load: Signal,
+    sel_rotl: Signal,
+    sel_rotr: Signal,
+    name: str = "align",
+) -> AlignmentPorts:
+    """Instantiate the alignment buffer with its two barrel rotators.
+
+    ``rotl_amount`` is the smaller scrambled key (``key_bits`` wide);
+    ``rotr_amount`` is the larger scrambled key plus one, which needs one
+    extra bit (a rotation by up to the full window width).  The three
+    select lines are the one-hot decodes of LMSGCACHE / CIRC / ENCRYPT;
+    the hold path enables itself when none of them is active.
+    """
+    width = load_data.width
+    buffer = circuit.bus(f"{name}.q", width)
+
+    rotated_left = circuit.barrel_rotate_left(buffer, rotl_amount, name=f"{name}.rol")
+    rotated_right = circuit.barrel_rotate_right(buffer, rotr_amount, name=f"{name}.ror")
+
+    source = circuit.tristate_bus(f"{name}.d", width)
+    sel_hold = circuit.not_(
+        circuit.or_(sel_load, sel_rotl, sel_rotr, name=f"{name}.any"),
+        name=f"{name}.hold",
+    )
+    circuit.tbuf_drive(load_data, sel_load, source)
+    circuit.tbuf_drive(Bus(f"{name}.rolw", list(rotated_left)), sel_rotl, source)
+    circuit.tbuf_drive(Bus(f"{name}.rorw", list(rotated_right)), sel_rotr, source)
+    circuit.tbuf_drive(buffer, sel_hold, source)
+
+    circuit.register_on(buffer, source)
+    return AlignmentPorts(
+        buffer=buffer, rotated_left=rotated_left, rotated_right=rotated_right
+    )

@@ -1,0 +1,44 @@
+"""Structural Comparator / sorter (paper section 3.4).
+
+"The comparator delivers the scrambled key with the smaller value to the
+Message Alignment module."  The same sort-two-small-integers structure is
+used twice in the datapath: once on the raw key pair (the algorithm's
+first swap) and once on the scrambled pair (the second swap), so it is a
+reusable builder here.  Implementation: an unsigned ripple-borrow
+comparison steers a pair of word muxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus, Signal
+
+__all__ = ["SorterPorts", "build_sorter"]
+
+
+@dataclass
+class SorterPorts:
+    """Handles exposed by one comparator/sorter."""
+
+    small: Bus
+    """min(a, b) — goes to the left-rotation amount."""
+
+    large: Bus
+    """max(a, b) — plus one, it becomes the right-rotation amount."""
+
+    swapped: Signal
+    """High when the inputs arrived out of order (b < a)."""
+
+
+def build_sorter(circuit: Circuit, a: Bus, b: Bus, name: str = "sort") -> SorterPorts:
+    """Sort two equal-width unsigned buses into (small, large)."""
+    if a.width != b.width:
+        raise ValueError(
+            f"sorter inputs must match: {a.width} vs {b.width} bits"
+        )
+    swapped = circuit.less_than(b, a, name=f"{name}.lt")
+    small = circuit.mux_bus(swapped, a, b, name=f"{name}.min")
+    large = circuit.mux_bus(swapped, b, a, name=f"{name}.max")
+    return SorterPorts(small=small, large=large, swapped=swapped)

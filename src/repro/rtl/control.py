@@ -1,0 +1,102 @@
+"""Structural control unit: the six-state FSM of paper Figure 1.
+
+The state register is 3 bits wide with the encodings of
+:mod:`repro.rtl.states`.  Next-state selection is a word-level mux tree
+over the current state; the guard inputs arrive from the datapath:
+
+``go``         start request (INIT exit)
+``lkey_done``  key cache full, or the last pair is being written now
+``half_done``  this ENCRYPT consumes the rest of the current half
+``last_half``  the high half is the one being consumed
+``eof``        no further plaintext block will be presented
+
+The module also exports the one-hot state decodes every other module
+uses as load/enable strobes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus, Signal
+from repro.rtl import states
+
+__all__ = ["ControlPorts", "build_control"]
+
+
+@dataclass
+class ControlPorts:
+    """Handles exposed by the control unit."""
+
+    state: Bus
+    """The 3-bit state register (encodings per ``repro.rtl.states``)."""
+
+    in_init: Signal
+    in_lmsg: Signal
+    in_lkey: Signal
+    in_lmsgcache: Signal
+    in_circ: Signal
+    in_encrypt: Signal
+
+
+def build_control(
+    circuit: Circuit,
+    go: Signal,
+    lkey_done: Signal,
+    half_done: Signal,
+    last_half: Signal,
+    eof: Signal,
+    name: str = "ctl",
+) -> ControlPorts:
+    """Instantiate the FSM; returns the state register and decodes."""
+    bits = states.STATE_BITS
+    state = circuit.bus(f"{name}.state", bits)
+
+    def const_state(state_name: str) -> Bus:
+        return circuit.const_bus(states.encode(state_name), bits)
+
+    # Per-state next-state choices (Figure 1).
+    from_init = circuit.mux_bus(
+        go, const_state(states.INIT), const_state(states.LMSG), name=f"{name}.ninit"
+    )
+    from_lmsg = const_state(states.LKEY)
+    from_lkey = circuit.mux_bus(
+        lkey_done, const_state(states.LKEY), const_state(states.LMSGCACHE),
+        name=f"{name}.nlkey",
+    )
+    from_lmsgcache = const_state(states.CIRC)
+    from_circ = const_state(states.ENCRYPT)
+    # ENCRYPT exit: not half_done -> CIRC; half_done & !last_half ->
+    # LMSGCACHE; half_done & last_half & !eof -> LMSG; ... & eof -> INIT.
+    done_path = circuit.mux_bus(
+        eof, const_state(states.LMSG), const_state(states.INIT),
+        name=f"{name}.ndone",
+    )
+    last_path = circuit.mux_bus(
+        last_half, const_state(states.LMSGCACHE), done_path, name=f"{name}.nlast"
+    )
+    from_encrypt = circuit.mux_bus(
+        half_done, const_state(states.CIRC), last_path, name=f"{name}.nenc"
+    )
+
+    choices = [const_state(states.INIT)] * (1 << bits)
+    choices[states.encode(states.INIT)] = from_init
+    choices[states.encode(states.LMSG)] = from_lmsg
+    choices[states.encode(states.LKEY)] = from_lkey
+    choices[states.encode(states.LMSGCACHE)] = from_lmsgcache
+    choices[states.encode(states.CIRC)] = from_circ
+    choices[states.encode(states.ENCRYPT)] = from_encrypt
+    next_state = circuit.muxn(state, choices, name=f"{name}.next")
+    circuit.register_on(state, next_state, init=states.encode(states.INIT))
+
+    decode = circuit.decoder(state, name=f"{name}.dec")
+    return ControlPorts(
+        state=state,
+        in_init=decode[states.encode(states.INIT)],
+        in_lmsg=decode[states.encode(states.LMSG)],
+        in_lkey=decode[states.encode(states.LKEY)],
+        in_lmsgcache=decode[states.encode(states.LMSGCACHE)],
+        in_circ=decode[states.encode(states.CIRC)],
+        in_encrypt=decode[states.encode(states.ENCRYPT)],
+    )

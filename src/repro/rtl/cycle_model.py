@@ -1,0 +1,338 @@
+"""Behavioural, cycle-accurate model of the improved MHHEA micro-architecture.
+
+One call to :meth:`MhheaCycleModel.step` is one clock edge.  The model
+keeps exactly the registers of the structural design (message cache,
+alignment buffer, key cache, LFSR/vector register, scrambled-key latches,
+counters, cipher/ready/done flops) and sequences them with the six-state
+FSM of paper Figure 1, so that:
+
+* the emitted vector stream equals the reference cipher in framed mode
+  (``frame_bits = width``) bit-for-bit — asserted by the equivalence
+  tests;
+* the cycle counts are the paper's: **two cycles per key pair**
+  (``CIRC`` + ``ENCRYPT``) regardless of how many bits the window
+  replaces, which is the headline architectural claim;
+* the per-cycle traces reproduce the simulation figures (Figs 5–8).
+
+The model deliberately performs "hardware arithmetic": every intermediate
+is masked to its register width, and the hiding-vector RNG advances one
+whole word per key pair exactly like the structural leap-forward LFSR.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.errors import HardwareModelError
+from repro.core.key import Key, KeyPair, scramble_pair
+from repro.core.params import PAPER_PARAMS, VectorParams
+from repro.hdl.wave import WaveTrace
+from repro.rtl import states
+from repro.util.bits import bits_to_int, mask, rotl, rotr
+from repro.util.lfsr import Lfsr
+
+__all__ = ["MhheaCycleModel", "CycleModelRun", "ScriptedVectorSource"]
+
+
+class ScriptedVectorSource:
+    """Vector source that replays a fixed word list (for directed tests)."""
+
+    def __init__(self, words: Sequence[int]):
+        if not words:
+            raise ValueError("scripted source needs at least one word")
+        self._words = list(words)
+        self._pos = 0
+
+    def next_word(self) -> int:
+        """Next scripted word; raises when the script runs out."""
+        if self._pos >= len(self._words):
+            raise IndexError("scripted vector source exhausted")
+        word = self._words[self._pos]
+        self._pos += 1
+        return word
+
+
+@dataclass
+class CycleModelRun:
+    """Result of driving a cycle model over one whole message."""
+
+    vectors: list[int] = field(default_factory=list)
+    ready_cycles: list[int] = field(default_factory=list)
+    total_cycles: int = 0
+    n_bits: int = 0
+    trace: WaveTrace | None = None
+
+    @property
+    def cycles_per_vector(self) -> float:
+        """Mean clock cycles between Ready pulses (steady-state cost)."""
+        if len(self.ready_cycles) < 2:
+            return float(self.total_cycles)
+        spans = [
+            b - a for a, b in zip(self.ready_cycles, self.ready_cycles[1:])
+        ]
+        return sum(spans) / len(spans)
+
+    @property
+    def bits_per_cycle(self) -> float:
+        """End-to-end information throughput in message bits per cycle."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.n_bits / self.total_cycles
+
+
+class MhheaCycleModel:
+    """Cycle-accurate MHHEA processor model.
+
+    Parameters
+    ----------
+    key:
+        The key schedule; the key cache is loaded from it during
+        ``LKEY`` (one pair per cycle, ``L`` cycles on the first block).
+    params:
+        Vector geometry; the paper's build is the 16-bit default.
+    """
+
+    #: Names and widths of the traced signals, in display order.
+    def __init__(self, key: Key, params: VectorParams = PAPER_PARAMS):
+        self.key = key
+        self.params = params
+        self.width = params.width
+        self.block_bits = 2 * params.width
+        self._reset_registers()
+
+    def _reset_registers(self) -> None:
+        p = self.params
+        self.state = states.INIT
+        self.msg_cache = 0                      # 2 x width plaintext register
+        self.buffer = 0                         # alignment buffer (width bits)
+        self.half_sel = 0                       # 0 = low half next, 1 = high
+        self.bits_done = 0                      # bits consumed in this half
+        self.half_len = 0                       # message bits in this half
+        self.key_addr = 0                       # key cache address counter
+        self.key_full = False                   # cache loaded flag
+        self.key_cache = [(0, 0)] * len(self.key)
+        self.v_reg = 0                          # latched hiding vector
+        self.kn_small = 0                       # latched scrambled keys
+        self.kn_large = 0
+        self.k1_latch = 0                       # sorted smaller key half
+        self.cipher = 0
+        self.ready = 0
+        self.done = 0
+        self.consumed_total = 0
+        self.cycle = 0
+        # current-cycle combinational values (for tracing)
+        self._v_comb = 0
+        self._kn1_comb = 0
+        self._kn2_comb = 0
+
+    # ------------------------------------------------------------------
+
+    def _trace_columns(self) -> list[tuple[str, int]]:
+        p = self.params
+        kb = p.key_bits
+        counter_bits = p.width.bit_length() + 1
+        return [
+            ("state", 0),
+            ("go", 1),
+            ("plaintext", self.block_bits),
+            ("msg_cache", self.block_bits),
+            ("buffer", p.width),
+            ("key_addr", 5),
+            ("key_left", kb),
+            ("key_right", kb),
+            ("v", p.width),
+            ("kn_small", kb),
+            ("kn_large", kb),
+            ("cipher", p.width),
+            ("ready", 1),
+            ("bits_done", counter_bits),
+            ("done", 1),
+        ]
+
+    def run(
+        self,
+        bits: Sequence[int],
+        seed: int = 0xACE1,
+        source=None,
+        record_trace: bool = False,
+        max_cycles: int | None = None,
+    ) -> CycleModelRun:
+        """Drive a whole message through the processor.
+
+        ``source`` overrides the internal LFSR (must provide
+        ``next_word()``); otherwise a fresh ``Lfsr(width, seed)`` is used,
+        matching :func:`repro.core.mhhea.encrypt_bits` with the same seed.
+        """
+        self._reset_registers()
+        vector_source = source if source is not None else Lfsr(self.width, seed=seed)
+        run = CycleModelRun(n_bits=len(bits))
+        if record_trace:
+            run.trace = WaveTrace(self._trace_columns())
+        if not bits:
+            return run
+
+        blocks = self._pack_blocks(bits)
+        block_index = 0
+        n_bits = len(bits)
+        if max_cycles is None:
+            max_cycles = 64 + 8 * len(blocks) + 8 * n_bits + 4 * len(self.key)
+
+        go = 1
+        plaintext = blocks[0]
+        while not (self.done and self.state == states.INIT):
+            if self.cycle > max_cycles:
+                raise HardwareModelError(
+                    f"FSM failed to finish within {max_cycles} cycles "
+                    f"(stuck in {self.state})"
+                )
+            eof = block_index >= len(blocks) - 1
+            emitted = self._step(go, plaintext, eof, vector_source, run)
+            if emitted and self.state == states.LMSG:
+                # _step moved to LMSG for the next block
+                block_index += 1
+                plaintext = blocks[block_index]
+        # one flush cycle so the final Ready pulse is observed/recorded
+        self._step(0, plaintext, True, vector_source, run)
+        run.total_cycles = self.cycle
+        return run
+
+    # ------------------------------------------------------------------
+
+    def _pack_blocks(self, bits: Sequence[int]) -> list[int]:
+        blocks = []
+        for start in range(0, len(bits), self.block_bits):
+            chunk = list(bits[start : start + self.block_bits])
+            chunk += [0] * (self.block_bits - len(chunk))
+            blocks.append(bits_to_int(chunk))
+        return blocks
+
+    def _record(self, run: CycleModelRun, go: int, plaintext: int) -> None:
+        if run.trace is None:
+            return
+        if self.state == states.LKEY and not self.key_full:
+            # Fig. 6 view: the pair being presented on the key input bus
+            # is what the logic analyser shows during the load cycle.
+            pair = self.key.pairs[self.key_addr]
+            left, right = pair.k1, pair.k2
+        else:
+            left, right = self.key_cache[self.key_addr % len(self.key_cache)]
+        run.trace.record(
+            state=self.state,
+            go=go,
+            plaintext=plaintext,
+            msg_cache=self.msg_cache,
+            buffer=self.buffer,
+            key_addr=self.key_addr,
+            key_left=left,
+            key_right=right,
+            v=self._v_comb if self.state == states.CIRC else self.v_reg,
+            kn_small=self._kn1_comb if self.state == states.CIRC else self.kn_small,
+            kn_large=self._kn2_comb if self.state == states.CIRC else self.kn_large,
+            cipher=self.cipher,
+            ready=self.ready,
+            bits_done=self.bits_done,
+            done=self.done,
+        )
+
+    def _step(self, go: int, plaintext: int, eof: bool, source, run: CycleModelRun) -> bool:
+        """Advance one clock; returns True when a state transition consumed
+        the current block (caller should present the next one)."""
+        p = self.params
+        width = self.width
+        advanced_block = False
+        ready_next = 0
+
+        if self.state == states.CIRC:
+            # combinational work of the CIRC cycle: sample the hiding
+            # vector and scramble the key *before* tracing, so the trace
+            # shows these values during the cycle they are computed in
+            # (paper Fig. 8 annotates them on the Circ state).
+            left, right = self.key_cache[self.key_addr]
+            vector = source.next_word() & mask(width)
+            self._v_comb = vector
+            kn1, kn2 = scramble_pair(KeyPair(left, right).sorted(), vector, p)
+            self._kn1_comb, self._kn2_comb = kn1, kn2
+
+        self._record(run, go, plaintext)
+        if self.ready:
+            run.ready_cycles.append(self.cycle)
+
+        if self.state == states.INIT:
+            if go:
+                self.done = 0
+                self.state = states.LMSG
+
+        elif self.state == states.LMSG:
+            self.msg_cache = plaintext & mask(self.block_bits)
+            self.half_sel = 0
+            self.state = states.LKEY
+
+        elif self.state == states.LKEY:
+            if not self.key_full:
+                pair = self.key.pairs[self.key_addr]
+                self.key_cache[self.key_addr] = (pair.k1, pair.k2)
+                if self.key_addr == len(self.key) - 1:
+                    self.key_addr = 0
+                    self.key_full = True
+                    self.state = states.LMSGCACHE
+                else:
+                    self.key_addr += 1
+            else:
+                self.state = states.LMSGCACHE
+
+        elif self.state == states.LMSGCACHE:
+            if self.half_sel == 0:
+                self.buffer = self.msg_cache & mask(width)
+            else:
+                self.buffer = (self.msg_cache >> width) & mask(width)
+            self.bits_done = 0
+            self.half_len = min(width, run.n_bits - self.consumed_total)
+            self.state = states.CIRC
+
+        elif self.state == states.CIRC:
+            left, right = self.key_cache[self.key_addr]
+            kn1, kn2 = self._kn1_comb, self._kn2_comb
+            self.buffer = rotl(self.buffer, kn1, width)
+            self.v_reg = self._v_comb
+            self.kn_small = kn1
+            self.kn_large = kn2
+            self.k1_latch = min(left, right)
+            self.state = states.ENCRYPT
+
+        elif self.state == states.ENCRYPT:
+            window = self.kn_large - self.kn_small + 1
+            budget = min(window, self.half_len - self.bits_done)
+            out = self.v_reg
+            for offset in range(budget):
+                j = self.kn_small + offset
+                q = offset % p.key_bits
+                message_bit = (self.buffer >> j) & 1
+                scrambled = message_bit ^ ((self.k1_latch >> q) & 1)
+                out = (out & ~(1 << j)) | (scrambled << j)
+            self.cipher = out
+            run.vectors.append(out)
+            ready_next = 1
+            self.buffer = rotr(self.buffer, self.kn_large + 1, width)
+            self.bits_done += budget
+            self.consumed_total += budget
+            self.key_addr = 0 if self.key_addr == len(self.key) - 1 else self.key_addr + 1
+            if self.bits_done >= self.half_len:
+                if self.consumed_total >= run.n_bits:
+                    if eof:
+                        self.done = 1
+                        self.state = states.INIT
+                    else:  # pragma: no cover - driver always sets eof right
+                        raise HardwareModelError("message exhausted but EOF low")
+                elif self.half_sel == 0:
+                    self.half_sel = 1
+                    self.state = states.LMSGCACHE
+                else:
+                    self.state = states.LMSG
+                    advanced_block = True
+            else:
+                self.state = states.CIRC
+
+        self.ready = ready_next
+        self.cycle += 1
+        return advanced_block

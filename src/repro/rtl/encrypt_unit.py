@@ -1,0 +1,181 @@
+"""Structural Encryption Module and key scrambler (paper sections 3.5, II).
+
+Two builders live here:
+
+* :func:`build_scrambler` — the location-scrambling arithmetic performed
+  during CIRC: slice the high half of the hiding vector at the sorted raw
+  key positions, truncate, XOR with the smaller key, add the span modulo
+  the half width, and sort the result (see
+  :func:`repro.core.key.scramble_pair` for the golden model);
+
+* :func:`build_encrypt_unit` — the parallel bit replacement performed
+  during ENCRYPT: "a simple architecture of mere multiplexers that choose
+  between the bits in the hiding vector and the ones in the scrambled
+  plaintext stream.  The selects of the multiplexers are controlled by
+  the scrambled key pair."  The window decode is a pair of thermometer
+  codes (``j >= KN1`` and ``j <= KN2``) plus the frame-budget guard that
+  keeps positions beyond the remaining message bits untouched — the
+  hardware form of the pseudocode's end-of-file test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus, Signal
+from repro.rtl.comparator import build_sorter
+
+__all__ = ["ScramblerPorts", "build_scrambler", "build_encrypt_unit"]
+
+
+@dataclass
+class ScramblerPorts:
+    """Handles exposed by the location scrambler."""
+
+    kn_small: Bus
+    """Smaller scrambled key (left-rotation amount)."""
+
+    kn_large: Bus
+    """Larger scrambled key."""
+
+    k1_sorted: Bus
+    """Sorted smaller *raw* key half (the data-scrambling operand)."""
+
+
+def build_scrambler(
+    circuit: Circuit,
+    vector: Bus,
+    key_left: Bus,
+    key_right: Bus,
+    name: str = "scram",
+) -> ScramblerPorts:
+    """Derive the scrambled window bounds from V and the raw key pair.
+
+    Matches ``repro.core.key.scramble_pair`` bit-for-bit:
+
+    1. sort the raw pair → ``(k1, k2)``;
+    2. right-rotate the high half of V by ``k1`` so the slice
+       ``V[k2+half .. k1+half]`` starts at bit 0;
+    3. keep ``key_bits`` bits, masked to the slice width ``k2-k1+1``;
+    4. ``kn1 = slice ^ k1``; ``kn2 = (kn1 + (k2-k1)) mod half``;
+    5. sort ``(kn1, kn2)``.
+    """
+    width = vector.width
+    half = width // 2
+    key_bits = key_left.width
+    if key_right.width != key_bits:
+        raise ValueError("key halves must be the same width")
+    if (1 << key_bits) != half:
+        raise ValueError(
+            f"{key_bits}-bit keys do not address a {half}-bit window region"
+        )
+
+    raw = build_sorter(circuit, key_left, key_right, name=f"{name}.raw")
+    k1, k2 = raw.small, raw.large
+    span, _ = circuit.subtractor(k2, k1, name=f"{name}.span")
+
+    v_high = vector.field(width - 1, half)
+    aligned = circuit.barrel_rotate_right(v_high, k1, name=f"{name}.alg")
+
+    # Mask the truncated slice to its width: bit t survives when span >= t.
+    masked_bits = [aligned[0]]
+    for t in range(1, key_bits):
+        ge_t = circuit.not_(
+            circuit.less_than(span, circuit.const_bus(t, key_bits),
+                              name=f"{name}.lt{t}"),
+            name=f"{name}.ge{t}",
+        )
+        masked_bits.append(circuit.and_(aligned[t], ge_t, name=f"{name}.m{t}"))
+    masked = Bus(f"{name}.slice", masked_bits)
+
+    kn1 = circuit.xor_bus(masked, k1, name=f"{name}.kn1")
+    kn2, _ = circuit.adder(kn1, span, name=f"{name}.kn2")  # carry drop = mod half
+    scrambled = build_sorter(circuit, kn1, kn2, name=f"{name}.kn")
+    return ScramblerPorts(
+        kn_small=scrambled.small, kn_large=scrambled.large, k1_sorted=k1
+    )
+
+
+def build_encrypt_unit(
+    circuit: Circuit,
+    vector: Bus,
+    buffer: Bus,
+    kn_small: Bus,
+    kn_large: Bus,
+    k1: Bus,
+    remaining: Bus,
+    name: str = "enc",
+) -> Bus:
+    """The parallel replacement network; returns the next cipher word.
+
+    ``vector`` is the latched hiding vector, ``buffer`` the left-rotated
+    message half (bit ``KN1+t`` carries message bit ``t``), ``remaining``
+    the count of message bits left in the half.  Replacement positions:
+    ``KN1 <= j <= KN2`` **and** ``j - KN1 < remaining``; replaced value is
+    ``buffer[j] XOR k1[(j - KN1) mod key_bits]``.
+    """
+    width = vector.width
+    half = width // 2
+    key_bits = kn_small.width
+
+    # Thermometer decodes of the window bounds.
+    onehot_small = circuit.decoder(kn_small, name=f"{name}.ohs")
+    onehot_large = circuit.decoder(kn_large, name=f"{name}.ohl")
+    ge_small: list[Signal] = []
+    for j in range(half):
+        if j == 0:
+            ge_small.append(onehot_small[0])
+        else:
+            ge_small.append(
+                circuit.or_(ge_small[j - 1], onehot_small[j], name=f"{name}.ge{j}")
+            )
+    le_large: list[Signal] = [None] * half  # type: ignore[list-item]
+    for j in reversed(range(half)):
+        if j == half - 1:
+            le_large[j] = onehot_large[j]
+        else:
+            le_large[j] = circuit.or_(
+                le_large[j + 1], onehot_large[j], name=f"{name}.le{j}"
+            )
+
+    # Budget guard: position j embeds only when j < KN1 + remaining.
+    limit_width = remaining.width + 1
+    kn_ext = Bus(
+        f"{name}.knx",
+        list(kn_small) + [circuit.const(0)] * (limit_width - key_bits),
+    )
+    rem_ext = Bus(
+        f"{name}.remx",
+        list(remaining) + [circuit.const(0)] * (limit_width - remaining.width),
+    )
+    limit, _ = circuit.adder(kn_ext, rem_ext, name=f"{name}.lim")
+    high_any = circuit.or_(
+        *[limit[b] for b in range(key_bits, limit_width)], name=f"{name}.hi"
+    )
+    onehot_limit = circuit.decoder(limit.field(key_bits - 1, 0), name=f"{name}.ohm")
+    below_limit: list[Signal] = [None] * half  # type: ignore[list-item]
+    gt: Signal = circuit.const(0)
+    for j in reversed(range(half)):
+        # low bits of limit exceed j  <=>  onehot_limit hits in (j, half)
+        below_limit[j] = circuit.or_(gt, high_any, name=f"{name}.bl{j}")
+        gt = circuit.or_(gt, onehot_limit[j], name=f"{name}.gt{j}")
+
+    # Data-scrambling pattern: k1 bits repeated cyclically then rotated so
+    # the q=0 bit lands on position KN1 (pattern[KN1+t] = k1[t mod kb]).
+    base = Bus(f"{name}.pat0", [k1[t % key_bits] for t in range(half)])
+    pattern = circuit.barrel_rotate_left(base, kn_small, name=f"{name}.pat")
+
+    out_bits: list[Signal] = []
+    for j in range(width):
+        if j >= half:
+            out_bits.append(vector[j])
+            continue
+        in_window = circuit.and_(
+            ge_small[j], le_large[j], below_limit[j], name=f"{name}.w{j}"
+        )
+        embedded = circuit.xor_(buffer[j], pattern[j], name=f"{name}.x{j}")
+        out_bits.append(
+            circuit.mux(in_window, vector[j], embedded, name=f"{name}.c{j}")
+        )
+    return Bus(f"{name}.out", out_bits)

@@ -1,0 +1,79 @@
+"""Structural Key Cache (paper section 3.3, circuit diagrams Figs 12–13).
+
+"The Key Cache module buffers the whole 16 three-bit key pairs.  The key
+cache is organized as 32 three-bit registers.  Each two registers share
+the same address to create key pairs."  Writes are address-decoded with
+a write strobe (LKEY state); reads are continuous through two tristate
+buses — one for the left key, one for the right — driven by the one-hot
+address decode.  For the paper's geometry this is exactly 16 pairs × 2
+registers × 3 bits = 96 flip-flops and 96 tristate buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus, Signal
+
+__all__ = ["KeyCachePorts", "build_key_cache"]
+
+
+@dataclass
+class KeyCachePorts:
+    """Handles exposed by the key cache."""
+
+    left: Bus
+    """Tristate read bus: left key of the addressed pair (``K[i][0]``)."""
+
+    right: Bus
+    """Tristate read bus: right key of the addressed pair (``K[i][1]``)."""
+
+    select: Bus
+    """The one-hot address decode (exposed for the write-path tests)."""
+
+
+def build_key_cache(
+    circuit: Circuit,
+    key_data: Bus,
+    addr: Bus,
+    write: Signal,
+    n_pairs: int,
+    name: str = "keycache",
+) -> KeyCachePorts:
+    """Instantiate the key cache.
+
+    ``key_data`` carries one pair, left key in the low ``key_bits``,
+    right key above it ("key pairs are loaded in parallel since they are
+    pointed to by the same address", Fig. 6).  ``addr`` addresses both
+    the write decode and the read buses; ``n_pairs`` slots are
+    instantiated (the paper's cache holds 16).
+    """
+    if key_data.width % 2 != 0:
+        raise ValueError(f"key_data width must be even, got {key_data.width}")
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be positive, got {n_pairs}")
+    if n_pairs > (1 << addr.width):
+        raise ValueError(
+            f"{addr.width}-bit address cannot reach {n_pairs} pairs"
+        )
+    key_bits = key_data.width // 2
+    data_left = key_data.field(key_bits - 1, 0)
+    data_right = key_data.field(2 * key_bits - 1, key_bits)
+
+    select = circuit.decoder(addr, name=f"{name}.sel")
+    left_bus = circuit.tristate_bus(f"{name}.left", key_bits)
+    right_bus = circuit.tristate_bus(f"{name}.right", key_bits)
+
+    for slot in range(n_pairs):
+        write_enable = circuit.and_(select[slot], write, name=f"{name}.we{slot}")
+        left_reg = circuit.register(
+            data_left, enable=write_enable, name=f"{name}.l{slot}"
+        )
+        right_reg = circuit.register(
+            data_right, enable=write_enable, name=f"{name}.r{slot}"
+        )
+        circuit.tbuf_drive(left_reg, select[slot], left_bus)
+        circuit.tbuf_drive(right_reg, select[slot], right_bus)
+
+    return KeyCachePorts(left=left_bus, right=right_bus, select=select)

@@ -1,0 +1,104 @@
+"""Structural leap-forward LFSR (the Random Number Generator module).
+
+The reference model consumes one whole ``width``-bit word per key pair
+(:meth:`repro.util.lfsr.Lfsr.next_word`).  A bit-serial hardware LFSR
+would need ``width`` clock cycles for that; instead the structural build
+uses the standard *leap-forward* construction: the state-update matrix
+``M`` of the single-step LFSR is raised to the ``width``-th power over
+GF(2), and each next-state bit becomes an XOR tree over the current
+state.  One clock edge then advances the register a full word, keeping
+the two-cycles-per-pair schedule of the micro-architecture.
+
+:func:`leap_matrix` derives the XOR taps symbolically from the *same*
+single-step recurrence the software model uses, so the two can never
+disagree; a property test drives both side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus, Signal  # noqa: F401 (Signal in type hints)
+from repro.util.lfsr import PRIMITIVE_TAPS
+
+__all__ = ["leap_matrix", "build_lfsr", "LfsrPorts"]
+
+
+def leap_matrix(width: int, taps: tuple[int, ...], steps: int) -> list[frozenset[int]]:
+    """GF(2) dependency sets of the ``steps``-step LFSR update.
+
+    Entry ``i`` of the result is the set of *current* state bit indices
+    whose XOR yields *next* state bit ``i`` after ``steps`` single-bit
+    shifts of the Fibonacci LFSR (shift toward LSB, feedback into MSB).
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    tap_positions = []
+    for t in taps:
+        if not 1 <= t <= width:
+            raise ValueError(f"tap {t} out of range for width {width}")
+        tap_positions.append(width - t)
+    # state[i] starts as {i}; one step: new[i] = old[i+1] for i < width-1,
+    # new[width-1] = XOR of the Fibonacci tap bits (positions width - t,
+    # matching repro.util.lfsr.fibonacci_mask).
+    state: list[frozenset[int]] = [frozenset([i]) for i in range(width)]
+    for _ in range(steps):
+        feedback: frozenset[int] = frozenset()
+        for t in tap_positions:
+            feedback = feedback ^ state[t]
+        state = state[1:] + [feedback]
+    return state
+
+
+@dataclass
+class LfsrPorts:
+    """Handles exposed by the structural LFSR."""
+
+    state: Bus
+    """The register holding the *current* word (last sampled V)."""
+
+    next_word: Bus
+    """Combinational leap-forward output: the word the register will
+    hold after the next enabled clock edge."""
+
+
+def build_lfsr(
+    circuit: Circuit,
+    width: int,
+    seed: int,
+    enable: Signal,
+    taps: tuple[int, ...] | None = None,
+    name: str = "lfsr",
+) -> LfsrPorts:
+    """Instantiate the leap-forward LFSR.
+
+    ``state`` initialises to ``seed`` and advances by one full word per
+    clock while ``enable`` is high — the micro-architecture raises
+    ``enable`` during the CIRC state only, once per key pair.
+    """
+    if taps is None:
+        if width not in PRIMITIVE_TAPS:
+            raise ValueError(f"no default primitive taps for width {width}")
+        taps = PRIMITIVE_TAPS[width]
+    if seed == 0:
+        raise ValueError("seed must be non-zero for an LFSR")
+
+    matrix = leap_matrix(width, taps, steps=width)
+    # Feedback loop: create the bare Q nets first, build the XOR network
+    # that reads them, then bind each Q to its computed D.
+    state = circuit.bus(f"{name}.q", width)
+    next_bits = []
+    for i, deps in enumerate(matrix):
+        sources = [state[j] for j in sorted(deps)]
+        if not sources:  # impossible for a primitive polynomial, but safe
+            next_bits.append(circuit.const(0))
+        elif len(sources) == 1:
+            next_bits.append(circuit.buf(sources[0], name=f"{name}.n{i}"))
+        else:
+            next_bits.append(circuit.xor_(*sources, name=f"{name}.n{i}"))
+    next_word = Bus(f"{name}.next", next_bits)
+    circuit.register_on(state, next_word, enable=enable, init=seed)
+    return LfsrPorts(state=state, next_word=next_word)

@@ -1,0 +1,66 @@
+"""Structural Message Cache (paper section 3.1).
+
+Stores one ``2*width``-bit plaintext block as two ``width``-bit register
+halves and presents the selected half on a shared tristate read bus —
+"32-bit of the user plaintext is saved into two 16-bit registers" because
+the alignment module "can operate on 16-bit data only".  The half select
+follows the paper's order: the least-significant half is consumed first
+(Fig. 7 shows the low 16 bits entering the alignment buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus, Signal
+
+__all__ = ["MessageCachePorts", "build_message_cache"]
+
+
+@dataclass
+class MessageCachePorts:
+    """Handles exposed by the message cache."""
+
+    cache_low: Bus
+    """Low-half register (plaintext bits ``width-1 .. 0``)."""
+
+    cache_high: Bus
+    """High-half register (plaintext bits ``2*width-1 .. width``)."""
+
+    read_data: Bus
+    """Tristate read bus carrying the half selected by ``half_sel``."""
+
+
+def build_message_cache(
+    circuit: Circuit,
+    plaintext: Bus,
+    load: Signal,
+    half_sel: Signal,
+    name: str = "msgcache",
+) -> MessageCachePorts:
+    """Instantiate the message cache.
+
+    ``load`` latches the full block (asserted during LMSG); ``half_sel``
+    chooses which half drives the read bus (0 = low half, matching the
+    LMSGCACHE ordering).  The half mux is built from tristate buffers —
+    one TBUF per bit per half — mirroring the long-line buses the
+    original Xilinx design used (the design summary counts them).
+    """
+    if plaintext.width % 2 != 0:
+        raise ValueError(f"plaintext width must be even, got {plaintext.width}")
+    width = plaintext.width // 2
+
+    low = circuit.register(
+        plaintext.field(width - 1, 0), enable=load, name=f"{name}.lo"
+    )
+    high = circuit.register(
+        plaintext.field(2 * width - 1, width), enable=load, name=f"{name}.hi"
+    )
+
+    read_data = circuit.tristate_bus(f"{name}.rd", width)
+    sel_high = half_sel
+    sel_low = circuit.not_(half_sel, name=f"{name}.sel_lo")
+    circuit.tbuf_drive(low, sel_low, read_data)
+    circuit.tbuf_drive(high, sel_high, read_data)
+    return MessageCachePorts(cache_low=low, cache_high=high, read_data=read_data)

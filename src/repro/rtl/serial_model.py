@@ -1,0 +1,150 @@
+"""Cycle model of the earlier *serial* HHEA micro-architecture [SAEB04a].
+
+This is the design the paper improves on: no location/data scrambling
+(plain HHEA windows) and **one bit replaced per clock cycle**, so a key
+pair with window width ``w`` costs ``1 + w`` cycles (one setup cycle to
+latch the hiding vector plus ``w`` serial replacement cycles).  The cycle
+count is therefore a deterministic function of the key — the throughput/
+key dependency that section I calls "vulnerability in the security of the
+implemented micro-architecture" and that
+:mod:`repro.security.timing_attack` exploits to recover key spans.
+
+The emitted vector stream is identical to the HHEA reference cipher in
+framed mode; only the *timing* differs from the improved design.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.errors import HardwareModelError
+from repro.core.key import Key, KeyPair
+from repro.core.params import PAPER_PARAMS, VectorParams
+from repro.hdl.wave import WaveTrace
+from repro.rtl import states
+from repro.rtl.cycle_model import CycleModelRun
+from repro.util.bits import bits_to_int, mask
+from repro.util.lfsr import Lfsr
+
+__all__ = ["HheaSerialCycleModel", "SETUP", "SHIFT"]
+
+#: Extra state names of the serial datapath (beyond Figure 1's six).
+SETUP = "SETUP"
+SHIFT = "SHIFT"
+
+
+class HheaSerialCycleModel:
+    """Serial-replacement HHEA processor model.
+
+    Shares the load protocol of the improved design (``LMSG``/``LKEY``/
+    ``LMSGCACHE``), then serialises each window: ``SETUP`` latches the
+    hiding vector and the sorted key pair; ``SHIFT`` replaces one bit per
+    cycle, emitting the vector and pulsing Ready after the last bit.
+    """
+
+    def __init__(self, key: Key, params: VectorParams = PAPER_PARAMS):
+        self.key = key
+        self.params = params
+        self.width = params.width
+        self.block_bits = 2 * params.width
+
+    def run(
+        self,
+        bits: Sequence[int],
+        seed: int = 0xACE1,
+        source=None,
+        record_trace: bool = False,
+        max_cycles: int | None = None,
+    ) -> CycleModelRun:
+        """Drive a whole message; see :class:`CycleModelRun` for results."""
+        vector_source = source if source is not None else Lfsr(self.width, seed=seed)
+        run = CycleModelRun(n_bits=len(bits))
+        trace = None
+        if record_trace:
+            trace = WaveTrace(
+                [
+                    ("state", 0),
+                    ("buffer", self.width),
+                    ("v", self.width),
+                    ("bit_index", 4),
+                    ("cipher", self.width),
+                    ("ready", 1),
+                ]
+            )
+            run.trace = trace
+        if not bits:
+            return run
+
+        width = self.width
+        n_bits = len(bits)
+        if max_cycles is None:
+            max_cycles = 64 + 16 * n_bits + 4 * len(self.key)
+
+        cycle = 0
+        ready = 0
+        cipher = 0
+
+        def emit(state: str, buffer: int, vector: int, bit_index: int) -> None:
+            nonlocal cycle
+            if trace is not None:
+                trace.record(
+                    state=state, buffer=buffer, v=vector,
+                    bit_index=bit_index, cipher=cipher, ready=ready,
+                )
+            if ready:
+                run.ready_cycles.append(cycle)
+            cycle += 1
+            if cycle > max_cycles:
+                raise HardwareModelError("serial model exceeded its cycle budget")
+
+        # --- load protocol (same shape as the improved design) ---------
+        emit(states.INIT, 0, 0, 0)
+        consumed = 0
+        block_count = (n_bits + self.block_bits - 1) // self.block_bits
+        first_block = True
+        pair_index = 0
+        for _ in range(block_count):
+            emit(states.LMSG, 0, 0, 0)
+            if first_block:
+                for _ in range(len(self.key)):
+                    emit(states.LKEY, 0, 0, 0)
+                first_block = False
+            else:
+                emit(states.LKEY, 0, 0, 0)
+            for _half in range(2):
+                if consumed >= n_bits:
+                    break
+                half_len = min(width, n_bits - consumed)
+                half_bits = list(bits[consumed : consumed + half_len])
+                emit(states.LMSGCACHE, bits_to_int(
+                    half_bits + [0] * (width - half_len)), 0, 0)
+                done_in_half = 0
+                while done_in_half < half_len:
+                    raw = self.key.pair(pair_index)
+                    pair = KeyPair(*sorted((raw.k1, raw.k2)))
+                    vector = vector_source.next_word() & mask(width)
+                    window = pair.k2 - pair.k1 + 1
+                    budget = min(window, half_len - done_in_half)
+                    buffer_val = bits_to_int(
+                        half_bits[done_in_half:] + [0] * (width - (half_len - done_in_half))
+                    )
+                    emit(SETUP, buffer_val, vector, 0)
+                    out = vector
+                    for offset in range(budget):
+                        j = pair.k1 + offset
+                        message_bit = half_bits[done_in_half + offset]
+                        out = (out & ~(1 << j)) | (message_bit << j)
+                        is_last = offset == budget - 1
+                        if is_last:
+                            cipher = out
+                            ready = 1
+                        emit(SHIFT, buffer_val, out, offset)
+                        if is_last:
+                            run.vectors.append(out)
+                            ready = 0
+                    done_in_half += budget
+                    consumed += budget
+                    pair_index += 1
+        emit(states.INIT, 0, 0, 0)
+        run.total_cycles = cycle
+        return run

@@ -1,0 +1,253 @@
+"""Structural top level of the *serial* HHEA micro-architecture [SAEB04a].
+
+The baseline the paper improves on: plain HHEA embedding (no location or
+data scrambling — the window is the sorted raw key pair) with one bit
+replaced per clock.  Each key pair costs one ``SETUP`` cycle (sample the
+hiding vector, point the bit counter at the window start) plus one
+``SHIFT`` cycle per replaced bit, so the cycle count per output vector is
+``1 + window_width`` — a deterministic function of the key, which is the
+timing side channel :mod:`repro.security.timing_attack` exploits.
+
+Shares the message-cache and key-cache builders with the improved design;
+the alignment barrel rotators and the scrambler are absent, which is why
+this design is smaller but far slower per bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import PAPER_PARAMS, VectorParams
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus, Signal
+from repro.rtl.comparator import build_sorter
+from repro.rtl.key_cache import KeyCachePorts, build_key_cache
+from repro.rtl.lfsr import LfsrPorts, build_lfsr
+from repro.rtl.message_cache import MessageCachePorts, build_message_cache
+
+__all__ = ["SerialTop", "build_serial_top", "SERIAL_STATES"]
+
+#: State encodings of the serial design's FSM.
+SERIAL_STATES: dict[str, int] = {
+    "INIT": 0,
+    "LMSG": 1,
+    "LKEY": 2,
+    "LMSGCACHE": 3,
+    "SETUP": 4,
+    "SHIFT": 5,
+}
+
+_DECODE = {code: name for name, code in SERIAL_STATES.items()}
+
+
+def serial_decode(code: int) -> str:
+    """State name for an encoding of the serial FSM."""
+    return _DECODE[code]
+
+
+@dataclass
+class SerialTop:
+    """The built serial circuit plus testbench handles."""
+
+    circuit: Circuit
+    params: VectorParams
+    n_pairs: int
+    seed: int
+    go: Bus
+    plaintext: Bus
+    key_data: Bus
+    eof: Bus
+    cipher: Bus
+    ready: Bus
+    done: Bus
+    key_addr: Bus
+    state: Bus
+    message_cache: MessageCachePorts
+    key_cache: KeyCachePorts
+    lfsr: LfsrPorts
+    buffer: Bus
+    bit_index: Bus
+
+
+def build_serial_top(
+    params: VectorParams = PAPER_PARAMS,
+    n_pairs: int = 16,
+    seed: int = 0xACE1,
+) -> SerialTop:
+    """Elaborate the serial HHEA design into a gate-level circuit."""
+    if seed == 0:
+        raise ValueError("LFSR seed must be non-zero")
+    width = params.width
+    key_bits = params.key_bits
+    counter_bits = width.bit_length() + 1
+    addr_bits = max(1, (n_pairs - 1).bit_length())
+    c = Circuit("hhea_serial_top")
+
+    go = c.input_bus("go", 1)
+    plaintext = c.input_bus("plaintext", 2 * width)
+    key_data = c.input_bus("key_data", 2 * key_bits)
+    eof = c.input_bus("eof", 1)
+
+    state = c.bus("state.q", 3)
+    addr = c.bus("addr.q", addr_bits)
+    key_full = c.bus("key_full.q", 1)
+    half_sel = c.bus("half_sel.q", 1)
+    bits_done = c.bus("bits_done.q", counter_bits)
+    buffer = c.bus("buffer.q", width)
+    v_reg = c.bus("v.q", width)
+    bit_index = c.bus("j.q", key_bits)
+    done = c.bus("done.q", 1)
+
+    decode = c.decoder(state, name="st.dec")
+    in_init = decode[SERIAL_STATES["INIT"]]
+    in_lmsg = decode[SERIAL_STATES["LMSG"]]
+    in_lkey = decode[SERIAL_STATES["LKEY"]]
+    in_lmsgcache = decode[SERIAL_STATES["LMSGCACHE"]]
+    in_setup = decode[SERIAL_STATES["SETUP"]]
+    in_shift = decode[SERIAL_STATES["SHIFT"]]
+
+    # ---- shared substrates --------------------------------------------
+    message_cache = build_message_cache(c, plaintext, load=in_lmsg,
+                                        half_sel=half_sel[0])
+    key_write = c.gate("ANDN2", in_lkey, key_full[0], name="key_we")
+    key_cache = build_key_cache(c, key_data, addr, key_write, n_pairs)
+    lfsr = build_lfsr(c, width, seed=seed, enable=in_setup)
+    sorter = build_sorter(c, key_cache.left, key_cache.right, name="raw")
+
+    # ---- guards ----------------------------------------------------------
+    addr_is_last = c.equals_const(addr, n_pairs - 1, name="addr_last")
+    lkey_done = c.or_(key_full[0], addr_is_last, name="lkey_done")
+    j_at_end = c.equals(bit_index, sorter.large, name="j_end")
+    bits_next = c.increment(bits_done, name="bits.inc")
+    log2_width = (width - 1).bit_length()
+    half_done = c.or_(
+        *[bits_next[b] for b in range(log2_width, counter_bits)], name="half_done"
+    )
+    window_end = c.and_(in_shift, c.or_(j_at_end, half_done, name="we.or"),
+                        name="window_end")
+
+    # ---- next state -------------------------------------------------------
+    def const_state(name: str) -> Bus:
+        return c.const_bus(SERIAL_STATES[name], 3)
+
+    done_path = c.mux_bus(eof[0], const_state("LMSG"), const_state("INIT"),
+                          name="n.done")
+    last_path = c.mux_bus(half_sel[0], const_state("LMSGCACHE"), done_path,
+                          name="n.last")
+    half_path = c.mux_bus(half_done, const_state("SETUP"), last_path,
+                          name="n.half")
+    from_shift = c.mux_bus(window_end, const_state("SHIFT"), half_path,
+                           name="n.shift")
+    choices = [const_state("INIT")] * 8
+    choices[SERIAL_STATES["INIT"]] = c.mux_bus(
+        go[0], const_state("INIT"), const_state("LMSG"), name="n.init")
+    choices[SERIAL_STATES["LMSG"]] = const_state("LKEY")
+    choices[SERIAL_STATES["LKEY"]] = c.mux_bus(
+        lkey_done, const_state("LKEY"), const_state("LMSGCACHE"), name="n.lkey")
+    choices[SERIAL_STATES["LMSGCACHE"]] = const_state("SETUP")
+    choices[SERIAL_STATES["SETUP"]] = const_state("SHIFT")
+    choices[SERIAL_STATES["SHIFT"]] = from_shift
+    c.register_on(state, c.muxn(state, choices, name="n.mux"),
+                  init=SERIAL_STATES["INIT"])
+
+    # ---- datapath registers -------------------------------------------------
+    # Working buffer: load a half, then shift right one bit per SHIFT.
+    shifted = Bus("buffer.shr", list(buffer.signals[1:]) + [c.const(0)])
+    buffer_d = c.mux_bus(
+        in_lmsgcache,
+        c.mux_bus(in_shift, buffer, shifted, name="buf.sh"),
+        message_cache.read_data,
+        name="buf.d",
+    )
+    c.register_on(buffer, buffer_d)
+
+    # Hiding vector register: SETUP samples the LFSR word, SHIFT replaces
+    # the addressed bit with the next message bit.
+    onehot_j = c.decoder(bit_index, name="j.dec")
+    v_bits = []
+    for i in range(width):
+        if i < params.half:
+            write_bit = c.and_(in_shift, onehot_j[i], name=f"v.wr{i}")
+            replaced = c.mux(write_bit, v_reg[i], buffer[0], name=f"v.rep{i}")
+        else:
+            replaced = v_reg[i]
+        v_bits.append(
+            c.mux(in_setup, replaced, lfsr.next_word[i], name=f"v.d{i}")
+        )
+    c.register_on(v_reg, Bus("v.d", v_bits))
+
+    # Bit counter j: k1 at SETUP, +1 per SHIFT.
+    j_d = c.mux_bus(
+        in_setup,
+        c.mux_bus(in_shift, bit_index, c.increment(bit_index, name="j.inc"),
+                  name="j.sh"),
+        sorter.small,
+        name="j.d",
+    )
+    c.register_on(bit_index, j_d)
+
+    # bits_done: clear at LMSGCACHE, +1 per SHIFT.
+    bits_d = c.mux_bus(
+        in_lmsgcache,
+        c.mux_bus(in_shift, bits_done, bits_next, name="bits.sh"),
+        c.const_bus(0, counter_bits),
+        name="bits.d",
+    )
+    c.register_on(bits_done, bits_d)
+
+    # Address counter: +1 (wrapping) after LKEY writes and window ends.
+    addr_step = c.or_(key_write, window_end, name="addr.step")
+    addr_wrapped = c.mux_bus(
+        addr_is_last, c.increment(addr, name="addr.inc"),
+        c.const_bus(0, addr_bits), name="addr.wrap",
+    )
+    c.register_on(addr, c.mux_bus(addr_step, addr, addr_wrapped, name="addr.d"))
+
+    key_full_set = c.and_(key_write, addr_is_last, name="kf.set")
+    key_full_clr = c.and_(in_init, go[0], name="kf.clr")
+    key_full_next = c.gate(
+        "ANDN2", c.or_(key_full[0], key_full_set, name="kf.or"), key_full_clr,
+        name="kf.d",
+    )
+    c.register_on(key_full, Bus("kf.db", [key_full_next]))
+
+    toggle = c.and_(window_end, half_done, name="hs.tgl")
+    half_toggled = c.mux(toggle, half_sel[0], c.not_(half_sel[0], name="hs.n"),
+                         name="hs.mux")
+    c.register_on(half_sel, Bus("hs.db", [
+        c.gate("ANDN2", half_toggled, in_lmsg, name="hs.d")]))
+
+    ready = c.register(Bus("ready.d", [window_end]), name="ready.q")
+    done_set = c.and_(toggle, half_sel[0], eof[0], name="done.set")
+    done_next = c.gate(
+        "ANDN2", c.or_(done[0], done_set, name="done.or"), key_full_clr,
+        name="done.d",
+    )
+    c.register_on(done, Bus("done.db", [done_next]))
+
+    c.set_output("cipher", v_reg)
+    c.set_output("ready", ready)
+    done_out = Bus("done", [done[0]])
+    c.set_output("done", done_out)
+    c.set_output("key_addr", addr)
+
+    return SerialTop(
+        circuit=c,
+        params=params,
+        n_pairs=n_pairs,
+        seed=seed,
+        go=go,
+        plaintext=plaintext,
+        key_data=key_data,
+        eof=eof,
+        cipher=v_reg,
+        ready=ready,
+        done=done_out,
+        key_addr=addr,
+        state=state,
+        message_cache=message_cache,
+        key_cache=key_cache,
+        lfsr=lfsr,
+        buffer=buffer,
+        bit_index=bit_index,
+    )

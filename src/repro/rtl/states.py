@@ -1,0 +1,92 @@
+"""FSM vocabulary of the micro-architecture (paper Figure 1).
+
+The machine has six states; names follow the paper exactly:
+
+========== =====================================================
+``INIT``     wait for Go, reset all modules
+``LMSG``     buffer the 32-bit input plaintext (message cache)
+``LKEY``     load the key pairs into the key cache (self-loops
+             until the cache is full; single-cycle pass-through
+             on later visits)
+``LMSGCACHE``  move one 16-bit half into the alignment buffer
+``CIRC``     rotate the buffer left by the smaller scrambled key
+``ENCRYPT``  replace the window bits of the hiding vector, rotate
+             the buffer right by the larger scrambled key plus one
+========== =====================================================
+
+``CIRC``/``ENCRYPT`` interleave, two cycles per key pair, until the
+half is consumed; the encoding values double as the 3-bit state
+register contents of the structural build.
+"""
+
+from __future__ import annotations
+
+__all__ = ["INIT", "LMSG", "LKEY", "LMSGCACHE", "CIRC", "ENCRYPT",
+           "FSM_STATES", "STATE_BITS", "encode", "decode", "fsm_dot"]
+
+INIT = "INIT"
+LMSG = "LMSG"
+LKEY = "LKEY"
+LMSGCACHE = "LMSGCACHE"
+CIRC = "CIRC"
+ENCRYPT = "ENCRYPT"
+
+#: State name -> 3-bit encoding used by the structural state register.
+FSM_STATES: dict[str, int] = {
+    INIT: 0,
+    LMSG: 1,
+    LKEY: 2,
+    LMSGCACHE: 3,
+    CIRC: 4,
+    ENCRYPT: 5,
+}
+
+#: Width of the state register.
+STATE_BITS = 3
+
+_DECODE = {code: name for name, code in FSM_STATES.items()}
+
+#: The transition structure of Figure 1, as (source, guard, destination).
+TRANSITIONS: list[tuple[str, str, str]] = [
+    (INIT, "Go", LMSG),
+    (INIT, "Not Go", INIT),
+    (LMSG, "", LKEY),
+    (LKEY, "Key Cache Not Filled", LKEY),
+    (LKEY, "Key Cache Full", LMSGCACHE),
+    (LMSGCACHE, "", CIRC),
+    (CIRC, "", ENCRYPT),
+    (ENCRYPT, "Not All Message is Encrypted", CIRC),
+    (ENCRYPT, "Half Done, Cache Not Empty", LMSGCACHE),
+    (ENCRYPT, "All Message Cache is Encrypted, Not EOF", LMSG),
+    (ENCRYPT, "EOF", INIT),
+]
+
+
+def encode(name: str) -> int:
+    """3-bit encoding of a state name."""
+    if name not in FSM_STATES:
+        raise ValueError(f"unknown state {name!r}")
+    return FSM_STATES[name]
+
+
+def decode(code: int) -> str:
+    """State name for a 3-bit encoding."""
+    if code not in _DECODE:
+        raise ValueError(f"no state has encoding {code}")
+    return _DECODE[code]
+
+
+def fsm_dot() -> str:
+    """Graphviz DOT rendering of the FSM — our Figure 1 artefact."""
+    lines = [
+        "digraph mhhea_fsm {",
+        "  rankdir=TB;",
+        '  node [shape=circle, fontname="Helvetica"];',
+    ]
+    for name in FSM_STATES:
+        lines.append(f"  {name};")
+    for source, guard, destination in TRANSITIONS:
+        label = f' [label="{guard}"]' if guard else ""
+        lines.append(f"  {source} -> {destination}{label};")
+    lines.append("}")
+    return "\n".join(lines)

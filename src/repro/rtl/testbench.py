@@ -1,0 +1,269 @@
+"""Testbench driver for the structural micro-architecture.
+
+Wraps the gate-level simulator with the same block-feeding protocol the
+behavioural cycle model uses internally, so equivalence tests can compare
+the two (and the reference cipher) run-for-run:
+
+* present ``go`` and the first plaintext block, clock until LKEY, feed
+  the key pair addressed by ``key_addr`` every LKEY cycle;
+* on every Ready pulse, collect ``cipher``;
+* when the FSM returns to LMSG, present the next block; assert ``eof``
+  while the last block is in flight;
+* stop when ``done`` rises.
+
+The structural build processes whole ``2*width``-bit blocks, so the
+message bit count must be a multiple of ``2*width`` (the cycle model and
+the reference handle arbitrary lengths; padding policy belongs to the
+packet layer, not the datapath).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.errors import HardwareModelError
+from repro.core.key import Key
+from repro.hdl.sim import Simulator
+from repro.hdl.wave import WaveTrace
+from repro.rtl import states
+from repro.rtl.cycle_model import CycleModelRun
+from repro.rtl.serial_top import SERIAL_STATES, SerialTop, build_serial_top, serial_decode
+from repro.rtl.top import MhheaTop, build_mhhea_top
+from repro.rtl.yaea_top import YaeaTop, build_yaea_top
+from repro.util.bits import bits_to_int
+
+__all__ = ["MhheaHardwareDriver", "SerialHardwareDriver", "YaeaHardwareDriver"]
+
+
+class MhheaHardwareDriver:
+    """Drives one :class:`~repro.rtl.top.MhheaTop` netlist."""
+
+    def __init__(self, top: MhheaTop | None = None, key: Key | None = None,
+                 seed: int = 0xACE1):
+        if top is None:
+            if key is None:
+                raise ValueError("pass either a built top or a key")
+            top = build_mhhea_top(key.params, n_pairs=len(key), seed=seed)
+        self.top = top
+        self.sim = Simulator(top.circuit)
+
+    def run(
+        self,
+        bits: Sequence[int],
+        key: Key,
+        record_trace: bool = False,
+        max_cycles: int | None = None,
+    ) -> CycleModelRun:
+        """Encrypt a whole message; returns vector stream and cycle counts."""
+        top = self.top
+        width = top.params.width
+        block_bits = 2 * width
+        if len(bits) % block_bits != 0:
+            raise HardwareModelError(
+                f"structural model consumes whole {block_bits}-bit blocks; "
+                f"got {len(bits)} bits"
+            )
+        if len(key) != top.n_pairs:
+            raise HardwareModelError(
+                f"netlist was built for {top.n_pairs} key pairs, key has {len(key)}"
+            )
+        sim = self.sim
+        sim.reset_state()
+        run = CycleModelRun(n_bits=len(bits))
+        trace = None
+        if record_trace:
+            trace = WaveTrace(
+                [
+                    ("state", 0),
+                    ("buffer", width),
+                    ("v", width),
+                    ("kn_small", top.params.key_bits),
+                    ("kn_large", top.params.key_bits),
+                    ("cipher", width),
+                    ("ready", 1),
+                    ("done", 1),
+                ]
+            )
+            run.trace = trace
+
+        blocks = [
+            bits_to_int(list(bits[i : i + block_bits]))
+            for i in range(0, len(bits), block_bits)
+        ]
+        if not blocks:
+            return run
+        if max_cycles is None:
+            max_cycles = 64 + (8 * block_bits + 8) * len(blocks) + 4 * top.n_pairs
+
+        block_index = 0
+        sim.set_input("go", 1)
+        sim.set_input("plaintext", blocks[0])
+        sim.set_input("eof", 1 if len(blocks) == 1 else 0)
+        sim.set_input("key_data", 0)
+
+        state_bus = top.control.state
+        while True:
+            state_name = states.decode(sim.peek(state_bus))
+            if state_name == states.LKEY:
+                pair = key.pairs[sim.peek(top.key_addr)]
+                sim.set_input(
+                    "key_data", pair.k1 | (pair.k2 << top.params.key_bits)
+                )
+            if trace is not None:
+                trace.record(
+                    state=state_name,
+                    buffer=sim.peek(top.alignment.buffer),
+                    v=sim.peek(top.lfsr.state),
+                    kn_small=sim.peek(top.kn_small),
+                    kn_large=sim.peek(top.kn_large),
+                    cipher=sim.peek(top.cipher),
+                    ready=sim.peek(top.ready),
+                    done=sim.peek(top.done),
+                )
+            if sim.peek(top.ready):
+                run.ready_cycles.append(sim.cycle)
+                run.vectors.append(sim.peek(top.cipher))
+            if sim.peek(top.done):
+                break
+            sim.tick()
+            if sim.cycle > max_cycles:
+                raise HardwareModelError(
+                    f"netlist failed to finish within {max_cycles} cycles "
+                    f"(stuck in {state_name})"
+                )
+            new_state = states.decode(sim.peek(state_bus))
+            if new_state == states.LMSG and state_name == states.ENCRYPT:
+                block_index += 1
+                sim.set_input("plaintext", blocks[block_index])
+                sim.set_input("eof", 1 if block_index == len(blocks) - 1 else 0)
+        run.total_cycles = sim.cycle
+        sim.set_input("go", 0)
+        return run
+
+
+class SerialHardwareDriver:
+    """Drives one :class:`~repro.rtl.serial_top.SerialTop` netlist.
+
+    Same protocol as :class:`MhheaHardwareDriver`; the serial FSM has its
+    own state encodings and the next-block handoff happens on the
+    SHIFT → LMSG transition.
+    """
+
+    def __init__(self, top: SerialTop | None = None, key: Key | None = None,
+                 seed: int = 0xACE1):
+        if top is None:
+            if key is None:
+                raise ValueError("pass either a built top or a key")
+            top = build_serial_top(key.params, n_pairs=len(key), seed=seed)
+        self.top = top
+        self.sim = Simulator(top.circuit)
+
+    def run(self, bits: Sequence[int], key: Key,
+            max_cycles: int | None = None) -> CycleModelRun:
+        """Encrypt a whole message on the serial netlist."""
+        top = self.top
+        width = top.params.width
+        block_bits = 2 * width
+        if len(bits) % block_bits != 0:
+            raise HardwareModelError(
+                f"structural model consumes whole {block_bits}-bit blocks; "
+                f"got {len(bits)} bits"
+            )
+        if len(key) != top.n_pairs:
+            raise HardwareModelError(
+                f"netlist was built for {top.n_pairs} key pairs, key has {len(key)}"
+            )
+        sim = self.sim
+        sim.reset_state()
+        run = CycleModelRun(n_bits=len(bits))
+        blocks = [
+            bits_to_int(list(bits[i : i + block_bits]))
+            for i in range(0, len(bits), block_bits)
+        ]
+        if not blocks:
+            return run
+        if max_cycles is None:
+            max_cycles = 64 + (16 * block_bits + 8) * len(blocks) + 4 * top.n_pairs
+
+        block_index = 0
+        sim.set_input("go", 1)
+        sim.set_input("plaintext", blocks[0])
+        sim.set_input("eof", 1 if len(blocks) == 1 else 0)
+        sim.set_input("key_data", 0)
+
+        while True:
+            state_name = serial_decode(sim.peek(top.state))
+            if state_name == "LKEY":
+                pair = key.pairs[sim.peek(top.key_addr)]
+                sim.set_input(
+                    "key_data", pair.k1 | (pair.k2 << top.params.key_bits)
+                )
+            if sim.peek(top.ready):
+                run.ready_cycles.append(sim.cycle)
+                run.vectors.append(sim.peek(top.cipher))
+            if sim.peek(top.done):
+                break
+            sim.tick()
+            if sim.cycle > max_cycles:
+                raise HardwareModelError(
+                    f"serial netlist failed to finish within {max_cycles} "
+                    f"cycles (stuck in {state_name})"
+                )
+            new_state = serial_decode(sim.peek(top.state))
+            if new_state == "LMSG" and state_name == "SHIFT":
+                block_index += 1
+                sim.set_input("plaintext", blocks[block_index])
+                sim.set_input("eof", 1 if block_index == len(blocks) - 1 else 0)
+        run.total_cycles = sim.cycle
+        sim.set_input("go", 0)
+        return run
+
+
+class YaeaHardwareDriver:
+    """Drives one :class:`~repro.rtl.yaea_top.YaeaTop` netlist."""
+
+    def __init__(self, top: YaeaTop | None = None, seed: int = 0xACE1):
+        if top is None:
+            top = build_yaea_top(seed=seed)
+        self.top = top
+        self.sim = Simulator(top.circuit)
+
+    def run(self, bits: Sequence[int], max_cycles: int | None = None) -> CycleModelRun:
+        """Encrypt a message, one ``width``-bit word per cycle."""
+        top = self.top
+        width = top.params.width
+        sim = self.sim
+        sim.reset_state()
+        run = CycleModelRun(n_bits=len(bits))
+        if not bits:
+            return run
+        words = []
+        for i in range(0, len(bits), width):
+            chunk = list(bits[i : i + width])
+            chunk += [0] * (width - len(chunk))
+            words.append(bits_to_int(chunk))
+        if max_cycles is None:
+            max_cycles = 16 + 4 * len(words)
+
+        sim.set_input("go", 1)
+        sim.set_input("eof", 0)
+        word_index = 0
+        sim.set_input("word_in", words[0])
+        while True:
+            in_encrypt = sim.peek(top.state) == 2
+            if sim.peek(top.ready):
+                run.ready_cycles.append(sim.cycle)
+                run.vectors.append(sim.peek(top.cipher))
+            if sim.peek(top.done):
+                break
+            if in_encrypt:
+                sim.set_input("eof", 1 if word_index == len(words) - 1 else 0)
+            sim.tick()
+            if sim.cycle > max_cycles:
+                raise HardwareModelError("stream netlist failed to finish")
+            if in_encrypt and word_index < len(words) - 1:
+                word_index += 1
+                sim.set_input("word_in", words[word_index])
+        run.total_cycles = sim.cycle
+        sim.set_input("go", 0)
+        return run

@@ -1,0 +1,255 @@
+"""Structural top level of the improved MHHEA micro-architecture.
+
+Assembles the six modules of paper Figure 4 — message cache, message
+alignment, key cache, comparator(s), encryption module, random number
+generator — around the control FSM, producing a pure gate/FF/TBUF
+netlist that (a) simulates cycle-identically to
+:class:`repro.rtl.cycle_model.MhheaCycleModel` and (b) feeds the FPGA
+CAD flow that regenerates the paper's implementation reports.
+
+Port list (the bonded-IOB demand of the design summary):
+
+========== === =====================================================
+``go``      in  start strobe; hold high for the whole message
+``plaintext`` in one ``2*width``-bit block, presented during LMSG
+``key_data``  in one key pair (left low), presented during LKEY
+``eof``     in  high while the current block is the last one
+``cipher``  out the hiding vector with the embedded window
+``ready``   out one-cycle pulse per stable ``cipher``
+``done``    out high after the EOF block completes
+``key_addr`` out key-cache address (drives the key feed during LKEY)
+========== === =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import PAPER_PARAMS, VectorParams
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus
+from repro.rtl.alignment import AlignmentPorts, build_alignment
+from repro.rtl.control import ControlPorts, build_control
+from repro.rtl.encrypt_unit import build_encrypt_unit, build_scrambler
+from repro.rtl.key_cache import KeyCachePorts, build_key_cache
+from repro.rtl.lfsr import LfsrPorts, build_lfsr
+from repro.rtl.message_cache import MessageCachePorts, build_message_cache
+
+__all__ = ["MhheaTop", "build_mhhea_top"]
+
+
+@dataclass
+class MhheaTop:
+    """The built circuit plus every handle the testbench needs."""
+
+    circuit: Circuit
+    params: VectorParams
+    n_pairs: int
+    seed: int
+    # primary ports
+    go: Bus
+    plaintext: Bus
+    key_data: Bus
+    eof: Bus
+    cipher: Bus
+    ready: Bus
+    done: Bus
+    key_addr: Bus
+    # module handles (internal observability for tests/waveforms)
+    control: ControlPorts
+    message_cache: MessageCachePorts
+    key_cache: KeyCachePorts
+    alignment: AlignmentPorts
+    lfsr: LfsrPorts
+    kn_small: Bus
+    kn_large: Bus
+    bits_done: Bus
+
+
+def build_mhhea_top(
+    params: VectorParams = PAPER_PARAMS,
+    n_pairs: int = 16,
+    seed: int = 0xACE1,
+) -> MhheaTop:
+    """Elaborate the full micro-architecture into a gate-level circuit."""
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be positive, got {n_pairs}")
+    if seed == 0:
+        raise ValueError("LFSR seed must be non-zero")
+    width = params.width
+    key_bits = params.key_bits
+    counter_bits = width.bit_length() + 1  # bits_done: 0 .. ~1.5*width
+    addr_bits = max(1, (n_pairs - 1).bit_length())
+
+    c = Circuit("mhhea_top")
+
+    # ---- primary inputs ------------------------------------------------
+    go = c.input_bus("go", 1)
+    plaintext = c.input_bus("plaintext", 2 * width)
+    key_data = c.input_bus("key_data", 2 * key_bits)
+    eof = c.input_bus("eof", 1)
+
+    # ---- registers needing early nets (feedback) -----------------------
+    addr = c.bus("addr.q", addr_bits)
+    key_full = c.bus("key_full.q", 1)
+    half_sel = c.bus("half_sel.q", 1)
+    bits_done = c.bus("bits_done.q", counter_bits)
+    done = c.bus("done.q", 1)
+
+    # ---- control guards -------------------------------------------------
+    addr_is_last = c.equals_const(addr, n_pairs - 1, name="addr_last")
+    lkey_done = c.or_(key_full[0], addr_is_last, name="lkey_done")
+
+    # window width from the latched scrambled keys (built below, but the
+    # latches themselves need the scrambler, so declare their nets now).
+    kn_small = c.bus("kn_small.q", key_bits)
+    kn_large = c.bus("kn_large.q", key_bits)
+    k1_latch = c.bus("k1.q", key_bits)
+
+    span, _ = c.subtractor(kn_large, kn_small, name="win.span")
+    window = Bus(
+        "win.width",
+        list(c.increment(
+            Bus("win.ext", list(span) + [c.const(0)] * (counter_bits - key_bits)),
+            name="win.inc",
+        )),
+    )
+    bits_sum, _ = c.adder(bits_done, window, name="bits.sum")
+    log2_width = (width - 1).bit_length()
+    half_done = c.or_(
+        *[bits_sum[b] for b in range(log2_width, counter_bits)], name="half_done"
+    )  # bits_done + window >= width
+
+    control = build_control(
+        c,
+        go=go[0],
+        lkey_done=lkey_done,
+        half_done=half_done,
+        last_half=half_sel[0],
+        eof=eof[0],
+    )
+
+    # ---- message cache ---------------------------------------------------
+    message_cache = build_message_cache(
+        c, plaintext, load=control.in_lmsg, half_sel=half_sel[0]
+    )
+
+    # ---- key cache --------------------------------------------------------
+    key_write = c.gate("ANDN2", control.in_lkey, key_full[0], name="key_we")
+    key_cache = build_key_cache(c, key_data, addr, key_write, n_pairs)
+
+    # ---- random number generator (leap-forward LFSR) ----------------------
+    lfsr = build_lfsr(c, width, seed=seed, enable=control.in_circ)
+
+    # ---- scrambler + comparator (CIRC-phase combinational) ----------------
+    scrambler = build_scrambler(
+        c, lfsr.next_word, key_cache.left, key_cache.right
+    )
+    c.register_on(kn_small, c.mux_bus(control.in_circ, kn_small, scrambler.kn_small,
+                                      name="kns.d"))
+    c.register_on(kn_large, c.mux_bus(control.in_circ, kn_large, scrambler.kn_large,
+                                      name="knl.d"))
+    c.register_on(k1_latch, c.mux_bus(control.in_circ, k1_latch, scrambler.k1_sorted,
+                                      name="k1.d"))
+
+    # ---- message alignment -------------------------------------------------
+    rotr_amount = c.increment(
+        Bus("ror.ext", list(kn_large) + [c.const(0)]), name="ror.amt"
+    )
+    alignment = build_alignment(
+        c,
+        load_data=message_cache.read_data,
+        rotl_amount=scrambler.kn_small,
+        rotr_amount=rotr_amount,
+        sel_load=control.in_lmsgcache,
+        sel_rotl=control.in_circ,
+        sel_rotr=control.in_encrypt,
+    )
+
+    # ---- encryption module --------------------------------------------------
+    remaining, _ = c.subtractor(
+        c.const_bus(width, counter_bits), bits_done, name="bits.rem"
+    )
+    cipher_next = build_encrypt_unit(
+        c,
+        vector=lfsr.state,
+        buffer=alignment.buffer,
+        kn_small=kn_small,
+        kn_large=kn_large,
+        k1=k1_latch,
+        remaining=remaining,
+    )
+    cipher = c.register(cipher_next, enable=control.in_encrypt, name="cipher.q")
+    ready = c.register(
+        Bus("ready.d", [control.in_encrypt]), name="ready.q"
+    )
+
+    # ---- counters and flags ---------------------------------------------------
+    addr_step = c.or_(
+        key_write, control.in_encrypt, name="addr.step"
+    )
+    addr_wrapped = c.mux_bus(
+        addr_is_last, c.increment(addr, name="addr.inc"),
+        c.const_bus(0, addr_bits), name="addr.wrap",
+    )
+    addr_next = c.mux_bus(addr_step, addr, addr_wrapped, name="addr.d")
+    c.register_on(addr, addr_next)
+
+    key_full_set = c.and_(key_write, addr_is_last, name="kf.set")
+    key_full_clr = c.and_(control.in_init, go[0], name="kf.clr")
+    key_full_next = c.gate(
+        "ANDN2", c.or_(key_full[0], key_full_set, name="kf.or"), key_full_clr,
+        name="kf.d",
+    )
+    c.register_on(key_full, Bus("kf.db", [key_full_next]))
+
+    toggle = c.and_(control.in_encrypt, half_done, name="hs.tgl")
+    half_toggled = c.mux(toggle, half_sel[0], c.not_(half_sel[0], name="hs.n"),
+                         name="hs.mux")
+    half_next = c.gate("ANDN2", half_toggled, control.in_lmsg, name="hs.d")
+    c.register_on(half_sel, Bus("hs.db", [half_next]))
+
+    bits_cleared = c.mux_bus(
+        control.in_lmsgcache,
+        c.mux_bus(control.in_encrypt, bits_done, bits_sum, name="bits.upd"),
+        c.const_bus(0, counter_bits),
+        name="bits.d",
+    )
+    c.register_on(bits_done, bits_cleared)
+
+    done_set = c.and_(toggle, half_sel[0], eof[0], name="done.set")
+    done_next = c.gate(
+        "ANDN2", c.or_(done[0], done_set, name="done.or"), key_full_clr,
+        name="done.d",
+    )
+    c.register_on(done, Bus("done.db", [done_next]))
+
+    # ---- primary outputs --------------------------------------------------
+    c.set_output("cipher", cipher)
+    c.set_output("ready", ready)
+    done_out = Bus("done", [done[0]])
+    c.set_output("done", done_out)
+    c.set_output("key_addr", addr)
+
+    return MhheaTop(
+        circuit=c,
+        params=params,
+        n_pairs=n_pairs,
+        seed=seed,
+        go=go,
+        plaintext=plaintext,
+        key_data=key_data,
+        eof=eof,
+        cipher=cipher,
+        ready=ready,
+        done=done_out,
+        key_addr=addr,
+        control=control,
+        message_cache=message_cache,
+        key_cache=key_cache,
+        alignment=alignment,
+        lfsr=lfsr,
+        kn_small=kn_small,
+        kn_large=kn_large,
+        bits_done=bits_done,
+    )

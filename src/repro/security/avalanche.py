@@ -1,0 +1,118 @@
+"""Diffusion / avalanche measurement.
+
+A block cipher aims for the strict avalanche criterion: flip any input
+bit and every output bit flips with probability one half.  A *hiding*
+cipher fundamentally does not — each message bit lands in exactly one
+vector position — and the honest way to report that is to measure it.
+:func:`avalanche_profile` quantifies three sensitivities:
+
+* **message-bit flips**: for (M)HHEA exactly one ciphertext bit changes
+  (the embedded copy), so the mean flip count is 1.0 of
+  ``n_vectors*width`` bits — the locality the steganographic use case
+  actually *wants* (minimal cover distortion), but cryptographically a
+  world away from 50%;
+* **key flips**: flipping one key half changes the windows and the data
+  pattern of every vector that uses the pair, so diffusion is larger
+  and grows with message length;
+* **seed (vector) flips**: changing the LFSR seed re-randomises every
+  vector — the baseline "everything changed" reference.
+
+These numbers feed the EXPERIMENTS.md discussion of the paper's security
+claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import mhhea
+from repro.core.key import Key, KeyPair
+from repro.core.params import PAPER_PARAMS, VectorParams
+from repro.util.bits import hamming_distance
+from repro.util.lfsr import Lfsr
+from repro.util.rng import make_rng
+
+__all__ = ["AvalancheProfile", "avalanche_profile"]
+
+
+@dataclass(frozen=True)
+class AvalancheProfile:
+    """Mean ciphertext response to single-bit input changes."""
+
+    message_flip_mean_bits: float
+    """Mean ciphertext bits changed per flipped message bit."""
+
+    key_flip_mean_ratio: float
+    """Mean fraction of ciphertext bits changed per flipped key bit."""
+
+    seed_flip_mean_ratio: float
+    """Mean fraction of ciphertext bits changed per flipped seed bit."""
+
+    n_trials: int
+    message_bits: int
+
+
+def _cipher_bits(bits: list[int], key: Key, seed: int,
+                 params: VectorParams) -> tuple[list[int], int]:
+    vectors = mhhea.encrypt_bits(bits, key, Lfsr(params.width, seed=seed), params)
+    total = 0
+    width = params.width
+    for i, vector in enumerate(vectors):
+        total |= vector << (i * width)
+    return vectors, total
+
+
+def avalanche_profile(
+    key: Key,
+    n_trials: int = 32,
+    message_bits: int = 256,
+    seed: int = 0xACE1,
+    params: VectorParams = PAPER_PARAMS,
+) -> AvalancheProfile:
+    """Measure the three diffusion responses for MHHEA."""
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    rng = make_rng(seed)
+
+    msg_flips = 0.0
+    key_ratios = 0.0
+    seed_ratios = 0.0
+    for trial in range(n_trials):
+        bits = [rng.getrandbits(1) for _ in range(message_bits)]
+        base_vectors, base_word = _cipher_bits(bits, key, seed + 1, params)
+        total_ct_bits = len(base_vectors) * params.width
+
+        # message-bit flip
+        position = rng.randrange(message_bits)
+        flipped = list(bits)
+        flipped[position] ^= 1
+        _, word = _cipher_bits(flipped, key, seed + 1, params)
+        msg_flips += hamming_distance(base_word, word)
+
+        # key-bit flip (one random bit of one random pair half)
+        pair_index = rng.randrange(len(key))
+        bit_index = rng.randrange(params.key_bits)
+        half = rng.randrange(2)
+        pairs = list(key.pairs)
+        old = pairs[pair_index]
+        if half == 0:
+            pairs[pair_index] = KeyPair(old.k1 ^ (1 << bit_index), old.k2)
+        else:
+            pairs[pair_index] = KeyPair(old.k1, old.k2 ^ (1 << bit_index))
+        mutated = Key(pairs, params)
+        mut_vectors, word = _cipher_bits(bits, mutated, seed + 1, params)
+        span = max(len(mut_vectors), len(base_vectors)) * params.width
+        key_ratios += hamming_distance(base_word, word) / span
+
+        # seed flip
+        _, word = _cipher_bits(bits, key, (seed + 1) ^ (1 << rng.randrange(16)),
+                               params)
+        seed_ratios += hamming_distance(base_word, word) / total_ct_bits
+
+    return AvalancheProfile(
+        message_flip_mean_bits=msg_flips / n_trials,
+        key_flip_mean_ratio=key_ratios / n_trials,
+        seed_flip_mean_ratio=seed_ratios / n_trials,
+        n_trials=n_trials,
+        message_bits=message_bits,
+    )

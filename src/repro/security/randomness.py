@@ -1,0 +1,157 @@
+"""Statistical randomness battery for bit streams.
+
+A compact, dependency-free subset of the NIST SP 800-22 / FIPS 140-1
+tests, used to check (a) that the LFSR hiding-vector generator is
+balanced over its period and (b) that ciphertext streams do not
+advertise the embedded message.  P-values for the chi-square statistics
+use the Wilson–Hilferty normal approximation, which is accurate to a
+couple of decimal places for the degrees of freedom used here — plenty
+for a pass/fail battery at alpha = 0.01 (documented so nobody mistakes
+these for certification-grade numbers).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["TestResult", "RandomnessReport", "test_bits",
+           "monobit_test", "runs_test", "block_frequency_test",
+           "poker_test", "autocorrelation_test"]
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """One statistical test outcome."""
+
+    name: str
+    statistic: float
+    p_value: float
+    passed: bool
+
+
+@dataclass
+class RandomnessReport:
+    """All test outcomes for one bit stream."""
+
+    n_bits: int
+    alpha: float
+    results: list[TestResult] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every test passed at the report's alpha."""
+        return all(result.passed for result in self.results)
+
+    def failed(self) -> list[TestResult]:
+        """The failing tests (for diagnostics)."""
+        return [result for result in self.results if not result.passed]
+
+    def render(self) -> str:
+        """Text table of the battery."""
+        lines = [f"Randomness battery over {self.n_bits} bits (alpha={self.alpha})"]
+        for result in self.results:
+            verdict = "pass" if result.passed else "FAIL"
+            lines.append(
+                f"  {result.name:22s} stat={result.statistic:10.4f} "
+                f"p={result.p_value:8.5f}  {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def _check_bits(bits: Sequence[int], minimum: int) -> None:
+    if len(bits) < minimum:
+        raise ValueError(f"need at least {minimum} bits, got {len(bits)}")
+    for bit in bits[:8]:
+        if bit not in (0, 1):
+            raise ValueError("stream must contain only 0/1 bits")
+
+
+def _chi2_sf(x: float, dof: int) -> float:
+    """Survival function of chi-square via Wilson–Hilferty."""
+    if x <= 0:
+        return 1.0
+    if dof <= 0:
+        raise ValueError(f"dof must be positive, got {dof}")
+    z = ((x / dof) ** (1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dof))) / math.sqrt(
+        2.0 / (9.0 * dof)
+    )
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def monobit_test(bits: Sequence[int], alpha: float = 0.01) -> TestResult:
+    """NIST frequency (monobit) test."""
+    _check_bits(bits, 100)
+    s = sum(1 if b else -1 for b in bits)
+    statistic = abs(s) / math.sqrt(len(bits))
+    p = math.erfc(statistic / math.sqrt(2.0))
+    return TestResult("monobit", statistic, p, p >= alpha)
+
+
+def runs_test(bits: Sequence[int], alpha: float = 0.01) -> TestResult:
+    """NIST runs test (total number of runs vs expectation)."""
+    _check_bits(bits, 100)
+    n = len(bits)
+    pi = sum(bits) / n
+    if abs(pi - 0.5) >= 2.0 / math.sqrt(n):
+        # prerequisite frequency condition failed: report as failure
+        return TestResult("runs", float("inf"), 0.0, False)
+    runs = 1 + sum(1 for i in range(1, n) if bits[i] != bits[i - 1])
+    expected = 2.0 * n * pi * (1.0 - pi)
+    statistic = abs(runs - expected) / (2.0 * math.sqrt(2.0 * n) * pi * (1.0 - pi))
+    p = math.erfc(statistic / math.sqrt(2.0))
+    return TestResult("runs", statistic, p, p >= alpha)
+
+
+def block_frequency_test(bits: Sequence[int], block: int = 128,
+                         alpha: float = 0.01) -> TestResult:
+    """NIST block-frequency test."""
+    _check_bits(bits, 2 * block)
+    n_blocks = len(bits) // block
+    chi2 = 0.0
+    for b in range(n_blocks):
+        ones = sum(bits[b * block : (b + 1) * block])
+        pi = ones / block
+        chi2 += (pi - 0.5) ** 2
+    chi2 *= 4.0 * block
+    p = _chi2_sf(chi2, n_blocks)
+    return TestResult(f"block-frequency(m={block})", chi2, p, p >= alpha)
+
+
+def poker_test(bits: Sequence[int], m: int = 4, alpha: float = 0.01) -> TestResult:
+    """FIPS 140-1 poker test on ``m``-bit words."""
+    _check_bits(bits, 5 * (1 << m))
+    k = len(bits) // m
+    counts = [0] * (1 << m)
+    for i in range(k):
+        word = 0
+        for j in range(m):
+            word |= bits[i * m + j] << j
+        counts[word] += 1
+    statistic = (1 << m) / k * sum(c * c for c in counts) - k
+    p = _chi2_sf(statistic, (1 << m) - 1)
+    return TestResult(f"poker(m={m})", statistic, p, p >= alpha)
+
+
+def autocorrelation_test(bits: Sequence[int], lag: int = 1,
+                         alpha: float = 0.01) -> TestResult:
+    """Autocorrelation at a fixed lag (z-test on the match count)."""
+    _check_bits(bits, 100 + lag)
+    n = len(bits) - lag
+    matches = sum(1 for i in range(n) if bits[i] == bits[i + lag])
+    statistic = abs(matches - n / 2.0) / math.sqrt(n / 4.0)
+    p = math.erfc(statistic / math.sqrt(2.0))
+    return TestResult(f"autocorrelation(lag={lag})", statistic, p, p >= alpha)
+
+
+def test_bits(bits: Sequence[int], alpha: float = 0.01) -> RandomnessReport:
+    """Run the whole battery over one stream."""
+    report = RandomnessReport(n_bits=len(bits), alpha=alpha)
+    report.results.append(monobit_test(bits, alpha))
+    report.results.append(runs_test(bits, alpha))
+    report.results.append(block_frequency_test(bits, alpha=alpha))
+    report.results.append(poker_test(bits, alpha=alpha))
+    for lag in (1, 2, 8, 16):
+        report.results.append(autocorrelation_test(bits, lag=lag, alpha=alpha))
+    return report

@@ -1,0 +1,62 @@
+"""STS-style keyed shuffler ([SAEB04b] companion design).
+
+The paper notes the micro-architecture "can also be combined with the
+Steganographic Shuffler (STS) for shuffled-type steganography": after
+embedding, the order of the output vectors is permuted under a key so an
+observer cannot even rely on vector order.  The shuffler here is the
+software model of that companion block: a Fisher–Yates permutation driven
+by a keyed LFSR, applied blockwise so streaming works, and exactly
+invertible by the receiver.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.util.lfsr import Lfsr
+
+__all__ = ["Shuffler"]
+
+
+class Shuffler:
+    """Keyed, blockwise, invertible sequence shuffler."""
+
+    def __init__(self, key_seed: int, block: int = 16):
+        """``key_seed`` drives the permutation stream; ``block`` is the
+        shuffle granularity in elements (the STS buffer depth)."""
+        if key_seed == 0:
+            raise ValueError("key_seed must be non-zero (LFSR-driven)")
+        if block < 2:
+            raise ValueError(f"block must be at least 2, got {block}")
+        self.key_seed = key_seed
+        self.block = block
+
+    def _permutation(self, lfsr: Lfsr, length: int) -> list[int]:
+        order = list(range(length))
+        for i in range(length - 1, 0, -1):
+            j = lfsr.next_word() % (i + 1)
+            order[i], order[j] = order[j], order[i]
+        return order
+
+    def shuffle(self, items: Sequence) -> list:
+        """Permute ``items`` blockwise under the key."""
+        lfsr = Lfsr(16, seed=self.key_seed)
+        out: list = []
+        for start in range(0, len(items), self.block):
+            chunk = list(items[start : start + self.block])
+            order = self._permutation(lfsr, len(chunk))
+            out.extend(chunk[index] for index in order)
+        return out
+
+    def unshuffle(self, items: Sequence) -> list:
+        """Invert :meth:`shuffle` (same key, same block size)."""
+        lfsr = Lfsr(16, seed=self.key_seed)
+        out: list = []
+        for start in range(0, len(items), self.block):
+            chunk = list(items[start : start + self.block])
+            order = self._permutation(lfsr, len(chunk))
+            restored = [None] * len(chunk)
+            for position, index in enumerate(order):
+                restored[index] = chunk[position]
+            out.extend(restored)
+        return out

@@ -1,0 +1,209 @@
+"""Bit-exact integer helpers.
+
+Every routine in this module works on plain non-negative integers and uses
+the paper's convention throughout: **bit location 0 is the least
+significant bit** ("Note that the location zero refers to the least
+significant bit", Farouk & Saeb, section IV).
+
+The helpers deliberately validate their inputs: the cipher, the RTL models
+and the CAD flow all funnel through these functions, so a silent width
+error here would corrupt everything downstream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "mask",
+    "check_uint",
+    "rotl",
+    "rotr",
+    "extract_field",
+    "insert_field",
+    "int_to_bits",
+    "bits_to_int",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "popcount",
+    "parity",
+    "hamming_distance",
+    "reverse_bits",
+    "chunk_bits",
+]
+
+
+def mask(width: int) -> int:
+    """Return an all-ones integer of ``width`` bits (``width >= 0``)."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def check_uint(value: int, width: int, name: str = "value") -> int:
+    """Validate that ``value`` is an unsigned integer fitting in ``width`` bits.
+
+    Returns the value unchanged so it can be used inline::
+
+        self.vector = check_uint(vector, self.width, "vector")
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    if value > mask(width):
+        raise ValueError(
+            f"{name}={value:#x} does not fit in {width} bits (max {mask(width):#x})"
+        )
+    return value
+
+
+def rotl(value: int, amount: int, width: int) -> int:
+    """Rotate ``value`` left by ``amount`` within a ``width``-bit word.
+
+    ``amount`` may be any non-negative integer; it is reduced modulo
+    ``width``.  This mirrors the "Circulate Message Left by KeyL-bits"
+    operation of the message-alignment module (paper Fig. 3b).
+    """
+    check_uint(value, width, "value")
+    if width == 0:
+        return 0
+    if amount < 0:
+        raise ValueError(f"rotation amount must be non-negative, got {amount}")
+    amount %= width
+    if amount == 0:
+        return value
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def rotr(value: int, amount: int, width: int) -> int:
+    """Rotate ``value`` right by ``amount`` within a ``width``-bit word.
+
+    Mirrors "Circulate Message Right by (KeyR+1)-bits" (paper Fig. 3c).
+    """
+    if width == 0:
+        return 0
+    if amount < 0:
+        raise ValueError(f"rotation amount must be non-negative, got {amount}")
+    return rotl(value, (width - (amount % width)) % width, width)
+
+
+def extract_field(value: int, high: int, low: int) -> int:
+    """Return bits ``high`` down to ``low`` of ``value`` (inclusive).
+
+    Implements the paper's ``V[a down to b]`` notation, e.g. the location
+    scramble ``V[K2+8 down to K1+8]``.
+    """
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    if low < 0:
+        raise ValueError(f"low must be non-negative, got {low}")
+    return (value >> low) & mask(high - low + 1)
+
+
+def insert_field(value: int, field: int, high: int, low: int) -> int:
+    """Return ``value`` with bits ``high..low`` replaced by ``field``.
+
+    This is the parallel bit-replacement step of the encryption module:
+    the hiding-vector bits in the window are overwritten by the scrambled
+    message bits in a single operation.
+    """
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    if low < 0:
+        raise ValueError(f"low must be non-negative, got {low}")
+    width = high - low + 1
+    check_uint(field, width, "field")
+    cleared = value & ~(mask(width) << low)
+    return cleared | (field << low)
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Expand ``value`` into a list of ``width`` bits, index 0 = LSB."""
+    check_uint(value, width, "value")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Pack a bit sequence (index 0 = LSB) back into an integer."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+        value |= bit << i
+    return value
+
+
+def bytes_to_bits(data: bytes) -> list[int]:
+    """Serialise bytes into a flat bit stream, LSB-first within each byte.
+
+    This is the canonical message-bit order of the reproduction: the
+    pseudocode consumes the plaintext as a bit stream ``M[0], M[1], ...``
+    and the micro-architecture keeps "the bits yet to be encrypted" at the
+    least-significant end of the message buffer, so LSB-first is the order
+    in which hardware and reference model agree.
+    """
+    out: list[int] = []
+    for byte in data:
+        for i in range(8):
+            out.append((byte >> i) & 1)
+    return out
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; ``len(bits)`` must be a multiple of 8."""
+    if len(bits) % 8 != 0:
+        raise ValueError(f"bit count {len(bits)} is not a multiple of 8")
+    out = bytearray()
+    for offset in range(0, len(bits), 8):
+        out.append(bits_to_int(bits[offset : offset + 8]))
+    return bytes(out)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"popcount of negative value {value}")
+    return value.bit_count()
+
+
+def parity(value: int) -> int:
+    """XOR of all bits of ``value`` (0 or 1) — the LFSR feedback function."""
+    return popcount(value) & 1
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two non-negative integers."""
+    if a < 0 or b < 0:
+        raise ValueError("hamming_distance requires non-negative integers")
+    return popcount(a ^ b)
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Mirror a ``width``-bit word (bit 0 swaps with bit ``width-1``)."""
+    check_uint(value, width, "value")
+    result = 0
+    for i in range(width):
+        if value & (1 << i):
+            result |= 1 << (width - 1 - i)
+    return result
+
+
+def chunk_bits(bits: Iterable[int], size: int) -> list[list[int]]:
+    """Split a bit stream into consecutive chunks of at most ``size`` bits.
+
+    The final chunk may be shorter; this is how the stream layer carves a
+    message into the 16-bit halves consumed by the message cache.
+    """
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    for bit in bits:
+        current.append(bit)
+        if len(current) == size:
+            chunks.append(current)
+            current = []
+    if current:
+        chunks.append(current)
+    return chunks

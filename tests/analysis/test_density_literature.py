@@ -1,0 +1,73 @@
+"""Tests for functional density, the chart, and the literature rows."""
+
+import pytest
+
+from repro.analysis.density import (
+    ComparisonRow,
+    functional_density,
+    render_chart,
+    render_table,
+)
+from repro.analysis.literature import LITERATURE_TABLE1, PAPER_REPORTS
+
+
+class TestFunctionalDensity:
+    def test_definition(self):
+        assert functional_density(95.532, 168) == pytest.approx(0.5686, abs=1e-3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            functional_density(1.0, 0)
+        with pytest.raises(ValueError):
+            functional_density(-1.0, 10)
+
+
+class TestLiteratureRows:
+    def test_table1_values_verbatim(self):
+        by_name = {e.name: e for e in LITERATURE_TABLE1}
+        assert by_name["YAEA"].throughput_mbps == 129.1
+        assert by_name["YAEA"].area_clb == 149
+        assert by_name["HHEA"].throughput_mbps == 15.8
+        assert by_name["MHHEA"].throughput_mbps == 95.532
+        assert by_name["MHHEA"].area_clb == 168
+
+    def test_densities_match_paper(self):
+        """The paper's own density column: 0.866 / 0.110 / 0.569."""
+        by_name = {e.name: e for e in LITERATURE_TABLE1}
+        assert by_name["YAEA"].density == pytest.approx(0.866, abs=1e-3)
+        assert by_name["HHEA"].density == pytest.approx(0.110, abs=1e-3)
+        assert by_name["MHHEA"].density == pytest.approx(0.569, abs=1e-3)
+
+    def test_paper_report_constants(self):
+        assert PAPER_REPORTS["min_period_ns"] == 41.871
+        assert PAPER_REPORTS["max_frequency_mhz"] == 23.883
+        assert PAPER_REPORTS["n_slices"] == 337
+
+    def test_ordering_matches_figure9(self):
+        """Fig 9's shape: YAEA > MHHEA > HHEA in functional density."""
+        by_name = {e.name: e for e in LITERATURE_TABLE1}
+        assert by_name["YAEA"].density > by_name["MHHEA"].density
+        assert by_name["MHHEA"].density > by_name["HHEA"].density
+
+
+class TestRendering:
+    def _rows(self):
+        return [entry.as_row() for entry in LITERATURE_TABLE1]
+
+    def test_table_contains_all_rows(self):
+        text = render_table(self._rows())
+        for entry in LITERATURE_TABLE1:
+            assert entry.name in text
+
+    def test_chart_bars_scale_with_density(self):
+        text = render_chart(self._rows())
+        lines = {line.split()[0]: line.count("#") for line in text.splitlines()[1:]}
+        assert lines["YAEA"] > lines["MHHEA"] > lines["HHEA"]
+
+    def test_chart_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_chart([])
+
+    def test_row_density_property(self):
+        row = ComparisonRow("x", 100.0, 50)
+        assert row.density == pytest.approx(2.0)

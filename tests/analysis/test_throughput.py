@@ -1,0 +1,74 @@
+"""Tests for the throughput accountings."""
+
+import pytest
+
+from repro.analysis.throughput import (
+    Accounting,
+    expected_raw_window,
+    expected_scrambled_window,
+    measured_bits_per_cycle,
+    paper_table1_throughput,
+    throughput_mbps,
+)
+from repro.core.key import Key
+from repro.core.params import PAPER_PARAMS, VectorParams
+from repro.core.trace import TraceRecorder
+from repro.rtl.cycle_model import CycleModelRun, MhheaCycleModel
+
+
+class TestPaperFormula:
+    def test_reproduces_table1_exactly(self):
+        """23.883 MHz x 8 bits / 2 cycles = 95.532 Mbps — Table 1."""
+        assert paper_table1_throughput(23.883) == pytest.approx(95.532)
+
+    def test_scales_with_fmax(self):
+        assert paper_table1_throughput(10.0) == pytest.approx(40.0)
+
+    def test_throughput_rejects_negative(self):
+        with pytest.raises(ValueError):
+            throughput_mbps(-1, 2)
+
+
+class TestExpectedWindows:
+    def test_raw_expectation_is_3_625(self):
+        assert float(expected_raw_window()) == pytest.approx(3.625)
+
+    def test_scrambled_expectation_close_to_raw(self):
+        value = float(expected_scrambled_window())
+        assert 3.0 < value < 4.2
+
+    def test_scrambled_matches_monte_carlo(self, key16):
+        """The exact enumeration must agree with simulating the cipher."""
+        from repro.core import mhhea
+        from repro.util.lfsr import Lfsr
+
+        trace = TraceRecorder()
+        bits = [1] * 6000
+        mhhea.encrypt_bits(bits, key16, Lfsr(16, seed=0x5A5A), trace=trace)
+        simulated = trace.mean_window()
+        exact = float(expected_scrambled_window(key=key16))
+        assert simulated == pytest.approx(exact, rel=0.05)
+
+    def test_key_specific_expectation(self):
+        narrow = Key([(3, 3)])
+        assert float(expected_scrambled_window(key=narrow)) == pytest.approx(1.0)
+
+    def test_width_sweep_expectations_grow(self):
+        e16 = float(expected_scrambled_window(VectorParams(16)))
+        e32 = float(expected_scrambled_window(VectorParams(32)))
+        assert e32 > e16
+
+
+class TestMeasured:
+    def test_measured_bits_per_cycle(self, key16):
+        run = MhheaCycleModel(key16).run([1] * 256)
+        rate = measured_bits_per_cycle(run)
+        assert rate == pytest.approx(256 / run.total_cycles)
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            measured_bits_per_cycle(CycleModelRun())
+
+    def test_accounting_enum_values(self):
+        assert Accounting("paper-max-window") is Accounting.PAPER_MAX_WINDOW
+        assert Accounting("measured") is Accounting.MEASURED

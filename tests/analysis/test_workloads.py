@@ -1,0 +1,62 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.analysis.workloads import (
+    ascii_text,
+    bits_of_text,
+    constant_bits,
+    message_bits,
+    packet_payloads,
+)
+
+
+class TestMessageBits:
+    def test_length_and_values(self):
+        bits = message_bits(100, seed=1)
+        assert len(bits) == 100
+        assert set(bits) <= {0, 1}
+
+    def test_deterministic(self):
+        assert message_bits(64, seed=9) == message_bits(64, seed=9)
+
+    def test_seed_sensitivity(self):
+        assert message_bits(64, seed=1) != message_bits(64, seed=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            message_bits(-1)
+
+
+class TestAsciiText:
+    def test_exact_length(self):
+        assert len(ascii_text(57, seed=2)) == 57
+
+    def test_is_ascii(self):
+        ascii_text(100, seed=3).decode("ascii")
+
+    def test_bits_of_text(self):
+        assert len(bits_of_text(10, seed=1)) == 80
+
+
+class TestConstantBits:
+    def test_zeroes_and_ones(self):
+        assert constant_bits(5) == [0] * 5
+        assert constant_bits(5, value=1) == [1] * 5
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            constant_bits(5, value=2)
+
+
+class TestPacketPayloads:
+    def test_count(self):
+        assert len(packet_payloads(7, seed=1)) == 7
+
+    def test_imix_sizes(self):
+        sizes = {len(p) for p in packet_payloads(60, seed=4)}
+        assert sizes <= {40, 576, 1500}
+        assert 40 in sizes
+
+    def test_deterministic(self):
+        assert packet_payloads(5, seed=8) == packet_payloads(5, seed=8)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.key import Key
+from repro.core.params import PAPER_PARAMS, VectorParams
+
+
+@pytest.fixture
+def paper_params() -> VectorParams:
+    """The paper's 16-bit configuration."""
+    return PAPER_PARAMS
+
+
+@pytest.fixture
+def key16() -> Key:
+    """A deterministic full 16-pair key schedule."""
+    return Key.generate(seed=2005, n_pairs=16)
+
+
+@pytest.fixture
+def key4() -> Key:
+    """A short 4-pair key schedule (exercises round-robin wrap)."""
+    return Key.generate(seed=7, n_pairs=4)
+
+
+@pytest.fixture
+def fig8_key() -> Key:
+    """The single pair (0, 3) of the paper's Fig. 8 worked example."""
+    return Key([(0, 3)])

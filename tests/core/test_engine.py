@@ -1,0 +1,205 @@
+"""Tests for the shared embed/extract engine (policy-independent core)."""
+
+import pytest
+
+from repro.core import engine
+from repro.core.errors import CipherFormatError
+from repro.core.key import Key
+from repro.core.params import PAPER_PARAMS
+from repro.core.trace import TraceRecorder
+from repro.rtl.cycle_model import ScriptedVectorSource
+from repro.util.lfsr import Lfsr
+
+
+def fixed_window_policy(low, high):
+    def policy(pair, vector, params):
+        return low, high
+    return policy
+
+
+def no_scramble(pair, q):
+    return 0
+
+
+class TestEmbedBasics:
+    def test_empty_message_emits_nothing(self, key16):
+        out = engine.embed_stream(
+            [], key16, Lfsr(16, seed=1), fixed_window_policy(0, 3),
+            no_scramble, PAPER_PARAMS,
+        )
+        assert out == []
+
+    def test_one_vector_per_window(self, key16):
+        bits = [1, 0, 1, 1]
+        out = engine.embed_stream(
+            bits, key16, Lfsr(16, seed=1), fixed_window_policy(0, 3),
+            no_scramble, PAPER_PARAMS,
+        )
+        assert len(out) == 1
+
+    def test_window_bits_carry_message(self, key16):
+        source = ScriptedVectorSource([0x0000] * 4)
+        bits = [1, 0, 1, 1]
+        out = engine.embed_stream(
+            bits, key16, source, fixed_window_policy(2, 5), no_scramble,
+            PAPER_PARAMS,
+        )
+        assert out == [0b1101 << 2]
+
+    def test_partial_final_window_keeps_vector_bits(self, key16):
+        source = ScriptedVectorSource([0xFFFF])
+        out = engine.embed_stream(
+            [0, 0], key16, source, fixed_window_policy(0, 7), no_scramble,
+            PAPER_PARAMS,
+        )
+        # only positions 0..1 replaced; 2..7 keep the vector's ones
+        assert out == [0xFFFC]
+
+    def test_scramble_policy_applied_with_cycling_q(self, key16):
+        source = ScriptedVectorSource([0x0000])
+        # data policy returns q's LSB: pattern 0,1,0 cycling with key_bits=3
+        out = engine.embed_stream(
+            [0] * 6, key16, source, fixed_window_policy(0, 5),
+            lambda pair, q: q & 1, PAPER_PARAMS,
+        )
+        # q = 0,1,2,0,1,2 -> bits 0,1,0,0,1,0
+        assert out == [0b010010]
+
+    def test_rejects_bad_message_bit(self, key16):
+        with pytest.raises(ValueError):
+            engine.embed_stream(
+                [2], key16, Lfsr(16, seed=1), fixed_window_policy(0, 3),
+                no_scramble, PAPER_PARAMS,
+            )
+
+    def test_rejects_oversized_vector_from_source(self, key16):
+        with pytest.raises(ValueError):
+            engine.embed_stream(
+                [1], key16, ScriptedVectorSource([0x10000]),
+                fixed_window_policy(0, 3), no_scramble, PAPER_PARAMS,
+            )
+
+    def test_rejects_illegal_window_policy(self, key16):
+        with pytest.raises(ValueError):
+            engine.embed_stream(
+                [1], key16, Lfsr(16, seed=1), fixed_window_policy(5, 9),
+                no_scramble, PAPER_PARAMS,
+            )
+
+    def test_rejects_bad_frame_bits(self, key16):
+        with pytest.raises(ValueError):
+            engine.embed_stream(
+                [1], key16, Lfsr(16, seed=1), fixed_window_policy(0, 3),
+                no_scramble, PAPER_PARAMS, frame_bits=0,
+            )
+
+
+class TestFraming:
+    def test_frame_truncates_windows(self, key16):
+        # 16-bit frames with 5-bit windows: the 4th vector of each frame
+        # carries only 16 - 15 = 1 bit.
+        source = ScriptedVectorSource([0x0000] * 8)
+        bits = [1] * 20
+        trace = TraceRecorder()
+        engine.embed_stream(
+            bits, key16, source, fixed_window_policy(0, 4), no_scramble,
+            PAPER_PARAMS, trace=trace, frame_bits=16,
+        )
+        consumed = [r.bits_consumed for r in trace]
+        assert consumed == [5, 5, 5, 1, 4]
+
+    def test_flat_mode_never_truncates_midstream(self, key16):
+        source = ScriptedVectorSource([0x0000] * 8)
+        trace = TraceRecorder()
+        engine.embed_stream(
+            [1] * 20, key16, source, fixed_window_policy(0, 4), no_scramble,
+            PAPER_PARAMS, trace=trace,
+        )
+        assert [r.bits_consumed for r in trace] == [5, 5, 5, 5]
+
+    def test_framed_roundtrip(self, key16):
+        bits = [i % 2 for i in range(45)]
+        vectors = engine.embed_stream(
+            bits, key16, Lfsr(16, seed=3), fixed_window_policy(1, 6),
+            no_scramble, PAPER_PARAMS, frame_bits=16,
+        )
+        back = engine.extract_stream(
+            vectors, key16, len(bits), fixed_window_policy(1, 6),
+            no_scramble, PAPER_PARAMS, frame_bits=16,
+        )
+        assert back == bits
+
+    def test_frame_mismatch_breaks_roundtrip(self, key16):
+        bits = [1, 0] * 20
+        vectors = engine.embed_stream(
+            bits, key16, Lfsr(16, seed=3), fixed_window_policy(0, 4),
+            no_scramble, PAPER_PARAMS, frame_bits=16,
+        )
+        back = engine.extract_stream(
+            vectors, key16, len(bits), fixed_window_policy(0, 4),
+            no_scramble, PAPER_PARAMS, frame_bits=None, strict=False,
+        )
+        assert back != bits
+
+
+class TestExtractValidation:
+    def _vectors(self, key, n_bits):
+        return engine.embed_stream(
+            [1] * n_bits, key, Lfsr(16, seed=9), fixed_window_policy(0, 3),
+            no_scramble, PAPER_PARAMS,
+        )
+
+    def test_truncated_ciphertext_raises(self, key16):
+        vectors = self._vectors(key16, 12)
+        with pytest.raises(CipherFormatError):
+            engine.extract_stream(
+                vectors[:-1], key16, 12, fixed_window_policy(0, 3),
+                no_scramble, PAPER_PARAMS,
+            )
+
+    def test_trailing_ciphertext_raises_when_strict(self, key16):
+        vectors = self._vectors(key16, 12) + [0]
+        with pytest.raises(CipherFormatError):
+            engine.extract_stream(
+                vectors, key16, 12, fixed_window_policy(0, 3),
+                no_scramble, PAPER_PARAMS,
+            )
+
+    def test_trailing_ciphertext_tolerated_when_lenient(self, key16):
+        vectors = self._vectors(key16, 12) + [0]
+        bits = engine.extract_stream(
+            vectors, key16, 12, fixed_window_policy(0, 3),
+            no_scramble, PAPER_PARAMS, strict=False,
+        )
+        assert bits == [1] * 12
+
+    def test_negative_n_bits_rejected(self, key16):
+        with pytest.raises(ValueError):
+            engine.extract_stream(
+                [], key16, -1, fixed_window_policy(0, 3), no_scramble,
+                PAPER_PARAMS,
+            )
+
+    def test_zero_bits_from_empty(self, key16):
+        assert engine.extract_stream(
+            [], key16, 0, fixed_window_policy(0, 3), no_scramble, PAPER_PARAMS,
+        ) == []
+
+
+class TestTraceRecords:
+    def test_trace_fields(self, key4):
+        trace = TraceRecorder()
+        engine.embed_stream(
+            [1] * 10, key4, Lfsr(16, seed=5), fixed_window_policy(0, 3),
+            no_scramble, PAPER_PARAMS, trace=trace,
+        )
+        assert len(trace) == 3
+        assert [r.pair_index for r in trace] == [0, 1, 2]
+        assert trace.total_bits() == 10
+        first = trace[0]
+        assert first.m_start == 0
+        assert first.window_width == 4
+
+    def test_mean_window_requires_records(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().mean_window()

@@ -1,0 +1,65 @@
+"""Tests for the plain HHEA baseline cipher."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import hhea
+from repro.core.key import Key
+from repro.core.trace import TraceRecorder
+from repro.rtl.cycle_model import ScriptedVectorSource
+from repro.util.bits import extract_field
+from repro.util.lfsr import Lfsr
+
+
+class TestWindows:
+    def test_window_is_raw_sorted_pair(self):
+        key = Key([(6, 2)])
+        trace = TraceRecorder()
+        hhea.encrypt_bits([1] * 5, key, Lfsr(16, seed=3), trace=trace)
+        assert (trace[0].kn1, trace[0].kn2) == (2, 6)
+
+    def test_no_data_scrambling(self):
+        """HHEA embeds message bits verbatim — the property the constant
+        chosen-plaintext attack exploits."""
+        key = Key([(5, 7)])  # k1 = 5 would scramble under MHHEA
+        vectors = hhea.encrypt_bits([0, 0, 0], key, ScriptedVectorSource([0xFFFF]))
+        assert extract_field(vectors[0], 7, 5) == 0b000
+
+    def test_window_independent_of_vector(self):
+        key = Key([(1, 4)])
+        t1, t2 = TraceRecorder(), TraceRecorder()
+        hhea.encrypt_bits([1] * 4, key, ScriptedVectorSource([0x0000]), trace=t1)
+        hhea.encrypt_bits([1] * 4, key, ScriptedVectorSource([0xFFFF]), trace=t2)
+        assert (t1[0].kn1, t1[0].kn2) == (t2[0].kn1, t2[0].kn2) == (1, 4)
+
+
+class TestRoundTrips:
+    @given(st.binary(max_size=32), st.integers(1, 0xFFFF))
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_roundtrip(self, payload, seed):
+        key = Key.generate(seed=17)
+        cipher = hhea.HheaCipher(key)
+        assert cipher.decrypt(cipher.encrypt(payload, seed=seed)) == payload
+
+    @given(st.lists(st.integers(0, 1), max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_framed_roundtrip(self, bits):
+        key = Key.generate(seed=23)
+        vectors = hhea.encrypt_bits(bits, key, Lfsr(16, seed=6), frame_bits=16)
+        assert hhea.decrypt_bits(vectors, key, len(bits), frame_bits=16) == bits
+
+    def test_differs_from_mhhea(self, key16):
+        from repro.core import mhhea
+
+        bits = [1, 0, 1, 1, 0, 0, 1, 0] * 4
+        h = hhea.encrypt_bits(bits, key16, Lfsr(16, seed=9))
+        m = mhhea.encrypt_bits(bits, key16, Lfsr(16, seed=9))
+        assert h != m
+
+    def test_fewer_vectors_with_wide_pairs(self):
+        wide = Key([(0, 7)])
+        narrow = Key([(3, 3)])
+        bits = [1] * 32
+        v_wide = hhea.encrypt_bits(bits, wide, Lfsr(16, seed=2))
+        v_narrow = hhea.encrypt_bits(bits, narrow, Lfsr(16, seed=2))
+        assert len(v_wide) == 4       # 8 bits per vector
+        assert len(v_narrow) == 32    # 1 bit per vector

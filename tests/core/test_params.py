@@ -1,0 +1,50 @@
+"""Tests for the vector-geometry parameter set."""
+
+import pytest
+
+from repro.core.params import PAPER_PARAMS, VectorParams
+
+
+class TestPaperGeometry:
+    def test_paper_defaults(self):
+        assert PAPER_PARAMS.width == 16
+        assert PAPER_PARAMS.half == 8
+        assert PAPER_PARAMS.key_bits == 3
+        assert PAPER_PARAMS.key_max == 7
+        assert PAPER_PARAMS.max_window == 8
+        assert PAPER_PARAMS.scramble_low == 8
+
+    def test_expected_raw_window_is_3_625(self):
+        # E[|K1-K2|] = 2.625 for uniform 3-bit halves, +1 for inclusivity.
+        assert PAPER_PARAMS.expected_window() == pytest.approx(3.625)
+
+
+class TestWidthSweep:
+    @pytest.mark.parametrize("width,key_bits", [(4, 1), (8, 2), (16, 3), (32, 4), (64, 5)])
+    def test_derived_key_bits(self, width, key_bits):
+        params = VectorParams(width)
+        assert params.key_bits == key_bits
+        assert params.half == width // 2
+        assert params.key_max == width // 2 - 1
+
+    def test_scramble_region_never_overlaps_windows(self):
+        for width in (4, 8, 16, 32, 64):
+            params = VectorParams(width)
+            assert params.scramble_low > params.key_max
+
+
+class TestValidation:
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            VectorParams(2)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            VectorParams(24)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_PARAMS.width = 32  # type: ignore[misc]
+
+    def test_str_mentions_geometry(self):
+        assert "16" in str(PAPER_PARAMS)

@@ -1,0 +1,133 @@
+"""Tests for the packet container format."""
+
+import pytest
+
+from repro.core.errors import CipherFormatError
+from repro.core.key import Key
+from repro.core.params import VectorParams
+from repro.core.stream import (
+    ALGORITHM_HHEA,
+    ALGORITHM_MHHEA,
+    HEADER_SIZE,
+    PacketHeader,
+    decrypt_packet,
+    encrypt_packet,
+    split_packets,
+)
+
+
+class TestRoundTrip:
+    def test_mhhea_packet(self, key16):
+        packet = encrypt_packet(b"payload 123", key16, nonce=0x5EED)
+        assert decrypt_packet(packet, key16) == b"payload 123"
+
+    def test_hhea_packet(self, key16):
+        packet = encrypt_packet(b"payload 123", key16, nonce=0x5EED,
+                                algorithm=ALGORITHM_HHEA)
+        assert decrypt_packet(packet, key16) == b"payload 123"
+
+    def test_empty_payload(self, key16):
+        packet = encrypt_packet(b"", key16)
+        assert decrypt_packet(packet, key16) == b""
+        assert len(packet) == HEADER_SIZE
+
+    def test_large_payload(self, key16):
+        payload = bytes(range(256)) * 8
+        packet = encrypt_packet(payload, key16, nonce=3)
+        assert decrypt_packet(packet, key16) == payload
+
+    def test_different_nonces_differ(self, key16):
+        a = encrypt_packet(b"same", key16, nonce=1)
+        b = encrypt_packet(b"same", key16, nonce=2)
+        assert a != b
+
+
+class TestHeader:
+    def test_header_roundtrip(self):
+        header = PacketHeader(
+            algorithm=ALGORITHM_MHHEA, width=16, nonce=0xDEADBEEF,
+            n_bits=100, n_vectors=40, crc=0x1234,
+        )
+        assert PacketHeader.unpack(header.pack()) == header
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(CipherFormatError):
+            PacketHeader.unpack(b"\x00" * (HEADER_SIZE - 1))
+
+    def test_bad_magic(self, key16):
+        packet = bytearray(encrypt_packet(b"x", key16))
+        packet[0] = ord("X")
+        with pytest.raises(CipherFormatError):
+            decrypt_packet(bytes(packet), key16)
+
+    def test_bad_version(self, key16):
+        packet = bytearray(encrypt_packet(b"x", key16))
+        packet[4] = 99
+        with pytest.raises(CipherFormatError):
+            decrypt_packet(bytes(packet), key16)
+
+    def test_bad_algorithm(self, key16):
+        packet = bytearray(encrypt_packet(b"x", key16))
+        packet[5] = 7
+        with pytest.raises(CipherFormatError):
+            decrypt_packet(bytes(packet), key16)
+
+    def test_reserved_flags(self, key16):
+        packet = bytearray(encrypt_packet(b"x", key16))
+        packet[7] = 1
+        with pytest.raises(CipherFormatError):
+            decrypt_packet(bytes(packet), key16)
+
+    def test_bad_width_byte(self, key16):
+        packet = bytearray(encrypt_packet(b"x", key16))
+        packet[6] = 9  # not a byte multiple
+        with pytest.raises(CipherFormatError):
+            decrypt_packet(bytes(packet), key16)
+
+
+class TestDamage:
+    def test_truncated_payload(self, key16):
+        packet = encrypt_packet(b"hello there", key16)
+        with pytest.raises(CipherFormatError):
+            decrypt_packet(packet[:-3], key16)
+
+    def test_trailing_bytes(self, key16):
+        packet = encrypt_packet(b"hello there", key16)
+        with pytest.raises(CipherFormatError):
+            decrypt_packet(packet + b"\x00", key16)
+
+    def test_payload_corruption_caught_by_crc(self, key16):
+        packet = bytearray(encrypt_packet(b"hello there", key16))
+        packet[-1] ^= 0xFF
+        with pytest.raises(CipherFormatError, match="CRC"):
+            decrypt_packet(bytes(packet), key16)
+
+    def test_width_mismatch_with_key(self, key16):
+        packet = encrypt_packet(b"x", key16)
+        wide_key = Key.generate(seed=1, params=VectorParams(32))
+        with pytest.raises(CipherFormatError):
+            decrypt_packet(packet, wide_key)
+
+
+class TestSplitPackets:
+    def test_splits_back_to_back(self, key16):
+        packets = [encrypt_packet(bytes([i] * (i + 1)), key16, nonce=i + 1)
+                   for i in range(4)]
+        stream = b"".join(packets)
+        assert split_packets(stream) == packets
+
+    def test_empty_stream(self):
+        assert split_packets(b"") == []
+
+    def test_mid_packet_truncation(self, key16):
+        stream = encrypt_packet(b"abcdef", key16)
+        with pytest.raises(CipherFormatError):
+            split_packets(stream[:-1])
+
+    def test_split_then_decrypt(self, key16):
+        payloads = [b"alpha", b"bravo", b"charlie"]
+        stream = b"".join(
+            encrypt_packet(p, key16, nonce=i + 10) for i, p in enumerate(payloads)
+        )
+        recovered = [decrypt_packet(p, key16) for p in split_packets(stream)]
+        assert recovered == payloads

@@ -1,0 +1,60 @@
+"""Tests for the FPGA device models."""
+
+import pytest
+
+from repro.fpga.device import SPARTAN2_XC2S100, XC4005XL, FpgaDevice
+
+
+class TestXc2s100:
+    def test_paper_capacities(self):
+        d = SPARTAN2_XC2S100
+        assert d.n_clbs == 600
+        assert d.n_slices == 1200     # "out of 1200" in the paper
+        assert d.n_luts == 2400
+        assert d.n_ffs == 2400
+        assert d.n_iobs == 92         # "out of 92"
+        assert d.n_tbufs == 1280      # "out of 1280"
+
+    def test_str(self):
+        assert "xc2s100" in str(SPARTAN2_XC2S100)
+        assert "tq144" in str(SPARTAN2_XC2S100)
+
+
+class TestNetDelay:
+    def test_zero_hops_is_base(self):
+        d = SPARTAN2_XC2S100
+        assert d.net_delay(0) == pytest.approx(d.t_net_base)
+
+    def test_monotone(self):
+        d = SPARTAN2_XC2S100
+        delays = [d.net_delay(h) for h in range(20)]
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+
+    def test_segmentation_discount_for_long_nets(self):
+        d = SPARTAN2_XC2S100
+        short_rate = d.net_delay(3) - d.net_delay(2)
+        long_rate = d.net_delay(12) - d.net_delay(11)
+        assert long_rate < short_rate
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            SPARTAN2_XC2S100.net_delay(-1)
+
+
+class TestXc4005xl:
+    def test_is_smaller_and_slower(self):
+        assert XC4005XL.n_clbs < SPARTAN2_XC2S100.n_clbs
+        assert XC4005XL.t_lut > SPARTAN2_XC2S100.t_lut
+
+
+class TestCustomDevice:
+    def test_derived_counts(self):
+        d = FpgaDevice(
+            name="toy", family="toy", package="x", speed_grade="-1",
+            rows=2, cols=3, slices_per_clb=2, luts_per_slice=2,
+            ffs_per_slice=2, n_iobs=10, n_tbufs=8, channel_width=4,
+            t_lut=1, t_clk_to_q=1, t_setup=1, t_tbuf=1, t_iob=1,
+            t_net_base=1, t_net_per_hop=1, t_longline=2,
+        )
+        assert d.n_clbs == 6
+        assert d.n_slices == 12

@@ -1,0 +1,122 @@
+"""Tests for slice packing and simulated-annealing placement."""
+
+import pytest
+
+from repro.core.errors import FlowError
+from repro.fpga.device import FpgaDevice, SPARTAN2_XC2S100
+from repro.fpga.pack import pack_design
+from repro.fpga.place import place_design
+from repro.fpga.techmap import flowmap
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus
+
+
+def counter_circuit(width=8):
+    c = Circuit("counter")
+    en = c.input_bus("en", 1)
+    count = c.bus("count", width)
+    c.register_on(count, c.increment(count), enable=en[0])
+    c.set_output("count", count)
+    return c
+
+
+def tiny_device(rows=4, cols=4, iobs=40):
+    return FpgaDevice(
+        name="toy", family="toy", package="x", speed_grade="-1",
+        rows=rows, cols=cols, slices_per_clb=2, luts_per_slice=2,
+        ffs_per_slice=2, n_iobs=iobs, n_tbufs=16, channel_width=8,
+        t_lut=1, t_clk_to_q=1, t_setup=1, t_tbuf=1, t_iob=1,
+        t_net_base=1, t_net_per_hop=0.5, t_longline=2,
+    )
+
+
+class TestPacking:
+    def test_conserves_luts_and_ffs(self):
+        c = counter_circuit()
+        mapping = flowmap(c)
+        packed = pack_design(mapping, SPARTAN2_XC2S100)
+        assert packed.n_luts == mapping.n_luts
+        assert packed.n_ffs == len(c.dffs)
+
+    def test_slice_capacity_respected(self):
+        c = counter_circuit(12)
+        packed = pack_design(flowmap(c), SPARTAN2_XC2S100)
+        for slice_ in packed.slices:
+            assert slice_.n_luts <= 2
+            assert slice_.n_ffs <= 2
+            assert 1 <= len(slice_.cells) <= 2
+
+    def test_fusion_reduces_slice_count(self):
+        """Counter bits fuse LUT->FF, so slices ~ width/2, not width."""
+        c = counter_circuit(8)
+        packed = pack_design(flowmap(c), SPARTAN2_XC2S100)
+        assert packed.n_slices <= 10
+
+    def test_clb_count_rounds_up(self):
+        c = counter_circuit(2)
+        packed = pack_design(flowmap(c), SPARTAN2_XC2S100)
+        assert packed.n_clbs == (packed.n_slices + 1) // 2
+
+    def test_capacity_overflow_raises(self):
+        c = counter_circuit(10)
+        mapping = flowmap(c)
+        with pytest.raises(FlowError):
+            pack_design(mapping, tiny_device(rows=1, cols=1))
+
+    def test_iob_overflow_raises(self):
+        c = counter_circuit(8)
+        with pytest.raises(FlowError):
+            pack_design(flowmap(c), tiny_device(iobs=3))
+
+
+class TestPlacement:
+    def _placed(self, seed=1):
+        c = counter_circuit(8)
+        packed = pack_design(flowmap(c), tiny_device(rows=6, cols=6))
+        return place_design(packed, seed=seed, effort=0.2)
+
+    def test_sites_unique_and_legal(self):
+        placement = self._placed()
+        device = placement.device
+        sites = list(placement.slice_sites.values())
+        assert len(sites) == len(set(sites))
+        for row, col, slot in sites:
+            assert 0 <= row < device.rows
+            assert 0 <= col < device.cols
+            assert 0 <= slot < device.slices_per_clb
+
+    def test_io_on_perimeter(self):
+        placement = self._placed()
+        device = placement.device
+        for row, col in placement.io_sites.values():
+            assert (row in (-1, device.rows)) or (col in (-1, device.cols))
+
+    def test_deterministic_for_seed(self):
+        a = self._placed(seed=9)
+        b = self._placed(seed=9)
+        assert a.slice_sites == b.slice_sites
+        assert a.cost == b.cost
+
+    def test_cost_is_total_hpwl(self):
+        placement = self._placed()
+        assert placement.cost == pytest.approx(placement.total_hpwl())
+
+    def test_nets_reference_real_terminals(self):
+        placement = self._placed()
+        n_slices = placement.design.n_slices
+        for net in placement.nets:
+            assert len(net.terminals) >= 2
+            for kind, index in net.terminals:
+                assert kind in ("S", "I")
+                if kind == "S":
+                    assert 0 <= index < n_slices
+
+    def test_effort_validation(self):
+        c = counter_circuit(4)
+        packed = pack_design(flowmap(c), tiny_device())
+        with pytest.raises(FlowError):
+            place_design(packed, effort=0)
+
+    def test_occupancy_totals(self):
+        placement = self._placed()
+        assert sum(placement.occupancy().values()) == placement.design.n_slices

@@ -1,0 +1,101 @@
+"""Tests for report rendering, the floor plan, and the end-to-end flow."""
+
+import pytest
+
+from repro.analysis.literature import PAPER_REPORTS
+from repro.fpga.device import SPARTAN2_XC2S100
+from repro.fpga.flow import run_flow
+from repro.fpga.floorplan import occupancy_histogram, render_floorplan
+from repro.fpga.reports import (
+    DesignSummary,
+    GATES_PER_FF,
+    GATES_PER_LUT,
+    GATES_PER_TBUF,
+    TimingSummary,
+)
+from repro.rtl.yaea_top import build_yaea_top
+
+
+@pytest.fixture(scope="module")
+def yaea_flow():
+    """A small, fast full-flow run shared by the report tests."""
+    return run_flow(build_yaea_top().circuit, seed=3, effort=0.2)
+
+
+class TestDesignSummary:
+    def test_gate_convention_reproduces_paper_scale(self):
+        """Feeding the paper's own LUT/FF/TBUF counts into our gate
+        convention lands within 10% of its reported 5051 gates."""
+        summary = DesignSummary(
+            design_name="paper", device=SPARTAN2_XC2S100,
+            n_slices=PAPER_REPORTS["n_slices"], n_ffs=PAPER_REPORTS["n_ffs"],
+            n_luts=PAPER_REPORTS["n_luts"], n_iobs=PAPER_REPORTS["n_iobs"],
+            n_tbufs=PAPER_REPORTS["n_tbufs"],
+        )
+        assert summary.equivalent_gates == (
+            393 * GATES_PER_LUT + 205 * GATES_PER_FF + 206 * GATES_PER_TBUF
+        )
+        assert abs(summary.equivalent_gates - PAPER_REPORTS["equivalent_gates"]) \
+            <= 0.1 * PAPER_REPORTS["equivalent_gates"]
+
+    def test_utilisation_fractions(self, yaea_flow):
+        summary = yaea_flow.summary
+        assert 0 < summary.slice_utilisation < 1
+        assert 0 < summary.iob_utilisation < 1
+        assert summary.tbuf_utilisation == 0  # the stream design has none
+
+    def test_render_format(self, yaea_flow):
+        text = yaea_flow.summary.render()
+        assert "Number of Slices" in text
+        assert "4 input LUTs" in text
+        assert "bonded IOBs" in text
+        assert "equivalent gate count" in text
+        assert "xc2s100" in text
+
+
+class TestTimingSummary:
+    def test_render_format(self, yaea_flow):
+        text = yaea_flow.timing_report.render()
+        assert "Minimum period" in text
+        assert "Maximum frequency" in text
+        assert "Maximum net delay" in text
+
+    def test_fmax_infinite_guard(self):
+        report = TimingSummary("x", min_period_ns=0.0,
+                               max_net_delay_ns=0.0, logic_levels=0)
+        assert report.max_frequency_mhz == float("inf")
+
+
+class TestFloorplan:
+    def test_render_dimensions(self, yaea_flow):
+        text = render_floorplan(yaea_flow.placement)
+        rows = [line for line in text.splitlines() if line[:3].strip().isdigit()]
+        assert len(rows) == SPARTAN2_XC2S100.rows
+        assert "slices placed" in text
+
+    def test_histogram_covers_array(self, yaea_flow):
+        histogram = occupancy_histogram(yaea_flow.placement)
+        assert sum(histogram.values()) == SPARTAN2_XC2S100.n_clbs
+        used = sum(n * count for n, count in histogram.items())
+        assert used == yaea_flow.packed.n_slices
+
+
+class TestFlow:
+    def test_all_artifacts_present(self, yaea_flow):
+        assert yaea_flow.mapping.n_luts > 0
+        assert yaea_flow.packed.n_slices > 0
+        assert yaea_flow.routing.total_wirelength >= 0
+        assert yaea_flow.timing.min_period_ns > 0
+        assert yaea_flow.summary.n_ffs == len(yaea_flow.circuit.dffs)
+
+    def test_deterministic(self):
+        a = run_flow(build_yaea_top().circuit, seed=11, effort=0.15)
+        b = run_flow(build_yaea_top().circuit, seed=11, effort=0.15)
+        assert a.summary == b.summary
+        assert a.timing.min_period_ns == b.timing.min_period_ns
+
+    def test_report_block_renders(self, yaea_flow):
+        text = yaea_flow.render_reports()
+        assert "Design Summary" in text
+        assert "Timing Summary" in text
+        assert "Floor plan" in text

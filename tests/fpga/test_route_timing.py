@@ -1,0 +1,130 @@
+"""Tests for routing and static timing analysis."""
+
+import pytest
+
+from repro.fpga.device import SPARTAN2_XC2S100
+from repro.fpga.pack import pack_design
+from repro.fpga.place import place_design
+from repro.fpga.route import route_design
+from repro.fpga.techmap import flowmap
+from repro.fpga.timing import analyse_timing
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus
+
+
+def pipeline_circuit():
+    """Two register stages with an adder between them."""
+    c = Circuit("pipe")
+    a = c.input_bus("a", 8)
+    b = c.input_bus("b", 8)
+    qa = c.register(a, name="qa")
+    qb = c.register(b, name="qb")
+    total, _ = c.adder(qa, qb)
+    q = c.register(total, name="q")
+    c.set_output("q", q)
+    return c
+
+
+def implemented(circuit, seed=3, effort=0.2):
+    packed = pack_design(flowmap(circuit), SPARTAN2_XC2S100)
+    placement = place_design(packed, seed=seed, effort=effort)
+    routing = route_design(placement)
+    return packed, placement, routing
+
+
+class TestRouting:
+    def test_every_net_routed_to_every_sink(self):
+        _, placement, routing = implemented(pipeline_circuit())
+        assert len(routing.routed) == len(placement.nets)
+        for tree in routing.routed:
+            n_sinks = len(tree.net.terminals) - tree.net.n_drivers
+            assert len(tree.sink_hops) == n_sinks
+
+    def test_capacity_respected(self):
+        _, _, routing = implemented(pipeline_circuit())
+        assert routing.max_edge_usage <= routing.channel_width
+
+    def test_wirelength_positive_for_spread_design(self):
+        _, _, routing = implemented(pipeline_circuit())
+        assert routing.total_wirelength > 0
+
+    def test_deterministic(self):
+        _, _, r1 = implemented(pipeline_circuit(), seed=5)
+        _, _, r2 = implemented(pipeline_circuit(), seed=5)
+        assert r1.total_wirelength == r2.total_wirelength
+
+    def test_colocated_terminals_need_no_wire(self):
+        """A net whose driver and sink share a CLB routes with 0 hops."""
+        _, placement, routing = implemented(pipeline_circuit())
+        for tree in routing.routed:
+            positions = {placement.terminal_position(t)
+                         for t in tree.net.terminals}
+            if len(positions) == 1:
+                assert tree.wirelength == 0
+
+    def test_hops_to_sink_lookup(self):
+        _, _, routing = implemented(pipeline_circuit())
+        tree = routing.routed[0]
+        for t_index in tree.sink_hops:
+            assert routing.hops_to_sink(0, t_index) == tree.sink_hops[t_index]
+
+
+class TestTiming:
+    def test_min_period_at_least_ff_overheads(self):
+        _, _, routing = implemented(pipeline_circuit())
+        analysis = analyse_timing(routing)
+        d = SPARTAN2_XC2S100
+        assert analysis.min_period_ns >= d.t_clk_to_q + d.t_setup
+
+    def test_critical_path_structure(self):
+        _, _, routing = implemented(pipeline_circuit())
+        analysis = analyse_timing(routing)
+        assert analysis.critical_path
+        assert analysis.critical_path[0].startswith("FF")
+        assert analysis.critical_path[-1].endswith("(setup)")
+        assert analysis.logic_levels_on_critical_path >= 1
+
+    def test_max_frequency_inverse_of_period(self):
+        _, _, routing = implemented(pipeline_circuit())
+        analysis = analyse_timing(routing)
+        assert analysis.max_frequency_mhz == pytest.approx(
+            1000.0 / analysis.min_period_ns
+        )
+
+    def test_deeper_logic_is_slower(self):
+        shallow = pipeline_circuit()
+
+        deep = Circuit("deep")
+        a = deep.input_bus("a", 8)
+        q = deep.register(a, name="qa")
+        x = q
+        for _ in range(4):
+            x, _ = deep.adder(x, q)
+        deep.set_output("q", deep.register(x, name="qo"))
+
+        _, _, r_shallow = implemented(shallow)
+        _, _, r_deep = implemented(deep)
+        assert (analyse_timing(r_deep).min_period_ns
+                > analyse_timing(r_shallow).min_period_ns)
+
+    def test_tristate_nets_use_longline_delay(self):
+        c = Circuit("t")
+        a = c.input_bus("a", 4)
+        sel = c.input_bus("sel", 1)
+        q = c.register(a, name="q")
+        net = c.tristate_bus("net", 4)
+        c.tbuf_drive(q, sel[0], net)
+        nsel = c.not_(sel[0])
+        c.tbuf_drive(a, nsel, net)
+        c.set_output("o", c.register(net, name="qo"))
+        _, _, routing = implemented(c)
+        analysis = analyse_timing(routing)
+        # path: FF -> TBUF -> longline -> FF: clk_q + tbuf + longline + setup
+        d = SPARTAN2_XC2S100
+        floor = d.t_clk_to_q + d.t_tbuf + d.t_longline + d.t_setup
+        assert analysis.min_period_ns >= floor - 1e-6
+
+    def test_paths_counted(self):
+        _, _, routing = implemented(pipeline_circuit())
+        analysis = analyse_timing(routing)
+        assert analysis.n_timing_paths >= 8  # at least the q register Ds

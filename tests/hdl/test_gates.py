@@ -1,0 +1,164 @@
+"""Tests for the primitive cell library."""
+
+import itertools
+
+import pytest
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.gates import (
+    BusContentionError,
+    GATE_ARITY,
+    GATE_EVAL,
+    Gate,
+    MAX_FANIN,
+)
+from repro.hdl.signal import Signal
+
+
+def _sig(i):
+    return Signal(f"s{i}", i)
+
+
+class TestGateEvalTable:
+    """Exhaustive truth-table check for every primitive kind."""
+
+    REFERENCE = {
+        "BUF": lambda v: v[0],
+        "NOT": lambda v: 1 - v[0],
+        "AND2": lambda v: v[0] & v[1],
+        "AND3": lambda v: v[0] & v[1] & v[2],
+        "AND4": lambda v: v[0] & v[1] & v[2] & v[3],
+        "OR2": lambda v: v[0] | v[1],
+        "OR3": lambda v: v[0] | v[1] | v[2],
+        "OR4": lambda v: v[0] | v[1] | v[2] | v[3],
+        "NAND2": lambda v: 1 - (v[0] & v[1]),
+        "NOR2": lambda v: 1 - (v[0] | v[1]),
+        "XOR2": lambda v: v[0] ^ v[1],
+        "XOR3": lambda v: v[0] ^ v[1] ^ v[2],
+        "XNOR2": lambda v: 1 - (v[0] ^ v[1]),
+        "MUX2": lambda v: v[2] if v[0] else v[1],
+        "ANDN2": lambda v: v[0] & (1 - v[1]),
+    }
+
+    @pytest.mark.parametrize("kind", sorted(REFERENCE))
+    def test_exhaustive(self, kind):
+        arity = GATE_ARITY[kind]
+        for values in itertools.product((0, 1), repeat=arity):
+            assert GATE_EVAL[kind](*values) == self.REFERENCE[kind](list(values)), (
+                kind, values,
+            )
+
+    def test_constants(self):
+        assert GATE_EVAL["CONST0"]() == 0
+        assert GATE_EVAL["CONST1"]() == 1
+
+    def test_every_kind_within_lut_fanin(self):
+        for kind, arity in GATE_ARITY.items():
+            assert arity <= MAX_FANIN, kind
+
+
+class TestGateConstruction:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Gate("NAND9", [], _sig(0), 0)
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Gate("AND2", [_sig(0)], _sig(1), 0)
+
+    def test_evaluate_uses_input_values(self):
+        a, b, out = _sig(0), _sig(1), _sig(2)
+        gate = Gate("XOR2", [a, b], out, 0)
+        a.value, b.value = 1, 1
+        assert gate.evaluate() == 0
+        b.value = 0
+        assert gate.evaluate() == 1
+
+
+class TestDff:
+    def _dff(self, enable=False, reset=False):
+        c = Circuit("t")
+        d = c.input_bus("d", 1)
+        en = c.input_bus("en", 1) if enable else None
+        rst = c.input_bus("rst", 1) if reset else None
+        q = c.dff(d[0], enable=en[0] if en else None,
+                  reset=rst[0] if rst else None, init=0)
+        return c, d, en, rst, q
+
+    def test_next_value_follows_d(self):
+        c, d, _, _, q = self._dff()
+        d.poke(1)
+        assert c.dffs[0].next_value() == 1
+
+    def test_enable_holds(self):
+        c, d, en, _, q = self._dff(enable=True)
+        d.poke(1)
+        en.poke(0)
+        assert c.dffs[0].next_value() == 0
+        en.poke(1)
+        assert c.dffs[0].next_value() == 1
+
+    def test_reset_dominates_enable(self):
+        c, d, en, rst, q = self._dff(enable=True, reset=True)
+        d.poke(1)
+        en.poke(1)
+        rst.poke(1)
+        assert c.dffs[0].next_value() == 0
+
+    def test_bad_init_rejected(self):
+        c = Circuit("t")
+        d = c.input_bus("d", 1)
+        with pytest.raises(ValueError):
+            c.dff(d[0], init=2)
+
+
+class TestTristate:
+    def _net(self):
+        c = Circuit("t")
+        a = c.input_bus("a", 1)
+        b = c.input_bus("b", 1)
+        ea = c.input_bus("ea", 1)
+        eb = c.input_bus("eb", 1)
+        net = c.tristate_bus("net", 1)
+        c.tbuf_drive(a, ea[0], net)
+        c.tbuf_drive(b, eb[0], net)
+        return c, a, b, ea, eb, net
+
+    def test_single_driver_wins(self):
+        c, a, b, ea, eb, net = self._net()
+        a.poke(1)
+        ea.poke(1)
+        assert c.tristate_groups[0].evaluate() == 1
+
+    def test_keeper_retains_value_when_floating(self):
+        c, a, b, ea, eb, net = self._net()
+        a.poke(1)
+        ea.poke(1)
+        net[0].value = c.tristate_groups[0].evaluate()
+        ea.poke(0)
+        assert c.tristate_groups[0].evaluate() == 1  # kept
+
+    def test_agreeing_drivers_allowed(self):
+        c, a, b, ea, eb, net = self._net()
+        a.poke(1)
+        b.poke(1)
+        ea.poke(1)
+        eb.poke(1)
+        assert c.tristate_groups[0].evaluate() == 1
+
+    def test_conflicting_drivers_raise(self):
+        c, a, b, ea, eb, net = self._net()
+        a.poke(1)
+        b.poke(0)
+        ea.poke(1)
+        eb.poke(1)
+        with pytest.raises(BusContentionError):
+            c.tristate_groups[0].evaluate()
+
+    def test_drive_requires_tristate_net(self):
+        c = Circuit("t")
+        a = c.input_bus("a", 1)
+        en = c.input_bus("en", 1)
+        plain = c.bus("plain", 1)
+        with pytest.raises(ValueError):
+            c.tbuf_drive(a, en[0], plain)

@@ -1,0 +1,95 @@
+"""Tests for netlist statistics, dumps and the mapping DAG."""
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.netlist import combinational_dag, netlist_stats, netlist_text
+from repro.hdl.signal import Bus
+
+
+def small_circuit():
+    c = Circuit("small")
+    a = c.input_bus("a", 2)
+    b = c.input_bus("b", 2)
+    s, carry = c.adder(a, b)
+    q = c.register(s, name="q")
+    c.set_output("q", q)
+    net = c.tristate_bus("shared", 2)
+    sel = c.input_bus("sel", 1)
+    c.tbuf_drive(a, sel[0], net)
+    c.tbuf_drive(q, c.not_(sel[0]), net)
+    c.set_output("shared", net)
+    return c
+
+
+class TestStats:
+    def test_counts(self):
+        c = small_circuit()
+        stats = netlist_stats(c)
+        assert stats.n_dffs == 2
+        assert stats.n_tbufs == 4
+        assert stats.n_tristate_nets == 2
+        assert stats.n_input_bits == 5
+        assert stats.n_output_bits == 4
+        assert stats.n_io_bits == 9
+        assert stats.n_gates == sum(stats.gate_histogram.values())
+
+    def test_histogram_kinds(self):
+        stats = netlist_stats(small_circuit())
+        assert "XOR2" in stats.gate_histogram
+
+
+class TestTextDump:
+    def test_contains_structure(self):
+        text = netlist_text(small_circuit())
+        assert "circuit small" in text
+        assert "input  a[2]" in text
+        assert "output q[2]" in text
+        assert "dff" in text
+        assert "tbuf" in text
+
+    def test_truncation(self):
+        text = netlist_text(small_circuit(), max_gates=1)
+        assert "more gates" in text
+
+
+class TestMappingDag:
+    def test_sources_and_sinks(self):
+        c = small_circuit()
+        from repro.hdl.sim import Simulator
+
+        Simulator(c)  # levelise
+        dag = combinational_dag(c)
+        source_names = {s.name for s in dag.sources}
+        # primary inputs + FF outputs + tristate outs are sources
+        assert "a[0]" in source_names
+        assert "q[0]" in source_names
+        assert "shared[0]" in source_names
+        sink_names = {s.name for s in dag.sinks}
+        # FF D pins and primary outputs are sinks
+        assert any(name.startswith("add.s") for name in sink_names)
+
+    def test_nodes_exclude_constants(self):
+        c = Circuit("t")
+        a = c.input_bus("a", 1)
+        c.set_output("o", Bus("o", [c.and_(a[0], c.const(1))]))
+        from repro.hdl.sim import Simulator
+
+        Simulator(c)
+        dag = combinational_dag(c)
+        assert all(g.kind not in ("CONST0", "CONST1") for g in dag.nodes)
+        assert any(s.name.startswith("const") for s in dag.sources)
+
+    def test_nodes_in_topological_order(self):
+        c = small_circuit()
+        from repro.hdl.sim import Simulator
+
+        Simulator(c)
+        dag = combinational_dag(c)
+        seen = {s.index for s in dag.sources}
+        for gate in dag.nodes:
+            for sig in gate.inputs:
+                from repro.hdl.gates import Gate
+
+                if isinstance(sig.driver, Gate) and sig.driver.kind.startswith("CONST"):
+                    continue
+                assert sig.index in seen, f"{gate} used {sig.name} before def"
+            seen.add(gate.output.index)

@@ -1,0 +1,65 @@
+"""Tests for signals and buses."""
+
+import pytest
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus
+
+
+def make_bus(width=4):
+    c = Circuit("t")
+    return c, c.input_bus("a", width)
+
+
+class TestBus:
+    def test_value_packs_lsb_first(self):
+        c, bus = make_bus()
+        bus.poke(0b1010)
+        assert bus.value() == 0b1010
+        assert bus[1].value == 1
+        assert bus[0].value == 0
+
+    def test_poke_returns_changed_signals(self):
+        _, bus = make_bus()
+        changed = bus.poke(0b0011)
+        assert len(changed) == 2
+        assert bus.poke(0b0011) == []
+
+    def test_poke_rejects_oversized(self):
+        _, bus = make_bus()
+        with pytest.raises(ValueError):
+            bus.poke(0x10)
+
+    def test_field_paper_notation(self):
+        _, bus = make_bus(8)
+        sub = bus.field(5, 2)
+        assert sub.width == 4
+        assert [s.name for s in sub] == [f"a[{i}]" for i in range(2, 6)]
+
+    def test_field_bounds_checked(self):
+        _, bus = make_bus()
+        with pytest.raises(ValueError):
+            bus.field(4, 0)
+        with pytest.raises(ValueError):
+            bus.field(1, 2)
+        with pytest.raises(ValueError):
+            bus.field(2, -1)
+
+    def test_slice_returns_bus(self):
+        _, bus = make_bus(8)
+        sub = bus[2:6]
+        assert isinstance(sub, Bus)
+        assert sub.width == 4
+
+    def test_empty_bus_rejected(self):
+        with pytest.raises(ValueError):
+            Bus("x", [])
+
+    def test_len_and_iter(self):
+        _, bus = make_bus(5)
+        assert len(bus) == 5
+        assert len(list(bus)) == 5
+
+    def test_input_flag_set(self):
+        _, bus = make_bus()
+        assert all(sig.is_input for sig in bus)

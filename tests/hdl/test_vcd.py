@@ -1,0 +1,86 @@
+"""Tests for the VCD writer."""
+
+import pytest
+
+from repro.hdl.vcd import VcdWriter
+
+
+class TestDeclarations:
+    def test_duplicate_rejected(self):
+        w = VcdWriter()
+        w.declare("a", 1)
+        with pytest.raises(ValueError):
+            w.declare("a", 2)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            VcdWriter().declare("a", 0)
+
+    def test_declare_after_sample_rejected(self):
+        w = VcdWriter()
+        w.declare("a", 1)
+        w.sample(0, {"a": 1})
+        with pytest.raises(RuntimeError):
+            w.declare("b", 1)
+
+
+class TestSampling:
+    def test_time_must_be_monotone(self):
+        w = VcdWriter()
+        w.declare("a", 1)
+        w.sample(5, {"a": 0})
+        with pytest.raises(ValueError):
+            w.sample(4, {"a": 1})
+
+    def test_undeclared_variable_rejected(self):
+        w = VcdWriter()
+        w.declare("a", 1)
+        with pytest.raises(KeyError):
+            w.sample(0, {"b": 1})
+
+    def test_value_must_fit(self):
+        w = VcdWriter()
+        w.declare("a", 2)
+        w.sample(0, {"a": 3})
+        with pytest.raises(ValueError):
+            w.sample(1, {"a": 4})
+            w.render()
+
+
+class TestRender:
+    def test_header_and_changes(self):
+        w = VcdWriter(timescale="10ns", module="dut")
+        w.declare("clk", 1)
+        w.declare("bus", 8)
+        w.sample(0, {"clk": 0, "bus": 0xAB})
+        w.sample(1, {"clk": 1, "bus": 0xAB})
+        text = w.render()
+        assert "$timescale 10ns $end" in text
+        assert "$scope module dut $end" in text
+        assert "$var wire 1" in text
+        assert "$var reg 8" in text
+        assert "b10101011" in text
+        assert "#0" in text and "#1" in text
+
+    def test_unchanged_values_not_re_emitted(self):
+        w = VcdWriter()
+        w.declare("a", 4)
+        w.sample(0, {"a": 5})
+        w.sample(1, {"a": 5})
+        text = w.render()
+        assert text.count("b0101") == 1
+
+    def test_write_to_file(self, tmp_path):
+        w = VcdWriter()
+        w.declare("a", 1)
+        w.sample(0, {"a": 1})
+        path = tmp_path / "wave.vcd"
+        w.write(str(path))
+        assert path.read_text().startswith("$date")
+
+    def test_identifiers_unique_for_many_vars(self):
+        w = VcdWriter()
+        for i in range(200):
+            w.declare(f"v{i}", 1)
+        idents = {ident for ident, _ in w._vars.values()}
+        assert len(idents) == 200

@@ -1,0 +1,91 @@
+"""Tests for the ASCII waveform renderer."""
+
+import pytest
+
+from repro.hdl.wave import WaveTrace, render_wave
+
+
+def make_trace():
+    trace = WaveTrace([("state", 0), ("bus", 16), ("bit", 1)])
+    trace.record(state="INIT", bus=0x0000, bit=0)
+    trace.record(state="LMSG", bus=0xABCD, bit=0)
+    trace.record(state="LKEY", bus=0xABCD, bit=1)
+    trace.record(state="CIRC", bus=0x1234, bit=0)
+    return trace
+
+
+class TestWaveTrace:
+    def test_requires_signals(self):
+        with pytest.raises(ValueError):
+            WaveTrace([])
+
+    def test_duplicate_signal_rejected(self):
+        with pytest.raises(ValueError):
+            WaveTrace([("a", 1), ("a", 2)])
+
+    def test_record_requires_all_signals(self):
+        trace = WaveTrace([("a", 1), ("b", 1)])
+        with pytest.raises(ValueError):
+            trace.record(a=1)
+
+    def test_record_rejects_extras(self):
+        trace = WaveTrace([("a", 1)])
+        with pytest.raises(ValueError):
+            trace.record(a=1, z=0)
+
+    def test_column_and_at(self):
+        trace = make_trace()
+        assert trace.column("state") == ["INIT", "LMSG", "LKEY", "CIRC"]
+        assert trace.at(1, "bus") == 0xABCD
+
+    def test_find(self):
+        trace = make_trace()
+        assert trace.find("state", "LKEY") == 2
+        assert trace.find("bit", 1) == 2
+        assert trace.find("state", "NOPE") == -1
+        assert trace.find("state", "INIT", start=1) == -1
+
+    def test_unknown_signal(self):
+        with pytest.raises(KeyError):
+            make_trace().column("zz")
+
+
+class TestRender:
+    def test_contains_values(self):
+        text = render_wave(make_trace())
+        assert "ABCD" in text
+        assert "LMSG" in text
+        assert "cycle" in text
+
+    def test_single_bit_drawn_as_wave(self):
+        text = render_wave(make_trace())
+        bit_line = [line for line in text.splitlines() if line.startswith("bit")][0]
+        assert "/" in bit_line  # rising edge at cycle 2
+        assert "\\" in bit_line  # falling edge at cycle 3
+
+    def test_cycle_range(self):
+        text = render_wave(make_trace(), 1, 2)
+        assert "INIT" not in text
+        assert "LMSG" in text
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            render_wave(make_trace(), 2, 1)
+        with pytest.raises(ValueError):
+            render_wave(make_trace(), 0, 99)
+
+    def test_signal_selection(self):
+        text = render_wave(make_trace(), signals=["state"])
+        assert "bus" not in text
+
+    def test_unknown_signal_selection(self):
+        with pytest.raises(KeyError):
+            render_wave(make_trace(), signals=["zz"])
+
+
+class TestVcdExport:
+    def test_numeric_signals_exported(self):
+        text = make_trace().to_vcd()
+        assert "$var" in text
+        assert "bus" in text
+        assert "state" not in text  # symbolic signals skipped

@@ -1,0 +1,104 @@
+"""Exhaustive transition tests for the structural control FSM."""
+
+import pytest
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.sim import Simulator
+from repro.rtl import states
+from repro.rtl.control import build_control
+
+
+@pytest.fixture
+def fsm():
+    c = Circuit("fsm")
+    go = c.input_bus("go", 1)
+    lkey_done = c.input_bus("lkey_done", 1)
+    half_done = c.input_bus("half_done", 1)
+    last_half = c.input_bus("last_half", 1)
+    eof = c.input_bus("eof", 1)
+    ports = build_control(c, go[0], lkey_done[0], half_done[0],
+                          last_half[0], eof[0])
+    c.set_output("state", ports.state)
+    return Simulator(c), ports
+
+
+def force_state(sim, ports, name):
+    """Walk the FSM from reset to the requested state."""
+    sim.reset_state()
+    sim.set_input("go", 1)
+    sim.set_input("lkey_done", 1)
+    sim.set_input("half_done", 0)
+    sim.set_input("last_half", 0)
+    sim.set_input("eof", 0)
+    path = [states.INIT, states.LMSG, states.LKEY, states.LMSGCACHE,
+            states.CIRC, states.ENCRYPT]
+    for _ in range(path.index(name)):
+        sim.tick()
+    assert states.decode(sim.peek("state")) == name
+
+
+class TestTransitions:
+    def test_init_waits_for_go(self, fsm):
+        sim, ports = fsm
+        sim.set_input("go", 0)
+        sim.tick(3)
+        assert states.decode(sim.peek("state")) == states.INIT
+        sim.set_input("go", 1)
+        sim.tick()
+        assert states.decode(sim.peek("state")) == states.LMSG
+
+    def test_lmsg_always_advances_to_lkey(self, fsm):
+        sim, ports = fsm
+        force_state(sim, ports, states.LMSG)
+        sim.tick()
+        assert states.decode(sim.peek("state")) == states.LKEY
+
+    def test_lkey_self_loops_until_done(self, fsm):
+        sim, ports = fsm
+        force_state(sim, ports, states.LKEY)
+        sim.set_input("lkey_done", 0)
+        sim.tick(4)
+        assert states.decode(sim.peek("state")) == states.LKEY
+        sim.set_input("lkey_done", 1)
+        sim.tick()
+        assert states.decode(sim.peek("state")) == states.LMSGCACHE
+
+    def test_circ_encrypt_interleave(self, fsm):
+        sim, ports = fsm
+        force_state(sim, ports, states.CIRC)
+        sim.tick()
+        assert states.decode(sim.peek("state")) == states.ENCRYPT
+        sim.set_input("half_done", 0)
+        sim.tick()
+        assert states.decode(sim.peek("state")) == states.CIRC
+
+    @pytest.mark.parametrize(
+        "half_done,last_half,eof,expected",
+        [
+            (0, 0, 0, states.CIRC),
+            (0, 1, 1, states.CIRC),        # half not done: guards ignored
+            (1, 0, 0, states.LMSGCACHE),   # low half done -> load high
+            (1, 0, 1, states.LMSGCACHE),
+            (1, 1, 0, states.LMSG),        # block done, more blocks
+            (1, 1, 1, states.INIT),        # EOF -> back to Init
+        ],
+    )
+    def test_encrypt_exits(self, fsm, half_done, last_half, eof, expected):
+        sim, ports = fsm
+        force_state(sim, ports, states.ENCRYPT)
+        sim.set_input("half_done", half_done)
+        sim.set_input("last_half", last_half)
+        sim.set_input("eof", eof)
+        sim.tick()
+        assert states.decode(sim.peek("state")) == expected
+
+    def test_decodes_are_one_hot(self, fsm):
+        sim, ports = fsm
+        decodes = [ports.in_init, ports.in_lmsg, ports.in_lkey,
+                   ports.in_lmsgcache, ports.in_circ, ports.in_encrypt]
+        for name in (states.INIT, states.LMSG, states.LKEY,
+                     states.LMSGCACHE, states.CIRC, states.ENCRYPT):
+            force_state(sim, ports, name)
+            assert sum(d.value for d in decodes) == 1
+            hot = [i for i, d in enumerate(decodes) if d.value][0]
+            assert hot == states.encode(name)

@@ -1,0 +1,93 @@
+"""Tests for the structural leap-forward LFSR against the software model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.sim import Simulator
+from repro.rtl.lfsr import build_lfsr, leap_matrix
+from repro.util.bits import int_to_bits
+from repro.util.lfsr import Lfsr, PRIMITIVE_TAPS
+
+
+class TestLeapMatrix:
+    @pytest.mark.parametrize("width", [3, 4, 8, 16])
+    def test_matches_software_single_steps(self, width):
+        """Applying the symbolic matrix must equal stepping the Lfsr."""
+        taps = PRIMITIVE_TAPS[width]
+        for steps in (1, 2, width):
+            matrix = leap_matrix(width, taps, steps)
+            for seed in (1, 3, (1 << width) - 1):
+                soft = Lfsr(width, seed=seed)
+                for _ in range(steps):
+                    soft.step()
+                bits = int_to_bits(seed, width)
+                predicted = 0
+                for i, deps in enumerate(matrix):
+                    value = 0
+                    for j in deps:
+                        value ^= bits[j]
+                    predicted |= value << i
+                assert predicted == soft.state, (width, steps, seed)
+
+    def test_zero_steps_is_identity(self):
+        matrix = leap_matrix(8, PRIMITIVE_TAPS[8], 0)
+        assert matrix == [frozenset([i]) for i in range(8)]
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            leap_matrix(0, (1,), 1)
+        with pytest.raises(ValueError):
+            leap_matrix(8, (9,), 1)
+        with pytest.raises(ValueError):
+            leap_matrix(8, PRIMITIVE_TAPS[8], -1)
+
+
+class TestStructuralLfsr:
+    def _build(self, width, seed):
+        c = Circuit("t")
+        en = c.input_bus("en", 1)
+        ports = build_lfsr(c, width, seed=seed, enable=en[0])
+        c.set_output("state", ports.state)
+        c.set_output("next", ports.next_word)
+        return c, Simulator(c)
+
+    @given(st.integers(1, 0xFFFF))
+    @settings(max_examples=10, deadline=None)
+    def test_word_sequence_matches_software(self, seed):
+        c, sim = self._build(16, seed)
+        soft = Lfsr(16, seed=seed)
+        sim.set_input("en", 1)
+        for _ in range(12):
+            expected = soft.next_word()
+            assert sim.peek("next") == expected
+            sim.tick()
+            assert sim.peek("state") == expected
+
+    def test_enable_freezes_state(self):
+        c, sim = self._build(16, 0xACE1)
+        sim.set_input("en", 0)
+        sim.tick(5)
+        assert sim.peek("state") == 0xACE1
+
+    def test_zero_seed_rejected(self):
+        c = Circuit("t")
+        en = c.input_bus("en", 1)
+        with pytest.raises(ValueError):
+            build_lfsr(c, 16, seed=0, enable=en[0])
+
+    def test_unknown_width_rejected(self):
+        c = Circuit("t")
+        en = c.input_bus("en", 1)
+        with pytest.raises(ValueError):
+            build_lfsr(c, 23, seed=1, enable=en[0])
+
+    def test_small_width_full_period(self):
+        c, sim = self._build(4, 1)
+        sim.set_input("en", 1)
+        seen = set()
+        for _ in range(15):
+            seen.add(sim.peek("state"))
+            sim.tick()
+        # leap-by-4 of a 15-cycle sequence: gcd(4,15)=1 covers everything
+        assert len(seen) == 15

@@ -1,0 +1,292 @@
+"""Structural tests for the individual micro-architecture modules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.key import KeyPair, scramble_pair
+from repro.core.params import PAPER_PARAMS
+from repro.hdl.circuit import Circuit
+from repro.hdl.signal import Bus
+from repro.hdl.sim import Simulator
+from repro.rtl.alignment import build_alignment
+from repro.rtl.comparator import build_sorter
+from repro.rtl.encrypt_unit import build_encrypt_unit, build_scrambler
+from repro.rtl.key_cache import build_key_cache
+from repro.rtl.message_cache import build_message_cache
+from repro.util.bits import rotl, rotr
+
+
+class TestMessageCache:
+    def _build(self):
+        c = Circuit("t")
+        pt = c.input_bus("pt", 32)
+        load = c.input_bus("load", 1)
+        half = c.input_bus("half", 1)
+        ports = build_message_cache(c, pt, load[0], half[0])
+        c.set_output("rd", ports.read_data)
+        return c, Simulator(c)
+
+    def test_load_and_half_select(self):
+        c, sim = self._build()
+        sim.set_input("pt", 0xABCD1234)
+        sim.set_input("load", 1)
+        sim.tick()
+        sim.set_input("load", 0)
+        sim.set_input("half", 0)
+        assert sim.peek("rd") == 0x1234  # low half first (paper Fig. 7)
+        sim.set_input("half", 1)
+        assert sim.peek("rd") == 0xABCD
+
+    def test_hold_without_load(self):
+        c, sim = self._build()
+        sim.set_input("pt", 0xAAAA5555)
+        sim.set_input("load", 1)
+        sim.tick()
+        sim.set_input("load", 0)
+        sim.set_input("pt", 0xFFFFFFFF)
+        sim.tick()
+        assert sim.peek("rd") == 0x5555
+
+    def test_odd_width_rejected(self):
+        c = Circuit("t")
+        pt = c.input_bus("pt", 3)
+        load = c.input_bus("load", 1)
+        half = c.input_bus("half", 1)
+        with pytest.raises(ValueError):
+            build_message_cache(c, pt, load[0], half[0])
+
+    def test_uses_tbufs_for_read_mux(self):
+        c, _ = self._build()
+        assert c.n_tbufs() == 32  # 16 bits x 2 halves
+
+
+class TestKeyCache:
+    def _build(self, n_pairs=16):
+        c = Circuit("t")
+        kd = c.input_bus("kd", 6)
+        addr = c.input_bus("addr", 4)
+        wr = c.input_bus("wr", 1)
+        ports = build_key_cache(c, kd, addr, wr[0], n_pairs)
+        c.set_output("left", ports.left)
+        c.set_output("right", ports.right)
+        return c, Simulator(c)
+
+    def test_write_then_read_all_slots(self):
+        c, sim = self._build()
+        pairs = [(i % 8, (i * 3) % 8) for i in range(16)]
+        sim.set_input("wr", 1)
+        for i, (k1, k2) in enumerate(pairs):
+            sim.set_input("addr", i)
+            sim.set_input("kd", k1 | (k2 << 3))
+            sim.tick()
+        sim.set_input("wr", 0)
+        for i, (k1, k2) in enumerate(pairs):
+            sim.set_input("addr", i)
+            assert sim.peek("left") == k1
+            assert sim.peek("right") == k2
+
+    def test_write_strobe_required(self):
+        c, sim = self._build()
+        sim.set_input("addr", 3)
+        sim.set_input("kd", 0b101_010)
+        sim.set_input("wr", 0)
+        sim.tick()
+        sim.set_input("wr", 1)
+        sim.set_input("kd", 0)
+        sim.set_input("addr", 0)
+        sim.tick()
+        sim.set_input("addr", 3)
+        assert sim.peek("left") == 0  # never written
+
+    def test_paper_resource_shape(self):
+        c, _ = self._build()
+        assert len(c.dffs) == 96  # 16 pairs x 2 registers x 3 bits
+        assert c.n_tbufs() == 96
+
+    def test_capacity_validation(self):
+        c = Circuit("t")
+        kd = c.input_bus("kd", 6)
+        addr = c.input_bus("addr", 2)
+        wr = c.input_bus("wr", 1)
+        with pytest.raises(ValueError):
+            build_key_cache(c, kd, addr, wr[0], n_pairs=5)
+
+
+class TestSorter:
+    def test_exhaustive(self):
+        c = Circuit("t")
+        a = c.input_bus("a", 3)
+        b = c.input_bus("b", 3)
+        ports = build_sorter(c, a, b)
+        c.set_output("small", ports.small)
+        c.set_output("large", ports.large)
+        c.set_output("sw", Bus("sw", [ports.swapped]))
+        sim = Simulator(c)
+        for av in range(8):
+            for bv in range(8):
+                sim.set_input("a", av)
+                sim.set_input("b", bv)
+                assert sim.peek("small") == min(av, bv)
+                assert sim.peek("large") == max(av, bv)
+                assert sim.peek("sw") == int(bv < av)
+
+    def test_width_mismatch(self):
+        c = Circuit("t")
+        a = c.input_bus("a", 3)
+        b = c.input_bus("b", 4)
+        with pytest.raises(ValueError):
+            build_sorter(c, a, b)
+
+
+class TestScrambler:
+    def _build(self):
+        c = Circuit("t")
+        v = c.input_bus("v", 16)
+        kl = c.input_bus("kl", 3)
+        kr = c.input_bus("kr", 3)
+        ports = build_scrambler(c, v, kl, kr)
+        c.set_output("kns", ports.kn_small)
+        c.set_output("knl", ports.kn_large)
+        c.set_output("k1", ports.k1_sorted)
+        return Simulator(c)
+
+    def test_fig8_example(self):
+        sim = self._build()
+        sim.set_input("v", 0xCA06)
+        sim.set_input("kl", 0)
+        sim.set_input("kr", 3)
+        assert (sim.peek("kns"), sim.peek("knl")) == (2, 5)
+        assert sim.peek("k1") == 0
+
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 0xFFFF))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_golden_model(self, k1, k2, vector):
+        sim = self._build()
+        sim.set_input("v", vector)
+        sim.set_input("kl", k1)
+        sim.set_input("kr", k2)
+        expected = scramble_pair(KeyPair(k1, k2), vector, PAPER_PARAMS)
+        assert (sim.peek("kns"), sim.peek("knl")) == expected
+        assert sim.peek("k1") == min(k1, k2)
+
+
+class TestEncryptUnit:
+    def _build(self):
+        c = Circuit("t")
+        v = c.input_bus("v", 16)
+        buf = c.input_bus("buf", 16)
+        kns = c.input_bus("kns", 3)
+        knl = c.input_bus("knl", 3)
+        k1 = c.input_bus("k1", 3)
+        rem = c.input_bus("rem", 6)
+        out = build_encrypt_unit(c, v, buf, kns, knl, k1, rem)
+        c.set_output("out", out)
+        return Simulator(c)
+
+    @staticmethod
+    def _reference(v, buf, kns, knl, k1, rem):
+        out = v
+        budget = min(knl - kns + 1, rem)
+        for offset in range(budget):
+            j = kns + offset
+            bit = (buf >> j) & 1
+            bit ^= (k1 >> (offset % 3)) & 1
+            out = (out & ~(1 << j)) | (bit << j)
+        return out
+
+    def test_fig8_replacement(self):
+        sim = self._build()
+        sim.set_input("v", 0xCA06)
+        sim.set_input("buf", 0x2341)
+        sim.set_input("kns", 2)
+        sim.set_input("knl", 5)
+        sim.set_input("k1", 0)
+        sim.set_input("rem", 16)
+        assert sim.peek("out") == 0xCA02
+
+    @given(
+        st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+        st.integers(0, 7), st.integers(0, 7), st.integers(0, 7),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference(self, v, buf, a, b, k1, rem):
+        kns, knl = min(a, b), max(a, b)
+        sim = self._build()
+        sim.set_input("v", v)
+        sim.set_input("buf", buf)
+        sim.set_input("kns", kns)
+        sim.set_input("knl", knl)
+        sim.set_input("k1", k1)
+        sim.set_input("rem", rem)
+        assert sim.peek("out") == self._reference(v, buf, kns, knl, k1, rem)
+
+    def test_zero_remaining_replaces_nothing(self):
+        sim = self._build()
+        sim.set_input("v", 0xFFFF)
+        sim.set_input("buf", 0x0000)
+        sim.set_input("kns", 0)
+        sim.set_input("knl", 7)
+        sim.set_input("k1", 0)
+        sim.set_input("rem", 0)
+        assert sim.peek("out") == 0xFFFF
+
+
+class TestAlignment:
+    def _build(self):
+        c = Circuit("t")
+        data = c.input_bus("data", 16)
+        rl = c.input_bus("rl", 3)
+        rr = c.input_bus("rr", 4)
+        load = c.input_bus("load", 1)
+        sl = c.input_bus("sl", 1)
+        sr = c.input_bus("sr", 1)
+        ports = build_alignment(c, data, rl, rr, load[0], sl[0], sr[0])
+        c.set_output("buf", ports.buffer)
+        return Simulator(c)
+
+    def test_load_rotate_sequence_fig8(self):
+        sim = self._build()
+        sim.set_input("data", 0x48D0)
+        sim.set_input("load", 1)
+        sim.tick()
+        sim.set_input("load", 0)
+        assert sim.peek("buf") == 0x48D0
+        sim.set_input("rl", 2)
+        sim.set_input("sl", 1)
+        sim.tick()
+        sim.set_input("sl", 0)
+        assert sim.peek("buf") == 0x2341  # rotl 2 (paper Fig. 8)
+        sim.set_input("rr", 6)
+        sim.set_input("sr", 1)
+        sim.tick()
+        sim.set_input("sr", 0)
+        assert sim.peek("buf") == 0x048D  # rotr 6 (paper Fig. 8)
+
+    def test_hold_by_default(self):
+        sim = self._build()
+        sim.set_input("data", 0xBEEF)
+        sim.set_input("load", 1)
+        sim.tick()
+        sim.set_input("load", 0)
+        sim.tick(3)
+        assert sim.peek("buf") == 0xBEEF
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 7), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_rotations_match_software(self, value, left, right):
+        sim = self._build()
+        sim.set_input("data", value)
+        sim.set_input("load", 1)
+        sim.tick()
+        sim.set_input("load", 0)
+        sim.set_input("rl", left)
+        sim.set_input("sl", 1)
+        sim.tick()
+        sim.set_input("sl", 0)
+        assert sim.peek("buf") == rotl(value, left, 16)
+        sim.set_input("rr", right)
+        sim.set_input("sr", 1)
+        sim.tick()
+        sim.set_input("sr", 0)
+        assert sim.peek("buf") == rotr(rotl(value, left, 16), right, 16)

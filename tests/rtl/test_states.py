@@ -1,0 +1,39 @@
+"""Tests for the FSM vocabulary (paper Figure 1)."""
+
+import pytest
+
+from repro.rtl import states
+
+
+class TestEncoding:
+    def test_six_states(self):
+        assert len(states.FSM_STATES) == 6
+
+    def test_encode_decode_roundtrip(self):
+        for name in states.FSM_STATES:
+            assert states.decode(states.encode(name)) == name
+
+    def test_encodings_fit_register(self):
+        for code in states.FSM_STATES.values():
+            assert 0 <= code < (1 << states.STATE_BITS)
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            states.encode("HALT")
+        with pytest.raises(ValueError):
+            states.decode(7)
+
+
+class TestDot:
+    def test_dot_contains_all_states_and_guards(self):
+        dot = states.fsm_dot()
+        for name in states.FSM_STATES:
+            assert name in dot
+        assert "Key Cache Full" in dot
+        assert "EOF" in dot
+        assert dot.startswith("digraph")
+
+    def test_transitions_reference_known_states(self):
+        for source, _guard, dest in states.TRANSITIONS:
+            assert source in states.FSM_STATES
+            assert dest in states.FSM_STATES

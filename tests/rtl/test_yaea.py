@@ -1,0 +1,49 @@
+"""Tests for the YAEA-like stream stand-in."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl.yaea_like import YaeaLikeCycleModel, decrypt_words
+
+
+class TestRoundTrip:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=80),
+           st.integers(1, 0xFFFF))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, bits, seed):
+        run = YaeaLikeCycleModel(seed=seed).run(bits)
+        assert decrypt_words(run.vectors, seed, len(bits)) == bits
+
+    def test_empty(self):
+        run = YaeaLikeCycleModel(seed=1).run([])
+        assert run.vectors == []
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            YaeaLikeCycleModel(seed=0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            decrypt_words([], 1, -1)
+
+
+class TestThroughputShape:
+    def test_one_word_per_cycle(self):
+        run = YaeaLikeCycleModel(seed=3).run([1] * 160)  # 10 words
+        gaps = [b - a for a, b in zip(run.ready_cycles, run.ready_cycles[1:])]
+        assert all(gap == 1 for gap in gaps)
+
+    def test_highest_information_rate_of_the_three(self, key16):
+        from repro.rtl.cycle_model import MhheaCycleModel
+        from repro.rtl.serial_model import HheaSerialCycleModel
+
+        bits = [1, 0] * 256
+        yaea = YaeaLikeCycleModel(seed=3).run(bits)
+        mhhea = MhheaCycleModel(key16).run(bits)
+        serial = HheaSerialCycleModel(key16).run(bits)
+        assert yaea.bits_per_cycle > mhhea.bits_per_cycle > serial.bits_per_cycle
+
+    def test_trace_recording(self):
+        run = YaeaLikeCycleModel(seed=3).run([1] * 32, record_trace=True)
+        assert run.trace is not None
+        assert len(run.trace) == run.total_cycles

@@ -1,0 +1,86 @@
+"""Tests for the chosen-plaintext and timing attacks (the paper's claims)."""
+
+import pytest
+
+from repro.core.key import Key
+from repro.rtl.cycle_model import MhheaCycleModel
+from repro.rtl.serial_model import HheaSerialCycleModel
+from repro.security.chosen_plaintext import constant_chosen_plaintext_attack
+from repro.security.timing_attack import (
+    spans_from_ready_gaps,
+    timing_attack,
+)
+
+
+class TestChosenPlaintext:
+    def test_hhea_fully_broken(self, key16):
+        report = constant_chosen_plaintext_attack("hhea", key16,
+                                                  vectors_per_pair=48)
+        assert report.accuracy == 1.0
+
+    def test_mhhea_resists(self, key16):
+        """The paper: 'we have scrambled the location and the message to
+        overcome constant chosen-plaintext attack'."""
+        report = constant_chosen_plaintext_attack("mhhea", key16,
+                                                  vectors_per_pair=48)
+        assert report.accuracy <= 0.2
+
+    def test_all_ones_variant_also_breaks_hhea(self, key16):
+        report = constant_chosen_plaintext_attack("hhea", key16,
+                                                  vectors_per_pair=48,
+                                                  plaintext_bit=1)
+        assert report.accuracy == 1.0
+
+    def test_hhea_profiles_are_contiguous_windows(self, key16):
+        report = constant_chosen_plaintext_attack("hhea", key16,
+                                                  vectors_per_pair=48)
+        for profile, pair in zip(report.always_zero_profile, report.true_pairs):
+            assert profile == list(range(pair[0], pair[1] + 1))
+
+    def test_unknown_algorithm_rejected(self, key16):
+        with pytest.raises(ValueError):
+            constant_chosen_plaintext_attack("des", key16)
+
+    def test_bad_plaintext_bit_rejected(self, key16):
+        with pytest.raises(ValueError):
+            constant_chosen_plaintext_attack("hhea", key16, plaintext_bit=2)
+
+
+class TestTimingAttack:
+    def test_serial_design_leaks_spans(self, key16):
+        run = HheaSerialCycleModel(key16).run([1, 0] * 2048, seed=5)
+        report = timing_attack(run, key16)
+        assert report.accuracy >= 0.5
+        assert report.entropy_reduction_bits() > 20.0
+
+    def test_improved_design_does_not(self, key16):
+        """Every output takes two cycles, so gap-based span recovery
+        collapses to guessing span 1 for every pair."""
+        run = MhheaCycleModel(key16).run([1, 0] * 2048, seed=5)
+        report = timing_attack(run, key16, setup_cycles=1)
+        true_span_one = sum(1 for s in report.true_spans if s == 1)
+        assert report.correct <= true_span_one + 1
+
+    def test_spans_from_gaps_unit(self):
+        # outputs every (1 + span) cycles for spans [3, 5]
+        ready = [0, 4, 10, 14, 20, 24, 30]
+        spans, counts = spans_from_ready_gaps(ready, n_pairs=2)
+        assert spans == [5, 3]  # gap attribution: output i -> pair i%2
+        assert counts == [3, 3]
+
+    def test_spans_mode_rejects_outliers(self):
+        # one reload-inflated gap must not move the estimate
+        ready = [0, 4, 8, 12, 19, 23]
+        spans, _ = spans_from_ready_gaps(ready, n_pairs=1)
+        assert spans == [3]
+
+    def test_empty_observations(self):
+        spans, counts = spans_from_ready_gaps([5], n_pairs=4)
+        assert spans == [None] * 4
+        assert counts == [0] * 4
+
+    def test_report_accuracy_bounds(self, key16):
+        run = HheaSerialCycleModel(key16).run([1] * 512, seed=6)
+        report = timing_attack(run, key16)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.n_pairs == 16

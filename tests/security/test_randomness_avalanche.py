@@ -1,0 +1,112 @@
+"""Tests for the randomness battery and the avalanche profile."""
+
+import pytest
+
+from repro.core.key import Key
+from repro.security.avalanche import avalanche_profile
+from repro.security.randomness import (
+    autocorrelation_test,
+    block_frequency_test,
+    monobit_test,
+    poker_test,
+    runs_test,
+)
+from repro.security.randomness import test_bits as run_battery
+from repro.util.lfsr import Lfsr
+from repro.util.rng import make_rng
+
+
+def lfsr_stream(n=20000, seed=0xACE1):
+    return Lfsr(16, seed=seed).next_bits(n)
+
+
+class TestIndividualTests:
+    def test_constant_stream_fails_monobit(self):
+        assert not monobit_test([0] * 1000).passed
+
+    def test_alternating_stream_fails_runs(self):
+        assert not runs_test([0, 1] * 500).passed
+
+    def test_biased_blocks_fail_block_frequency(self):
+        stream = ([0] * 128 + [1] * 128) * 10
+        assert not block_frequency_test(stream).passed
+
+    def test_repeating_nibble_fails_poker(self):
+        assert not poker_test([1, 0, 1, 0] * 500).passed
+
+    def test_periodic_stream_fails_autocorrelation(self):
+        assert not autocorrelation_test([0, 0, 1, 1] * 500, lag=2).passed
+
+    def test_python_rng_passes_everything(self):
+        rng = make_rng(42)
+        stream = [rng.getrandbits(1) for _ in range(20000)]
+        assert run_battery(stream).all_passed
+
+    def test_minimum_length_enforced(self):
+        with pytest.raises(ValueError):
+            monobit_test([0, 1] * 10)
+
+    def test_non_bits_rejected(self):
+        with pytest.raises(ValueError):
+            monobit_test([2] * 200)
+
+
+class TestLfsrAndCiphertext:
+    def test_lfsr_passes_battery(self):
+        report = run_battery(lfsr_stream())
+        assert report.all_passed, report.render()
+
+    def test_random_plaintext_ciphertext_passes(self, key16):
+        from repro.core import mhhea
+        from repro.util.bits import int_to_bits
+        from repro.util.rng import make_rng
+
+        rng = make_rng(0xD1CE)
+        bits = [rng.getrandbits(1) for _ in range(4000)]
+        vectors = mhhea.encrypt_bits(bits, key16, Lfsr(16, seed=0xD1CE))
+        stream = []
+        for vector in vectors:
+            stream.extend(int_to_bits(vector, 16))
+        report = run_battery(stream)
+        assert len(report.failed()) <= 1, report.render()
+
+    def test_constant_plaintext_ciphertext_is_biased(self, key16):
+        """Honest negative result: the data scrambling XORs a *fixed*
+        per-pair pattern, so a constant plaintext leaves a detectable
+        frequency bias in the window half of the vectors.  MHHEA hides
+        the key against this traffic, but not the traffic's nature."""
+        from repro.core import mhhea
+        from repro.util.bits import int_to_bits
+
+        bits = [1] * 4000
+        vectors = mhhea.encrypt_bits(bits, key16, Lfsr(16, seed=0xD1CE))
+        stream = []
+        for vector in vectors:
+            stream.extend(int_to_bits(vector, 16))
+        report = run_battery(stream)
+        assert not report.all_passed
+
+    def test_render_lists_all_tests(self):
+        text = run_battery(lfsr_stream(4000)).render()
+        assert "monobit" in text
+        assert "poker" in text
+        assert "autocorrelation" in text
+
+
+class TestAvalanche:
+    def test_message_flip_changes_exactly_one_bit(self, key16):
+        profile = avalanche_profile(key16, n_trials=12, message_bits=128)
+        assert profile.message_flip_mean_bits == pytest.approx(1.0)
+
+    def test_key_flip_diffuses_more_than_message_flip(self, key16):
+        profile = avalanche_profile(key16, n_trials=12, message_bits=128)
+        total_bits = 128 * 2.0  # rough ciphertext size lower bound
+        assert profile.key_flip_mean_ratio * total_bits > 1.0
+
+    def test_seed_flip_rerandomises_heavily(self, key16):
+        profile = avalanche_profile(key16, n_trials=12, message_bits=128)
+        assert profile.seed_flip_mean_ratio > 0.25
+
+    def test_trials_validated(self, key16):
+        with pytest.raises(ValueError):
+            avalanche_profile(key16, n_trials=0)

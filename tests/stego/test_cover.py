@@ -1,0 +1,106 @@
+"""Tests for cover-data steganography."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import CoverExhaustedError
+from repro.core.key import Key
+from repro.core.params import PAPER_PARAMS
+from repro.stego.cover import (
+    CoverVectorSource,
+    cover_capacity_bits,
+    embed_in_cover,
+    extract_from_cover,
+    mean_distortion,
+)
+from repro.util.rng import random_bytes
+
+
+class TestCoverVectorSource:
+    def test_words_little_endian(self):
+        source = CoverVectorSource(b"\x34\x12\xcd\xab", 16)
+        assert source.next_word() == 0x1234
+        assert source.next_word() == 0xABCD
+
+    def test_accounting(self):
+        source = CoverVectorSource(b"\x00" * 10, 16)
+        assert source.words_available() == 5
+        source.next_word()
+        assert source.words_available() == 4
+        assert source.words_consumed() == 1
+
+    def test_exhaustion(self):
+        source = CoverVectorSource(b"\x00\x00", 16)
+        source.next_word()
+        with pytest.raises(CoverExhaustedError):
+            source.next_word()
+
+    def test_empty_cover_rejected(self):
+        with pytest.raises(CoverExhaustedError):
+            CoverVectorSource(b"", 16)
+
+    def test_non_byte_width_rejected(self):
+        with pytest.raises(ValueError):
+            CoverVectorSource(b"abcd", 12)
+
+
+class TestEmbedExtract:
+    def test_roundtrip(self, key16):
+        cover = random_bytes(5, 4096)
+        stego = embed_in_cover(b"meet at midnight", cover, key16)
+        assert extract_from_cover(stego, key16) == b"meet at midnight"
+
+    @given(st.binary(min_size=1, max_size=24), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, message, cover_seed):
+        key = Key.generate(seed=77)
+        cover = random_bytes(cover_seed, len(message) * 8 * 4 + 64)
+        stego = embed_in_cover(message, cover, key)
+        assert extract_from_cover(stego, key) == message
+
+    def test_unused_cover_tail_untouched(self, key16):
+        cover = random_bytes(6, 2048)
+        stego = embed_in_cover(b"tiny", cover, key16)
+        used = stego.n_vectors * 2
+        assert stego.data[used:] == cover[used:]
+        assert len(stego.data) == len(cover)
+
+    def test_cover_exhaustion_raises(self, key16):
+        cover = random_bytes(7, 16)  # 8 vectors: far too small
+        with pytest.raises(CoverExhaustedError):
+            embed_in_cover(b"a much longer message than fits", cover, key16)
+
+    def test_capacity_floor_guarantee(self, key16):
+        cover = random_bytes(8, 1024)
+        floor = cover_capacity_bits(cover, key16)
+        message = bytes(floor // 8 // 2)  # half the floor, in whole bytes
+        stego = embed_in_cover(message, cover, key16)  # must not raise
+        assert stego.n_vectors <= floor
+
+    def test_width_mismatch_on_extract(self, key16):
+        cover = random_bytes(9, 512)
+        stego = embed_in_cover(b"x", cover, key16)
+        from repro.core.params import VectorParams
+
+        with pytest.raises(ValueError):
+            extract_from_cover(stego, key16, VectorParams(32))
+
+
+class TestDistortion:
+    def test_bounded_by_max_window(self, key16):
+        cover = random_bytes(10, 4096)
+        stego = embed_in_cover(b"bounded distortion test", cover, key16)
+        distortion = mean_distortion(cover, stego)
+        assert 0.0 < distortion <= PAPER_PARAMS.max_window
+
+    def test_scramble_half_of_each_word_untouched(self, key16):
+        cover = random_bytes(11, 2048)
+        stego = embed_in_cover(b"upper byte intact", cover, key16)
+        for offset in range(0, stego.n_vectors * 2, 2):
+            assert stego.data[offset + 1] == cover[offset + 1]
+
+    def test_empty_message_distortion_zero(self, key16):
+        cover = random_bytes(12, 256)
+        stego = embed_in_cover(b"", cover, key16)
+        assert mean_distortion(cover, stego) == 0.0
+        assert stego.data == cover

@@ -1,0 +1,72 @@
+"""Tests for the STS-style keyed shuffler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stego.shuffler import Shuffler
+
+
+class TestRoundTrip:
+    @given(st.lists(st.integers(), max_size=100), st.integers(1, 0xFFFF),
+           st.integers(2, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_unshuffle_inverts(self, items, seed, block):
+        shuffler = Shuffler(key_seed=seed, block=block)
+        assert shuffler.unshuffle(shuffler.shuffle(items)) == items
+
+    def test_preserves_multiset(self):
+        shuffler = Shuffler(key_seed=0x1357)
+        items = list(range(64))
+        assert sorted(shuffler.shuffle(items)) == items
+
+    def test_actually_permutes(self):
+        shuffler = Shuffler(key_seed=0x1357)
+        items = list(range(64))
+        assert shuffler.shuffle(items) != items
+
+    def test_different_keys_differ(self):
+        items = list(range(64))
+        a = Shuffler(key_seed=1).shuffle(items)
+        b = Shuffler(key_seed=2).shuffle(items)
+        assert a != b
+
+    def test_deterministic(self):
+        items = list(range(32))
+        assert Shuffler(key_seed=5).shuffle(items) == \
+            Shuffler(key_seed=5).shuffle(items)
+
+
+class TestValidation:
+    def test_zero_key_rejected(self):
+        with pytest.raises(ValueError):
+            Shuffler(key_seed=0)
+
+    def test_tiny_block_rejected(self):
+        with pytest.raises(ValueError):
+            Shuffler(key_seed=1, block=1)
+
+    def test_blockwise_locality(self):
+        """Elements never leave their block — streaming compatibility."""
+        shuffler = Shuffler(key_seed=9, block=8)
+        items = list(range(32))
+        shuffled = shuffler.shuffle(items)
+        for block_index in range(4):
+            chunk = shuffled[block_index * 8 : (block_index + 1) * 8]
+            assert sorted(chunk) == items[block_index * 8 : (block_index + 1) * 8]
+
+
+class TestWithCipherVectors:
+    def test_shuffled_link(self, key16):
+        """Stego vectors survive a shuffle/unshuffle link hop."""
+        from repro.core.mhhea import MhheaCipher
+
+        cipher = MhheaCipher(key16)
+        message = cipher.encrypt(b"shuffled-type steganography", seed=77)
+        shuffler = Shuffler(key_seed=0xBEE)
+        wire = shuffler.shuffle(list(message.vectors))
+        restored = shuffler.unshuffle(wire)
+        from repro.core.mhhea import EncryptedMessage
+
+        assert cipher.decrypt(
+            EncryptedMessage(tuple(restored), message.n_bits, message.width)
+        ) == b"shuffled-type steganography"

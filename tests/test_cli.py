@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestKeygen:
+    def test_prints_hex_key(self, capsys):
+        assert main(["keygen", "--seed", "5"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out.split(":")) == 16
+
+    def test_pairs_option(self, capsys):
+        main(["keygen", "--seed", "5", "--pairs", "4"])
+        out = capsys.readouterr().out.strip()
+        assert len(out.split(":")) == 4
+
+
+class TestEncryptDecrypt:
+    def test_file_roundtrip(self, tmp_path, capsys):
+        key = "03:25:71:46"
+        plain = tmp_path / "plain.bin"
+        packet = tmp_path / "packet.bin"
+        out = tmp_path / "out.bin"
+        plain.write_bytes(b"file round trip payload")
+        assert main(["encrypt", "--key", key, str(plain), str(packet)]) == 0
+        assert main(["decrypt", "--key", key, str(packet), str(out)]) == 0
+        assert out.read_bytes() == b"file round trip payload"
+
+    def test_nonce_option(self, tmp_path):
+        key = "03:25"
+        plain = tmp_path / "p"
+        plain.write_bytes(b"xyz")
+        a, b = tmp_path / "a", tmp_path / "b"
+        main(["encrypt", "--key", key, "--nonce", "0x1111", str(plain), str(a)])
+        main(["encrypt", "--key", key, "--nonce", "0x2222", str(plain), str(b)])
+        assert a.read_bytes() != b.read_bytes()
+
+
+class TestStego:
+    def test_embed_extract_roundtrip(self, tmp_path, capsys):
+        from repro.util.rng import random_bytes
+
+        key = "14:72:36:05"
+        message = tmp_path / "msg"
+        cover = tmp_path / "cover"
+        stego = tmp_path / "stego"
+        recovered = tmp_path / "rec"
+        message.write_bytes(b"hidden words")
+        cover.write_bytes(random_bytes(3, 4096))
+        assert main(["embed", "--key", key, str(message), str(cover),
+                     str(stego)]) == 0
+        note = capsys.readouterr().out
+        bits = note.split("--bits ")[1].split()[0]
+        vectors = note.split("--vectors ")[1].split()[0]
+        assert main(["extract", "--key", key, "--bits", bits,
+                     "--vectors", vectors, str(stego), str(recovered)]) == 0
+        assert recovered.read_bytes() == b"hidden words"
+
+
+class TestWave:
+    def test_prints_waveform(self, capsys):
+        assert main(["wave"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle" in out
+        assert "LMSG" in out

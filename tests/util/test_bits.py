@@ -1,0 +1,213 @@
+"""Unit and property tests for repro.util.bits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bits import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    check_uint,
+    chunk_bits,
+    extract_field,
+    hamming_distance,
+    insert_field,
+    int_to_bits,
+    mask,
+    parity,
+    popcount,
+    reverse_bits,
+    rotl,
+    rotr,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(3) == 0b111
+        assert mask(16) == 0xFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestCheckUint:
+    def test_accepts_in_range(self):
+        assert check_uint(7, 3) == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_uint(-1, 8)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            check_uint(8, 3)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_uint(True, 1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            check_uint("3", 4)
+
+
+class TestRotations:
+    def test_paper_example_left(self):
+        # Fig. 8: 0x48D0 rotated left twice becomes 0x2341.
+        assert rotl(0x48D0, 2, 16) == 0x2341
+
+    def test_paper_example_right(self):
+        # Fig. 8: 0x2341 rotated right six times becomes 0x048D.
+        assert rotr(0x2341, 6, 16) == 0x048D
+
+    def test_rotl_zero_amount(self):
+        assert rotl(0xBEEF, 0, 16) == 0xBEEF
+
+    def test_rotl_full_width_is_identity(self):
+        assert rotl(0xBEEF, 16, 16) == 0xBEEF
+
+    def test_rotl_wraps_amount(self):
+        assert rotl(0xBEEF, 18, 16) == rotl(0xBEEF, 2, 16)
+
+    def test_rotr_zero_width_bus(self):
+        assert rotr(0, 5, 0) == 0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            rotl(1, -1, 8)
+        with pytest.raises(ValueError):
+            rotr(1, -2, 8)
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rotl(0x100, 1, 8)
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 31))
+    def test_rotl_rotr_inverse(self, value, amount):
+        assert rotr(rotl(value, amount, 16), amount, 16) == value
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 31))
+    def test_rotation_preserves_popcount(self, value, amount):
+        assert popcount(rotl(value, amount, 16)) == popcount(value)
+
+    @given(st.integers(0, 0xFF), st.integers(0, 7), st.integers(0, 7))
+    def test_rotl_composes(self, value, a, b):
+        assert rotl(rotl(value, a, 8), b, 8) == rotl(value, a + b, 8)
+
+
+class TestFields:
+    def test_extract_paper_slice(self):
+        # V = 0xCA06, slice [11:8] is 0b1010 (Fig. 8 derivation).
+        assert extract_field(0xCA06, 11, 8) == 0b1010
+
+    def test_extract_single_bit(self):
+        assert extract_field(0b1000, 3, 3) == 1
+
+    def test_extract_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            extract_field(0xFF, 2, 5)
+
+    def test_extract_rejects_negative_low(self):
+        with pytest.raises(ValueError):
+            extract_field(0xFF, 3, -1)
+
+    def test_insert_paper_replacement(self):
+        # Fig. 8: replacing bits [5:2] of 0xCA06 with 0 gives 0xCA02.
+        assert insert_field(0xCA06, 0b0000, 5, 2) == 0xCA02
+
+    def test_insert_rejects_wide_field(self):
+        with pytest.raises(ValueError):
+            insert_field(0, 0b100, 1, 0)
+
+    def test_insert_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            insert_field(0, 0, 0, 1)
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 15), st.integers(0, 15))
+    def test_insert_then_extract_roundtrip(self, value, a, b):
+        high, low = max(a, b), min(a, b)
+        field = extract_field(value, high, low)
+        assert insert_field(value, field, high, low) == value
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 15), st.integers(0, 15),
+           st.integers(0, 0xFFFF))
+    def test_insert_only_touches_window(self, value, a, b, raw_field):
+        high, low = max(a, b), min(a, b)
+        field = raw_field & mask(high - low + 1)
+        result = insert_field(value, field, high, low)
+        window_mask = mask(high - low + 1) << low
+        assert result & ~window_mask == value & ~window_mask
+        assert extract_field(result, high, low) == field
+
+
+class TestBitLists:
+    def test_int_to_bits_lsb_first(self):
+        assert int_to_bits(0b1101, 4) == [1, 0, 1, 1]
+
+    def test_bits_to_int_roundtrip(self):
+        assert bits_to_int(int_to_bits(0xABCD, 16)) == 0xABCD
+
+    def test_bits_to_int_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    def test_bytes_to_bits_lsb_first_per_byte(self):
+        assert bytes_to_bits(b"\x01\x80") == [1, 0, 0, 0, 0, 0, 0, 0,
+                                              0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_bits_to_bytes_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1, 0, 1])
+
+    @given(st.binary(max_size=64))
+    def test_bytes_bits_roundtrip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_chunk_bits_exact(self):
+        assert chunk_bits([1, 0, 1, 1], 2) == [[1, 0], [1, 1]]
+
+    def test_chunk_bits_ragged_tail(self):
+        assert chunk_bits([1, 0, 1], 2) == [[1, 0], [1]]
+
+    def test_chunk_bits_empty(self):
+        assert chunk_bits([], 4) == []
+
+    def test_chunk_bits_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            chunk_bits([1], 0)
+
+
+class TestCountingHelpers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0xFFFF) == 16
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_parity(self):
+        assert parity(0b1011) == 1
+        assert parity(0b1001) == 0
+
+    def test_hamming_distance(self):
+        assert hamming_distance(0b1010, 0b0101) == 4
+        assert hamming_distance(7, 7) == 0
+
+    def test_hamming_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hamming_distance(-1, 2)
+
+    def test_reverse_bits(self):
+        assert reverse_bits(0b0001, 4) == 0b1000
+        assert reverse_bits(0b1101, 4) == 0b1011
+
+    @given(st.integers(0, 0xFFFF))
+    def test_reverse_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 16), 16) == value
