@@ -1,0 +1,52 @@
+"""A complete secure link over localhost: handshake, sessions, metrics.
+
+Runs the `repro.net` echo server and client in one asyncio process,
+streams a multi-packet message through the encrypted link, and verifies
+the round trip is byte-exact.  Every moving part of DESIGN.md sections
+4-7 is exercised: the hello handshake, per-direction derived keys, the
+monotonic nonce schedule, automatic rekeying mid-stream, and the
+per-session throughput counters.
+
+Run with::
+
+    PYTHONPATH=src python examples/secure_link.py
+"""
+
+import asyncio
+
+from repro.core.key import Key
+from repro.net import SecureLinkClient, SecureLinkServer, SessionConfig
+
+
+async def main() -> None:
+    key = Key.generate(seed=99)
+    # A small rekey interval so even this short demo ratchets keys.
+    config = SessionConfig(rekey_interval=8)
+
+    message = b"".join(
+        f"payload {i:03d}: the quick brown fox jumps over the lazy dog. ".encode()
+        for i in range(40)
+    )
+    chunk = 96
+    payloads = [message[i:i + chunk] for i in range(0, len(message), chunk)]
+    print(f"message: {len(message)} bytes in {len(payloads)} packets")
+
+    async with SecureLinkServer(key, port=0, config=config) as server:
+        print(f"server listening on 127.0.0.1:{server.port}")
+        async with SecureLinkClient(key, port=server.port,
+                                    config=config) as client:
+            replies = await client.send_all(payloads)
+            echoed = b"".join(replies)
+            assert echoed == message, "round trip was not byte-exact"
+            print(f"round trip byte-exact: {len(echoed)} bytes echoed")
+            print(f"client tx rekeys: {client.metrics.tx.rekeys}, "
+                  f"rx rekeys: {client.metrics.rx.rekeys}")
+            print()
+            print(client.metrics.render("client"))
+        print()
+        print("server view:")
+        print(server.metrics.render())
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

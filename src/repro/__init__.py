@@ -15,7 +15,10 @@ carry the full system:
   (Table 1, Figure 9);
 * :mod:`repro.security` — the attacks and statistical tests behind the
   paper's security claims;
-* :mod:`repro.stego` — steganographic (cover-data) operation.
+* :mod:`repro.stego` — steganographic (cover-data) operation;
+* :mod:`repro.net` — the async secure-link subsystem (sessions with
+  nonce schedules and rekeying, stream framing, server/client peers,
+  link metrics); see DESIGN.md sections 4–7.
 """
 
 from repro.core import (

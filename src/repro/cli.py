@@ -7,7 +7,19 @@ Subcommands map one-to-one onto the library's public surface:
 * ``embed`` / ``extract`` — steganographic cover embedding;
 * ``wave`` — print the simulation waveforms of Figs 5–8;
 * ``report`` — run the FPGA flow and print the Appendix-A reports;
-* ``table1`` — print the Table 1 / Figure 9 reproduction.
+* ``table1`` — print the Table 1 / Figure 9 reproduction;
+* ``serve`` — run a secure-link echo server (``repro.net``);
+* ``send`` — stream a file to a ``serve`` peer and verify the echoes.
+
+``serve``/``send`` speak the framed wire protocol of DESIGN.md sections
+4–6: a hello handshake (algorithm, width, rekey interval, key
+fingerprint), then ciphertext packets under per-session derived keys
+with automatic rekeying.  Both ends must be started with the same key
+and the same ``--rekey-interval``.  A typical loopback check::
+
+    repro-mhhea keygen --seed 1 > key.txt
+    repro-mhhea serve --key "$(cat key.txt)" --port 45678 &
+    repro-mhhea send --key "$(cat key.txt)" --port 45678 somefile.bin
 
 Every subcommand is a thin shim over library calls so behaviour is
 always test-covered through the API, not through the CLI.
@@ -16,6 +28,7 @@ always test-covered through the API, not through the CLI.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 
 from repro.core.key import Key
@@ -79,6 +92,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper-max-window",
     )
     table1.add_argument("--effort", type=float, default=0.5)
+
+    serve = sub.add_parser("serve", help="run a secure-link echo server")
+    serve.add_argument("--key", required=True, help="hex key (keygen output)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--rekey-interval", type=int, default=1024,
+                       help="packets per direction before the key ratchets")
+
+    send = sub.add_parser("send", help="stream a file over the secure link")
+    send.add_argument("--key", required=True, help="hex key (keygen output)")
+    send.add_argument("--host", default="127.0.0.1")
+    send.add_argument("--port", type=int, required=True)
+    send.add_argument("--chunk", type=int, default=1024,
+                      help="payload bytes per packet")
+    send.add_argument("--rekey-interval", type=int, default=1024,
+                      help="must match the server's setting")
+    send.add_argument("input")
     return parser
 
 
@@ -178,6 +209,57 @@ def main(argv: list[str] | None = None) -> int:
         table = build_table1(Accounting(args.accounting), effort=args.effort)
         out.write(table.render() + "\n\n" + table.chart() + "\n")
         return 0
+
+    if args.command == "serve":
+        from repro.net.server import SecureLinkServer
+        from repro.net.session import SessionConfig
+
+        key = Key.from_hex(args.key)
+        config = SessionConfig(rekey_interval=args.rekey_interval)
+
+        async def _serve() -> None:
+            async with SecureLinkServer(key, host=args.host, port=args.port,
+                                        config=config) as server:
+                out.write(f"listening on {args.host}:{server.port}\n")
+                out.flush()
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+                out.write(server.metrics.render() + "\n")
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.command == "send":
+        from repro.net.client import SecureLinkClient
+        from repro.net.session import SessionConfig
+
+        key = Key.from_hex(args.key)
+        config = SessionConfig(rekey_interval=args.rekey_interval)
+        with open(args.input, "rb") as handle:
+            data = handle.read()
+        chunk = max(args.chunk, 1)
+        payloads = [data[i:i + chunk] for i in range(0, len(data), chunk)] or [b""]
+
+        async def _send() -> int:
+            async with SecureLinkClient(key, host=args.host, port=args.port,
+                                        config=config) as client:
+                replies = await client.send_all(payloads)
+                if replies != payloads:
+                    out.write("echo mismatch: link corrupted the data\n")
+                    return 1
+                out.write(
+                    f"echoed {len(payloads)} packets / {len(data)} bytes "
+                    f"byte-exact at {client.metrics.mbps('rx'):.2f} Mbps\n"
+                )
+                out.write(client.metrics.render("link") + "\n")
+                return 0
+
+        return asyncio.run(_send())
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

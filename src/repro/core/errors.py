@@ -15,6 +15,9 @@ __all__ = [
     "CoverExhaustedError",
     "HardwareModelError",
     "FlowError",
+    "SessionError",
+    "HandshakeError",
+    "ReplayError",
 ]
 
 
@@ -44,3 +47,15 @@ class HardwareModelError(ReproError):
 
 class FlowError(ReproError):
     """The FPGA CAD flow could not complete (capacity, unroutable, ...)."""
+
+
+class SessionError(ReproError):
+    """A secure-link session was misused or exhausted (see repro.net)."""
+
+
+class HandshakeError(SessionError):
+    """The peers could not agree on a link configuration or key."""
+
+
+class ReplayError(SessionError):
+    """A received packet's sequence number was already accepted."""

@@ -4,35 +4,41 @@ The paper positions the micro-architecture for "packet-level encryption"
 on high-speed links (section VI).  This module defines the wire format a
 software peer of that hardware would speak: a fixed 22-byte header
 followed by the hiding vectors, little-endian, with a CRC-16 over the
-payload.  The header carries exactly the non-secret metadata decryption
-needs — algorithm, vector width, message bit count — plus the RNG nonce
-for auditability.
+header and payload.  The header carries exactly the non-secret metadata
+decryption needs — algorithm, vector width, message bit count — plus the
+RNG nonce for auditability.
 
 Wire layout (all multi-byte fields little-endian)::
 
     offset  size  field
     0       4     magic  b"MHEA"
-    4       1     version (currently 1)
+    4       1     version (currently 2)
     5       1     algorithm: 1 = MHHEA, 0 = plain HHEA
     6       1     vector width in bits
     7       1     flags (reserved, must be zero)
     8       4     nonce (LFSR seed used by the sender)
     12      4     message length in bits
     16      4     vector count
-    20      2     CRC-16/CCITT-FALSE of the payload
+    20      2     CRC-16/CCITT-FALSE of header (with this field zeroed)
+                  plus payload
     22      ...   payload: vector_count * width/8 bytes
+
+Version 2 extended the CRC from payload-only to header-plus-payload:
+the secure link (repro.net) derives replay-window state from the nonce
+field, so header corruption must be as detectable as payload corruption
+(DESIGN.md section 5).
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core import hhea, mhhea
 from repro.core.errors import CipherFormatError
 from repro.core.key import Key
 from repro.core.params import VectorParams
-from repro.util.bits import bits_to_bytes, bytes_to_bits
+from repro.util.bits import bits_to_bytes, bytes_to_bits, mask
 from repro.util.crc import crc16_ccitt
 from repro.util.lfsr import Lfsr
 
@@ -41,19 +47,57 @@ __all__ = [
     "VERSION",
     "ALGORITHM_HHEA",
     "ALGORITHM_MHHEA",
+    "NONCE_MAX",
     "PacketHeader",
+    "validate_nonce",
     "encrypt_packet",
     "decrypt_packet",
     "split_packets",
 ]
 
 MAGIC = b"MHEA"
-VERSION = 1
+VERSION = 2
 ALGORITHM_HHEA = 0
 ALGORITHM_MHHEA = 1
 
 _HEADER = struct.Struct("<4sBBBBIIIH")
 HEADER_SIZE = _HEADER.size
+
+#: Largest nonce the 32-bit header field can carry.
+NONCE_MAX = 0xFFFFFFFF
+
+
+def validate_nonce(nonce: int, width: int) -> int:
+    """Check that ``nonce`` is usable for a ``width``-bit hiding vector.
+
+    The full nonce discipline lives in DESIGN.md section 4; the wire-level
+    rules enforced here are:
+
+    * it must be a positive integer that fits the 32-bit header field
+      (values are rejected rather than silently truncated), and
+    * its low ``width`` bits must not all be zero — the LFSR seed is the
+      nonce reduced modulo ``2**width``, and the all-zero state would
+      freeze the generator.
+
+    Returns the nonce unchanged so callers can validate inline.  Raises
+    :class:`CipherFormatError` (not a bare :class:`ValueError` from deep
+    inside the LFSR) so link code can handle it uniformly.
+    """
+    if not isinstance(nonce, int) or isinstance(nonce, bool):
+        raise CipherFormatError(
+            f"nonce must be an int, got {type(nonce).__name__}"
+        )
+    if not 0 < nonce <= NONCE_MAX:
+        raise CipherFormatError(
+            f"nonce {nonce:#x} does not fit the 32-bit header field "
+            f"(must be 1..{NONCE_MAX:#x})"
+        )
+    if nonce & mask(width) == 0:
+        raise CipherFormatError(
+            f"nonce {nonce:#x} reduces to zero modulo 2**{width} and would "
+            f"seed the {width}-bit LFSR with its frozen all-zero state"
+        )
+    return nonce
 
 
 @dataclass(frozen=True)
@@ -102,6 +146,17 @@ class PacketHeader:
         return cls(algorithm, width, nonce, n_bits, n_vectors, crc)
 
 
+def _packet_crc(header: PacketHeader, payload: bytes) -> int:
+    """CRC-16 over the whole packet with the CRC field itself zeroed.
+
+    Covering the header (not just the payload) matters to the link
+    layer: the receive side derives its replay window from the nonce
+    field, so a flipped nonce bit must fail the checksum instead of
+    silently shifting the window (DESIGN.md section 5).
+    """
+    return crc16_ccitt(replace(header, crc=0).pack() + payload)
+
+
 def _vectors_to_payload(vectors: tuple[int, ...] | list[int], width: int) -> bytes:
     step = width // 8
     out = bytearray()
@@ -130,15 +185,19 @@ def encrypt_packet(
 ) -> bytes:
     """Encrypt ``plaintext`` into one self-describing packet.
 
-    ``nonce`` seeds the hiding-vector LFSR; it must be non-zero and should
-    differ between packets encrypted under the same key (vector reuse
-    degrades the hiding, exactly as IV reuse does for a stream cipher).
+    ``nonce`` seeds the hiding-vector LFSR; it must satisfy
+    :func:`validate_nonce` and must never repeat between packets encrypted
+    under the same key — vector reuse degrades the hiding exactly as IV
+    reuse does for a stream cipher.  DESIGN.md section 4 specifies the
+    discipline once; :class:`repro.net.session.Session` automates it for
+    link traffic.
     """
     params = key.params
     if params.width % 8 != 0:
         raise CipherFormatError(
             f"packet format requires byte-multiple vector widths, got {params.width}"
         )
+    validate_nonce(nonce, params.width)
     source = Lfsr(params.width, seed=nonce)
     bits = bytes_to_bits(plaintext)
     if algorithm == ALGORITHM_MHHEA:
@@ -151,11 +210,12 @@ def encrypt_packet(
     header = PacketHeader(
         algorithm=algorithm,
         width=params.width,
-        nonce=nonce & 0xFFFFFFFF,
+        nonce=nonce,
         n_bits=len(bits),
         n_vectors=len(vectors),
-        crc=crc16_ccitt(payload),
+        crc=0,
     )
+    header = replace(header, crc=_packet_crc(header, payload))
     return header.pack() + payload
 
 
@@ -179,10 +239,10 @@ def decrypt_packet(packet: bytes, key: Key) -> bytes:
         )
     if len(packet) > HEADER_SIZE + header.payload_size:
         raise CipherFormatError("trailing bytes after payload")
-    actual_crc = crc16_ccitt(payload)
+    actual_crc = _packet_crc(header, payload)
     if actual_crc != header.crc:
         raise CipherFormatError(
-            f"payload CRC mismatch: header {header.crc:#06x}, computed {actual_crc:#06x}"
+            f"packet CRC mismatch: header {header.crc:#06x}, computed {actual_crc:#06x}"
         )
     vectors = _payload_to_vectors(payload, header.width)
     if header.algorithm == ALGORITHM_MHHEA:

@@ -1,0 +1,37 @@
+"""``repro.net`` — the secure-link subsystem.
+
+Turns the standalone packet codec of :mod:`repro.core.stream` into a
+working encrypted link, the deployment the paper targets ("packet-level
+encryption" on high-speed data-communication networks, section VI):
+
+* :mod:`repro.net.session` — nonce schedules, per-direction key
+  ratcheting and replay detection (the stateful discipline the codec
+  itself leaves to its caller);
+* :mod:`repro.net.framing` — incremental TCP-style frame extraction and
+  the hello/handshake frame;
+* :mod:`repro.net.server` / :mod:`repro.net.client` — asyncio peers with
+  handshake, concurrent sessions and bounded-queue backpressure;
+* :mod:`repro.net.metrics` — the counters ``benchmarks/bench_net.py``
+  turns into link-throughput numbers comparable with the paper's
+  Table 1.
+
+Wire and handshake formats are specified in DESIGN.md sections 4–6.
+"""
+
+from repro.net.client import SecureLinkClient
+from repro.net.framing import Frame, FrameDecoder, Hello
+from repro.net.metrics import MetricsRegistry, SessionMetrics
+from repro.net.server import SecureLinkServer
+from repro.net.session import Session, SessionConfig, key_fingerprint
+
+__all__ = [
+    "Frame",
+    "FrameDecoder",
+    "Hello",
+    "MetricsRegistry",
+    "SecureLinkClient",
+    "SecureLinkServer",
+    "Session",
+    "SessionConfig",
+    "SessionMetrics",
+]

@@ -1,0 +1,185 @@
+"""Asyncio secure-link client.
+
+The client mints the 8-byte session id, opens the TCP connection, runs
+the hello exchange (DESIGN.md section 6), and then offers two traffic
+shapes:
+
+* :meth:`SecureLinkClient.request` — one payload out, one reply back;
+  the simple RPC shape.
+* :meth:`SecureLinkClient.send_all` — pipelined: a writer task streams
+  every payload while the reader collects replies, so the link stays
+  full instead of idling one round-trip per packet.  This is the shape
+  `benchmarks/bench_net.py` measures.
+
+Backpressure is inherited from the transport: the writer awaits
+``drain()`` after every packet, so a stalled server (its bounded reply
+queue full) slows the client down instead of ballooning buffers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.core.errors import HandshakeError, SessionError
+from repro.core.key import Key
+from repro.net.framing import HELLO_SIZE, FrameDecoder, Hello
+from repro.net.metrics import SessionMetrics
+from repro.net.session import Session, SessionConfig, key_fingerprint
+
+__all__ = ["SecureLinkClient"]
+
+_READ_CHUNK = 1 << 16
+
+
+class SecureLinkClient:
+    """One secure-link connection from the initiator side.
+
+    Usage::
+
+        async with SecureLinkClient(root_key, port=server.port) as client:
+            reply = await client.request(b"payload")
+
+    ``session_id`` is minted from :func:`os.urandom` unless given
+    explicitly (tests pass a fixed one for determinism).
+    """
+
+    def __init__(self, root: Key, host: str = "127.0.0.1", port: int = 0,
+                 config: SessionConfig | None = None,
+                 session_id: bytes | None = None):
+        self._root = root
+        self._host = host
+        self._port = port
+        self._config = config or SessionConfig()
+        self._config.validate(root.params.width)
+        self._session_id = session_id if session_id is not None else os.urandom(8)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._decoder = FrameDecoder(
+            self._config.max_wire_payload(root.params.width)
+        )
+        self.session: Session | None = None
+
+    @property
+    def metrics(self) -> SessionMetrics:
+        if self.session is None:
+            raise SessionError("client not connected")
+        return self.session.metrics
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def connect(self) -> None:
+        """Open the connection and complete the hello exchange."""
+        if self.session is not None:
+            raise SessionError("client already connected")
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        try:
+            await self._exchange_hellos()
+        except BaseException:
+            # A failed handshake must not leak the open socket: __aexit__
+            # never runs when __aenter__ raises.
+            await self.close()
+            raise
+
+    async def _exchange_hellos(self) -> None:
+        fingerprint = key_fingerprint(self._root)
+        hello = Hello(
+            algorithm=self._config.algorithm,
+            width=self._root.params.width,
+            session_id=self._session_id,
+            fingerprint=fingerprint,
+            rekey_interval=self._config.rekey_interval,
+        )
+        self._writer.write(hello.pack())
+        await self._writer.drain()
+        try:
+            blob = await self._reader.readexactly(HELLO_SIZE)
+        except asyncio.IncompleteReadError as exc:
+            raise HandshakeError(
+                "server closed the connection during the handshake "
+                "(key or configuration mismatch?)"
+            ) from exc
+        reply = Hello.unpack(blob)
+        if reply.fingerprint != fingerprint:
+            raise HandshakeError("server key fingerprint does not match ours")
+        if reply.session_id != self._session_id:
+            raise HandshakeError("server echoed a different session id")
+        if (reply.algorithm != self._config.algorithm
+                or reply.width != self._root.params.width
+                or reply.rekey_interval != self._config.rekey_interval):
+            raise HandshakeError(
+                f"server countered with algorithm={reply.algorithm} "
+                f"width={reply.width} rekey_interval={reply.rekey_interval}"
+            )
+        self.session = Session(self._root, role="initiator",
+                               session_id=self._session_id,
+                               config=self._config)
+
+    async def close(self) -> None:
+        """Close the transport (the session object stays readable)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "SecureLinkClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- traffic ----------------------------------------------------------
+
+    async def request(self, payload: bytes) -> bytes:
+        """Send one payload and wait for its reply."""
+        replies = await self.send_all([payload])
+        return replies[0]
+
+    async def send_all(self, payloads: list[bytes],
+                       ) -> list[bytes]:
+        """Pipeline ``payloads`` out and collect one reply for each.
+
+        Replies arrive in order (TCP ordering plus the server's per-
+        connection processing loop), so the result aligns index-for-index
+        with the input.
+        """
+        if self.session is None or self._writer is None:
+            raise SessionError("client not connected")
+        writer_task = asyncio.create_task(self._write_payloads(payloads))
+        try:
+            replies = await self._read_replies(len(payloads))
+        finally:
+            if not writer_task.done():
+                writer_task.cancel()
+            await asyncio.gather(writer_task, return_exceptions=True)
+        # Surface a writer failure even if the reader saw a clean close.
+        if writer_task.done() and not writer_task.cancelled():
+            writer_task.result()
+        return replies
+
+    async def _write_payloads(self, payloads: list[bytes]) -> None:
+        for payload in payloads:
+            self._writer.write(self.session.encrypt(payload))
+            await self._writer.drain()
+
+    async def _read_replies(self, count: int) -> list[bytes]:
+        replies: list[bytes] = []
+        while len(replies) < count:
+            chunk = await self._reader.read(_READ_CHUNK)
+            if not chunk:
+                raise SessionError(
+                    f"server closed the link after {len(replies)} of "
+                    f"{count} replies"
+                )
+            for frame in self._decoder.feed(chunk):
+                if frame.kind != "packet":
+                    raise HandshakeError("unexpected hello frame mid-session")
+                replies.append(self.session.decrypt(frame.raw))
+        return replies

@@ -1,0 +1,281 @@
+"""Incremental stream framing for the secure link.
+
+:func:`repro.core.stream.split_packets` assumes the whole byte stream is
+already in hand; a TCP peer instead sees arbitrary chunks — half a
+header here, three packets and a bit there.  :class:`FrameDecoder` is
+the streaming replacement: feed it chunks as they arrive and it yields
+complete frames, carrying partial state across calls.  It understands
+the two frame kinds on the wire (DESIGN.md section 6):
+
+* ``hello`` — the fixed-size handshake frame (:class:`Hello`), magic
+  ``b"MHLO"``;
+* ``packet`` — one ciphertext packet in the
+  :mod:`repro.core.stream` container format, magic ``b"MHEA"``.
+
+The decoder enforces an oversized-payload ceiling (a corrupted length
+field must not make a receiver buffer gigabytes) and, optionally,
+resynchronises after junk by scanning for the next magic — the classic
+framed-link recovery strategy, with every skipped byte accounted.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.errors import CipherFormatError
+from repro.core.stream import (
+    ALGORITHM_HHEA,
+    ALGORITHM_MHHEA,
+    HEADER_SIZE,
+    MAGIC,
+    PacketHeader,
+)
+from repro.util.crc import crc16_ccitt
+
+__all__ = [
+    "HELLO_MAGIC",
+    "HELLO_SIZE",
+    "HELLO_VERSION",
+    "Hello",
+    "Frame",
+    "FrameDecoder",
+]
+
+HELLO_MAGIC = b"MHLO"
+HELLO_VERSION = 1
+
+# magic, version, algorithm, width, flags, session id, key fingerprint,
+# rekey interval, CRC-16 over all preceding bytes (little-endian).
+_HELLO = struct.Struct("<4sBBBB8s8sIH")
+HELLO_SIZE = _HELLO.size
+
+#: Default ceiling for one frame's payload; see DESIGN.md section 6.
+MAX_PAYLOAD_DEFAULT = 1 << 20
+
+
+@dataclass(frozen=True)
+class Hello:
+    """The handshake frame both peers exchange before any ciphertext.
+
+    Carries everything the link must agree on — algorithm, vector width,
+    rekey interval — plus the 8-byte session id that namespaces this
+    connection's derived keys and the root-key fingerprint that proves
+    both ends hold the same secret without revealing it.
+    """
+
+    algorithm: int
+    width: int
+    session_id: bytes
+    fingerprint: bytes
+    rekey_interval: int
+
+    def pack(self) -> bytes:
+        """Serialise to the fixed-size wire frame, CRC included."""
+        body = _HELLO.pack(
+            HELLO_MAGIC, HELLO_VERSION, self.algorithm, self.width, 0,
+            self.session_id, self.fingerprint, self.rekey_interval, 0,
+        )[:-2]
+        return body + crc16_ccitt(body).to_bytes(2, "little")
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "Hello":
+        """Parse and validate one wire hello frame."""
+        if len(blob) < HELLO_SIZE:
+            raise CipherFormatError(
+                f"hello frame too short: {len(blob)} < {HELLO_SIZE}"
+            )
+        (magic, version, algorithm, width, flags, session_id, fingerprint,
+         rekey_interval, crc) = _HELLO.unpack_from(blob)
+        if magic != HELLO_MAGIC:
+            raise CipherFormatError(f"bad hello magic {magic!r}")
+        if version != HELLO_VERSION:
+            raise CipherFormatError(f"unsupported hello version {version}")
+        if flags != 0:
+            raise CipherFormatError(f"reserved hello flags set: {flags:#x}")
+        if algorithm not in (ALGORITHM_HHEA, ALGORITHM_MHHEA):
+            raise CipherFormatError(f"unknown algorithm id {algorithm}")
+        if width == 0 or width % 8 != 0:
+            raise CipherFormatError(
+                f"hello width {width} is not a whole byte count"
+            )
+        actual = crc16_ccitt(blob[: HELLO_SIZE - 2])
+        if actual != crc:
+            raise CipherFormatError(
+                f"hello CRC mismatch: frame {crc:#06x}, computed {actual:#06x}"
+            )
+        return cls(algorithm, width, session_id, fingerprint, rekey_interval)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One complete wire frame: its kind plus the raw bytes."""
+
+    kind: str  # "hello" or "packet"
+    raw: bytes
+
+    def hello(self) -> Hello:
+        """Parse a ``hello`` frame (raises on a ``packet`` frame)."""
+        if self.kind != "hello":
+            raise CipherFormatError(f"frame is a {self.kind}, not a hello")
+        return Hello.unpack(self.raw)
+
+    def header(self) -> PacketHeader:
+        """Parse a ``packet`` frame's header (raises on a ``hello``)."""
+        if self.kind != "packet":
+            raise CipherFormatError(f"frame is a {self.kind}, not a packet")
+        return PacketHeader.unpack(self.raw)
+
+
+class FrameDecoder:
+    """Chunk-at-a-time frame extractor for a TCP-style byte stream.
+
+    Parameters
+    ----------
+    max_payload:
+        Reject (or skip, under ``resync``) any packet frame advertising a
+        payload larger than this, before buffering it.
+    resync:
+        With ``False`` (the default, right for trusted transports like a
+        local TCP connection) any unrecognised magic raises
+        :class:`CipherFormatError` immediately.  With ``True`` the
+        decoder scans forward for the next magic instead, counting the
+        discarded bytes in :attr:`bytes_skipped` — the recovery mode for
+        lossy or damaged transports.
+
+    A raised framing error is fatal for the stream: frames decoded
+    earlier in the same ``feed`` call are discarded with it, because on
+    a reliable transport junk means the peers have lost framing and no
+    later byte can be trusted.
+    """
+
+    #: Bytes of possible magic prefix preserved while resynchronising.
+    _TAIL = 3
+
+    def __init__(self, max_payload: int = MAX_PAYLOAD_DEFAULT,
+                 resync: bool = False):
+        if max_payload < 1:
+            raise ValueError(f"max_payload must be >= 1, got {max_payload}")
+        self.max_payload = max_payload
+        self.resync = resync
+        self.bytes_skipped = 0
+        self.frames_decoded = 0
+        self._buffer = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet framed."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[Frame]:
+        """Absorb ``chunk`` and return every frame it completes."""
+        self._buffer += chunk
+        frames: list[Frame] = []
+        while True:
+            before = len(self._buffer)
+            frame = self._try_next()
+            if frame is not None:
+                frames.append(frame)
+            elif len(self._buffer) == before:
+                # Neither a frame nor resync progress: wait for more bytes.
+                break
+        return frames
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary.
+
+        Call when the transport signals EOF; raises
+        :class:`CipherFormatError` if bytes of an incomplete frame remain.
+        """
+        if self._buffer:
+            raise CipherFormatError(
+                f"stream ended mid-frame with {len(self._buffer)} bytes pending"
+            )
+
+    # -- internals --------------------------------------------------------
+
+    def _try_next(self) -> Frame | None:
+        buf = self._buffer
+        if len(buf) < len(MAGIC):
+            return None
+        magic = bytes(buf[: len(MAGIC)])
+        if magic == MAGIC:
+            return self._try_packet()
+        if magic == HELLO_MAGIC:
+            return self._try_hello()
+        if not self.resync:
+            raise CipherFormatError(
+                f"cannot frame stream: unknown magic {magic!r}"
+            )
+        self._skip_to_magic()
+        return None
+
+    def _try_packet(self) -> Frame | None:
+        buf = self._buffer
+        if len(buf) < HEADER_SIZE:
+            return None
+        header = self._parse(PacketHeader.unpack, bytes(buf[:HEADER_SIZE]))
+        if header is None:
+            return None
+        if header.payload_size > self.max_payload:
+            message = (
+                f"packet advertises {header.payload_size}-byte payload, "
+                f"over the {self.max_payload}-byte limit"
+            )
+            if self.resync:
+                self._discard(1)
+                self._skip_to_magic()
+                return None
+            raise CipherFormatError(message)
+        total = HEADER_SIZE + header.payload_size
+        if len(buf) < total:
+            return None
+        return self._emit("packet", total)
+
+    def _try_hello(self) -> Frame | None:
+        buf = self._buffer
+        if len(buf) < HELLO_SIZE:
+            return None
+        if self._parse(Hello.unpack, bytes(buf[:HELLO_SIZE])) is None:
+            return None
+        return self._emit("hello", HELLO_SIZE)
+
+    def _parse(self, parser, blob):
+        """Run ``parser``; under resync, treat failures as junk to skip."""
+        try:
+            return parser(blob)
+        except CipherFormatError:
+            if not self.resync:
+                raise
+            self._discard(1)
+            self._skip_to_magic()
+            return None
+
+    def _emit(self, kind: str, size: int) -> Frame:
+        raw = bytes(self._buffer[:size])
+        del self._buffer[:size]
+        self.frames_decoded += 1
+        return Frame(kind, raw)
+
+    def _discard(self, count: int) -> None:
+        del self._buffer[:count]
+        self.bytes_skipped += count
+
+    def _skip_to_magic(self) -> None:
+        """Drop bytes until a magic (or a possible magic prefix) leads."""
+        buf = self._buffer
+        candidates = [position for position in
+                      (buf.find(MAGIC), buf.find(HELLO_MAGIC))
+                      if position >= 0]
+        if candidates:
+            self._discard(min(candidates))
+            return
+        # No full magic in view: keep a short tail that could be the
+        # start of one split across chunks, drop the rest.
+        keep = 0
+        for length in range(min(self._TAIL, len(buf)), 0, -1):
+            tail = bytes(buf[-length:])
+            if MAGIC.startswith(tail) or HELLO_MAGIC.startswith(tail):
+                keep = length
+                break
+        self._discard(len(buf) - keep)

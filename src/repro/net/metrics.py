@@ -1,0 +1,144 @@
+"""Per-session and aggregate link counters.
+
+The ZTEX "Inouttraffic" framework around the descrypt cracker showed that
+a hardware cipher core is only as fast as the accounting around it —
+buffers, checksums and packet IDs are where a link either proves its
+throughput or silently loses it.  This module is the software equivalent
+for the secure link: every :class:`repro.net.session.Session` owns a
+:class:`SessionMetrics`, the server aggregates them in a
+:class:`MetricsRegistry`, and ``benchmarks/bench_net.py`` reports the
+resulting Mbps next to the paper's hardware Table 1 numbers.
+
+The clock is injectable so tests (and deterministic benchmarks) can pin
+elapsed time instead of depending on the wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields
+from typing import Callable
+
+__all__ = ["DirectionCounters", "SessionMetrics", "MetricsRegistry"]
+
+
+@dataclass
+class DirectionCounters:
+    """Counters for one traffic direction of one session."""
+
+    packets: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    crc_failures: int = 0
+    replays: int = 0
+    gaps: int = 0
+    rekeys: int = 0
+
+    def add(self, other: "DirectionCounters") -> None:
+        """Accumulate ``other`` into this instance (for aggregation)."""
+        for spec in fields(self):
+            setattr(self, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name))
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Wire bytes per payload byte (framing overhead); 0 when idle."""
+        if self.payload_bytes == 0:
+            return 0.0
+        return self.wire_bytes / self.payload_bytes
+
+
+class SessionMetrics:
+    """Counters plus timing for one duplex session.
+
+    ``tx`` counts what this side encrypted and sent, ``rx`` what it
+    received and accepted.  Rates use an injectable monotonic ``clock``
+    (defaults to :func:`time.perf_counter`).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._start = clock()
+        self.tx = DirectionCounters()
+        self.rx = DirectionCounters()
+
+    def elapsed(self) -> float:
+        """Seconds since the session started (never zero)."""
+        return max(self._clock() - self._start, 1e-9)
+
+    def mbps(self, direction: str = "rx") -> float:
+        """Payload megabits per second for ``direction`` (``tx``/``rx``)."""
+        counters = self._direction(direction)
+        return counters.payload_bytes * 8 / self.elapsed() / 1e6
+
+    def wire_mbps(self, direction: str = "rx") -> float:
+        """Wire (header + payload) megabits per second."""
+        counters = self._direction(direction)
+        return counters.wire_bytes * 8 / self.elapsed() / 1e6
+
+    def _direction(self, direction: str) -> DirectionCounters:
+        if direction == "tx":
+            return self.tx
+        if direction == "rx":
+            return self.rx
+        raise ValueError(f"direction must be 'tx' or 'rx', got {direction!r}")
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (stable keys, suitable for JSON or asserts)."""
+        out = {"elapsed_s": self.elapsed()}
+        for name, counters in (("tx", self.tx), ("rx", self.rx)):
+            for spec in fields(counters):
+                out[f"{name}_{spec.name}"] = getattr(counters, spec.name)
+            out[f"{name}_mbps"] = self.mbps(name)
+        return out
+
+    def render(self, title: str = "session") -> str:
+        """Human-readable two-row summary table."""
+        head = (f"{title:<12} {'pkts':>8} {'payload B':>11} {'wire B':>11} "
+                f"{'Mbps':>8} {'crc':>5} {'replay':>6} {'gaps':>5} {'rekey':>5}")
+        rows = [head]
+        for name, counters in (("tx", self.tx), ("rx", self.rx)):
+            rows.append(
+                f"  {name:<10} {counters.packets:>8} "
+                f"{counters.payload_bytes:>11} {counters.wire_bytes:>11} "
+                f"{self.mbps(name):>8.2f} {counters.crc_failures:>5} "
+                f"{counters.replays:>6} {counters.gaps:>5} {counters.rekeys:>5}"
+            )
+        return "\n".join(rows)
+
+
+class MetricsRegistry:
+    """Aggregates the per-session metrics of a server (or client pool)."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.sessions: dict[str, SessionMetrics] = {}
+
+    def session(self, name: str) -> SessionMetrics:
+        """Create (or return) the metrics slot for ``name``."""
+        if name not in self.sessions:
+            self.sessions[name] = SessionMetrics(self._clock)
+        return self.sessions[name]
+
+    def aggregate(self) -> tuple[DirectionCounters, DirectionCounters]:
+        """Summed ``(tx, rx)`` counters across every session."""
+        tx, rx = DirectionCounters(), DirectionCounters()
+        for metrics in self.sessions.values():
+            tx.add(metrics.tx)
+            rx.add(metrics.rx)
+        return tx, rx
+
+    def render(self) -> str:
+        """All sessions plus a totals row."""
+        if not self.sessions:
+            return "no sessions"
+        parts = [metrics.render(name)
+                 for name, metrics in sorted(self.sessions.items())]
+        tx, rx = self.aggregate()
+        parts.append(
+            f"{'total':<12} tx {tx.packets} pkts / {tx.payload_bytes} B, "
+            f"rx {rx.packets} pkts / {rx.payload_bytes} B, "
+            f"{rx.crc_failures} crc fail, {rx.replays} replays, "
+            f"{rx.rekeys} rekeys"
+        )
+        return "\n".join(parts)

@@ -1,0 +1,243 @@
+"""Asyncio secure-link server (echo/relay side of the link).
+
+One :class:`SecureLinkServer` accepts any number of concurrent clients.
+Each connection gets its own handshake, its own
+:class:`~repro.net.session.Session` (namespaced by the client's session
+id, so working keys and nonce schedules never collide across
+connections) and its own bounded reply queue: the reader coroutine stops
+pulling bytes off the socket while the queue is full, which propagates
+backpressure to the client through TCP instead of buffering without
+limit — the lesson of the ZTEX link layer, which throttled the host
+rather than drop candidates.
+
+The default handler echoes payloads back, which is exactly what the
+round-trip benchmarks need; pass any ``bytes -> bytes`` callable (sync
+or async) to relay or transform instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from typing import Awaitable, Callable
+
+from repro.core.errors import HandshakeError, ReproError
+from repro.core.key import Key
+from repro.net.framing import HELLO_SIZE, FrameDecoder, Hello
+from repro.net.metrics import MetricsRegistry
+from repro.net.session import Session, SessionConfig, key_fingerprint
+
+__all__ = ["SecureLinkServer", "DEFAULT_QUEUE_DEPTH"]
+
+#: Replies a connection may have in flight before its reader stalls.
+DEFAULT_QUEUE_DEPTH = 32
+
+#: Socket read granularity (bytes per ``reader.read`` call).
+_READ_CHUNK = 1 << 16
+
+Handler = Callable[[bytes], "bytes | Awaitable[bytes]"]
+
+
+def _echo(payload: bytes) -> bytes:
+    """The default handler: send every payload straight back."""
+    return payload
+
+
+class SecureLinkServer:
+    """Concurrent multi-session server speaking the secure-link protocol.
+
+    Usage::
+
+        async with SecureLinkServer(root_key, port=0) as server:
+            ...  # server.port is the bound port
+        # exiting the context closes the listener and drains connections
+
+    Protocol errors on one connection (bad handshake, damaged frames,
+    replays) close that connection and are recorded in :attr:`errors`;
+    they never take the listener down.
+    """
+
+    def __init__(self, root: Key, host: str = "127.0.0.1", port: int = 0,
+                 config: SessionConfig | None = None,
+                 handler: Handler = _echo,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self._root = root
+        self._host = host
+        self._requested_port = port
+        self._config = config or SessionConfig()
+        self._config.validate(root.params.width)
+        self._handler = handler
+        self._queue_depth = queue_depth
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._next_peer = 0
+        self.metrics = MetricsRegistry()
+        self.errors: list[str] = []
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket; sets :attr:`port`."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._requested_port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting, cancel live connections, wait for teardown."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._server = None
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (for CLI use)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "SecureLinkServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- per-connection machinery -----------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        name = f"peer-{self._next_peer}"
+        self._next_peer += 1
+        try:
+            await self._run_connection(name, reader, writer)
+        except asyncio.CancelledError:
+            pass
+        except ReproError as exc:
+            self.errors.append(f"{name}: {exc}")
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            self.errors.append(f"{name}: connection lost ({exc})")
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _handshake(self, name: str, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> Session:
+        blob = await reader.readexactly(HELLO_SIZE)
+        hello = Hello.unpack(blob)
+        fingerprint = key_fingerprint(self._root)
+        if hello.fingerprint != fingerprint:
+            raise HandshakeError(
+                f"{name}: key fingerprint mismatch — peer holds a different root key"
+            )
+        if hello.width != self._root.params.width:
+            raise HandshakeError(
+                f"{name}: peer wants {hello.width}-bit vectors, "
+                f"server runs {self._root.params.width}"
+            )
+        if hello.algorithm != self._config.algorithm:
+            raise HandshakeError(
+                f"{name}: peer wants algorithm {hello.algorithm}, "
+                f"server runs {self._config.algorithm}"
+            )
+        if hello.rekey_interval != self._config.rekey_interval:
+            raise HandshakeError(
+                f"{name}: peer wants rekey interval {hello.rekey_interval}, "
+                f"server runs {self._config.rekey_interval}"
+            )
+        session = Session(self._root, role="responder",
+                          session_id=hello.session_id, config=self._config,
+                          metrics=self.metrics.session(name))
+        reply = Hello(
+            algorithm=self._config.algorithm,
+            width=self._root.params.width,
+            session_id=hello.session_id,
+            fingerprint=fingerprint,
+            rekey_interval=self._config.rekey_interval,
+        )
+        writer.write(reply.pack())
+        await writer.drain()
+        return session
+
+    async def _run_connection(self, name: str, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        session = await self._handshake(name, reader, writer)
+        queue: asyncio.Queue = asyncio.Queue(self._queue_depth)
+        sender = asyncio.create_task(self._send_replies(queue, session, writer))
+        try:
+            decoder = FrameDecoder(
+                self._config.max_wire_payload(self._root.params.width)
+            )
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    decoder.finish()
+                    break
+                for frame in decoder.feed(chunk):
+                    if frame.kind != "packet":
+                        raise HandshakeError(
+                            f"{name}: unexpected {frame.kind} frame mid-session"
+                        )
+                    payload = session.decrypt(frame.raw)
+                    result = self._handler(payload)
+                    if inspect.isawaitable(result):
+                        result = await result
+                    # Bounded queue: blocks here (and therefore stops
+                    # reading the socket) when the writer falls behind.
+                    await self._enqueue(queue, result, sender)
+            await self._enqueue(queue, None, sender)
+            await sender
+        finally:
+            if not sender.done():
+                sender.cancel()
+                await asyncio.gather(sender, return_exceptions=True)
+
+    @staticmethod
+    async def _enqueue(queue: asyncio.Queue, item, sender: asyncio.Task) -> None:
+        """Put ``item`` without deadlocking on a dead reply writer.
+
+        If the sender task has failed, nothing will ever drain the queue
+        and a plain ``queue.put`` on a full queue would block forever
+        (leaking the connection task and socket); racing the put against
+        the sender surfaces the writer's failure instead.
+        """
+        put = asyncio.ensure_future(queue.put(item))
+        done, _ = await asyncio.wait({put, sender},
+                                     return_when=asyncio.FIRST_COMPLETED)
+        if put in done:
+            return
+        put.cancel()
+        await asyncio.gather(put, return_exceptions=True)
+        await sender  # raises the writer's failure...
+        raise ConnectionError("reply writer exited before the stream ended")
+
+    @staticmethod
+    async def _send_replies(queue: asyncio.Queue, session: Session,
+                            writer: asyncio.StreamWriter) -> None:
+        while True:
+            payload = await queue.get()
+            if payload is None:
+                break
+            writer.write(session.encrypt(payload))
+            await writer.drain()

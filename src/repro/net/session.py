@@ -1,0 +1,350 @@
+"""Secure-link sessions: nonce schedules, key ratcheting, replay windows.
+
+The packet codec (:mod:`repro.core.stream`) leaves the hard stateful
+questions to its caller: which nonce to use next, when to change keys,
+and how a receiver tells a fresh packet from a replayed one.  This module
+answers them once, in one place, per DESIGN.md sections 4 and 5:
+
+* **Nonce schedule** — per-direction sequence numbers map bijectively
+  onto header nonces via :func:`nonce_for_seq`, skipping the values whose
+  low ``width`` bits are zero (they would freeze the LFSR).  A sender can
+  therefore never reuse a nonce, and a receiver can recover the sequence
+  number from the (authentic-by-CRC) header alone.
+* **Key ratchet** — every direction of every session works under its own
+  key, derived from the shared root key, the session id and the epoch
+  number.  After ``rekey_interval`` packets the epoch advances, which
+  keeps the number of vectors exposed under one key far below the LFSR
+  period.  Both ends derive the same schedule with no extra signalling,
+  and the epoch of a packet is a pure function of its sequence number, so
+  rekeying survives packet loss.
+* **Replay / reordering detection** — sequence numbers must strictly
+  increase; a duplicate or stale number raises
+  :class:`~repro.core.errors.ReplayError` before any decryption work, and
+  skipped numbers are counted as gaps in the session metrics.
+
+The nonce-reuse hazard itself is documented once in DESIGN.md section 4,
+linked from both :func:`repro.core.stream.encrypt_packet` and
+:class:`Session`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.core.errors import ReplayError, SessionError
+from repro.core.key import Key
+from repro.core.stream import (
+    ALGORITHM_HHEA,
+    ALGORITHM_MHHEA,
+    NONCE_MAX,
+    PacketHeader,
+    decrypt_packet,
+    encrypt_packet,
+)
+from repro.net.framing import MAX_PAYLOAD_DEFAULT
+from repro.net.metrics import SessionMetrics
+from repro.util.lfsr import max_period
+
+__all__ = [
+    "DEFAULT_REKEY_INTERVAL",
+    "MAX_PAYLOAD_DEFAULT",
+    "SessionConfig",
+    "Session",
+    "nonce_for_seq",
+    "seq_for_nonce",
+    "derive_epoch_key",
+    "key_fingerprint",
+]
+
+#: Packets per direction before the key ratchets forward (DESIGN.md §5).
+DEFAULT_REKEY_INTERVAL = 1024
+
+#: Direction labels mixed into the per-direction key derivation.
+_LABEL_I2R = b"i->r"
+_LABEL_R2I = b"r->i"
+
+
+def nonce_for_seq(seq: int, width: int) -> int:
+    """Header nonce for sequence number ``seq`` (0-based) on one direction.
+
+    The map is ``seq + 1`` with every multiple of ``2**width`` skipped,
+    because those values reduce to the frozen all-zero LFSR seed (see
+    :func:`repro.core.stream.validate_nonce`).  It is a strict-monotonic
+    bijection, so distinct sequence numbers can never collide on a nonce.
+    Raises :class:`SessionError` once the 32-bit nonce field is exhausted.
+    """
+    if seq < 0:
+        raise SessionError(f"sequence number must be non-negative, got {seq}")
+    nonce = seq + 1 + seq // ((1 << width) - 1)
+    if nonce > NONCE_MAX:
+        raise SessionError(
+            f"nonce space exhausted at sequence {seq}: the 32-bit header "
+            f"field cannot address more packets on this direction"
+        )
+    return nonce
+
+
+def seq_for_nonce(nonce: int, width: int) -> int:
+    """Inverse of :func:`nonce_for_seq` (receiver side).
+
+    Raises :class:`SessionError` for nonces a conforming sender can never
+    emit (zero, out of field range, or reducing to the zero LFSR state).
+    """
+    if not 0 < nonce <= NONCE_MAX:
+        raise SessionError(f"nonce {nonce:#x} outside the 32-bit field")
+    if nonce & ((1 << width) - 1) == 0:
+        raise SessionError(
+            f"nonce {nonce:#x} is a multiple of 2**{width}; no conforming "
+            f"sender emits it"
+        )
+    return nonce - 1 - (nonce >> width)
+
+
+def key_fingerprint(key: Key) -> bytes:
+    """8-byte public fingerprint of a root key for handshake comparison.
+
+    Deliberately one-way (SHA-256 based) so the hello frame can prove key
+    agreement without putting key material on the wire.
+    """
+    material = b"mhhea-net-fp\x00" + bytes([key.params.width]) + key.to_bytes()
+    return hashlib.sha256(material).digest()[:8]
+
+
+def derive_epoch_key(root: Key, session_id: bytes, label: bytes,
+                     epoch: int) -> Key:
+    """Key for ``epoch`` of one direction of one session.
+
+    Mixes the root key bytes, the 8-byte session id, the direction label
+    and the epoch counter through SHA-256 and expands the digest into a
+    fresh schedule with the same geometry as the root.  Distinct sessions
+    and distinct directions therefore never share working keys even
+    though they share the long-lived root, which is what makes the
+    per-direction nonce schedules safe link-wide.
+    """
+    if epoch < 0:
+        raise SessionError(f"epoch must be non-negative, got {epoch}")
+    material = (b"mhhea-net-epoch\x00" + bytes([root.params.width])
+                + root.to_bytes() + session_id + label
+                + epoch.to_bytes(8, "little"))
+    seed = int.from_bytes(hashlib.sha256(material).digest()[:8], "little")
+    return Key.generate(seed=seed, n_pairs=len(root), params=root.params)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Link policy both peers must agree on (checked in the handshake)."""
+
+    algorithm: int = ALGORITHM_MHHEA
+    rekey_interval: int = DEFAULT_REKEY_INTERVAL
+    max_payload: int = MAX_PAYLOAD_DEFAULT
+
+    def validate(self, width: int) -> None:
+        """Raise :class:`SessionError` on a policy the link cannot honour."""
+        if self.algorithm not in (ALGORITHM_HHEA, ALGORITHM_MHHEA):
+            raise SessionError(f"unknown algorithm id {self.algorithm}")
+        if self.rekey_interval < 1:
+            raise SessionError(
+                f"rekey_interval must be >= 1, got {self.rekey_interval}"
+            )
+        if self.rekey_interval > max_period(width):
+            raise SessionError(
+                f"rekey_interval {self.rekey_interval} exceeds the "
+                f"{width}-bit LFSR period {max_period(width)}; one epoch "
+                f"would repeat hiding-vector streams (DESIGN.md §4)"
+            )
+        if self.max_payload < 1:
+            raise SessionError(
+                f"max_payload must be >= 1, got {self.max_payload}"
+            )
+
+    def max_wire_payload(self, width: int) -> int:
+        """Ceiling for one packet's *wire* payload, for frame decoders.
+
+        ``max_payload`` caps the plaintext a sender accepts; the hiding
+        cipher then expands it — in the worst case every message bit
+        costs one whole ``width``-bit vector (a single-bit replacement
+        window), i.e. ``width`` wire bytes per plaintext byte.  A
+        receiver must therefore frame up to this bound or it would
+        reject legal packets from a conforming peer.
+        """
+        return self.max_payload * width
+
+
+class _SendHalf:
+    """Outbound direction: owns the sequence counter and epoch key."""
+
+    def __init__(self, root: Key, session_id: bytes, label: bytes,
+                 config: SessionConfig, metrics: SessionMetrics):
+        self._root = root
+        self._session_id = session_id
+        self._label = label
+        self._config = config
+        self._metrics = metrics
+        self._next_seq = 0
+        self._epoch = 0
+        self._key = derive_epoch_key(root, session_id, label, 0)
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def encrypt(self, payload: bytes) -> bytes:
+        if len(payload) > self._config.max_payload:
+            raise SessionError(
+                f"payload of {len(payload)} bytes exceeds the session "
+                f"limit of {self._config.max_payload}"
+            )
+        seq = self._next_seq
+        epoch = seq // self._config.rekey_interval
+        if epoch != self._epoch:
+            self._key = derive_epoch_key(self._root, self._session_id,
+                                         self._label, epoch)
+            self._epoch = epoch
+            self._metrics.tx.rekeys += 1
+        nonce = nonce_for_seq(seq, self._root.params.width)
+        packet = encrypt_packet(payload, self._key, nonce=nonce,
+                                algorithm=self._config.algorithm)
+        self._next_seq = seq + 1
+        self._metrics.tx.packets += 1
+        self._metrics.tx.payload_bytes += len(payload)
+        self._metrics.tx.wire_bytes += len(packet)
+        return packet
+
+
+class _RecvHalf:
+    """Inbound direction: replay window, gap accounting, epoch tracking."""
+
+    def __init__(self, root: Key, session_id: bytes, label: bytes,
+                 config: SessionConfig, metrics: SessionMetrics):
+        self._root = root
+        self._session_id = session_id
+        self._label = label
+        self._config = config
+        self._metrics = metrics
+        self._last_seq = -1
+        self._epoch = 0
+        self._key = derive_epoch_key(root, session_id, label, 0)
+
+    @property
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    def decrypt(self, packet: bytes) -> bytes:
+        header = PacketHeader.unpack(packet)
+        width = self._root.params.width
+        if header.width != width:
+            raise SessionError(
+                f"peer sent {header.width}-bit vectors on a {width}-bit link"
+            )
+        if header.algorithm != self._config.algorithm:
+            raise SessionError(
+                f"peer switched to algorithm {header.algorithm} mid-session"
+            )
+        seq = seq_for_nonce(header.nonce, width)
+        if seq <= self._last_seq:
+            self._metrics.rx.replays += 1
+            raise ReplayError(
+                f"sequence {seq} already accepted (last was {self._last_seq})"
+                f" — replayed or reordered packet"
+            )
+        epoch = seq // self._config.rekey_interval
+        if epoch != self._epoch:
+            self._key = derive_epoch_key(self._root, self._session_id,
+                                         self._label, epoch)
+            self._metrics.rx.rekeys += epoch - self._epoch
+            self._epoch = epoch
+        try:
+            payload = decrypt_packet(packet, self._key)
+        except Exception:
+            # Structural/CRC damage: count it, leave the replay window
+            # untouched so a valid retransmission of this sequence number
+            # is still acceptable.
+            self._metrics.rx.crc_failures += 1
+            raise
+        self._metrics.rx.gaps += seq - self._last_seq - 1
+        self._last_seq = seq
+        self._metrics.rx.packets += 1
+        self._metrics.rx.payload_bytes += len(payload)
+        self._metrics.rx.wire_bytes += len(packet)
+        return payload
+
+
+class Session:
+    """One duplex secure-link endpoint.
+
+    A session binds a shared root :class:`~repro.core.key.Key`, an 8-byte
+    session id (normally minted by the initiator and echoed in the
+    handshake) and a :class:`SessionConfig` into two independent simplex
+    directions, each with its own derived key, nonce schedule and replay
+    window.  ``role`` decides which direction label this endpoint sends
+    on: the ``"initiator"`` sends initiator-to-responder traffic, the
+    ``"responder"`` the reverse, so two correctly-paired endpoints never
+    draw nonces from the same (key, direction) space — the nonce-reuse
+    hazard of DESIGN.md section 4 is structurally impossible as long as
+    session ids are unique per connection.
+    """
+
+    ROLES = ("initiator", "responder")
+
+    def __init__(self, root: Key, role: str, session_id: bytes,
+                 config: SessionConfig | None = None,
+                 metrics: SessionMetrics | None = None):
+        if role not in self.ROLES:
+            raise SessionError(f"role must be one of {self.ROLES}, got {role!r}")
+        if len(session_id) != 8:
+            raise SessionError(
+                f"session id must be 8 bytes, got {len(session_id)}"
+            )
+        params = root.params
+        if params.width % 8 != 0:
+            raise SessionError(
+                f"link sessions need byte-multiple vector widths, got {params.width}"
+            )
+        if params.key_bits > 4:
+            raise SessionError(
+                f"link sessions need serialisable keys (key_bits <= 4); "
+                f"{params.width}-bit vectors use {params.key_bits}"
+            )
+        self._config = config or SessionConfig()
+        self._config.validate(params.width)
+        self.role = role
+        self.session_id = session_id
+        self.metrics = metrics if metrics is not None else SessionMetrics()
+        send_label, recv_label = (
+            (_LABEL_I2R, _LABEL_R2I) if role == "initiator"
+            else (_LABEL_R2I, _LABEL_I2R)
+        )
+        self._send = _SendHalf(root, session_id, send_label, self._config,
+                               self.metrics)
+        self._recv = _RecvHalf(root, session_id, recv_label, self._config,
+                               self.metrics)
+
+    @property
+    def config(self) -> SessionConfig:
+        return self._config
+
+    @property
+    def next_send_seq(self) -> int:
+        """Sequence number the next :meth:`encrypt` call will consume."""
+        return self._send.next_seq
+
+    @property
+    def last_recv_seq(self) -> int:
+        """Highest sequence number accepted so far (-1 before any)."""
+        return self._recv.last_seq
+
+    def encrypt(self, payload: bytes) -> bytes:
+        """Encrypt ``payload`` into the next outbound packet."""
+        return self._send.encrypt(payload)
+
+    def decrypt(self, packet: bytes) -> bytes:
+        """Authenticate ordering, decrypt, and account one inbound packet.
+
+        Raises :class:`~repro.core.errors.ReplayError` for duplicated or
+        reordered sequence numbers, :class:`SessionError` for packets that
+        contradict the negotiated link parameters, and
+        :class:`~repro.core.errors.CipherFormatError` for structural or
+        CRC damage (counted in ``metrics.rx.crc_failures``).
+        """
+        return self._recv.decrypt(packet)

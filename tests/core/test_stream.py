@@ -9,10 +9,12 @@ from repro.core.stream import (
     ALGORITHM_HHEA,
     ALGORITHM_MHHEA,
     HEADER_SIZE,
+    NONCE_MAX,
     PacketHeader,
     decrypt_packet,
     encrypt_packet,
     split_packets,
+    validate_nonce,
 )
 
 
@@ -40,6 +42,44 @@ class TestRoundTrip:
         a = encrypt_packet(b"same", key16, nonce=1)
         b = encrypt_packet(b"same", key16, nonce=2)
         assert a != b
+
+
+class TestNonceValidation:
+    def test_zero_nonce_rejected(self, key16):
+        with pytest.raises(CipherFormatError, match="nonce"):
+            encrypt_packet(b"x", key16, nonce=0)
+
+    def test_width_masked_zero_rejected(self, key16):
+        # 0x10000 is non-zero but reduces to the frozen all-zero state
+        # of the 16-bit LFSR; it must fail clearly, not as a bare
+        # ValueError from inside the generator.
+        with pytest.raises(CipherFormatError, match="all-zero"):
+            encrypt_packet(b"x", key16, nonce=0x10000)
+
+    def test_oversized_nonce_rejected_not_truncated(self, key16):
+        # 2**32 + 1 used to be silently truncated to 1; it must now be
+        # rejected because the header field cannot represent it.
+        with pytest.raises(CipherFormatError, match="32-bit"):
+            encrypt_packet(b"x", key16, nonce=NONCE_MAX + 2)
+
+    def test_negative_nonce_rejected(self, key16):
+        with pytest.raises(CipherFormatError):
+            encrypt_packet(b"x", key16, nonce=-1)
+
+    def test_non_int_nonce_rejected(self, key16):
+        with pytest.raises(CipherFormatError, match="int"):
+            encrypt_packet(b"x", key16, nonce=True)
+
+    def test_boundary_nonces_accepted(self, key16):
+        for nonce in (1, 0xFFFF, 0x10001, NONCE_MAX):
+            assert validate_nonce(nonce, 16) == nonce
+            assert decrypt_packet(
+                encrypt_packet(b"edge", key16, nonce=nonce), key16
+            ) == b"edge"
+
+    def test_header_carries_full_32_bit_nonce(self, key16):
+        packet = encrypt_packet(b"x", key16, nonce=0xDEAD0001)
+        assert PacketHeader.unpack(packet).nonce == 0xDEAD0001
 
 
 class TestHeader:
@@ -102,6 +142,14 @@ class TestDamage:
         with pytest.raises(CipherFormatError, match="CRC"):
             decrypt_packet(bytes(packet), key16)
 
+    def test_header_corruption_caught_by_crc(self, key16):
+        # The CRC covers the header too (v2): a flipped nonce bit must
+        # be detected, not just payload damage.
+        packet = bytearray(encrypt_packet(b"hello there", key16, nonce=1))
+        packet[8] ^= 0x04  # nonce field
+        with pytest.raises(CipherFormatError, match="CRC"):
+            decrypt_packet(bytes(packet), key16)
+
     def test_width_mismatch_with_key(self, key16):
         packet = encrypt_packet(b"x", key16)
         wide_key = Key.generate(seed=1, params=VectorParams(32))
@@ -131,3 +179,23 @@ class TestSplitPackets:
         )
         recovered = [decrypt_packet(p, key16) for p in split_packets(stream)]
         assert recovered == payloads
+
+    def test_truncated_header_rejected(self, key16):
+        stream = encrypt_packet(b"abcdef", key16)
+        with pytest.raises(CipherFormatError, match="header"):
+            split_packets(stream + stream[: HEADER_SIZE - 5])
+
+    def test_trailing_garbage_rejected(self, key16):
+        stream = encrypt_packet(b"abcdef", key16)
+        with pytest.raises(CipherFormatError):
+            split_packets(stream + b"\xffGARBAGE TRAILING BYTES\xff")
+
+    def test_corrupted_mid_stream_length_field(self, key16):
+        # Inflating one packet's vector count desynchronises everything
+        # after it; the parser must fail, not mis-slice silently.
+        first = bytearray(encrypt_packet(b"abc", key16, nonce=1))
+        second = encrypt_packet(b"def", key16, nonce=2)
+        first[16] = 0xFF  # vector count low byte
+        with pytest.raises(CipherFormatError):
+            for packet in split_packets(bytes(first) + second):
+                decrypt_packet(packet, key16)

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import asyncio
+import threading
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -75,3 +78,30 @@ class TestWave:
         out = capsys.readouterr().out
         assert "cycle" in out
         assert "LMSG" in out
+
+
+class TestSecureLink:
+    def test_send_echoes_through_a_live_server(self, tmp_path, capsys):
+        from repro.core.key import Key
+        from repro.net import SecureLinkServer
+
+        key_hex = "03:25:71:46"
+        loop = asyncio.new_event_loop()
+        server = SecureLinkServer(Key.from_hex(key_hex), port=0)
+        loop.run_until_complete(server.start())
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            payload = tmp_path / "payload.bin"
+            payload.write_bytes(b"cli secure link payload " * 64)
+            rc = main(["send", "--key", key_hex, "--port", str(server.port),
+                       "--chunk", "128", str(payload)])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "byte-exact" in out
+            assert "Mbps" in out
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5)
+            loop.run_until_complete(server.close())
+            loop.close()
