@@ -15,7 +15,10 @@ Subcommands map one-to-one onto the library's public surface:
 4–6: a hello handshake (algorithm, width, rekey interval, key
 fingerprint), then ciphertext packets under per-session derived keys
 with automatic rekeying.  Both ends must be started with the same key
-and the same ``--rekey-interval``.  A typical loopback check::
+and the same ``--rekey-interval``.  ``encrypt``/``decrypt``/``serve``/
+``send`` default to the bit-parallel fast engine (``--engine reference``
+selects the per-bit golden model; both emit identical packets, see
+DESIGN.md section 8).  A typical loopback check::
 
     repro-mhhea keygen --seed 1 > key.txt
     repro-mhhea serve --key "$(cat key.txt)" --port 45678 &
@@ -50,14 +53,23 @@ def build_parser() -> argparse.ArgumentParser:
     keygen.add_argument("--seed", type=int, required=True)
     keygen.add_argument("--pairs", type=int, default=16)
 
+    def add_engine_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--engine", choices=("reference", "fast"), default="fast",
+            help="cipher implementation: bit-parallel 'fast' (default) or "
+                 "the per-bit 'reference'; both produce identical packets",
+        )
+
     encrypt = sub.add_parser("encrypt", help="encrypt a file into a packet")
     encrypt.add_argument("--key", required=True, help="hex key (keygen output)")
     encrypt.add_argument("--nonce", type=lambda s: int(s, 0), default=0xACE1)
+    add_engine_flag(encrypt)
     encrypt.add_argument("input")
     encrypt.add_argument("output")
 
     decrypt = sub.add_parser("decrypt", help="decrypt a packet file")
     decrypt.add_argument("--key", required=True)
+    add_engine_flag(decrypt)
     decrypt.add_argument("input")
     decrypt.add_argument("output")
 
@@ -100,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP port (0 picks a free one)")
     serve.add_argument("--rekey-interval", type=int, default=1024,
                        help="packets per direction before the key ratchets")
+    add_engine_flag(serve)
 
     send = sub.add_parser("send", help="stream a file over the secure link")
     send.add_argument("--key", required=True, help="hex key (keygen output)")
@@ -109,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="payload bytes per packet")
     send.add_argument("--rekey-interval", type=int, default=1024,
                       help="must match the server's setting")
+    add_engine_flag(send)
     send.add_argument("input")
     return parser
 
@@ -127,7 +141,8 @@ def main(argv: list[str] | None = None) -> int:
         key = Key.from_hex(args.key)
         with open(args.input, "rb") as handle:
             payload = handle.read()
-        packet = encrypt_packet(payload, key, nonce=args.nonce)
+        packet = encrypt_packet(payload, key, nonce=args.nonce,
+                                engine=args.engine)
         with open(args.output, "wb") as handle:
             handle.write(packet)
         out.write(f"wrote {len(packet)} bytes ({len(payload)} plaintext)\n")
@@ -137,7 +152,7 @@ def main(argv: list[str] | None = None) -> int:
         key = Key.from_hex(args.key)
         with open(args.input, "rb") as handle:
             packet = handle.read()
-        payload = decrypt_packet(packet, key)
+        payload = decrypt_packet(packet, key, engine=args.engine)
         with open(args.output, "wb") as handle:
             handle.write(payload)
         out.write(f"recovered {len(payload)} bytes\n")
@@ -215,7 +230,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.net.session import SessionConfig
 
         key = Key.from_hex(args.key)
-        config = SessionConfig(rekey_interval=args.rekey_interval)
+        config = SessionConfig(rekey_interval=args.rekey_interval,
+                               engine=args.engine)
 
         async def _serve() -> None:
             async with SecureLinkServer(key, host=args.host, port=args.port,
@@ -239,7 +255,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.net.session import SessionConfig
 
         key = Key.from_hex(args.key)
-        config = SessionConfig(rekey_interval=args.rekey_interval)
+        config = SessionConfig(rekey_interval=args.rekey_interval,
+                               engine=args.engine)
         with open(args.input, "rb") as handle:
             data = handle.read()
         chunk = max(args.chunk, 1)

@@ -10,7 +10,10 @@ Public surface:
   integers);
 * :class:`repro.core.params.VectorParams` — hiding-vector geometry
   (the paper's configuration is :data:`repro.core.params.PAPER_PARAMS`);
-* :mod:`repro.core.stream` — the packet container for link-level use.
+* :mod:`repro.core.stream` — the packet container for link-level use;
+* :mod:`repro.core.fastpath` — the word-level fast engine
+  (``engine="fast"`` everywhere, :class:`repro.core.fastpath.BatchCodec`
+  for batched packet workloads).
 """
 
 from repro.core.errors import (
@@ -21,6 +24,7 @@ from repro.core.errors import (
     KeyError_,
     ReproError,
 )
+from repro.core.fastpath import BatchCodec
 from repro.core.hhea import HheaCipher
 from repro.core.key import Key, KeyPair, scramble_pair
 from repro.core.mhhea import EncryptedMessage, MhheaCipher
@@ -34,6 +38,7 @@ __all__ = [
     "HardwareModelError",
     "KeyError_",
     "ReproError",
+    "BatchCodec",
     "HheaCipher",
     "Key",
     "KeyPair",

@@ -22,6 +22,12 @@ random vector bits, exactly like the pseudocode's end-of-file guard).
 pseudocode, ``16`` reproduces the micro-architecture bit-for-bit.  Both
 sides of a link must simply agree — the trade-off is documented in
 DESIGN.md section 2.
+
+This module is the *reference* engine: one bit per inner-loop iteration,
+optimised for being obviously faithful to the pseudocode.  The
+word-level production engine lives in :mod:`repro.core.fastpath` and is
+pinned to this implementation by the differential conformance suite
+(``tests/core/test_fastpath_equiv.py``, DESIGN.md section 8).
 """
 
 from __future__ import annotations
@@ -101,7 +107,7 @@ def embed_stream(
             bit = bits[m]
             if bit not in (0, 1):
                 raise ValueError(f"message bit {m} is {bit!r}, expected 0 or 1")
-            scrambled = bit ^ data_bit_policy(pair, q)
+            scrambled = bit ^ _check_data_bit(data_bit_policy(pair, q), q)
             out = (out & ~(1 << j)) | (scrambled << j)
             m += 1
             q += 1
@@ -175,7 +181,7 @@ def extract_stream(
             j = kn1 + offset
             q %= params.key_bits
             raw = (vector >> j) & 1
-            bits.append(raw ^ data_bit_policy(pair, q))
+            bits.append(raw ^ _check_data_bit(data_bit_policy(pair, q), q))
             q += 1
         frame_left -= budget
         if frame_left == 0 and frame_bits is not None:
@@ -204,9 +210,26 @@ def extract_stream(
 
 
 def _validate_window(kn1: int, kn2: int, params: VectorParams) -> None:
-    """Guard the engine against a broken window policy."""
+    """Guard the engine against a broken window policy.
+
+    Raises :class:`CipherFormatError` — not a bare :class:`ValueError` —
+    so a pathological policy can never silently corrupt a stream and so
+    callers handle it through the same hierarchy as any other malformed
+    ciphertext.  The fast engine (:mod:`repro.core.fastpath`) enforces
+    the identical contract.
+    """
     if not 0 <= kn1 <= kn2 <= params.key_max:
-        raise ValueError(
+        raise CipherFormatError(
             f"window policy produced illegal window [{kn1}, {kn2}] "
             f"for {params.width}-bit vectors"
         )
+
+
+def _check_data_bit(bit: int, q: int) -> int:
+    """Guard against a data policy that returns a non-bit (would corrupt
+    neighbouring vector positions when shifted into place)."""
+    if bit not in (0, 1):
+        raise CipherFormatError(
+            f"data-bit policy returned {bit!r} for q={q}, expected 0 or 1"
+        )
+    return bit

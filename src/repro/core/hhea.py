@@ -19,7 +19,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core import engine
+from repro.core import engine as _engine
+from repro.core import fastpath
 from repro.core.key import Key, KeyPair
 from repro.core.params import PAPER_PARAMS, VectorParams
 from repro.core.trace import TraceRecorder
@@ -43,13 +44,23 @@ def _data_bit_policy(pair: KeyPair, q: int) -> int:
 def encrypt_bits(
     bits: Sequence[int],
     key: Key,
-    source: engine.VectorSource,
+    source: _engine.VectorSource,
     params: VectorParams = PAPER_PARAMS,
     trace: TraceRecorder | None = None,
     frame_bits: int | None = None,
+    engine: str = fastpath.DEFAULT_ENGINE,
 ) -> list[int]:
-    """Embed a message bit stream at the raw key locations."""
-    return engine.embed_stream(
+    """Embed a message bit stream at the raw key locations.
+
+    ``engine="fast"`` selects the word-level engine
+    (:mod:`repro.core.fastpath`); output is bit-identical and trace
+    recording always falls back to the reference implementation.
+    """
+    fastpath.check_engine(engine)
+    if engine == "fast" and trace is None:
+        schedule = fastpath.schedule_for(key, fastpath.HHEA, params)
+        return schedule.embed_bits(bits, source, frame_bits)
+    return _engine.embed_stream(
         bits, key, source, _window_policy, _data_bit_policy, params, trace,
         frame_bits=frame_bits,
     )
@@ -63,9 +74,14 @@ def decrypt_bits(
     trace: TraceRecorder | None = None,
     strict: bool = True,
     frame_bits: int | None = None,
+    engine: str = fastpath.DEFAULT_ENGINE,
 ) -> list[int]:
     """Extract ``n_bits`` message bits from the raw key locations."""
-    return engine.extract_stream(
+    fastpath.check_engine(engine)
+    if engine == "fast" and trace is None:
+        schedule = fastpath.schedule_for(key, fastpath.HHEA, params)
+        return schedule.extract_bits(vectors, n_bits, strict, frame_bits)
+    return _engine.extract_stream(
         vectors, key, n_bits, _window_policy, _data_bit_policy, params,
         trace, strict, frame_bits,
     )
@@ -81,24 +97,33 @@ class _Message:
 class HheaCipher:
     """Bytes-level HHEA encryptor/decryptor (baseline for comparisons)."""
 
-    def __init__(self, key: Key, params: VectorParams = PAPER_PARAMS):
+    def __init__(self, key: Key, params: VectorParams = PAPER_PARAMS,
+                 engine: str = fastpath.DEFAULT_ENGINE):
         if key.params != params:
             raise ValueError(
                 f"key was built for {key.params} but cipher uses {params}"
             )
         self.key = key
         self.params = params
+        self.engine = fastpath.check_engine(engine)
 
     def encrypt(
         self,
         plaintext: bytes,
         seed: int = 0xACE1,
-        source: engine.VectorSource | None = None,
+        source: _engine.VectorSource | None = None,
         trace: TraceRecorder | None = None,
     ) -> _Message:
         """Encrypt bytes with a seeded LFSR hiding-vector source."""
         if source is None:
             source = Lfsr(self.params.width, seed=seed)
+        if self.engine == "fast" and trace is None:
+            # Straight bytes -> packed words: no per-bit list ever exists.
+            schedule = fastpath.schedule_for(self.key, fastpath.HHEA,
+                                             self.params)
+            vectors = schedule.embed_bytes(plaintext, source)
+            return _Message(tuple(vectors), len(plaintext) * 8,
+                            self.params.width)
         bits = bytes_to_bits(plaintext)
         vectors = encrypt_bits(bits, self.key, source, self.params, trace)
         return _Message(tuple(vectors), len(bits), self.params.width)
@@ -110,7 +135,11 @@ class HheaCipher:
                 f"ciphertext uses {message.width}-bit vectors, "
                 f"cipher is configured for {self.params.width}"
             )
+        if self.engine == "fast" and trace is None:
+            schedule = fastpath.schedule_for(self.key, fastpath.HHEA,
+                                             self.params)
+            return schedule.extract_bytes(message.vectors, message.n_bits)
         bits = decrypt_bits(
-            message.vectors, self.key, message.n_bits, self.params, trace
+            message.vectors, self.key, message.n_bits, self.params, trace,
         )
         return bits_to_bytes(bits)

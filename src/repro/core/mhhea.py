@@ -21,7 +21,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core import engine
+from repro.core import engine as _engine
+from repro.core import fastpath
 from repro.core.key import Key, KeyPair, scramble_pair
 from repro.core.params import PAPER_PARAMS, VectorParams
 from repro.core.trace import TraceRecorder
@@ -44,10 +45,11 @@ def _data_bit_policy(pair: KeyPair, q: int) -> int:
 def encrypt_bits(
     bits: Sequence[int],
     key: Key,
-    source: engine.VectorSource,
+    source: _engine.VectorSource,
     params: VectorParams = PAPER_PARAMS,
     trace: TraceRecorder | None = None,
     frame_bits: int | None = None,
+    engine: str = fastpath.DEFAULT_ENGINE,
 ) -> list[int]:
     """Encrypt a message bit stream into a list of hiding vectors.
 
@@ -55,9 +57,15 @@ def encrypt_bits(
     pair — an :class:`repro.util.lfsr.Lfsr` for encryption proper, or a
     cover adapter for steganography.  ``frame_bits=16`` reproduces the
     micro-architecture's half-buffer framing bit-for-bit; ``None`` is the
-    paper's flat pseudocode.
+    paper's flat pseudocode.  ``engine="fast"`` selects the bit-parallel
+    word engine (:mod:`repro.core.fastpath`) — bit-identical output,
+    differentially tested; trace recording always uses the reference.
     """
-    return engine.embed_stream(
+    fastpath.check_engine(engine)
+    if engine == "fast" and trace is None:
+        schedule = fastpath.schedule_for(key, fastpath.MHHEA, params)
+        return schedule.embed_bits(bits, source, frame_bits)
+    return _engine.embed_stream(
         bits, key, source, _window_policy, _data_bit_policy, params, trace,
         frame_bits=frame_bits,
     )
@@ -71,14 +79,20 @@ def decrypt_bits(
     trace: TraceRecorder | None = None,
     strict: bool = True,
     frame_bits: int | None = None,
+    engine: str = fastpath.DEFAULT_ENGINE,
 ) -> list[int]:
     """Recover ``n_bits`` message bits from ciphertext vectors.
 
     No random source is needed: the scramble half of every vector
     survives embedding intact, so the receiver recomputes each window
-    exactly as the sender did.  ``frame_bits`` must match encryption.
+    exactly as the sender did.  ``frame_bits`` must match encryption;
+    ``engine`` selects the implementation as in :func:`encrypt_bits`.
     """
-    return engine.extract_stream(
+    fastpath.check_engine(engine)
+    if engine == "fast" and trace is None:
+        schedule = fastpath.schedule_for(key, fastpath.MHHEA, params)
+        return schedule.extract_bits(vectors, n_bits, strict, frame_bits)
+    return _engine.extract_stream(
         vectors, key, n_bits, _window_policy, _data_bit_policy, params,
         trace, strict, frame_bits,
     )
@@ -121,19 +135,21 @@ class MhheaCipher:
     b'attack at dawn'
     """
 
-    def __init__(self, key: Key, params: VectorParams = PAPER_PARAMS):
+    def __init__(self, key: Key, params: VectorParams = PAPER_PARAMS,
+                 engine: str = fastpath.DEFAULT_ENGINE):
         if key.params != params:
             raise ValueError(
                 f"key was built for {key.params} but cipher uses {params}"
             )
         self.key = key
         self.params = params
+        self.engine = fastpath.check_engine(engine)
 
     def encrypt(
         self,
         plaintext: bytes,
         seed: int = 0xACE1,
-        source: engine.VectorSource | None = None,
+        source: _engine.VectorSource | None = None,
         trace: TraceRecorder | None = None,
     ) -> EncryptedMessage:
         """Encrypt bytes; ``seed`` initialises the LFSR hiding-vector RNG.
@@ -144,6 +160,13 @@ class MhheaCipher:
         """
         if source is None:
             source = Lfsr(self.params.width, seed=seed)
+        if self.engine == "fast" and trace is None:
+            # Straight bytes -> packed words: no per-bit list ever exists.
+            schedule = fastpath.schedule_for(self.key, fastpath.MHHEA,
+                                             self.params)
+            vectors = schedule.embed_bytes(plaintext, source)
+            return EncryptedMessage(tuple(vectors), len(plaintext) * 8,
+                                    self.params.width)
         bits = bytes_to_bits(plaintext)
         vectors = encrypt_bits(bits, self.key, source, self.params, trace)
         return EncryptedMessage(tuple(vectors), len(bits), self.params.width)
@@ -156,7 +179,11 @@ class MhheaCipher:
                 f"ciphertext uses {message.width}-bit vectors, "
                 f"cipher is configured for {self.params.width}"
             )
+        if self.engine == "fast" and trace is None:
+            schedule = fastpath.schedule_for(self.key, fastpath.MHHEA,
+                                             self.params)
+            return schedule.extract_bytes(message.vectors, message.n_bits)
         bits = decrypt_bits(
-            message.vectors, self.key, message.n_bits, self.params, trace
+            message.vectors, self.key, message.n_bits, self.params, trace,
         )
         return bits_to_bytes(bits)

@@ -34,7 +34,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, replace
 
-from repro.core import hhea, mhhea
+from repro.core import fastpath, hhea, mhhea
 from repro.core.errors import CipherFormatError
 from repro.core.key import Key
 from repro.core.params import VectorParams
@@ -50,6 +50,7 @@ __all__ = [
     "NONCE_MAX",
     "PacketHeader",
     "validate_nonce",
+    "verify_packet",
     "encrypt_packet",
     "decrypt_packet",
     "split_packets",
@@ -157,8 +158,16 @@ def _packet_crc(header: PacketHeader, payload: bytes) -> int:
     return crc16_ccitt(replace(header, crc=0).pack() + payload)
 
 
+#: Vector sizes with a native struct format (covers every power-of-two
+#: width up to 64); other byte-multiple widths fall back to the loop.
+_STRUCT_CODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
+
+
 def _vectors_to_payload(vectors: tuple[int, ...] | list[int], width: int) -> bytes:
     step = width // 8
+    code = _STRUCT_CODES.get(step)
+    if code is not None:
+        return struct.pack(f"<{len(vectors)}{code}", *vectors)
     out = bytearray()
     for vector in vectors:
         out += vector.to_bytes(step, "little")
@@ -171,6 +180,9 @@ def _payload_to_vectors(payload: bytes, width: int) -> list[int]:
         raise CipherFormatError(
             f"payload length {len(payload)} not a multiple of vector size {step}"
         )
+    code = _STRUCT_CODES.get(step)
+    if code is not None:
+        return list(struct.unpack(f"<{len(payload) // step}{code}", payload))
     return [
         int.from_bytes(payload[i : i + step], "little")
         for i in range(0, len(payload), step)
@@ -182,6 +194,7 @@ def encrypt_packet(
     key: Key,
     nonce: int = 0xACE1,
     algorithm: int = ALGORITHM_MHHEA,
+    engine: str = fastpath.DEFAULT_ENGINE,
 ) -> bytes:
     """Encrypt ``plaintext`` into one self-describing packet.
 
@@ -191,27 +204,38 @@ def encrypt_packet(
     reuse does for a stream cipher.  DESIGN.md section 4 specifies the
     discipline once; :class:`repro.net.session.Session` automates it for
     link traffic.
+
+    ``engine="fast"`` runs the word-level engine on the packed plaintext
+    (no per-bit lists at all); the wire packet is byte-identical to the
+    reference engine's, so mixed-engine links interoperate freely.
     """
+    fastpath.check_engine(engine)
     params = key.params
     if params.width % 8 != 0:
         raise CipherFormatError(
             f"packet format requires byte-multiple vector widths, got {params.width}"
         )
+    if algorithm not in (ALGORITHM_HHEA, ALGORITHM_MHHEA):
+        raise CipherFormatError(f"unknown algorithm id {algorithm}")
     validate_nonce(nonce, params.width)
     source = Lfsr(params.width, seed=nonce)
-    bits = bytes_to_bits(plaintext)
-    if algorithm == ALGORITHM_MHHEA:
-        vectors = mhhea.encrypt_bits(bits, key, source, params)
-    elif algorithm == ALGORITHM_HHEA:
-        vectors = hhea.encrypt_bits(bits, key, source, params)
+    n_bits = len(plaintext) * 8
+    if engine == "fast":
+        name = fastpath.MHHEA if algorithm == ALGORITHM_MHHEA else fastpath.HHEA
+        schedule = fastpath.schedule_for(key, name, params)
+        vectors = schedule.embed_bytes(plaintext, source)
     else:
-        raise CipherFormatError(f"unknown algorithm id {algorithm}")
+        bits = bytes_to_bits(plaintext)
+        if algorithm == ALGORITHM_MHHEA:
+            vectors = mhhea.encrypt_bits(bits, key, source, params)
+        else:
+            vectors = hhea.encrypt_bits(bits, key, source, params)
     payload = _vectors_to_payload(vectors, params.width)
     header = PacketHeader(
         algorithm=algorithm,
         width=params.width,
         nonce=nonce,
-        n_bits=len(bits),
+        n_bits=n_bits,
         n_vectors=len(vectors),
         crc=0,
     )
@@ -219,18 +243,22 @@ def encrypt_packet(
     return header.pack() + payload
 
 
-def decrypt_packet(packet: bytes, key: Key) -> bytes:
-    """Decrypt one packet produced by :func:`encrypt_packet`.
+def verify_packet(packet: bytes) -> PacketHeader:
+    """Structurally validate one packet without decrypting it.
 
-    Raises :class:`CipherFormatError` on any structural damage: bad magic,
-    truncation, CRC mismatch, or a width that disagrees with the key's
-    parameter set.
+    Parses the header, checks the payload-length bookkeeping and the
+    CRC-16 over header plus payload; returns the parsed header.  This is
+    the integrity half of :func:`decrypt_packet`, split out so the
+    framing layer (``FrameDecoder(verify_crc=True)``) can refuse to emit
+    a damaged frame without holding any key material.
     """
     header = PacketHeader.unpack(packet)
-    params = key.params
-    if header.width != params.width:
+    if header.n_bits % 8 != 0:
+        # encrypt_packet only ever writes whole bytes; catching the
+        # violation here keeps decrypt_packet's error contract uniform
+        # (CipherFormatError) and skips the doomed extraction entirely.
         raise CipherFormatError(
-            f"packet uses {header.width}-bit vectors but key is for {params.width}"
+            f"header n_bits {header.n_bits} is not a whole byte count"
         )
     payload = packet[HEADER_SIZE : HEADER_SIZE + header.payload_size]
     if len(payload) != header.payload_size:
@@ -244,7 +272,32 @@ def decrypt_packet(packet: bytes, key: Key) -> bytes:
         raise CipherFormatError(
             f"packet CRC mismatch: header {header.crc:#06x}, computed {actual_crc:#06x}"
         )
+    return header
+
+
+def decrypt_packet(packet: bytes, key: Key,
+                   engine: str = fastpath.DEFAULT_ENGINE) -> bytes:
+    """Decrypt one packet produced by :func:`encrypt_packet`.
+
+    Raises :class:`CipherFormatError` on any structural damage: bad magic,
+    truncation, CRC mismatch, or a width that disagrees with the key's
+    parameter set.  ``engine`` selects the implementation exactly as for
+    :func:`encrypt_packet`; either engine decrypts either's output.
+    """
+    fastpath.check_engine(engine)
+    header = verify_packet(packet)
+    params = key.params
+    if header.width != params.width:
+        raise CipherFormatError(
+            f"packet uses {header.width}-bit vectors but key is for {params.width}"
+        )
+    payload = packet[HEADER_SIZE : HEADER_SIZE + header.payload_size]
     vectors = _payload_to_vectors(payload, header.width)
+    if engine == "fast":
+        name = (fastpath.MHHEA if header.algorithm == ALGORITHM_MHHEA
+                else fastpath.HHEA)
+        schedule = fastpath.schedule_for(key, name, params)
+        return schedule.extract_bytes(vectors, header.n_bits)
     if header.algorithm == ALGORITHM_MHHEA:
         bits = mhhea.decrypt_bits(vectors, key, header.n_bits, params)
     else:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+from dataclasses import replace
 
 from repro.core.errors import HandshakeError, SessionError
 from repro.core.key import Key
@@ -46,11 +47,16 @@ class SecureLinkClient:
 
     def __init__(self, root: Key, host: str = "127.0.0.1", port: int = 0,
                  config: SessionConfig | None = None,
-                 session_id: bytes | None = None):
+                 session_id: bytes | None = None,
+                 engine: str | None = None):
         self._root = root
         self._host = host
         self._port = port
-        self._config = config or SessionConfig()
+        config = config or SessionConfig()
+        if engine is not None:
+            # Local cipher-engine override; never part of the handshake.
+            config = replace(config, engine=engine)
+        self._config = config
         self._config.validate(root.params.width)
         self._session_id = session_id if session_id is not None else os.urandom(8)
         self._reader: asyncio.StreamReader | None = None

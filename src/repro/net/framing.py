@@ -30,6 +30,7 @@ from repro.core.stream import (
     HEADER_SIZE,
     MAGIC,
     PacketHeader,
+    verify_packet,
 )
 from repro.util.crc import crc16_ccitt
 
@@ -142,6 +143,14 @@ class FrameDecoder:
         decoder scans forward for the next magic instead, counting the
         discarded bytes in :attr:`bytes_skipped` — the recovery mode for
         lossy or damaged transports.
+    verify_crc:
+        With ``False`` (the default) framing only *delimits* packet
+        frames — the payload CRC is the decryptor's job, so a payload
+        bit flip still yields one complete (but doomed) frame.  With
+        ``True`` the decoder runs the full packet CRC before emitting: a
+        damaged packet raises (or, under ``resync``, is skipped like
+        junk), so no frame with a bad CRC is ever returned.  Hello
+        frames are always fully CRC-checked.
 
     A raised framing error is fatal for the stream: frames decoded
     earlier in the same ``feed`` call are discarded with it, because on
@@ -153,11 +162,12 @@ class FrameDecoder:
     _TAIL = 3
 
     def __init__(self, max_payload: int = MAX_PAYLOAD_DEFAULT,
-                 resync: bool = False):
+                 resync: bool = False, verify_crc: bool = False):
         if max_payload < 1:
             raise ValueError(f"max_payload must be >= 1, got {max_payload}")
         self.max_payload = max_payload
         self.resync = resync
+        self.verify_crc = verify_crc
         self.bytes_skipped = 0
         self.frames_decoded = 0
         self._buffer = bytearray()
@@ -230,6 +240,9 @@ class FrameDecoder:
         total = HEADER_SIZE + header.payload_size
         if len(buf) < total:
             return None
+        if self.verify_crc:
+            if self._parse(verify_packet, bytes(buf[:total])) is None:
+                return None
         return self._emit("packet", total)
 
     def _try_hello(self) -> Frame | None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import inspect
+from dataclasses import replace
 from typing import Awaitable, Callable
 
 from repro.core.errors import HandshakeError, ReproError
@@ -60,13 +61,19 @@ class SecureLinkServer:
     def __init__(self, root: Key, host: str = "127.0.0.1", port: int = 0,
                  config: SessionConfig | None = None,
                  handler: Handler = _echo,
-                 queue_depth: int = DEFAULT_QUEUE_DEPTH):
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 engine: str | None = None):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self._root = root
         self._host = host
         self._requested_port = port
-        self._config = config or SessionConfig()
+        config = config or SessionConfig()
+        if engine is not None:
+            # Convenience override: the cipher engine is a purely local
+            # choice (packets are byte-identical), not handshake policy.
+            config = replace(config, engine=engine)
+        self._config = config
         self._config.validate(root.params.width)
         self._handler = handler
         self._queue_depth = queue_depth

@@ -33,6 +33,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.core.errors import ReplayError, SessionError
+from repro.core.fastpath import DEFAULT_ENGINE, ENGINES
 from repro.core.key import Key
 from repro.core.stream import (
     ALGORITHM_HHEA,
@@ -133,16 +134,28 @@ def derive_epoch_key(root: Key, session_id: bytes, label: bytes,
 
 @dataclass(frozen=True)
 class SessionConfig:
-    """Link policy both peers must agree on (checked in the handshake)."""
+    """Link policy both peers must agree on (checked in the handshake).
+
+    ``engine`` is the one *local* knob: it selects the cipher
+    implementation (``"reference"`` or ``"fast"``, see
+    :mod:`repro.core.fastpath`) for this endpoint only.  Both engines
+    emit byte-identical packets, so it is deliberately absent from the
+    hello frame — peers may mix freely.
+    """
 
     algorithm: int = ALGORITHM_MHHEA
     rekey_interval: int = DEFAULT_REKEY_INTERVAL
     max_payload: int = MAX_PAYLOAD_DEFAULT
+    engine: str = DEFAULT_ENGINE
 
     def validate(self, width: int) -> None:
         """Raise :class:`SessionError` on a policy the link cannot honour."""
         if self.algorithm not in (ALGORITHM_HHEA, ALGORITHM_MHHEA):
             raise SessionError(f"unknown algorithm id {self.algorithm}")
+        if self.engine not in ENGINES:
+            raise SessionError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         if self.rekey_interval < 1:
             raise SessionError(
                 f"rekey_interval must be >= 1, got {self.rekey_interval}"
@@ -204,7 +217,8 @@ class _SendHalf:
             self._metrics.tx.rekeys += 1
         nonce = nonce_for_seq(seq, self._root.params.width)
         packet = encrypt_packet(payload, self._key, nonce=nonce,
-                                algorithm=self._config.algorithm)
+                                algorithm=self._config.algorithm,
+                                engine=self._config.engine)
         self._next_seq = seq + 1
         self._metrics.tx.packets += 1
         self._metrics.tx.payload_bytes += len(payload)
@@ -255,7 +269,8 @@ class _RecvHalf:
             self._metrics.rx.rekeys += epoch - self._epoch
             self._epoch = epoch
         try:
-            payload = decrypt_packet(packet, self._key)
+            payload = decrypt_packet(packet, self._key,
+                                     engine=self._config.engine)
         except Exception:
             # Structural/CRC damage: count it, leave the replay window
             # untouched so a valid retransmission of this sequence number
@@ -292,6 +307,14 @@ class Session:
                  metrics: SessionMetrics | None = None):
         if role not in self.ROLES:
             raise SessionError(f"role must be one of {self.ROLES}, got {role!r}")
+        if len(root) == 0:
+            # Caught here, not deep inside derive_epoch_key: a hollow key
+            # would otherwise surface as a confusing KeyError_ from the
+            # epoch-key generator on the first send.
+            raise SessionError(
+                "root key has no pairs; per-direction key derivation needs "
+                "at least one key pair"
+            )
         if len(session_id) != 8:
             raise SessionError(
                 f"session id must be 8 bytes, got {len(session_id)}"

@@ -1,22 +1,31 @@
-"""CRC-16/CCITT-FALSE, bit-serial reference implementation.
+"""CRC-16/CCITT-FALSE: table-driven production form + bit-serial golden model.
 
 The packet container (:mod:`repro.core.stream`) protects its payload with
 this CRC so corrupted links are detected before extraction garbles the
 message silently — the paper pitches the architecture for "packet-level
 encryption", and a packet format without an integrity check would be a
-toy.  The bit-serial formulation doubles as the golden model for the
-(optional) CRC hardware exercises in the HDL tests.
+toy.
+
+Two implementations live here on purpose, mirroring the engine split of
+:mod:`repro.core.engine` / :mod:`repro.core.fastpath`:
+
+* :func:`crc16_ccitt_bitserial` — the bit-serial formulation, one
+  polynomial step per message bit.  It doubles as the golden model for
+  the (optional) CRC hardware exercises in the HDL tests.
+* :func:`crc16_ccitt` — the byte-at-a-time table form every caller uses.
+  The 256-entry table is generated from the bit-serial model itself, so
+  the two cannot disagree; ``tests/util`` cross-checks them anyway.
 """
 
 from __future__ import annotations
 
-__all__ = ["crc16_ccitt", "Crc16"]
+__all__ = ["crc16_ccitt", "crc16_ccitt_bitserial", "Crc16"]
 
 _POLY = 0x1021
 
 
-def crc16_ccitt(data: bytes, init: int = 0xFFFF) -> int:
-    """CRC-16/CCITT-FALSE of ``data`` (poly 0x1021, MSB-first, init 0xFFFF)."""
+def crc16_ccitt_bitserial(data: bytes, init: int = 0xFFFF) -> int:
+    """Bit-serial CRC-16/CCITT-FALSE (poly 0x1021, MSB-first, init 0xFFFF)."""
     crc = init & 0xFFFF
     for byte in data:
         crc ^= byte << 8
@@ -25,6 +34,21 @@ def crc16_ccitt(data: bytes, init: int = 0xFFFF) -> int:
                 crc = ((crc << 1) ^ _POLY) & 0xFFFF
             else:
                 crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+#: One polynomial-division step per *byte*: the table entry for the top
+#: byte of the register is exactly eight bit-serial steps, sampled from
+#: the golden model above.
+_TABLE = tuple(crc16_ccitt_bitserial(bytes([b]), init=0) for b in range(256))
+
+
+def crc16_ccitt(data: bytes, init: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE of ``data`` (poly 0x1021, MSB-first, init 0xFFFF)."""
+    crc = init & 0xFFFF
+    table = _TABLE
+    for byte in data:
+        crc = ((crc << 8) & 0xFF00) ^ table[(crc >> 8) ^ byte]
     return crc
 
 

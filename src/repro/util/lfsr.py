@@ -15,9 +15,11 @@ word; :meth:`Lfsr.next_word` relies on that.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.util.bits import mask, parity
 
-__all__ = ["PRIMITIVE_TAPS", "Lfsr", "GaloisLfsr", "max_period",
+__all__ = ["PRIMITIVE_TAPS", "Lfsr", "GaloisLfsr", "LeapLfsr", "max_period",
            "taps_to_mask", "fibonacci_mask"]
 
 # Primitive polynomial taps (1-indexed bit positions, MSB first) for every
@@ -150,6 +152,101 @@ class Lfsr:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Lfsr(width={self.width}, state={self.state:#06x}, taps={self.taps})"
+
+
+@lru_cache(maxsize=None)
+def _leap_tables(width: int, taps: tuple[int, ...]
+                 ) -> tuple[tuple[int, tuple[int, ...]], ...]:
+    """Byte-indexed XOR tables that jump an LFSR ``width`` steps at once.
+
+    The Fibonacci recurrence is linear over GF(2), so the state after
+    ``width`` single-bit steps is a constant matrix applied to the state.
+    The matrix is *sampled from the reference* :class:`Lfsr` — one basis
+    probe per register bit — which is what makes :class:`LeapLfsr`
+    equivalent by construction rather than by re-derivation.  The basis
+    columns are then folded into one 256-entry table per state byte, so a
+    whole fresh word costs ``ceil(width / 8)`` lookups and XORs.
+
+    Returns ``((shift, table), ...)``; the next state is the XOR over all
+    chunks of ``table[(state >> shift) & (len(table) - 1)]``.
+    """
+    basis = []
+    for j in range(width):
+        probe = Lfsr(width, seed=1 << j, taps=taps)
+        probe.next_word()
+        basis.append(probe.state)
+    chunks = []
+    for low in range(0, width, 8):
+        size = min(8, width - low)
+        table = [0] * (1 << size)
+        for value in range(1, 1 << size):
+            lsb = value & -value
+            table[value] = table[value ^ lsb] ^ basis[low + lsb.bit_length() - 1]
+        chunks.append((low, tuple(table)))
+    return tuple(chunks)
+
+
+class LeapLfsr:
+    """Leap-forward stepper emitting exactly :meth:`Lfsr.next_word`'s sequence.
+
+    This is the batched hiding-vector generator of the fast engine
+    (:mod:`repro.core.fastpath`): instead of ``width`` single-bit steps
+    per vector it applies the precomputed ``width``-step transition
+    matrix as a handful of table lookups (see :func:`_leap_tables`).
+    It deliberately has no ``step`` method — it moves in whole words.
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0xACE1,
+                 taps: tuple[int, ...] | None = None):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if taps is None:
+            if width not in PRIMITIVE_TAPS:
+                raise ValueError(
+                    f"no default primitive taps for width {width}; pass taps explicitly"
+                )
+            taps = PRIMITIVE_TAPS[width]
+        self.width = width
+        self.taps = tuple(sorted(taps, reverse=True))
+        seed &= mask(width)
+        if seed == 0:
+            raise ValueError("seed must be non-zero for an LFSR")
+        self.state = seed
+        self._chunks = _leap_tables(width, self.taps)
+
+    @classmethod
+    def from_lfsr(cls, lfsr: Lfsr) -> "LeapLfsr":
+        """A leap stepper continuing exactly where ``lfsr`` stands."""
+        return cls(lfsr.width, seed=lfsr.state, taps=lfsr.taps)
+
+    def next_word(self) -> int:
+        """Advance ``width`` bits in one leap; return the fresh word."""
+        state = self.state
+        word = 0
+        for shift, table in self._chunks:
+            word ^= table[(state >> shift) & (len(table) - 1)]
+        self.state = word
+        return word
+
+    def words(self, count: int) -> list[int]:
+        """The next ``count`` words as a list (batch form of :meth:`next_word`)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        state = self.state
+        chunks = self._chunks
+        out = []
+        append = out.append
+        for _ in range(count):
+            word = 0
+            for shift, table in chunks:
+                word ^= table[(state >> shift) & (len(table) - 1)]
+            state = word
+            append(word)
+        self.state = state
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LeapLfsr(width={self.width}, state={self.state:#06x})"
 
 
 class GaloisLfsr:

@@ -80,10 +80,19 @@ class TestEmbedBasics:
             )
 
     def test_rejects_illegal_window_policy(self, key16):
-        with pytest.raises(ValueError):
+        with pytest.raises(CipherFormatError, match="illegal window"):
             engine.embed_stream(
                 [1], key16, Lfsr(16, seed=1), fixed_window_policy(5, 9),
                 no_scramble, PAPER_PARAMS,
+            )
+
+    def test_rejects_non_binary_data_policy(self, key16):
+        # A policy returning 2 would, if XORed straight in, clobber the
+        # neighbouring vector bit — the engine must refuse instead.
+        with pytest.raises(CipherFormatError, match="data-bit policy"):
+            engine.embed_stream(
+                [1], key16, Lfsr(16, seed=1), fixed_window_policy(0, 3),
+                lambda pair, q: 2, PAPER_PARAMS,
             )
 
     def test_rejects_bad_frame_bits(self, key16):

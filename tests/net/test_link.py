@@ -211,3 +211,27 @@ class TestShutdown:
                 async with good as client:
                     assert await client.request(b"still up") == b"still up"
         run(body())
+
+
+class TestEngineKwarg:
+    def test_engine_override_on_server_and_client(self, key16):
+        # The convenience kwarg is equivalent to SessionConfig(engine=...)
+        # and mixes freely across the two ends of one link.
+        async def body():
+            async with SecureLinkServer(key16, port=0,
+                                        engine="fast") as server:
+                async with SecureLinkClient(key16, port=server.port,
+                                            session_id=SID,
+                                            engine="reference") as client:
+                    assert await client.request(b"mixed engines") == b"mixed engines"
+                    assert client.session.config.engine == "reference"
+            assert server.errors == []
+        run(body())
+
+    def test_engine_kwarg_validated(self, key16):
+        from repro.core.errors import SessionError
+
+        with pytest.raises(SessionError, match="engine"):
+            SecureLinkServer(key16, engine="turbo")
+        with pytest.raises(SessionError, match="engine"):
+            SecureLinkClient(key16, engine="turbo")

@@ -264,3 +264,38 @@ class TestMetricsAccounting:
         assert a.metrics.tx.wire_bytes == sum(len(p) for p in wire)
         assert b.metrics.rx.packets == 4
         assert b.metrics.rx.payload_bytes == 20
+
+
+class TestRootKeyValidation:
+    def test_zero_length_root_key_raises_session_error(self, key16):
+        # A hollowed-out key (no pairs) must be rejected at construction
+        # with a clear SessionError, not fail deep inside the epoch-key
+        # derivation on first use.
+        key16.pairs = ()
+        with pytest.raises(SessionError, match="no pairs"):
+            Session(key16, "initiator", SID)
+
+    def test_zero_length_root_key_error_names_the_cause(self, key16):
+        key16.pairs = ()
+        with pytest.raises(SessionError, match="key pair"):
+            Session(key16, "responder", SID)
+
+
+class TestEngineSelection:
+    def test_fast_and_reference_sessions_interoperate(self, key16):
+        # The engine is a purely local choice: packets are byte-identical,
+        # so a fast initiator talks to a reference responder and back.
+        fast = Session(key16, "initiator", SID, SessionConfig(engine="fast"))
+        ref = Session(key16, "responder", SID, SessionConfig())
+        assert ref.decrypt(fast.encrypt(b"fast to reference")) == b"fast to reference"
+        assert fast.decrypt(ref.encrypt(b"reference to fast")) == b"reference to fast"
+
+    def test_engines_emit_identical_wire_packets(self, key16):
+        fast = Session(key16, "initiator", SID, SessionConfig(engine="fast"))
+        ref = Session(key16, "initiator", SID, SessionConfig())
+        for payload in (b"", b"x", b"a longer payload" * 9):
+            assert fast.encrypt(payload) == ref.encrypt(payload)
+
+    def test_unknown_engine_rejected(self, key16):
+        with pytest.raises(SessionError, match="engine"):
+            Session(key16, "initiator", SID, SessionConfig(engine="turbo"))

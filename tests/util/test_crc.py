@@ -36,3 +36,19 @@ class TestIncremental:
     @given(st.binary(min_size=1, max_size=32))
     def test_crc_is_16_bits(self, data):
         assert 0 <= crc16_ccitt(data) <= 0xFFFF
+
+
+class TestTableVsBitSerial:
+    def test_table_form_matches_golden_model(self):
+        # The production table form is generated from the bit-serial
+        # golden model; this differential pins them together anyway so
+        # an edit to either cannot drift silently.
+        import random
+
+        from repro.util.crc import crc16_ccitt_bitserial
+
+        rng = random.Random(20050307)
+        for _ in range(300):
+            data = rng.randbytes(rng.randint(0, 64))
+            init = rng.randrange(0x10000)
+            assert crc16_ccitt(data, init) == crc16_ccitt_bitserial(data, init)
