@@ -1,0 +1,226 @@
+"""Unified benchmark harness — one command, one machine-readable artefact.
+
+Runs the four benchmark families (core engines, fast path, sharded
+parallel pipeline, secure link) under a single timing convention and
+writes ``benchmarks/_artifacts/BENCH_pipeline.json``: MB/s per stage,
+speedups against the reference engine and against the single-worker
+fast path, and the worker scaling curve.  CI uploads the file as an
+artifact on every run, so the performance trajectory accumulates PR
+over PR instead of living in scrollback.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full workload
+    PYTHONPATH=src python benchmarks/run_all.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/run_all.py --output out.json
+
+Numbers are honest for the machine they ran on: ``cpu_count`` is
+recorded in the artefact, and the parallel section's speedup reflects
+whatever the host's cores actually delivered (on a single-core box a
+4-worker pool cannot beat one worker; the JSON will say so).  The
+pytest gate for multi-core expectations lives in
+``benchmarks/bench_parallel.py`` and is skipped below four CPUs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.key import Key
+from repro.core.stream import decrypt_packet, encrypt_packet
+from repro.net import SecureLinkClient, SecureLinkServer
+from repro.parallel import ParallelCodec
+
+ARTIFACTS = pathlib.Path(__file__).parent / "_artifacts"
+
+#: Key schedule shared by every stage (the bench_fastpath convention).
+KEY_SEED = 2005
+
+#: First nonce of every blob; sections use disjoint payloads, not keys,
+#: so nonce hygiene across sections is irrelevant to the timing.
+NONCE = 0xACE1
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` runs (warm caches)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _mbps(n_bytes: int, seconds: float) -> float:
+    return n_bytes / seconds / 1e6
+
+
+def bench_core(payload_size: int, repeats: int) -> dict:
+    """Reference vs fast engine through the packet codec, one payload."""
+    key = Key.generate(seed=KEY_SEED, n_pairs=16)
+    payload = bytes(i % 256 for i in range(payload_size))
+    encrypt_packet(payload, key, nonce=NONCE, engine="fast")  # warm
+    t_ref = _best_of(
+        lambda: encrypt_packet(payload, key, nonce=NONCE,
+                               engine="reference"), repeats)
+    t_fast = _best_of(
+        lambda: encrypt_packet(payload, key, nonce=NONCE, engine="fast"),
+        repeats)
+    packet = encrypt_packet(payload, key, nonce=NONCE, engine="fast")
+    t_dec = _best_of(lambda: decrypt_packet(packet, key, engine="fast"),
+                     repeats)
+    return {
+        "payload_bytes": payload_size,
+        "reference_encrypt_mb_s": _mbps(payload_size, t_ref),
+        "fast_encrypt_mb_s": _mbps(payload_size, t_fast),
+        "fast_decrypt_mb_s": _mbps(payload_size, t_dec),
+        "fast_vs_reference_speedup": t_ref / t_fast,
+    }
+
+
+def bench_parallel(payload_size: int, chunk_size: int,
+                   workers_list: list[int], repeats: int) -> dict:
+    """Worker scaling curve for the sharded pipeline on one big payload.
+
+    The baseline is the single-worker *fast engine* inline path
+    (``workers=0``), i.e. exactly what PR 2 shipped — the speedup column
+    answers "what did sharding buy on this machine".
+    """
+    key = Key.generate(seed=KEY_SEED, n_pairs=16)
+    payload = bytes(i % 256 for i in range(payload_size))
+    inline = ParallelCodec(key, chunk_size=chunk_size)
+    blob = inline.encrypt_blob(payload, NONCE)  # warm + wire reference
+    t_inline = _best_of(lambda: inline.encrypt_blob(payload, NONCE), repeats)
+    t_inline_dec = _best_of(lambda: inline.decrypt_blob(blob), repeats)
+    curve = []
+    for workers in workers_list:
+        with ParallelCodec(key, workers=workers,
+                           chunk_size=chunk_size) as codec:
+            sharded = codec.encrypt_blob(payload, NONCE)
+            assert sharded == blob, "parallel wire output diverged"
+            t_enc = _best_of(lambda: codec.encrypt_blob(payload, NONCE),
+                             repeats)
+            t_dec = _best_of(lambda: codec.decrypt_blob(blob), repeats)
+        curve.append({
+            "workers": workers,
+            "encrypt_mb_s": _mbps(payload_size, t_enc),
+            "decrypt_mb_s": _mbps(payload_size, t_dec),
+            "encrypt_speedup_vs_single": t_inline / t_enc,
+            "decrypt_speedup_vs_single": t_inline_dec / t_dec,
+        })
+    best = max(curve, key=lambda row: row["encrypt_speedup_vs_single"])
+    return {
+        "payload_bytes": payload_size,
+        "chunk_bytes": chunk_size,
+        "single_worker_encrypt_mb_s": _mbps(payload_size, t_inline),
+        "single_worker_decrypt_mb_s": _mbps(payload_size, t_inline_dec),
+        "scaling": curve,
+        "best_encrypt_speedup": best["encrypt_speedup_vs_single"],
+        "best_workers": best["workers"],
+        "wire_identical_across_workers": True,  # asserted above
+    }
+
+
+def bench_net(n_payloads: int, payload_size: int,
+              parallel_workers: int) -> dict:
+    """Secure-link echo goodput, plain and (if asked) with offload."""
+    import asyncio
+
+    from repro.net.session import SessionConfig
+
+    key = Key.generate(seed=KEY_SEED, n_pairs=16)
+    payloads = [bytes((i + j) % 256 for j in range(payload_size))
+                for i in range(n_payloads)]
+
+    async def roundtrip(config: SessionConfig | None) -> float:
+        async with SecureLinkServer(key, port=0, config=config) as server:
+            async with SecureLinkClient(key, port=server.port,
+                                        config=config,
+                                        session_id=b"benchsid") as client:
+                start = time.perf_counter()
+                replies = await client.send_all(payloads)
+                elapsed = time.perf_counter() - start
+                assert replies == payloads
+                return elapsed
+
+    total = sum(len(p) for p in payloads)
+    t_plain = asyncio.run(roundtrip(None))
+    result = {
+        "payloads": n_payloads,
+        "payload_bytes": payload_size,
+        "echo_goodput_mb_s": _mbps(total, t_plain),
+    }
+    if parallel_workers > 0:
+        config = SessionConfig(parallel_workers=parallel_workers,
+                               parallel_threshold=min(payload_size, 32768))
+        t_par = asyncio.run(roundtrip(config))
+        result["echo_goodput_parallel_mb_s"] = _mbps(total, t_par)
+        result["parallel_workers"] = parallel_workers
+    return result
+
+
+def run(quick: bool, output: pathlib.Path) -> dict:
+    """Execute every section and write the JSON artefact."""
+    if quick:
+        core_size, par_size, chunk = 1 << 14, 1 << 18, 1 << 15
+        workers_list, repeats = [1, 2], 2
+        net_payloads, net_size = 16, 1 << 12
+    else:
+        core_size, par_size, chunk = 1 << 16, 1 << 20, 1 << 16
+        workers_list, repeats = [1, 2, 4], 3
+        net_payloads, net_size = 64, 1 << 14
+
+    print(f"[run_all] core engines ({core_size >> 10} KiB)...", flush=True)
+    core = bench_core(core_size, repeats)
+    print(f"[run_all] parallel pipeline ({par_size >> 10} KiB, "
+          f"workers {workers_list})...", flush=True)
+    parallel = bench_parallel(par_size, chunk, workers_list, repeats)
+    print(f"[run_all] secure link ({net_payloads} x {net_size >> 10} KiB)...",
+          flush=True)
+    net = bench_net(net_payloads, net_size, parallel_workers=workers_list[-1])
+
+    report = {
+        "schema": 1,
+        "generated_unix": int(time.time()),
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "core": core,
+        "parallel": parallel,
+        "net": net,
+    }
+    output.parent.mkdir(exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print(f"\nfast engine:      {core['fast_encrypt_mb_s']:8.2f} MB/s encrypt "
+          f"({core['fast_vs_reference_speedup']:.1f}x vs reference)")
+    for row in parallel["scaling"]:
+        print(f"{row['workers']} worker(s):      "
+              f"{row['encrypt_mb_s']:8.2f} MB/s encrypt "
+              f"({row['encrypt_speedup_vs_single']:.2f}x vs single)")
+    print(f"link goodput:     {net['echo_goodput_mb_s']:8.2f} MB/s echo")
+    print(f"\nwrote {output}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized workloads (seconds, not minutes)")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=ARTIFACTS / "BENCH_pipeline.json")
+    args = parser.parse_args(argv)
+    run(args.quick, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

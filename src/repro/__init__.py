@@ -18,7 +18,9 @@ carry the full system:
 * :mod:`repro.stego` — steganographic (cover-data) operation;
 * :mod:`repro.net` — the async secure-link subsystem (sessions with
   nonce schedules and rekeying, stream framing, server/client peers,
-  link metrics); see DESIGN.md sections 4–7.
+  link metrics); see DESIGN.md sections 4–7;
+* :mod:`repro.parallel` — the sharded multi-worker encryption pipeline
+  (chunked blobs, resilient process pools); see DESIGN.md section 9.
 """
 
 from repro.core import (

@@ -18,7 +18,10 @@ with automatic rekeying.  Both ends must be started with the same key
 and the same ``--rekey-interval``.  ``encrypt``/``decrypt``/``serve``/
 ``send`` default to the bit-parallel fast engine (``--engine reference``
 selects the per-bit golden model; both emit identical packets, see
-DESIGN.md section 8).  A typical loopback check::
+DESIGN.md section 8) and accept ``--workers N`` to shard cipher work
+across a process pool (``repro.parallel``; wire bytes are identical for
+every worker count, see DESIGN.md section 9).  A typical loopback
+check::
 
     repro-mhhea keygen --seed 1 > key.txt
     repro-mhhea serve --key "$(cat key.txt)" --port 45678 &
@@ -36,7 +39,6 @@ import sys
 
 from repro.core.key import Key
 from repro.core.params import PAPER_PARAMS
-from repro.core.stream import decrypt_packet, encrypt_packet
 
 __all__ = ["main", "build_parser"]
 
@@ -60,16 +62,31 @@ def build_parser() -> argparse.ArgumentParser:
                  "the per-bit 'reference'; both produce identical packets",
         )
 
+    def add_workers_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers", type=int, default=0,
+            help="worker processes for the sharded pipeline (0 = inline); "
+                 "wire output is identical for every setting",
+        )
+
     encrypt = sub.add_parser("encrypt", help="encrypt a file into a packet")
     encrypt.add_argument("--key", required=True, help="hex key (keygen output)")
     encrypt.add_argument("--nonce", type=lambda s: int(s, 0), default=0xACE1)
     add_engine_flag(encrypt)
+    add_workers_flag(encrypt)
+    encrypt.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="plaintext bytes per chunk packet (default 64 KiB); files "
+             "up to one chunk produce a plain single packet — this flag "
+             "alone determines the wire bytes, --workers never does",
+    )
     encrypt.add_argument("input")
     encrypt.add_argument("output")
 
     decrypt = sub.add_parser("decrypt", help="decrypt a packet file")
     decrypt.add_argument("--key", required=True)
     add_engine_flag(decrypt)
+    add_workers_flag(decrypt)
     decrypt.add_argument("input")
     decrypt.add_argument("output")
 
@@ -113,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rekey-interval", type=int, default=1024,
                        help="packets per direction before the key ratchets")
     add_engine_flag(serve)
+    add_workers_flag(serve)
+    serve.add_argument("--parallel-threshold", type=int, default=None,
+                       help="smallest payload (bytes) offloaded to workers")
 
     send = sub.add_parser("send", help="stream a file over the secure link")
     send.add_argument("--key", required=True, help="hex key (keygen output)")
@@ -123,8 +143,23 @@ def build_parser() -> argparse.ArgumentParser:
     send.add_argument("--rekey-interval", type=int, default=1024,
                       help="must match the server's setting")
     add_engine_flag(send)
+    add_workers_flag(send)
+    send.add_argument("--parallel-threshold", type=int, default=None,
+                      help="smallest payload (bytes) offloaded to workers")
     send.add_argument("input")
     return parser
+
+
+def _link_config(args) -> "SessionConfig":
+    """Build the SessionConfig shared by the serve/send subcommands."""
+    from repro.net.session import SessionConfig
+
+    extra = {}
+    if args.parallel_threshold is not None:
+        extra["parallel_threshold"] = args.parallel_threshold
+    return SessionConfig(rekey_interval=args.rekey_interval,
+                         engine=args.engine,
+                         parallel_workers=args.workers, **extra)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -138,21 +173,36 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "encrypt":
+        from repro.parallel import DEFAULT_CHUNK_SIZE, ParallelCodec
+
         key = Key.from_hex(args.key)
         with open(args.input, "rb") as handle:
             payload = handle.read()
-        packet = encrypt_packet(payload, key, nonce=args.nonce,
-                                engine=args.engine)
+        # Always the sharded-blob path, so --workers genuinely never
+        # changes the wire bytes: the output is determined by
+        # --chunk-size alone (files up to one chunk are a plain single
+        # packet, byte-identical to the pre-sharding format).
+        chunk_size = (args.chunk_size if args.chunk_size is not None
+                      else DEFAULT_CHUNK_SIZE)
+        with ParallelCodec(key, workers=args.workers, chunk_size=chunk_size,
+                           engine=args.engine) as codec:
+            packet = codec.encrypt_blob(payload, args.nonce)
         with open(args.output, "wb") as handle:
             handle.write(packet)
         out.write(f"wrote {len(packet)} bytes ({len(payload)} plaintext)\n")
         return 0
 
     if args.command == "decrypt":
+        from repro.parallel import ParallelCodec
+
         key = Key.from_hex(args.key)
         with open(args.input, "rb") as handle:
             packet = handle.read()
-        payload = decrypt_packet(packet, key, engine=args.engine)
+        # decrypt_blob accepts both a single packet and a sharded
+        # multi-packet blob (the --workers encrypt format).
+        with ParallelCodec(key, workers=args.workers,
+                           engine=args.engine) as codec:
+            payload = codec.decrypt_blob(packet)
         with open(args.output, "wb") as handle:
             handle.write(payload)
         out.write(f"recovered {len(payload)} bytes\n")
@@ -227,11 +277,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         from repro.net.server import SecureLinkServer
-        from repro.net.session import SessionConfig
 
         key = Key.from_hex(args.key)
-        config = SessionConfig(rekey_interval=args.rekey_interval,
-                               engine=args.engine)
+        config = _link_config(args)
 
         async def _serve() -> None:
             async with SecureLinkServer(key, host=args.host, port=args.port,
@@ -252,11 +300,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "send":
         from repro.net.client import SecureLinkClient
-        from repro.net.session import SessionConfig
 
         key = Key.from_hex(args.key)
-        config = SessionConfig(rekey_interval=args.rekey_interval,
-                               engine=args.engine)
+        config = _link_config(args)
         with open(args.input, "rb") as handle:
             data = handle.read()
         chunk = max(args.chunk, 1)

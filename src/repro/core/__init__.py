@@ -10,10 +10,15 @@ Public surface:
   integers);
 * :class:`repro.core.params.VectorParams` — hiding-vector geometry
   (the paper's configuration is :data:`repro.core.params.PAPER_PARAMS`);
-* :mod:`repro.core.stream` — the packet container for link-level use;
+* :mod:`repro.core.stream` — the packet container for link-level use
+  (single and batch entry points, the latter executor-aware);
 * :mod:`repro.core.fastpath` — the word-level fast engine
   (``engine="fast"`` everywhere, :class:`repro.core.fastpath.BatchCodec`
   for batched packet workloads).
+
+Scaling beyond one core lives one layer up in :mod:`repro.parallel`
+(sharded blobs, worker pools), which builds exclusively on this
+package's public surface.
 """
 
 from repro.core.errors import (

@@ -467,19 +467,11 @@ class BatchCodec:
     def encrypt_many(self, payloads: Sequence[bytes],
                      nonces: Sequence[int]) -> list[bytes]:
         """One packet per payload; ``nonces`` must pair up one-to-one."""
-        if len(payloads) != len(nonces):
-            raise ValueError(
-                f"{len(payloads)} payloads but {len(nonces)} nonces"
-            )
-        encrypt = self._stream.encrypt_packet
-        return [
-            encrypt(payload, self.key, nonce=nonce, algorithm=self.algorithm,
-                    engine=self.engine)
-            for payload, nonce in zip(payloads, nonces)
-        ]
+        return self._stream.encrypt_packets(payloads, self.key, nonces,
+                                            algorithm=self.algorithm,
+                                            engine=self.engine)
 
     def decrypt_many(self, packets: Sequence[bytes]) -> list[bytes]:
         """Decrypt a batch of packets produced under the same key."""
-        decrypt = self._stream.decrypt_packet
-        return [decrypt(packet, self.key, engine=self.engine)
-                for packet in packets]
+        return self._stream.decrypt_packets(packets, self.key,
+                                            engine=self.engine)

@@ -27,6 +27,7 @@ from repro.core.key import Key
 from repro.net.framing import HELLO_SIZE, FrameDecoder, Hello
 from repro.net.metrics import SessionMetrics
 from repro.net.session import Session, SessionConfig, key_fingerprint
+from repro.parallel.pool import EncryptionPool
 
 __all__ = ["SecureLinkClient"]
 
@@ -59,6 +60,7 @@ class SecureLinkClient:
         self._config = config
         self._config.validate(root.params.width)
         self._session_id = session_id if session_id is not None else os.urandom(8)
+        self._pool: EncryptionPool | None = None
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._decoder = FrameDecoder(
@@ -68,6 +70,11 @@ class SecureLinkClient:
 
     @property
     def metrics(self) -> SessionMetrics:
+        """This connection's session counters (tx/rx, Mbps, rekeys).
+
+        Raises :class:`SessionError` before :meth:`connect` completes;
+        stays readable after :meth:`close` for post-run reporting.
+        """
         if self.session is None:
             raise SessionError("client not connected")
         return self.session.metrics
@@ -75,9 +82,20 @@ class SecureLinkClient:
     # -- lifecycle --------------------------------------------------------
 
     async def connect(self) -> None:
-        """Open the connection and complete the hello exchange."""
+        """Open the connection and complete the hello exchange.
+
+        Also (re)starts the cipher pool when the config asks for
+        ``parallel_workers`` — including after a failed or closed
+        earlier attempt, so a retried ``connect()`` keeps its offload.
+        The writer and reader coroutines offload independently, so
+        encrypt and decrypt of big transfers overlap on separate
+        workers.
+        """
         if self.session is not None:
             raise SessionError("client already connected")
+        if self._config.parallel_workers > 0 and self._pool is None:
+            self._pool = EncryptionPool(self._config.parallel_workers,
+                                        engine=self._config.engine)
         self._reader, self._writer = await asyncio.open_connection(
             self._host, self._port
         )
@@ -133,6 +151,9 @@ class SecureLinkClient:
                 pass
             self._writer = None
             self._reader = None
+        if self._pool is not None:
+            self._pool.close(wait=False)  # never block the event loop
+            self._pool = None
 
     async def __aenter__(self) -> "SecureLinkClient":
         await self.connect()
@@ -171,9 +192,38 @@ class SecureLinkClient:
         return replies
 
     async def _write_payloads(self, payloads: list[bytes]) -> None:
-        for payload in payloads:
-            self._writer.write(self.session.encrypt(payload))
-            await self._writer.drain()
+        """Stream every payload, keeping the worker pool saturated.
+
+        With a pool, up to ``workers + 1`` encrypt jobs are kept in
+        flight and the finished packets are written strictly in task
+        creation order — asyncio steps tasks in FIFO creation order, so
+        sequence numbers are reserved in that same order and the wire
+        order matches the serial path exactly.  Without a pool this
+        degenerates to the plain one-at-a-time loop.
+        """
+        if self._pool is None:
+            for payload in payloads:
+                self._writer.write(await self.session.encrypt_async(
+                    payload, None))
+                await self._writer.drain()
+            return
+        window = self._pool.workers + 1
+        in_flight: list[asyncio.Task] = []
+        try:
+            for payload in payloads:
+                in_flight.append(asyncio.ensure_future(
+                    self.session.encrypt_async(payload, self._pool)))
+                if len(in_flight) >= window:
+                    self._writer.write(await in_flight.pop(0))
+                    await self._writer.drain()
+            while in_flight:
+                self._writer.write(await in_flight.pop(0))
+                await self._writer.drain()
+        finally:
+            for task in in_flight:
+                task.cancel()
+            if in_flight:
+                await asyncio.gather(*in_flight, return_exceptions=True)
 
     async def _read_replies(self, count: int) -> list[bytes]:
         replies: list[bytes] = []
@@ -187,5 +237,6 @@ class SecureLinkClient:
             for frame in self._decoder.feed(chunk):
                 if frame.kind != "packet":
                     raise HandshakeError("unexpected hello frame mid-session")
-                replies.append(self.session.decrypt(frame.raw))
+                replies.append(await self.session.decrypt_async(
+                    frame.raw, self._pool))
         return replies

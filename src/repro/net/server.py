@@ -27,6 +27,7 @@ from repro.core.key import Key
 from repro.net.framing import HELLO_SIZE, FrameDecoder, Hello
 from repro.net.metrics import MetricsRegistry
 from repro.net.session import Session, SessionConfig, key_fingerprint
+from repro.parallel.pool import EncryptionPool
 
 __all__ = ["SecureLinkServer", "DEFAULT_QUEUE_DEPTH"]
 
@@ -77,6 +78,7 @@ class SecureLinkServer:
         self._config.validate(root.params.width)
         self._handler = handler
         self._queue_depth = queue_depth
+        self._pool: EncryptionPool | None = None
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
         self._next_peer = 0
@@ -86,9 +88,19 @@ class SecureLinkServer:
     # -- lifecycle --------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listening socket; sets :attr:`port`."""
+        """Bind the listening socket; sets :attr:`port`.
+
+        Also (re)starts the shared cipher pool when the config asks for
+        ``parallel_workers``: one pool serves every connection, so
+        payloads of at least ``parallel_threshold`` bytes run on worker
+        processes and the event loop stays free for other connections
+        while big transfers grind.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
+        if self._config.parallel_workers > 0 and self._pool is None:
+            self._pool = EncryptionPool(self._config.parallel_workers,
+                                        engine=self._config.engine)
         self._server = await asyncio.start_server(
             self._serve_connection, self._host, self._requested_port
         )
@@ -111,6 +123,11 @@ class SecureLinkServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._server = None
+        if self._pool is not None:
+            # Non-blocking: a synchronous join would stall the event
+            # loop (and every other connection) on in-flight jobs.
+            self._pool.close(wait=False)
+            self._pool = None  # a later start() builds a fresh one
 
     async def serve_forever(self) -> None:
         """Block until cancelled (for CLI use)."""
@@ -206,7 +223,8 @@ class SecureLinkServer:
                         raise HandshakeError(
                             f"{name}: unexpected {frame.kind} frame mid-session"
                         )
-                    payload = session.decrypt(frame.raw)
+                    payload = await session.decrypt_async(frame.raw,
+                                                          self._pool)
                     result = self._handler(payload)
                     if inspect.isawaitable(result):
                         result = await result
@@ -239,12 +257,11 @@ class SecureLinkServer:
         await sender  # raises the writer's failure...
         raise ConnectionError("reply writer exited before the stream ended")
 
-    @staticmethod
-    async def _send_replies(queue: asyncio.Queue, session: Session,
+    async def _send_replies(self, queue: asyncio.Queue, session: Session,
                             writer: asyncio.StreamWriter) -> None:
         while True:
             payload = await queue.get()
             if payload is None:
                 break
-            writer.write(session.encrypt(payload))
+            writer.write(await session.encrypt_async(payload, self._pool))
             await writer.drain()

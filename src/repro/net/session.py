@@ -45,10 +45,12 @@ from repro.core.stream import (
 )
 from repro.net.framing import MAX_PAYLOAD_DEFAULT
 from repro.net.metrics import SessionMetrics
+from repro.parallel.pool import EncryptionPool, decrypt_job, encrypt_job
 from repro.util.lfsr import max_period
 
 __all__ = [
     "DEFAULT_REKEY_INTERVAL",
+    "DEFAULT_PARALLEL_THRESHOLD",
     "MAX_PAYLOAD_DEFAULT",
     "SessionConfig",
     "Session",
@@ -60,6 +62,10 @@ __all__ = [
 
 #: Packets per direction before the key ratchets forward (DESIGN.md §5).
 DEFAULT_REKEY_INTERVAL = 1024
+
+#: Smallest plaintext (bytes) worth shipping to a worker process.  Below
+#: this the pickle/IPC round trip costs more than the cipher work saved.
+DEFAULT_PARALLEL_THRESHOLD = 32 * 1024
 
 #: Direction labels mixed into the per-direction key derivation.
 _LABEL_I2R = b"i->r"
@@ -136,20 +142,38 @@ def derive_epoch_key(root: Key, session_id: bytes, label: bytes,
 class SessionConfig:
     """Link policy both peers must agree on (checked in the handshake).
 
-    ``engine`` is the one *local* knob: it selects the cipher
-    implementation (``"reference"`` or ``"fast"``, see
-    :mod:`repro.core.fastpath`) for this endpoint only.  Both engines
-    emit byte-identical packets, so it is deliberately absent from the
-    hello frame — peers may mix freely.
+    ``engine``, ``parallel_workers`` and ``parallel_threshold`` are the
+    *local* knobs: they select the cipher implementation
+    (``"reference"`` or ``"fast"``, see :mod:`repro.core.fastpath`) and
+    the process-pool offload policy for this endpoint only.  All
+    settings of these knobs emit byte-identical packets, so they are
+    deliberately absent from the hello frame — peers may mix freely.
+
+    ``parallel_workers > 0`` makes :class:`~repro.net.server.SecureLinkServer`
+    and :class:`~repro.net.client.SecureLinkClient` start an
+    :class:`~repro.parallel.pool.EncryptionPool` and offload the cipher
+    work of any payload of at least ``parallel_threshold`` plaintext
+    bytes to it, keeping the event loop responsive and spreading large
+    transfers across cores.
     """
 
     algorithm: int = ALGORITHM_MHHEA
     rekey_interval: int = DEFAULT_REKEY_INTERVAL
     max_payload: int = MAX_PAYLOAD_DEFAULT
     engine: str = DEFAULT_ENGINE
+    parallel_workers: int = 0
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
 
     def validate(self, width: int) -> None:
         """Raise :class:`SessionError` on a policy the link cannot honour."""
+        if self.parallel_workers < 0:
+            raise SessionError(
+                f"parallel_workers must be >= 0, got {self.parallel_workers}"
+            )
+        if self.parallel_threshold < 1:
+            raise SessionError(
+                f"parallel_threshold must be >= 1, got {self.parallel_threshold}"
+            )
         if self.algorithm not in (ALGORITHM_HHEA, ALGORITHM_MHHEA):
             raise SessionError(f"unknown algorithm id {self.algorithm}")
         if self.engine not in ENGINES:
@@ -200,29 +224,129 @@ class _SendHalf:
 
     @property
     def next_seq(self) -> int:
+        """Sequence number the next encrypt will consume."""
         return self._next_seq
 
-    def encrypt(self, payload: bytes) -> bytes:
+    def _check_payload(self, payload: bytes) -> None:
         if len(payload) > self._config.max_payload:
             raise SessionError(
                 f"payload of {len(payload)} bytes exceeds the session "
                 f"limit of {self._config.max_payload}"
             )
-        seq = self._next_seq
-        epoch = seq // self._config.rekey_interval
+
+    def _advance_epoch(self, epoch: int) -> None:
+        """Ratchet the send key forward to ``epoch`` (counted in metrics)."""
         if epoch != self._epoch:
             self._key = derive_epoch_key(self._root, self._session_id,
                                          self._label, epoch)
             self._epoch = epoch
             self._metrics.tx.rekeys += 1
+
+    def _account(self, payload: bytes, packet: bytes) -> None:
+        self._metrics.tx.packets += 1
+        self._metrics.tx.payload_bytes += len(payload)
+        self._metrics.tx.wire_bytes += len(packet)
+
+    def encrypt(self, payload: bytes) -> bytes:
+        self._check_payload(payload)
+        seq = self._next_seq
+        self._advance_epoch(seq // self._config.rekey_interval)
         nonce = nonce_for_seq(seq, self._root.params.width)
         packet = encrypt_packet(payload, self._key, nonce=nonce,
                                 algorithm=self._config.algorithm,
                                 engine=self._config.engine)
         self._next_seq = seq + 1
-        self._metrics.tx.packets += 1
-        self._metrics.tx.payload_bytes += len(payload)
-        self._metrics.tx.wire_bytes += len(packet)
+        self._account(payload, packet)
+        return packet
+
+    def _plan(self, payloads) -> list[tuple[bytes, Key, int, int]]:
+        """Precompute ``(payload, epoch key, nonce, epoch)`` for a batch.
+
+        Pure with respect to session state: nothing is committed, so a
+        validation failure anywhere in the batch leaves the sequence
+        counter and ratchet untouched (all-or-nothing).
+        """
+        for payload in payloads:
+            self._check_payload(payload)
+        width = self._root.params.width
+        interval = self._config.rekey_interval
+        epoch_keys = {self._epoch: self._key}
+        plan = []
+        for offset, payload in enumerate(payloads):
+            seq = self._next_seq + offset
+            epoch = seq // interval
+            key = epoch_keys.get(epoch)
+            if key is None:
+                key = epoch_keys[epoch] = derive_epoch_key(
+                    self._root, self._session_id, self._label, epoch)
+            plan.append((payload, key, nonce_for_seq(seq, width), epoch))
+        return plan
+
+    def encrypt_batch(self, payloads,
+                      pool: EncryptionPool | None = None) -> list[bytes]:
+        """Encrypt a batch, offloading large payloads to ``pool``.
+
+        Wire output (packets, nonces, rekey points) is byte-identical to
+        calling :meth:`encrypt` once per payload; only the execution
+        strategy differs.  Payloads of at least
+        ``config.parallel_threshold`` bytes fan out across the pool,
+        smaller ones run inline.
+        """
+        plan = self._plan(payloads)
+        config = self._config
+        packets: list[bytes | None] = [None] * len(plan)
+        jobs: list[tuple] = []
+        job_slots: list[int] = []
+        for i, (payload, key, nonce, _) in enumerate(plan):
+            if pool is not None and len(payload) >= config.parallel_threshold:
+                jobs.append((key, payload, nonce, config.algorithm,
+                             config.engine))
+                job_slots.append(i)
+            else:
+                packets[i] = encrypt_packet(payload, key, nonce=nonce,
+                                            algorithm=config.algorithm,
+                                            engine=config.engine)
+        if jobs:
+            for slot, packet in zip(job_slots, pool.run_jobs(encrypt_job,
+                                                             jobs)):
+                packets[slot] = packet
+        for (payload, key, _, epoch), packet in zip(plan, packets):
+            if epoch != self._epoch:
+                self._key = key
+                self._epoch = epoch
+                self._metrics.tx.rekeys += 1
+            self._next_seq += 1
+            self._account(payload, packet)
+        return packets
+
+    async def encrypt_async(self, payload: bytes,
+                            pool: EncryptionPool | None) -> bytes:
+        """Encrypt one payload, awaiting the pool for large ones.
+
+        The sequence number is reserved synchronously, before the first
+        await, so several calls may be in flight concurrently — the
+        caller's only obligation is to *start* them in send order and
+        write the resulting packets in that same order (the link's
+        writer coroutine pipelines exactly this way).  If an offloaded
+        job fails, its sequence number stays consumed: nonces are never
+        reused, failed or not (DESIGN.md §4).
+        """
+        self._check_payload(payload)
+        config = self._config
+        seq = self._next_seq
+        self._advance_epoch(seq // config.rekey_interval)
+        key = self._key
+        nonce = nonce_for_seq(seq, self._root.params.width)
+        self._next_seq = seq + 1
+        if pool is not None and len(payload) >= config.parallel_threshold:
+            packet = await pool.run_async(
+                encrypt_job, key, payload, nonce, config.algorithm,
+                config.engine)
+        else:
+            packet = encrypt_packet(payload, key, nonce=nonce,
+                                    algorithm=config.algorithm,
+                                    engine=config.engine)
+        self._account(payload, packet)
         return packet
 
 
@@ -242,9 +366,17 @@ class _RecvHalf:
 
     @property
     def last_seq(self) -> int:
+        """Highest sequence number accepted so far (-1 before any)."""
         return self._last_seq
 
-    def decrypt(self, packet: bytes) -> bytes:
+    def _admit(self, packet: bytes) -> tuple[int, PacketHeader]:
+        """Header checks and replay gate; returns sequence and header.
+
+        Runs *before* any decryption work so damaged, replayed or
+        misconfigured packets are rejected cheaply, and ratchets the
+        receive key to the packet's epoch.  Does not commit the replay
+        window — that happens only after decryption succeeds.
+        """
         header = PacketHeader.unpack(packet)
         width = self._root.params.width
         if header.width != width:
@@ -268,6 +400,18 @@ class _RecvHalf:
                                          self._label, epoch)
             self._metrics.rx.rekeys += epoch - self._epoch
             self._epoch = epoch
+        return seq, header
+
+    def _commit(self, seq: int, packet: bytes, payload: bytes) -> None:
+        """Advance the replay window and account one accepted packet."""
+        self._metrics.rx.gaps += seq - self._last_seq - 1
+        self._last_seq = seq
+        self._metrics.rx.packets += 1
+        self._metrics.rx.payload_bytes += len(payload)
+        self._metrics.rx.wire_bytes += len(packet)
+
+    def decrypt(self, packet: bytes) -> bytes:
+        seq, _ = self._admit(packet)
         try:
             payload = decrypt_packet(packet, self._key,
                                      engine=self._config.engine)
@@ -277,11 +421,34 @@ class _RecvHalf:
             # is still acceptable.
             self._metrics.rx.crc_failures += 1
             raise
-        self._metrics.rx.gaps += seq - self._last_seq - 1
-        self._last_seq = seq
-        self._metrics.rx.packets += 1
-        self._metrics.rx.payload_bytes += len(payload)
-        self._metrics.rx.wire_bytes += len(packet)
+        self._commit(seq, packet, payload)
+        return payload
+
+    async def decrypt_async(self, packet: bytes,
+                            pool: EncryptionPool | None) -> bytes:
+        """Decrypt one packet, awaiting the pool for large ones.
+
+        The replay gate and header checks run synchronously before the
+        await; the plaintext size advertised by the header
+        (``n_bits // 8``) decides offload against
+        ``config.parallel_threshold``.  Awaits on one direction must be
+        serialised by the caller (the link's single reader coroutine
+        does), or replay-window commits could interleave.
+        """
+        seq, header = self._admit(packet)
+        offload = (pool is not None
+                   and header.n_bits // 8 >= self._config.parallel_threshold)
+        try:
+            if offload:
+                payload = await pool.run_async(
+                    decrypt_job, self._key, packet, self._config.engine)
+            else:
+                payload = decrypt_packet(packet, self._key,
+                                         engine=self._config.engine)
+        except Exception:
+            self._metrics.rx.crc_failures += 1
+            raise
+        self._commit(seq, packet, payload)
         return payload
 
 
@@ -345,6 +512,7 @@ class Session:
 
     @property
     def config(self) -> SessionConfig:
+        """The (validated) link policy this session runs under."""
         return self._config
 
     @property
@@ -358,8 +526,52 @@ class Session:
         return self._recv.last_seq
 
     def encrypt(self, payload: bytes) -> bytes:
-        """Encrypt ``payload`` into the next outbound packet."""
+        """Encrypt ``payload`` into the next outbound packet.
+
+        Consumes one sequence number (and its nonce) per call and
+        ratchets the send key at epoch boundaries.  Raises
+        :class:`SessionError` if the payload exceeds
+        ``config.max_payload`` or the nonce space is exhausted.
+        """
         return self._send.encrypt(payload)
+
+    def encrypt_batch(self, payloads,
+                      pool: EncryptionPool | None = None) -> list[bytes]:
+        """Encrypt many payloads at once, optionally across a pool.
+
+        Byte-identical to calling :meth:`encrypt` in a loop — sequence
+        numbers, nonces and epoch ratchets are planned up front, then
+        payloads of at least ``config.parallel_threshold`` bytes fan out
+        over ``pool`` (an :class:`~repro.parallel.pool.EncryptionPool`)
+        while smaller ones run inline.  Validation is all-or-nothing: an
+        oversized payload or nonce exhaustion raises
+        :class:`SessionError` before any session state changes.
+        """
+        return self._send.encrypt_batch(payloads, pool)
+
+    async def encrypt_async(self, payload: bytes,
+                            pool: EncryptionPool | None = None) -> bytes:
+        """Asyncio variant of :meth:`encrypt` that can offload to ``pool``.
+
+        Offload happens when the payload is at least
+        ``config.parallel_threshold`` bytes; otherwise (or with
+        ``pool=None``) this is just :meth:`encrypt`.  Sequence numbers
+        are reserved synchronously at call time, so calls may overlap in
+        flight — start them in send order and write the packets in that
+        order (the secure-link writer pipelines up to ``workers + 1``).
+        """
+        return await self._send.encrypt_async(payload, pool)
+
+    async def decrypt_async(self, packet: bytes,
+                            pool: EncryptionPool | None = None) -> bytes:
+        """Asyncio variant of :meth:`decrypt` that can offload to ``pool``.
+
+        Replay and header checks always run inline before the await;
+        only the cipher work itself moves to the pool, and only when the
+        header advertises at least ``config.parallel_threshold``
+        plaintext bytes.  Error contract matches :meth:`decrypt`.
+        """
+        return await self._recv.decrypt_async(packet, pool)
 
     def decrypt(self, packet: bytes) -> bytes:
         """Authenticate ordering, decrypt, and account one inbound packet.

@@ -1,0 +1,282 @@
+"""Process-pool plumbing for the sharded encryption pipeline.
+
+The fast engine (:mod:`repro.core.fastpath`) saturates one core; the
+paper's north star — line-rate packet encryption for "heavy traffic"
+links — needs all of them.  This module owns the *worker* side of that
+scale-out:
+
+* **Long-lived workers** — one :class:`concurrent.futures.ProcessPoolExecutor`
+  whose processes survive across batches, so schedule compilation and
+  interpreter start-up are paid once per worker, not once per chunk.
+* **Fork-safe schedule warmup** — the pool initializer compiles the
+  :class:`~repro.core.fastpath.BatchCodec` for the pipeline key before
+  the first chunk arrives.  Warmup runs in the *child* after the worker
+  process starts, so it is correct under every multiprocessing start
+  method (``fork``, ``spawn``, ``forkserver``); nothing relies on
+  schedules compiled in the parent surviving a fork.
+* **Per-worker codec cache** — session traffic ratchets keys per epoch,
+  so workers keep a small bounded cache of compiled codecs keyed by
+  ``(key, algorithm, engine)`` instead of assuming one key per pool.
+* **Worker-death recovery** — a killed worker poisons a
+  ``ProcessPoolExecutor`` (every in-flight future raises
+  :class:`~concurrent.futures.process.BrokenProcessPool`).
+  :meth:`EncryptionPool.run_jobs` rebuilds the pool and re-runs exactly
+  the failed jobs; if the rebuilt pool dies too, the remaining jobs run
+  inline so a batch always completes with correct output.
+
+Job functions (:func:`encrypt_job`, :func:`decrypt_job`) are plain
+module-level functions of picklable arguments, which is what makes them
+submittable under any start method.  They are pure: byte-identical
+results regardless of which worker (or the parent, on fallback) runs
+them — the property the differential suite in ``tests/parallel`` pins.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Sequence
+
+from repro.core.fastpath import BatchCodec, check_engine
+from repro.core.key import Key
+
+__all__ = [
+    "EncryptionPool",
+    "encrypt_job",
+    "decrypt_job",
+    "warm_worker",
+]
+
+#: Compiled codecs a single worker process keeps alive at once.  Epoch
+#: ratchets retire keys, so an unbounded cache would pin dead key
+#: material; eight covers both directions of a few concurrent sessions.
+MAX_CACHED_CODECS = 8
+
+#: Pool rebuilds attempted per batch before falling back to inline
+#: execution in the parent process.
+MAX_POOL_RESTARTS = 1
+
+# Per-process codec cache.  Lives in the *worker* interpreter; the
+# parent's copy is only used by the inline fallback path.
+_CODECS: dict[tuple[Key, int | None, str], BatchCodec] = {}
+
+
+def _codec_for(key: Key, algorithm: int | None, engine: str) -> BatchCodec:
+    """The cached compiled codec for one (key, algorithm, engine) triple.
+
+    ``algorithm=None`` is normalised to the :class:`BatchCodec` default
+    before keying, so warmup, encrypt jobs and decrypt jobs (which pass
+    ``None`` — the packet header names the algorithm) all share one
+    cache entry per key.
+    """
+    if algorithm is None:
+        from repro.core.stream import ALGORITHM_MHHEA
+
+        algorithm = ALGORITHM_MHHEA
+    entry = _CODECS.get((key, algorithm, engine))
+    if entry is None:
+        while len(_CODECS) >= MAX_CACHED_CODECS:
+            _CODECS.pop(next(iter(_CODECS)))
+        entry = _CODECS[(key, algorithm, engine)] = BatchCodec(
+            key, algorithm, engine=engine
+        )
+    return entry
+
+
+def warm_worker(key: Key | None, algorithm: int | None, engine: str) -> None:
+    """Pool initializer: compile the pipeline schedule before any job.
+
+    Runs once inside each fresh worker process.  ``key=None`` skips the
+    warmup (the net layer's pools serve per-epoch derived keys that are
+    not known at pool construction; their workers compile on first use).
+    """
+    if key is not None:
+        _codec_for(key, algorithm, engine)
+
+
+def encrypt_job(key: Key, payload: bytes, nonce: int,
+                algorithm: int | None, engine: str) -> bytes:
+    """Encrypt one chunk into one packet (pure; runs in a worker)."""
+    return _codec_for(key, algorithm, engine).encrypt_many(
+        [payload], [nonce])[0]
+
+
+def decrypt_job(key: Key, packet: bytes, engine: str) -> bytes:
+    """Decrypt one packet back to its chunk (pure; runs in a worker)."""
+    return _codec_for(key, None, engine).decrypt_many([packet])[0]
+
+
+class EncryptionPool:
+    """A resilient process pool dedicated to cipher work.
+
+    Wraps :class:`~concurrent.futures.ProcessPoolExecutor` with the three
+    things the encryption pipeline needs and the stdlib pool does not
+    give: schedule warmup at worker start, ordered fan-out with
+    worker-death recovery (:meth:`run_jobs`), and an asyncio-friendly
+    single-job path (:meth:`run_async`) for the secure link.
+
+    One pool may be shared by any number of codecs and sessions; jobs
+    carry their own key material.  Close it with :meth:`close` or use it
+    as a context manager.
+    """
+
+    def __init__(self, workers: int, *, key: Key | None = None,
+                 algorithm: int | None = None, engine: str = "fast",
+                 mp_context=None):
+        """Start ``workers`` processes, warmed for ``key`` if given.
+
+        ``engine`` selects the cipher implementation the *warmup*
+        compiles (jobs still name their own engine); ``mp_context`` is a
+        :mod:`multiprocessing` context for tests that need a specific
+        start method.  Raises :class:`ValueError` for ``workers < 1``.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        check_engine(engine)
+        self._workers = workers
+        self._key = key
+        self._algorithm = algorithm
+        self._engine = engine
+        self._mp_context = mp_context
+        self._lock = threading.Lock()
+        self._restarts = 0
+        self._executor: ProcessPoolExecutor | None = None
+        self._start_executor()
+
+    def _start_executor(self) -> None:
+        self._executor = ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=self._mp_context,
+            initializer=warm_worker,
+            initargs=(self._key, self._algorithm, self._engine),
+        )
+
+    @property
+    def workers(self) -> int:
+        """The worker-process count this pool was sized for."""
+        return self._workers
+
+    @property
+    def restarts(self) -> int:
+        """How many times the pool has been rebuilt after worker death."""
+        return self._restarts
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor (for ``loop.run_in_executor`` integration)."""
+        if self._executor is None:
+            raise RuntimeError("pool is closed")
+        return self._executor
+
+    def submit(self, fn, /, *args) -> Future:
+        """Submit one picklable job; thin passthrough to the executor."""
+        return self.executor.submit(fn, *args)
+
+    def restart(self, broken: ProcessPoolExecutor | None = None) -> None:
+        """Replace a (possibly broken) executor with a fresh warm pool.
+
+        ``broken`` is the executor the caller observed failing: if
+        another caller already replaced it (concurrent recoveries racing
+        on the same worker death), the restart is a no-op — shutting
+        down the *fresh* pool here would cancel the first caller's
+        already-resubmitted retries.
+        """
+        with self._lock:
+            if broken is not None and self._executor is not broken:
+                return
+            old, self._executor = self._executor, None
+            if old is not None:
+                old.shutdown(wait=False, cancel_futures=True)
+            self._start_executor()
+            self._restarts += 1
+
+    def run_jobs(self, fn, jobs: Sequence[tuple]) -> list:
+        """Run ``fn(*job)`` for every job; ordered results, crash-proof.
+
+        All jobs are submitted at once (the executor load-balances across
+        workers) and results are returned in job order.  A job that
+        raises an ordinary exception (say :class:`CipherFormatError`)
+        propagates immediately — that is a caller bug, not an
+        infrastructure failure.  Jobs lost to a dying worker are detected
+        via :class:`BrokenProcessPool`, the pool is rebuilt (at most
+        :data:`MAX_POOL_RESTARTS` times per call), and only the lost jobs
+        are re-run; beyond the restart budget they run inline in the
+        calling process, so the batch still completes byte-identically.
+        """
+        results: list = [None] * len(jobs)
+        pending = list(enumerate(jobs))
+        restarts_left = MAX_POOL_RESTARTS
+        while pending:
+            lost: list[tuple[int, tuple]] = []
+            executor = self.executor
+            try:
+                futures = {executor.submit(fn, *job): index
+                           for index, job in pending}
+            except BrokenProcessPool:
+                # The pool was already poisoned (submit itself refuses):
+                # every pending job needs the recovery path.  Any futures
+                # created before the refusal are broken too and re-run —
+                # jobs are pure, so recomputation is harmless.
+                lost = pending
+            else:
+                wait(futures)
+                for future, index in futures.items():
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        lost.append((index, jobs[index]))
+            if not lost:
+                return results
+            if restarts_left > 0:
+                restarts_left -= 1
+                self.restart(broken=executor)
+                pending = lost
+            else:
+                for index, job in lost:
+                    results[index] = fn(*job)
+                return results
+        return results
+
+    async def run_async(self, fn, /, *args):
+        """Await one job from asyncio without blocking the event loop.
+
+        Used by the secure link to keep the loop responsive while cipher
+        work runs in a worker.  Applies the same recovery ladder as
+        :meth:`run_jobs`: one pool rebuild, then inline execution.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        executor = self.executor
+        try:
+            return await loop.run_in_executor(executor, fn, *args)
+        except BrokenProcessPool:
+            self.restart(broken=executor)
+            executor = self.executor
+            try:
+                return await loop.run_in_executor(executor, fn, *args)
+            except BrokenProcessPool:
+                self.restart(broken=executor)
+                # Last resort still keeps the loop responsive: the job
+                # runs on the default thread pool, not the coroutine.
+                return await loop.run_in_executor(None, fn, *args)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the workers down; idempotent.
+
+        ``wait=False`` returns immediately (pending jobs cancelled, the
+        worker processes reaped in the background) — what async callers
+        need, since a blocking join would stall the event loop for as
+        long as the slowest in-flight cipher job.
+        """
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=wait, cancel_futures=True)
+                self._executor = None
+
+    def __enter__(self) -> "EncryptionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
