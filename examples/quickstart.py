@@ -1,13 +1,13 @@
-"""Quickstart: keys, encryption, decryption, and the packet format.
+"""Quickstart: keys, the Codec facade, and the packet format.
 
 Run with::
 
     python examples/quickstart.py
 """
 
+import repro
 from repro.core.key import Key
 from repro.core.mhhea import MhheaCipher
-from repro.core.stream import decrypt_packet, encrypt_packet
 
 
 def main() -> None:
@@ -26,14 +26,21 @@ def main() -> None:
     assert cipher.decrypt(message) == b"attack at dawn"
     print("decrypted ok")
 
-    # --- packet format ------------------------------------------------------
-    # The link format adds a header (algorithm, width, nonce, length) and
-    # a CRC-16 so a receiver can parse, validate, and decrypt with the
-    # key alone.
-    packet = encrypt_packet(b"packet payload", key, nonce=0x5EED)
-    print(f"packet: {len(packet)} bytes on the wire")
-    assert decrypt_packet(packet, key) == b"packet payload"
-    print("packet round trip ok")
+    # --- the facade ---------------------------------------------------------
+    # A Codec binds key + engine + packet policy once; the link format
+    # adds a header (algorithm, width, nonce, length) and a CRC-16 so a
+    # receiver can parse, validate, and decrypt with the key alone.
+    with repro.open_codec(key, engine="fast") as codec:
+        packet = codec.encrypt(b"packet payload", nonce=0x5EED)
+        print(f"packet: {len(packet)} bytes on the wire "
+              f"(engine {codec.engine_name!r})")
+        assert codec.decrypt(packet) == b"packet payload"
+        # Chunked blobs scale the same call to payloads of any size.
+        payload = bytes(range(256)) * 64
+        blob = codec.seal_blob(payload)
+        assert codec.open_blob(blob) == payload
+        print(f"blob: {len(payload)} plaintext bytes -> {len(blob)} on the wire")
+    print("packet + blob round trips ok")
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 """A complete secure link over localhost: handshake, sessions, metrics.
 
-Runs the `repro.net` echo server and client in one asyncio process,
+Builds both endpoints from one `repro.api` codec (`repro.serve` /
+`repro.connect`), runs the echo server and client in one asyncio process,
 streams a multi-packet message through the encrypted link, and verifies
 the round trip is byte-exact.  Every moving part of DESIGN.md sections
 4-7 is exercised: the hello handshake, per-direction derived keys, the
@@ -14,14 +15,14 @@ Run with::
 
 import asyncio
 
-from repro.core.key import Key
-from repro.net import SecureLinkClient, SecureLinkServer, SessionConfig
+import repro
 
 
 async def main() -> None:
-    key = Key.generate(seed=99)
-    # A small rekey interval so even this short demo ratchets keys.
-    config = SessionConfig(rekey_interval=8)
+    key = repro.Key.generate(seed=99)
+    # One codec carries the whole link policy; a small rekey interval so
+    # even this short demo ratchets keys.
+    codec = repro.open_codec(key, engine="fast", rekey_interval=8)
 
     message = b"".join(
         f"payload {i:03d}: the quick brown fox jumps over the lazy dog. ".encode()
@@ -31,10 +32,9 @@ async def main() -> None:
     payloads = [message[i:i + chunk] for i in range(0, len(message), chunk)]
     print(f"message: {len(message)} bytes in {len(payloads)} packets")
 
-    async with SecureLinkServer(key, port=0, config=config) as server:
+    async with repro.serve(codec, port=0) as server:
         print(f"server listening on 127.0.0.1:{server.port}")
-        async with SecureLinkClient(key, port=server.port,
-                                    config=config) as client:
+        async with repro.connect(codec, port=server.port) as client:
             replies = await client.send_all(payloads)
             echoed = b"".join(replies)
             assert echoed == message, "round trip was not byte-exact"

@@ -20,9 +20,22 @@ carry the full system:
   nonce schedules and rekeying, stream framing, server/client peers,
   link metrics); see DESIGN.md sections 4–7;
 * :mod:`repro.parallel` — the sharded multi-worker encryption pipeline
-  (chunked blobs, resilient process pools); see DESIGN.md section 9.
+  (chunked blobs, resilient process pools); see DESIGN.md section 9;
+* :mod:`repro.api` — the unified :class:`~repro.api.Codec` facade over
+  all of the above, backed by the pluggable engine registry
+  (:mod:`repro.core.engines`); see DESIGN.md section 10 and
+  docs/api.md.
+
+The facade is the recommended entry point::
+
+    import repro
+
+    with repro.open_codec(key, engine="fast", workers=4) as codec:
+        blob = codec.seal_blob(payload)
+        assert codec.open_blob(blob) == payload
 """
 
+from repro.api import Codec, connect, open_codec, serve
 from repro.core import (
     EncryptedMessage,
     HheaCipher,
@@ -31,13 +44,25 @@ from repro.core import (
     MhheaCipher,
     PAPER_PARAMS,
     TraceRecorder,
+    UnknownEngineError,
     VectorParams,
+    get_engine,
+    register_engine,
+    registered_engines,
 )
 from repro.util.lfsr import Lfsr
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Codec",
+    "open_codec",
+    "connect",
+    "serve",
+    "get_engine",
+    "register_engine",
+    "registered_engines",
+    "UnknownEngineError",
     "EncryptedMessage",
     "HheaCipher",
     "Key",

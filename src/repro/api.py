@@ -1,0 +1,419 @@
+"""``repro.api`` — the unified :class:`Codec` facade.
+
+The paper contributes one cipher with interchangeable implementations;
+this module gives the reproduction one front door with interchangeable
+backends.  A :class:`Codec` binds everything that used to be re-threaded
+through every call — root :class:`~repro.core.key.Key` (and therefore
+:class:`~repro.core.params.VectorParams`), the engine backend resolved
+once from the registry (:mod:`repro.core.engines`), the packet policy
+(algorithm id, chunk size, nonce defaults) and an optional
+:class:`~repro.parallel.pool.EncryptionPool` — and then exposes the
+whole lifecycle:
+
+* :meth:`Codec.encrypt` / :meth:`Codec.decrypt` — one self-describing
+  packet (the :mod:`repro.core.stream` wire format, byte-identical);
+* :meth:`Codec.encrypt_packets` / :meth:`Codec.decrypt_packets` —
+  ordered batches, fanned across the pool when one is bound;
+* :meth:`Codec.seal_blob` / :meth:`Codec.open_blob` — chunked
+  multi-packet blobs for large payloads (the :mod:`repro.parallel`
+  framing, byte-identical for every worker count);
+* :func:`connect` / :func:`serve` — secure-link endpoints
+  (:mod:`repro.net`) whose session policy derives from the codec.
+
+Resource ownership is explicit: a codec that *starts* a pool (because
+``workers > 0``) owns it and releases it on :meth:`Codec.close` /
+``with``-exit; a pool *passed in* is shared and never closed.  Wire
+compatibility is a hard invariant — every path through the facade emits
+bytes identical to the legacy entry points, pinned by the differential
+suite in ``tests/test_api.py``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence
+
+from repro.core import engines as _engines
+from repro.core.errors import CipherFormatError, UnknownEngineError
+from repro.core.key import Key
+from repro.core.stream import (
+    ALGORITHM_HHEA,
+    ALGORITHM_MHHEA,
+    HEADER_SIZE,
+    PacketHeader,
+    decrypt_packet,
+    encrypt_packet,
+)
+from repro.net.client import SecureLinkClient
+from repro.net.server import DEFAULT_QUEUE_DEPTH, SecureLinkServer
+from repro.net.session import (
+    DEFAULT_PARALLEL_THRESHOLD,
+    DEFAULT_REKEY_INTERVAL,
+    MAX_PAYLOAD_DEFAULT,
+    SessionConfig,
+)
+from repro.parallel.pipeline import (
+    DEFAULT_BASE_NONCE,
+    DEFAULT_CHUNK_SIZE,
+    ParallelCodec,
+)
+from repro.parallel.pool import EncryptionPool, decrypt_job, encrypt_job
+
+__all__ = [
+    "Codec",
+    "open_codec",
+    "connect",
+    "serve",
+]
+
+#: Accepted spellings of the packet-format algorithm selector.
+_ALGORITHM_IDS = {
+    "mhhea": ALGORITHM_MHHEA,
+    "hhea": ALGORITHM_HHEA,
+    ALGORITHM_MHHEA: ALGORITHM_MHHEA,
+    ALGORITHM_HHEA: ALGORITHM_HHEA,
+}
+
+
+def _algorithm_id(algorithm) -> int:
+    """Normalise ``"mhhea"``/``"hhea"``/wire id to the wire id."""
+    try:
+        return _ALGORITHM_IDS[algorithm]
+    except (KeyError, TypeError):
+        raise CipherFormatError(
+            f"algorithm must be 'mhhea', 'hhea' or a wire id "
+            f"({ALGORITHM_MHHEA}/{ALGORITHM_HHEA}), got {algorithm!r}"
+        ) from None
+
+
+class Codec:
+    """Key + params + engine + packet policy + pool, bound once.
+
+    Construction resolves and validates everything eagerly: the key (a
+    :class:`~repro.core.key.Key` or its ``keygen`` hex form), the engine
+    (registry name, :class:`~repro.core.engines.Engine` instance, or
+    ``None`` for the library default — unknown names raise
+    :class:`~repro.core.errors.UnknownEngineError` listing the
+    registered engines), the algorithm (``"mhhea"``/``"hhea"`` or the
+    wire id) and the pool policy.  After that, no call on the facade
+    re-negotiates anything.
+
+    Usage::
+
+        with Codec(key, engine="fast", workers=4) as codec:
+            packet = codec.encrypt(b"one payload", nonce=0x5EED)
+            blob = codec.seal_blob(big_payload)
+            assert codec.open_blob(blob) == big_payload
+
+    ``workers=0`` (the default) runs everything inline.  ``workers=N``
+    starts an :class:`~repro.parallel.pool.EncryptionPool` lazily on
+    first use and owns it; passing ``pool=`` shares an existing pool
+    (never closed by this codec).  Either way the wire bytes are
+    identical — pooling, like the engine, is a purely local throughput
+    knob.
+    """
+
+    def __init__(self, key, *,
+                 algorithm="mhhea",
+                 engine: "str | _engines.Engine | None" = None,
+                 workers: int = 0,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+                 rekey_interval: int = DEFAULT_REKEY_INTERVAL,
+                 max_payload: int = MAX_PAYLOAD_DEFAULT,
+                 pool: EncryptionPool | None = None):
+        if isinstance(key, str):
+            key = Key.from_hex(key)
+        if not isinstance(key, Key):
+            raise TypeError(
+                f"key must be a repro.core.key.Key or its hex form, "
+                f"got {type(key).__name__}"
+            )
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.key = key
+        self.algorithm = _algorithm_id(algorithm)
+        #: The resolved engine backend (an Engine instance, never a name).
+        self.engine = _engines.get_engine(engine)
+        if workers > 0 or pool is not None:
+            # Pool jobs serialise the engine by *name* and re-resolve it
+            # inside each worker, so a pooled codec needs the name
+            # registered — checked here, eagerly, not on the first
+            # fanned-out call.
+            try:
+                _engines.check_engine_name(self.engine.name)
+            except UnknownEngineError:
+                raise UnknownEngineError(
+                    f"engine {self.engine.name!r} is not registered; pooled "
+                    f"codecs re-resolve the engine by name inside worker "
+                    f"processes, so register_engine({self.engine.name!r}, "
+                    f"...) first (or stay inline with workers=0)"
+                ) from None
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.parallel_threshold = parallel_threshold
+        self.rekey_interval = rekey_interval
+        self.max_payload = max_payload
+        self._shared_pool = pool
+        self._own_pool: EncryptionPool | None = None
+        self._closed = False
+        # The inline blob codec; pooling is managed here, lazily, and a
+        # pooled sibling is built (once) the first time a pool exists.
+        self._blobs = ParallelCodec(key, chunk_size=chunk_size,
+                                    algorithm=self.algorithm,
+                                    engine=self.engine)
+        self._pooled_blobs: ParallelCodec | None = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def engine_name(self) -> str:
+        """Registry name of the resolved engine backend."""
+        return self.engine.name
+
+    @property
+    def params(self):
+        """The hiding-vector geometry bound through the key."""
+        return self.key.params
+
+    @property
+    def pool(self) -> EncryptionPool | None:
+        """The bound pool, if any (shared, or owned-and-started)."""
+        return self._shared_pool if self._shared_pool is not None else self._own_pool
+
+    def _check_open(self) -> None:
+        """Uniform use-after-close guard for every crypto entry point.
+
+        Checked on inline paths too — a closed codec must fail the same
+        way regardless of payload size, not only once a pool would
+        engage.
+        """
+        if self._closed:
+            raise RuntimeError("codec is closed")
+
+    def _fan_out_pool(self) -> EncryptionPool | None:
+        """The pool batch work fans out to, starting an owned one lazily."""
+        if self._shared_pool is not None:
+            return self._shared_pool
+        if self._own_pool is None and self.workers > 0:
+            self._own_pool = EncryptionPool(self.workers, key=self.key,
+                                            algorithm=self.algorithm,
+                                            engine=self.engine_name)
+        return self._own_pool
+
+    def session_config(self) -> SessionConfig:
+        """The link policy this codec implies (for :func:`connect`/:func:`serve`).
+
+        Engine, pool sizing and packet policy all come from the codec, so
+        a server and client built from equal codecs always shake hands.
+        """
+        return SessionConfig(algorithm=self.algorithm,
+                             rekey_interval=self.rekey_interval,
+                             max_payload=self.max_payload,
+                             engine=self.engine_name,
+                             parallel_workers=self.workers,
+                             parallel_threshold=self.parallel_threshold)
+
+    # -- single packets ---------------------------------------------------
+
+    def encrypt(self, payload: bytes, nonce: int = DEFAULT_BASE_NONCE) -> bytes:
+        """Encrypt one payload into one self-describing packet.
+
+        Byte-identical to ``stream.encrypt_packet(payload, key, nonce,
+        algorithm, engine)``; the nonce discipline (never reuse under
+        one key) stays the caller's job exactly as there — or use
+        :func:`connect`/:func:`serve`, which automate it per session.
+        """
+        self._check_open()
+        return encrypt_packet(payload, self.key, nonce=nonce,
+                              algorithm=self.algorithm, engine=self.engine)
+
+    def decrypt(self, packet: bytes) -> bytes:
+        """Decrypt one packet (any engine's output; CRC-checked)."""
+        self._check_open()
+        return decrypt_packet(packet, self.key, engine=self.engine)
+
+    # -- ordered batches --------------------------------------------------
+
+    def encrypt_packets(self, payloads: Sequence[bytes],
+                        nonces: Sequence[int]) -> list[bytes]:
+        """Encrypt many payloads, order-preserving, pool-accelerated.
+
+        Payload ``i`` is encrypted under ``nonces[i]``.  With a bound
+        pool and more than one payload the packets fan out across
+        workers; the result is byte-identical either way.  Raises
+        :class:`ValueError` on a payload/nonce length mismatch.
+        """
+        self._check_open()
+        if len(payloads) != len(nonces):
+            raise ValueError(
+                f"{len(payloads)} payloads but {len(nonces)} nonces"
+            )
+        pool = self._fan_out_pool() if len(payloads) > 1 else None
+        if pool is None:
+            return [self.encrypt(payload, nonce)
+                    for payload, nonce in zip(payloads, nonces)]
+        jobs = [(self.key, payload, nonce, self.algorithm, self.engine_name)
+                for payload, nonce in zip(payloads, nonces)]
+        return pool.run_jobs(encrypt_job, jobs)
+
+    def decrypt_packets(self, packets: Sequence[bytes]) -> list[bytes]:
+        """Decrypt many packets, order-preserving, pool-accelerated."""
+        self._check_open()
+        pool = self._fan_out_pool() if len(packets) > 1 else None
+        if pool is None:
+            return [self.decrypt(packet) for packet in packets]
+        jobs = [(self.key, packet, self.engine_name) for packet in packets]
+        return pool.run_jobs(decrypt_job, jobs)
+
+    # -- chunked blobs ----------------------------------------------------
+
+    def seal_blob(self, payload: bytes,
+                  base_nonce: int = DEFAULT_BASE_NONCE) -> bytes:
+        """Encrypt a payload of any size into a chunked multi-packet blob.
+
+        The :mod:`repro.parallel` framing: back-to-back standard packets
+        of at most ``chunk_size`` plaintext bytes each, deterministic
+        chunk nonces walking up from ``base_nonce``.  Payloads of at
+        most one chunk produce exactly ``encrypt(payload, base_nonce)``,
+        and the bytes never depend on the pool.
+        """
+        self._check_open()
+        if len(payload) <= self.chunk_size:
+            return self._blobs.encrypt_blob(payload, base_nonce)
+        return self._blob_codec().encrypt_blob(payload, base_nonce)
+
+    def open_blob(self, blob: bytes) -> bytes:
+        """Decrypt a blob (or a plain single packet) back to its payload."""
+        self._check_open()
+        # Single-packet blobs decrypt inline: spawning worker processes
+        # for one chunk is pure overhead (mirror of seal_blob's
+        # small-payload shortcut).  The header parse is cheap and any
+        # damage fails identically on the inline path below.
+        if (not blob
+                or HEADER_SIZE + PacketHeader.unpack(blob).payload_size
+                >= len(blob)):
+            return self._blobs.decrypt_blob(blob)
+        return self._blob_codec().decrypt_blob(blob)
+
+    def _blob_codec(self) -> ParallelCodec:
+        """The blob codec to use right now: pooled when a pool exists."""
+        pool = self._fan_out_pool()
+        if pool is None:
+            return self._blobs
+        if self._pooled_blobs is None or self._pooled_blobs.pool is not pool:
+            self._pooled_blobs = ParallelCodec(
+                self.key, chunk_size=self.chunk_size,
+                algorithm=self.algorithm, engine=self.engine, pool=pool)
+        return self._pooled_blobs
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the owned pool, if one was started; idempotent.
+
+        Shared pools (``pool=`` at construction) are left running — the
+        caller who built them owns them.
+        """
+        self._closed = True
+        if self._own_pool is not None:
+            self._own_pool.close()
+            self._own_pool = None
+
+    def __enter__(self) -> "Codec":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        pool = "shared" if self._shared_pool is not None else self.workers
+        return (f"<Codec engine={self.engine_name!r} "
+                f"algorithm={self.algorithm} width={self.params.width} "
+                f"workers={pool}>")
+
+
+def open_codec(key, **options) -> Codec:
+    """Build a :class:`Codec`; the facade's front door.
+
+    ``key`` is a :class:`~repro.core.key.Key` or its ``keygen`` hex
+    form; ``options`` are the :class:`Codec` keyword arguments.  Named
+    ``open_*`` deliberately: the codec may own OS resources (the worker
+    pool), so treat it like a file —
+
+    ::
+
+        with open_codec("03:25:71:46", engine="fast") as codec:
+            blob = codec.seal_blob(payload)
+    """
+    return Codec(key, **options)
+
+
+def _codec_for_link(endpoint: str, codec, engine, parallel_workers) -> Codec:
+    """Normalise :func:`connect`/:func:`serve` input to a bound codec."""
+    legacy = {name: value
+              for name, value in (("engine", engine),
+                                  ("parallel_workers", parallel_workers))
+              if value is not None}
+    if isinstance(codec, Codec):
+        if legacy:
+            raise TypeError(
+                f"{endpoint}() got a Codec plus legacy keyword(s) "
+                f"{sorted(legacy)}; bind those options in the Codec instead"
+            )
+        return codec
+    if legacy:
+        warnings.warn(
+            f"building a link from legacy keyword(s) {sorted(legacy)} is "
+            f"deprecated; pass {endpoint}(open_codec(key, ...)) instead",
+            DeprecationWarning, stacklevel=3,
+        )
+    return Codec(codec, engine=legacy.get("engine"),
+                 workers=legacy.get("parallel_workers", 0))
+
+
+def connect(codec, host: str = "127.0.0.1", port: int = 0, *,
+            session_id: bytes | None = None,
+            engine: str | None = None,
+            parallel_workers: int | None = None) -> SecureLinkClient:
+    """A secure-link client speaking this codec's policy (initiator side).
+
+    ``codec`` is a :class:`Codec` (or a key / hex key, from which a
+    default codec is built; the ``engine=``/``parallel_workers=``
+    keywords exist only for that legacy spelling and emit one
+    :class:`DeprecationWarning`).  The client is returned *unconnected*
+    — drive it as an async context manager::
+
+        async with connect(codec, port=server.port) as client:
+            reply = await client.request(b"payload")
+    """
+    bound = _codec_for_link("connect", codec, engine, parallel_workers)
+    return SecureLinkClient(bound.key, host=host, port=port,
+                            config=bound.session_config(),
+                            session_id=session_id)
+
+
+def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
+          handler=None, queue_depth: int = DEFAULT_QUEUE_DEPTH,
+          engine: str | None = None,
+          parallel_workers: int | None = None) -> SecureLinkServer:
+    """A secure-link server speaking this codec's policy (responder side).
+
+    Accepts the same ``codec`` spellings as :func:`connect`.  The
+    server is returned unstarted — drive it as an async context
+    manager (``port=0`` binds a free port, read ``server.port``)::
+
+        async with serve(codec, port=0) as server:
+            ...
+
+    ``handler`` receives each decrypted payload and returns the reply
+    (sync or async); ``None`` selects the server's default echo
+    handler, which is what the round-trip benchmarks measure.
+    """
+    bound = _codec_for_link("serve", codec, engine, parallel_workers)
+    extra = {} if handler is None else {"handler": handler}
+    return SecureLinkServer(bound.key, host=host, port=port,
+                            config=bound.session_config(),
+                            queue_depth=queue_depth, **extra)

@@ -3,6 +3,7 @@
 Subcommands map one-to-one onto the library's public surface:
 
 * ``keygen`` — generate a key schedule and print it in hex;
+* ``engines`` — list the registered cipher engines;
 * ``encrypt`` / ``decrypt`` — packet-format file encryption;
 * ``embed`` / ``extract`` — steganographic cover embedding;
 * ``wave`` — print the simulation waveforms of Figs 5–8;
@@ -10,6 +11,12 @@ Subcommands map one-to-one onto the library's public surface:
 * ``table1`` — print the Table 1 / Figure 9 reproduction;
 * ``serve`` — run a secure-link echo server (``repro.net``);
 * ``send`` — stream a file to a ``serve`` peer and verify the echoes.
+
+Every cipher-facing subcommand funnels through :class:`repro.api.Codec`
+— the CLI is a thin shim over the facade, and ``--engine`` accepts any
+name in the engine registry (``repro-mhhea engines`` lists them).
+Invalid arguments (bad key hex, unknown engine, missing files) exit
+with status 2 and a one-line message, never a traceback.
 
 ``serve``/``send`` speak the framed wire protocol of DESIGN.md sections
 4–6: a hello handshake (algorithm, width, rekey interval, key
@@ -37,6 +44,8 @@ import argparse
 import asyncio
 import sys
 
+from repro.core.engines import registered_engines
+from repro.core.errors import ReproError
 from repro.core.key import Key
 from repro.core.params import PAPER_PARAMS
 
@@ -45,21 +54,32 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests and docs)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-mhhea",
         description="MHHEA hybrid hiding cipher — DATE 2005 reproduction",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro-mhhea {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     keygen = sub.add_parser("keygen", help="generate a key schedule")
     keygen.add_argument("--seed", type=int, required=True)
     keygen.add_argument("--pairs", type=int, default=16)
 
+    sub.add_parser("engines",
+                   help="list the registered cipher engine backends")
+
     def add_engine_flag(command: argparse.ArgumentParser) -> None:
         command.add_argument(
-            "--engine", choices=("reference", "fast"), default="fast",
-            help="cipher implementation: bit-parallel 'fast' (default) or "
-                 "the per-bit 'reference'; both produce identical packets",
+            # Choices come from the registry, so a plugin registered
+            # before main() is selectable; argparse rejects unknown
+            # names with the registered list and exit status 2.
+            "--engine", choices=registered_engines(), default="fast",
+            help="cipher implementation: bit-parallel 'fast' (default), "
+                 "the per-bit 'reference', or any registered plugin; all "
+                 "produce identical packets",
         )
 
     def add_workers_flag(command: argparse.ArgumentParser) -> None:
@@ -150,32 +170,61 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _link_config(args) -> "SessionConfig":
-    """Build the SessionConfig shared by the serve/send subcommands."""
-    from repro.net.session import SessionConfig
+def _link_codec(args) -> "Codec":
+    """Build the Codec shared by the serve/send subcommands."""
+    from repro.api import open_codec
 
     extra = {}
     if args.parallel_threshold is not None:
         extra["parallel_threshold"] = args.parallel_threshold
-    return SessionConfig(rekey_interval=args.rekey_interval,
-                         engine=args.engine,
-                         parallel_workers=args.workers, **extra)
+    return open_codec(args.key, engine=args.engine, workers=args.workers,
+                      rekey_interval=args.rekey_interval, **extra)
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    out = sys.stdout
+    """CLI entry point; returns the process exit code.
 
+    Invalid arguments — bad key material, unknown engines, unreadable
+    files, malformed packets — exit with status 2 and a one-line
+    ``repro-mhhea: error: ...`` message on stderr (argparse handles its
+    own usage errors the same way); tracebacks are reserved for actual
+    bugs.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return _run(args, sys.stdout)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"repro-mhhea: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args, out) -> int:
+    """Dispatch one parsed subcommand (separated for the error shim)."""
     if args.command == "keygen":
         key = Key.generate(seed=args.seed, n_pairs=args.pairs)
         out.write(key.to_hex() + "\n")
         return 0
 
-    if args.command == "encrypt":
-        from repro.parallel import DEFAULT_CHUNK_SIZE, ParallelCodec
+    if args.command == "engines":
+        from repro.core.engines import DEFAULT_ENGINE_NAME, get_engine
 
-        key = Key.from_hex(args.key)
+        for name in registered_engines():
+            backend = get_engine(name)
+            cls = type(backend)
+            tags = []
+            if name == DEFAULT_ENGINE_NAME:
+                tags.append("library default")
+            if name == "fast":
+                tags.append("CLI default")
+            suffix = f"  ({', '.join(tags)})" if tags else ""
+            out.write(f"{name:<12} {cls.__module__}.{cls.__qualname__}"
+                      f"{suffix}\n")
+        return 0
+
+    if args.command == "encrypt":
+        from repro.api import open_codec
+        from repro.parallel import DEFAULT_CHUNK_SIZE
+
         with open(args.input, "rb") as handle:
             payload = handle.read()
         # Always the sharded-blob path, so --workers genuinely never
@@ -184,25 +233,24 @@ def main(argv: list[str] | None = None) -> int:
         # packet, byte-identical to the pre-sharding format).
         chunk_size = (args.chunk_size if args.chunk_size is not None
                       else DEFAULT_CHUNK_SIZE)
-        with ParallelCodec(key, workers=args.workers, chunk_size=chunk_size,
-                           engine=args.engine) as codec:
-            packet = codec.encrypt_blob(payload, args.nonce)
+        with open_codec(args.key, workers=args.workers,
+                        chunk_size=chunk_size, engine=args.engine) as codec:
+            packet = codec.seal_blob(payload, args.nonce)
         with open(args.output, "wb") as handle:
             handle.write(packet)
         out.write(f"wrote {len(packet)} bytes ({len(payload)} plaintext)\n")
         return 0
 
     if args.command == "decrypt":
-        from repro.parallel import ParallelCodec
+        from repro.api import open_codec
 
-        key = Key.from_hex(args.key)
         with open(args.input, "rb") as handle:
             packet = handle.read()
-        # decrypt_blob accepts both a single packet and a sharded
+        # open_blob accepts both a single packet and a sharded
         # multi-packet blob (the --workers encrypt format).
-        with ParallelCodec(key, workers=args.workers,
-                           engine=args.engine) as codec:
-            payload = codec.decrypt_blob(packet)
+        with open_codec(args.key, workers=args.workers,
+                        engine=args.engine) as codec:
+            payload = codec.open_blob(packet)
         with open(args.output, "wb") as handle:
             handle.write(payload)
         out.write(f"recovered {len(payload)} bytes\n")
@@ -276,14 +324,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "serve":
-        from repro.net.server import SecureLinkServer
+        from repro.api import serve
 
-        key = Key.from_hex(args.key)
-        config = _link_config(args)
+        codec = _link_codec(args)
 
         async def _serve() -> None:
-            async with SecureLinkServer(key, host=args.host, port=args.port,
-                                        config=config) as server:
+            async with serve(codec, host=args.host,
+                             port=args.port) as server:
                 out.write(f"listening on {args.host}:{server.port}\n")
                 out.flush()
                 try:
@@ -299,18 +346,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "send":
-        from repro.net.client import SecureLinkClient
+        from repro.api import connect
 
-        key = Key.from_hex(args.key)
-        config = _link_config(args)
+        codec = _link_codec(args)
         with open(args.input, "rb") as handle:
             data = handle.read()
         chunk = max(args.chunk, 1)
         payloads = [data[i:i + chunk] for i in range(0, len(data), chunk)] or [b""]
 
         async def _send() -> int:
-            async with SecureLinkClient(key, host=args.host, port=args.port,
-                                        config=config) as client:
+            async with connect(codec, host=args.host,
+                               port=args.port) as client:
                 replies = await client.send_all(payloads)
                 if replies != payloads:
                     out.write("echo mismatch: link corrupted the data\n")

@@ -13,14 +13,24 @@ Public surface:
 * :mod:`repro.core.stream` — the packet container for link-level use
   (single and batch entry points, the latter executor-aware);
 * :mod:`repro.core.fastpath` — the word-level fast engine
-  (``engine="fast"`` everywhere, :class:`repro.core.fastpath.BatchCodec`
-  for batched packet workloads).
+  (:class:`repro.core.fastpath.BatchCodec` for batched packet
+  workloads);
+* :mod:`repro.core.engines` — the pluggable engine registry that makes
+  ``"reference"``, ``"fast"`` and future backends interchangeable
+  plugins (resolved once by :class:`repro.api.Codec`, validated eagerly
+  with :class:`repro.core.errors.UnknownEngineError`).
 
 Scaling beyond one core lives one layer up in :mod:`repro.parallel`
 (sharded blobs, worker pools), which builds exclusively on this
 package's public surface.
 """
 
+from repro.core.engines import (
+    Engine,
+    get_engine,
+    register_engine,
+    registered_engines,
+)
 from repro.core.errors import (
     CipherFormatError,
     CoverExhaustedError,
@@ -28,6 +38,8 @@ from repro.core.errors import (
     HardwareModelError,
     KeyError_,
     ReproError,
+    ReproKeyError,
+    UnknownEngineError,
 )
 from repro.core.fastpath import BatchCodec
 from repro.core.hhea import HheaCipher
@@ -43,6 +55,12 @@ __all__ = [
     "HardwareModelError",
     "KeyError_",
     "ReproError",
+    "ReproKeyError",
+    "UnknownEngineError",
+    "Engine",
+    "get_engine",
+    "register_engine",
+    "registered_engines",
     "BatchCodec",
     "HheaCipher",
     "Key",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "ReproKeyError",
     "KeyError_",
     "CipherFormatError",
     "CoverExhaustedError",
@@ -18,6 +19,7 @@ __all__ = [
     "SessionError",
     "HandshakeError",
     "ReplayError",
+    "UnknownEngineError",
 ]
 
 
@@ -25,12 +27,19 @@ class ReproError(Exception):
     """Base class for every error raised by :mod:`repro`."""
 
 
-class KeyError_(ReproError):
+class ReproKeyError(ReproError):
     """Invalid key material (range, length, parse failures).
 
-    Named with a trailing underscore to avoid shadowing the builtin
-    :class:`KeyError` while keeping the obvious name.
+    Historically exported as ``KeyError_`` (trailing underscore to avoid
+    shadowing the builtin :class:`KeyError`); that alias is kept for
+    compatibility but deprecated — new code should catch
+    :class:`ReproKeyError`.
     """
+
+
+#: Deprecated alias for :class:`ReproKeyError`; kept so existing
+#: ``except KeyError_`` handlers keep working.
+KeyError_ = ReproKeyError
 
 
 class CipherFormatError(ReproError):
@@ -59,3 +68,20 @@ class HandshakeError(SessionError):
 
 class ReplayError(SessionError):
     """A received packet's sequence number was already accepted."""
+
+
+class UnknownEngineError(SessionError, ValueError):
+    """An engine name is not present in the engine registry.
+
+    Raised eagerly wherever an engine selector enters the system — the
+    :class:`repro.api.Codec` constructor,
+    :meth:`repro.net.session.SessionConfig.validate`, the CLI
+    ``--engine`` flag and every core entry point that still accepts a
+    name — and its message always lists the registered engines.
+
+    The multiple inheritance is deliberate compatibility glue: before
+    the registry existed, a bad engine name surfaced as a plain
+    :class:`ValueError` from the core layer and as a
+    :class:`SessionError` from the link layer, so handlers written
+    against either keep working.
+    """

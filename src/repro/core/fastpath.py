@@ -66,7 +66,9 @@ __all__ = [
     "BatchCodec",
 ]
 
-#: The two interchangeable engine implementations.
+#: The two built-in engine implementations.  Third-party backends are
+#: added through :func:`repro.core.engines.register_engine`; use
+#: :func:`repro.core.engines.registered_engines` for the live list.
 ENGINES = ("reference", "fast")
 
 #: Library-wide default; the CLI defaults to ``"fast"`` instead.
@@ -83,10 +85,20 @@ _W_CALLABLE = 2   # injected policy (tests); validated per vector
 
 
 def check_engine(engine: str) -> str:
-    """Validate an engine selector; returns it unchanged for inline use."""
-    if engine not in ENGINES:
-        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
-    return engine
+    """Validate an engine selector against the registry; returns it unchanged.
+
+    Kept as the historical core-layer validation hook; since the engine
+    registry (:mod:`repro.core.engines`) took over selection, this is a
+    thin delegate that raises
+    :class:`~repro.core.errors.UnknownEngineError` (a
+    :class:`ValueError` subclass, so pre-registry handlers keep
+    working) naming the registered engines.
+    """
+    from repro.core import engines as _engines
+
+    if isinstance(engine, _engines.Engine):
+        return engine.name
+    return _engines.check_engine_name(engine)
 
 
 def _check_frame_bits(frame_bits: int | None) -> None:
@@ -451,6 +463,7 @@ class BatchCodec:
 
     def __init__(self, key: Key, algorithm: int | None = None,
                  engine: str = "fast"):
+        from repro.core import engines as _engines
         from repro.core import stream  # deferred: stream imports this module
 
         self._stream = stream
@@ -459,7 +472,10 @@ class BatchCodec:
                           else algorithm)
         if self.algorithm not in (stream.ALGORITHM_HHEA, stream.ALGORITHM_MHHEA):
             raise CipherFormatError(f"unknown algorithm id {algorithm}")
-        self.engine = check_engine(engine)
+        #: Resolved engine backend; ``engine`` accepts a registry name or
+        #: an :class:`repro.core.engines.Engine` instance.
+        self.backend = _engines.get_engine(engine)
+        self.engine = self.backend.name
         if self.engine == "fast":
             name = MHHEA if self.algorithm == stream.ALGORITHM_MHHEA else HHEA
             schedule_for(key, name, key.params)  # compile once, up front
@@ -469,9 +485,9 @@ class BatchCodec:
         """One packet per payload; ``nonces`` must pair up one-to-one."""
         return self._stream.encrypt_packets(payloads, self.key, nonces,
                                             algorithm=self.algorithm,
-                                            engine=self.engine)
+                                            engine=self.backend)
 
     def decrypt_many(self, packets: Sequence[bytes]) -> list[bytes]:
         """Decrypt a batch of packets produced under the same key."""
         return self._stream.decrypt_packets(packets, self.key,
-                                            engine=self.engine)
+                                            engine=self.backend)

@@ -20,7 +20,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core import engine as _engine
-from repro.core import fastpath
+from repro.core import engines as _engines
 from repro.core.key import Key, KeyPair
 from repro.core.params import PAPER_PARAMS, VectorParams
 from repro.core.trace import TraceRecorder
@@ -48,7 +48,7 @@ def encrypt_bits(
     params: VectorParams = PAPER_PARAMS,
     trace: TraceRecorder | None = None,
     frame_bits: int | None = None,
-    engine: str = fastpath.DEFAULT_ENGINE,
+    engine: "str | _engines.Engine | None" = None,
 ) -> list[int]:
     """Embed a message bit stream at the raw key locations.
 
@@ -56,14 +56,17 @@ def encrypt_bits(
     (:mod:`repro.core.fastpath`); output is bit-identical and trace
     recording always falls back to the reference implementation.
     """
-    fastpath.check_engine(engine)
-    if engine == "fast" and trace is None:
-        schedule = fastpath.schedule_for(key, fastpath.HHEA, params)
-        return schedule.embed_bits(bits, source, frame_bits)
-    return _engine.embed_stream(
-        bits, key, source, _window_policy, _data_bit_policy, params, trace,
-        frame_bits=frame_bits,
-    )
+    backend = _engines.get_engine(engine)
+    if trace is not None:
+        # Trace recording is reference-only: the per-bit stream engine is
+        # the one implementation whose intermediate state matches the
+        # paper's pseudocode step for step.
+        return _engine.embed_stream(
+            bits, key, source, _window_policy, _data_bit_policy, params,
+            trace, frame_bits=frame_bits,
+        )
+    return backend.embed_bits(key, _engines.HHEA, params, bits, source,
+                              frame_bits)
 
 
 def decrypt_bits(
@@ -74,17 +77,18 @@ def decrypt_bits(
     trace: TraceRecorder | None = None,
     strict: bool = True,
     frame_bits: int | None = None,
-    engine: str = fastpath.DEFAULT_ENGINE,
+    engine: "str | _engines.Engine | None" = None,
 ) -> list[int]:
     """Extract ``n_bits`` message bits from the raw key locations."""
-    fastpath.check_engine(engine)
-    if engine == "fast" and trace is None:
-        schedule = fastpath.schedule_for(key, fastpath.HHEA, params)
-        return schedule.extract_bits(vectors, n_bits, strict, frame_bits)
-    return _engine.extract_stream(
-        vectors, key, n_bits, _window_policy, _data_bit_policy, params,
-        trace, strict, frame_bits,
-    )
+    backend = _engines.get_engine(engine)
+    if trace is not None:
+        # Reference-only trace path, mirroring encrypt_bits.
+        return _engine.extract_stream(
+            vectors, key, n_bits, _window_policy, _data_bit_policy, params,
+            trace, strict, frame_bits,
+        )
+    return backend.extract_bits(key, _engines.HHEA, params, vectors, n_bits,
+                                strict, frame_bits)
 
 
 @dataclass(frozen=True)
@@ -98,14 +102,16 @@ class HheaCipher:
     """Bytes-level HHEA encryptor/decryptor (baseline for comparisons)."""
 
     def __init__(self, key: Key, params: VectorParams = PAPER_PARAMS,
-                 engine: str = fastpath.DEFAULT_ENGINE):
+                 engine: "str | _engines.Engine | None" = None):
         if key.params != params:
             raise ValueError(
                 f"key was built for {key.params} but cipher uses {params}"
             )
         self.key = key
         self.params = params
-        self.engine = fastpath.check_engine(engine)
+        #: Resolved engine backend (registry lookup happens here, once).
+        self.backend = _engines.get_engine(engine)
+        self.engine = self.backend.name
 
     def encrypt(
         self,
@@ -117,11 +123,11 @@ class HheaCipher:
         """Encrypt bytes with a seeded LFSR hiding-vector source."""
         if source is None:
             source = Lfsr(self.params.width, seed=seed)
-        if self.engine == "fast" and trace is None:
-            # Straight bytes -> packed words: no per-bit list ever exists.
-            schedule = fastpath.schedule_for(self.key, fastpath.HHEA,
-                                             self.params)
-            vectors = schedule.embed_bytes(plaintext, source)
+        if trace is None:
+            # Engine-native bytes path (the fast engine never builds a
+            # per-bit list here).
+            vectors = self.backend.embed_bytes(self.key, _engines.HHEA,
+                                               self.params, plaintext, source)
             return _Message(tuple(vectors), len(plaintext) * 8,
                             self.params.width)
         bits = bytes_to_bits(plaintext)
@@ -135,10 +141,10 @@ class HheaCipher:
                 f"ciphertext uses {message.width}-bit vectors, "
                 f"cipher is configured for {self.params.width}"
             )
-        if self.engine == "fast" and trace is None:
-            schedule = fastpath.schedule_for(self.key, fastpath.HHEA,
-                                             self.params)
-            return schedule.extract_bytes(message.vectors, message.n_bits)
+        if trace is None:
+            return self.backend.extract_bytes(self.key, _engines.HHEA,
+                                              self.params, message.vectors,
+                                              message.n_bits)
         bits = decrypt_bits(
             message.vectors, self.key, message.n_bits, self.params, trace,
         )

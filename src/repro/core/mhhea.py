@@ -22,7 +22,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core import engine as _engine
-from repro.core import fastpath
+from repro.core import engines as _engines
 from repro.core.key import Key, KeyPair, scramble_pair
 from repro.core.params import PAPER_PARAMS, VectorParams
 from repro.core.trace import TraceRecorder
@@ -49,7 +49,7 @@ def encrypt_bits(
     params: VectorParams = PAPER_PARAMS,
     trace: TraceRecorder | None = None,
     frame_bits: int | None = None,
-    engine: str = fastpath.DEFAULT_ENGINE,
+    engine: "str | _engines.Engine | None" = None,
 ) -> list[int]:
     """Encrypt a message bit stream into a list of hiding vectors.
 
@@ -61,14 +61,17 @@ def encrypt_bits(
     word engine (:mod:`repro.core.fastpath`) — bit-identical output,
     differentially tested; trace recording always uses the reference.
     """
-    fastpath.check_engine(engine)
-    if engine == "fast" and trace is None:
-        schedule = fastpath.schedule_for(key, fastpath.MHHEA, params)
-        return schedule.embed_bits(bits, source, frame_bits)
-    return _engine.embed_stream(
-        bits, key, source, _window_policy, _data_bit_policy, params, trace,
-        frame_bits=frame_bits,
-    )
+    backend = _engines.get_engine(engine)
+    if trace is not None:
+        # Trace recording is reference-only: the per-bit stream engine is
+        # the one implementation whose intermediate state matches the
+        # paper's pseudocode step for step.
+        return _engine.embed_stream(
+            bits, key, source, _window_policy, _data_bit_policy, params,
+            trace, frame_bits=frame_bits,
+        )
+    return backend.embed_bits(key, _engines.MHHEA, params, bits, source,
+                              frame_bits)
 
 
 def decrypt_bits(
@@ -79,7 +82,7 @@ def decrypt_bits(
     trace: TraceRecorder | None = None,
     strict: bool = True,
     frame_bits: int | None = None,
-    engine: str = fastpath.DEFAULT_ENGINE,
+    engine: "str | _engines.Engine | None" = None,
 ) -> list[int]:
     """Recover ``n_bits`` message bits from ciphertext vectors.
 
@@ -88,14 +91,15 @@ def decrypt_bits(
     exactly as the sender did.  ``frame_bits`` must match encryption;
     ``engine`` selects the implementation as in :func:`encrypt_bits`.
     """
-    fastpath.check_engine(engine)
-    if engine == "fast" and trace is None:
-        schedule = fastpath.schedule_for(key, fastpath.MHHEA, params)
-        return schedule.extract_bits(vectors, n_bits, strict, frame_bits)
-    return _engine.extract_stream(
-        vectors, key, n_bits, _window_policy, _data_bit_policy, params,
-        trace, strict, frame_bits,
-    )
+    backend = _engines.get_engine(engine)
+    if trace is not None:
+        # Reference-only trace path, mirroring encrypt_bits.
+        return _engine.extract_stream(
+            vectors, key, n_bits, _window_policy, _data_bit_policy, params,
+            trace, strict, frame_bits,
+        )
+    return backend.extract_bits(key, _engines.MHHEA, params, vectors, n_bits,
+                                strict, frame_bits)
 
 
 @dataclass(frozen=True)
@@ -136,14 +140,16 @@ class MhheaCipher:
     """
 
     def __init__(self, key: Key, params: VectorParams = PAPER_PARAMS,
-                 engine: str = fastpath.DEFAULT_ENGINE):
+                 engine: "str | _engines.Engine | None" = None):
         if key.params != params:
             raise ValueError(
                 f"key was built for {key.params} but cipher uses {params}"
             )
         self.key = key
         self.params = params
-        self.engine = fastpath.check_engine(engine)
+        #: Resolved engine backend (registry lookup happens here, once).
+        self.backend = _engines.get_engine(engine)
+        self.engine = self.backend.name
 
     def encrypt(
         self,
@@ -160,11 +166,11 @@ class MhheaCipher:
         """
         if source is None:
             source = Lfsr(self.params.width, seed=seed)
-        if self.engine == "fast" and trace is None:
-            # Straight bytes -> packed words: no per-bit list ever exists.
-            schedule = fastpath.schedule_for(self.key, fastpath.MHHEA,
-                                             self.params)
-            vectors = schedule.embed_bytes(plaintext, source)
+        if trace is None:
+            # Engine-native bytes path (the fast engine never builds a
+            # per-bit list here).
+            vectors = self.backend.embed_bytes(self.key, _engines.MHHEA,
+                                               self.params, plaintext, source)
             return EncryptedMessage(tuple(vectors), len(plaintext) * 8,
                                     self.params.width)
         bits = bytes_to_bits(plaintext)
@@ -179,10 +185,10 @@ class MhheaCipher:
                 f"ciphertext uses {message.width}-bit vectors, "
                 f"cipher is configured for {self.params.width}"
             )
-        if self.engine == "fast" and trace is None:
-            schedule = fastpath.schedule_for(self.key, fastpath.MHHEA,
-                                             self.params)
-            return schedule.extract_bytes(message.vectors, message.n_bits)
+        if trace is None:
+            return self.backend.extract_bytes(self.key, _engines.MHHEA,
+                                              self.params, message.vectors,
+                                              message.n_bits)
         bits = decrypt_bits(
             message.vectors, self.key, message.n_bits, self.params, trace,
         )

@@ -32,15 +32,16 @@ field, so header corruption must be as detectable as payload corruption
 from __future__ import annotations
 
 import struct
+import warnings
 from concurrent.futures import Executor
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-from repro.core import fastpath, hhea, mhhea
+from repro.core import engines as _engines
 from repro.core.errors import CipherFormatError
 from repro.core.key import Key
 from repro.core.params import VectorParams
-from repro.util.bits import bits_to_bytes, bytes_to_bits, mask
+from repro.util.bits import mask
 from repro.util.crc import crc16_ccitt
 from repro.util.lfsr import Lfsr
 
@@ -70,6 +71,35 @@ HEADER_SIZE = _HEADER.size
 
 #: Largest nonce the 32-bit header field can carry.
 NONCE_MAX = 0xFFFFFFFF
+
+
+def _algorithm_name(algorithm: int) -> str:
+    """Map a wire algorithm id onto the registry's algorithm name."""
+    return _engines.MHHEA if algorithm == ALGORITHM_MHHEA else _engines.HHEA
+
+
+def _resolve_engine(engine) -> "_engines.Engine":
+    """Resolve an ``engine=`` argument; deprecation shim for names.
+
+    ``None`` means the library default and an
+    :class:`~repro.core.engines.Engine` instance is the resolved-caller
+    path (what :class:`repro.api.Codec` and the session layer pass) —
+    both silent.  A *string* is the legacy stringly-typed selector:
+    still honoured, still byte-identical on the wire, but it emits one
+    :class:`DeprecationWarning` per call pointing at the facade.
+    Unknown names raise
+    :class:`~repro.core.errors.UnknownEngineError` eagerly.
+    """
+    if engine is None or isinstance(engine, _engines.Engine):
+        return _engines.get_engine(engine)
+    backend = _engines.get_engine(engine)  # eager UnknownEngineError
+    warnings.warn(
+        "passing engine= by name to repro.core.stream entry points is "
+        "deprecated; bind the engine once in a repro.api.Codec (or pass "
+        "the object from repro.core.engines.get_engine)",
+        DeprecationWarning, stacklevel=3,
+    )
+    return backend
 
 
 def validate_nonce(nonce: int, width: int) -> int:
@@ -198,7 +228,7 @@ def encrypt_packet(
     key: Key,
     nonce: int = 0xACE1,
     algorithm: int = ALGORITHM_MHHEA,
-    engine: str = fastpath.DEFAULT_ENGINE,
+    engine: "str | _engines.Engine | None" = None,
 ) -> bytes:
     """Encrypt ``plaintext`` into one self-describing packet.
 
@@ -209,11 +239,15 @@ def encrypt_packet(
     discipline once; :class:`repro.net.session.Session` automates it for
     link traffic.
 
-    ``engine="fast"`` runs the word-level engine on the packed plaintext
-    (no per-bit lists at all); the wire packet is byte-identical to the
-    reference engine's, so mixed-engine links interoperate freely.
+    ``engine`` selects the implementation through the registry
+    (:mod:`repro.core.engines`): ``None`` is the library default, an
+    :class:`~repro.core.engines.Engine` instance is used as-is, and a
+    name is the deprecated legacy spelling (one
+    :class:`DeprecationWarning`; prefer binding a
+    :class:`repro.api.Codec`).  Every engine emits byte-identical wire
+    packets, so mixed-engine links interoperate freely.
     """
-    fastpath.check_engine(engine)
+    backend = _resolve_engine(engine)
     params = key.params
     if params.width % 8 != 0:
         raise CipherFormatError(
@@ -224,16 +258,8 @@ def encrypt_packet(
     validate_nonce(nonce, params.width)
     source = Lfsr(params.width, seed=nonce)
     n_bits = len(plaintext) * 8
-    if engine == "fast":
-        name = fastpath.MHHEA if algorithm == ALGORITHM_MHHEA else fastpath.HHEA
-        schedule = fastpath.schedule_for(key, name, params)
-        vectors = schedule.embed_bytes(plaintext, source)
-    else:
-        bits = bytes_to_bits(plaintext)
-        if algorithm == ALGORITHM_MHHEA:
-            vectors = mhhea.encrypt_bits(bits, key, source, params)
-        else:
-            vectors = hhea.encrypt_bits(bits, key, source, params)
+    vectors = backend.embed_bytes(key, _algorithm_name(algorithm), params,
+                                  plaintext, source)
     payload = _vectors_to_payload(vectors, params.width)
     header = PacketHeader(
         algorithm=algorithm,
@@ -280,15 +306,15 @@ def verify_packet(packet: bytes) -> PacketHeader:
 
 
 def decrypt_packet(packet: bytes, key: Key,
-                   engine: str = fastpath.DEFAULT_ENGINE) -> bytes:
+                   engine: "str | _engines.Engine | None" = None) -> bytes:
     """Decrypt one packet produced by :func:`encrypt_packet`.
 
     Raises :class:`CipherFormatError` on any structural damage: bad magic,
     truncation, CRC mismatch, or a width that disagrees with the key's
     parameter set.  ``engine`` selects the implementation exactly as for
-    :func:`encrypt_packet`; either engine decrypts either's output.
+    :func:`encrypt_packet`; any engine decrypts any engine's output.
     """
-    fastpath.check_engine(engine)
+    backend = _resolve_engine(engine)
     header = verify_packet(packet)
     params = key.params
     if header.width != params.width:
@@ -297,16 +323,8 @@ def decrypt_packet(packet: bytes, key: Key,
         )
     payload = packet[HEADER_SIZE : HEADER_SIZE + header.payload_size]
     vectors = _payload_to_vectors(payload, header.width)
-    if engine == "fast":
-        name = (fastpath.MHHEA if header.algorithm == ALGORITHM_MHHEA
-                else fastpath.HHEA)
-        schedule = fastpath.schedule_for(key, name, params)
-        return schedule.extract_bytes(vectors, header.n_bits)
-    if header.algorithm == ALGORITHM_MHHEA:
-        bits = mhhea.decrypt_bits(vectors, key, header.n_bits, params)
-    else:
-        bits = hhea.decrypt_bits(vectors, key, header.n_bits, params)
-    return bits_to_bytes(bits)
+    return backend.extract_bytes(key, _algorithm_name(header.algorithm),
+                                 params, vectors, header.n_bits)
 
 
 def _encrypt_one(job: tuple) -> bytes:
@@ -331,7 +349,7 @@ def encrypt_packets(
     key: Key,
     nonces: Sequence[int],
     algorithm: int = ALGORITHM_MHHEA,
-    engine: str = fastpath.DEFAULT_ENGINE,
+    engine: "str | _engines.Engine | None" = None,
     executor: Executor | None = None,
 ) -> list[bytes]:
     """Encrypt many payloads into packets, optionally on an executor.
@@ -352,11 +370,12 @@ def encrypt_packets(
     in length, plus everything :func:`encrypt_packet` raises (nonce
     validation happens per packet, inside the jobs).
     """
+    backend = _resolve_engine(engine)
     if len(payloads) != len(nonces):
         raise ValueError(
             f"{len(payloads)} payloads but {len(nonces)} nonces"
         )
-    jobs = [(payload, key, nonce, algorithm, engine)
+    jobs = [(payload, key, nonce, algorithm, backend)
             for payload, nonce in zip(payloads, nonces)]
     if executor is None:
         return [_encrypt_one(job) for job in jobs]
@@ -366,7 +385,7 @@ def encrypt_packets(
 def decrypt_packets(
     packets: Sequence[bytes],
     key: Key,
-    engine: str = fastpath.DEFAULT_ENGINE,
+    engine: "str | _engines.Engine | None" = None,
     executor: Executor | None = None,
 ) -> list[bytes]:
     """Decrypt many packets, optionally on an executor; order-preserving.
@@ -375,7 +394,8 @@ def decrypt_packets(
     semantics as :func:`encrypt_packets`.  Any structural or CRC failure
     in any packet propagates as :class:`CipherFormatError`.
     """
-    jobs = [(packet, key, engine) for packet in packets]
+    backend = _resolve_engine(engine)
+    jobs = [(packet, key, backend) for packet in packets]
     if executor is None:
         return [_decrypt_one(job) for job in jobs]
     return list(executor.map(_decrypt_one, jobs))

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import warnings
 from dataclasses import replace
 
 from repro.core.errors import HandshakeError, SessionError
@@ -46,16 +47,31 @@ class SecureLinkClient:
     explicitly (tests pass a fixed one for determinism).
     """
 
-    def __init__(self, root: Key, host: str = "127.0.0.1", port: int = 0,
+    def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
                  config: SessionConfig | None = None,
                  session_id: bytes | None = None,
                  engine: str | None = None):
+        if not isinstance(root, Key):
+            # A repro.api.Codec (duck-typed; importing repro.api here
+            # would be circular): key plus derived link policy.
+            codec, root = root, root.key
+            if config is None:
+                config = codec.session_config()
         self._root = root
         self._host = host
         self._port = port
         config = config or SessionConfig()
         if engine is not None:
-            # Local cipher-engine override; never part of the handshake.
+            # Legacy local cipher-engine override; never handshake policy.
+            from repro.core.engines import check_engine_name
+
+            check_engine_name(engine)  # eager UnknownEngineError
+            warnings.warn(
+                "the engine= override on SecureLinkServer/SecureLinkClient "
+                "is deprecated; bind the engine in a repro.api.Codec (or "
+                "SessionConfig) instead",
+                DeprecationWarning, stacklevel=2,
+            )
             config = replace(config, engine=engine)
         self._config = config
         self._config.validate(root.params.width)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import inspect
+import warnings
 from dataclasses import replace
 from typing import Awaitable, Callable
 
@@ -59,20 +60,36 @@ class SecureLinkServer:
     they never take the listener down.
     """
 
-    def __init__(self, root: Key, host: str = "127.0.0.1", port: int = 0,
+    def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
                  config: SessionConfig | None = None,
                  handler: Handler = _echo,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  engine: str | None = None):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if not isinstance(root, Key):
+            # A repro.api.Codec (duck-typed; importing repro.api here
+            # would be circular): key plus derived link policy.
+            codec, root = root, root.key
+            if config is None:
+                config = codec.session_config()
         self._root = root
         self._host = host
         self._requested_port = port
         config = config or SessionConfig()
         if engine is not None:
-            # Convenience override: the cipher engine is a purely local
-            # choice (packets are byte-identical), not handshake policy.
+            # Legacy convenience override: the cipher engine is a purely
+            # local choice (packets are byte-identical), never handshake
+            # policy.  Prefer binding it in a Codec / SessionConfig.
+            from repro.core.engines import check_engine_name
+
+            check_engine_name(engine)  # eager UnknownEngineError
+            warnings.warn(
+                "the engine= override on SecureLinkServer/SecureLinkClient "
+                "is deprecated; bind the engine in a repro.api.Codec (or "
+                "SessionConfig) instead",
+                DeprecationWarning, stacklevel=2,
+            )
             config = replace(config, engine=engine)
         self._config = config
         self._config.validate(root.params.width)

@@ -32,8 +32,9 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from repro.core import engines as _engines
 from repro.core.errors import ReplayError, SessionError
-from repro.core.fastpath import DEFAULT_ENGINE, ENGINES
+from repro.core.fastpath import DEFAULT_ENGINE
 from repro.core.key import Key
 from repro.core.stream import (
     ALGORITHM_HHEA,
@@ -176,10 +177,9 @@ class SessionConfig:
             )
         if self.algorithm not in (ALGORITHM_HHEA, ALGORITHM_MHHEA):
             raise SessionError(f"unknown algorithm id {self.algorithm}")
-        if self.engine not in ENGINES:
-            raise SessionError(
-                f"engine must be one of {ENGINES}, got {self.engine!r}"
-            )
+        # Eager registry validation: UnknownEngineError subclasses
+        # SessionError, so pre-registry handlers keep working.
+        _engines.check_engine_name(self.engine)
         if self.rekey_interval < 1:
             raise SessionError(
                 f"rekey_interval must be >= 1, got {self.rekey_interval}"
@@ -218,6 +218,7 @@ class _SendHalf:
         self._label = label
         self._config = config
         self._metrics = metrics
+        self._backend = _engines.get_engine(config.engine)
         self._next_seq = 0
         self._epoch = 0
         self._key = derive_epoch_key(root, session_id, label, 0)
@@ -254,7 +255,7 @@ class _SendHalf:
         nonce = nonce_for_seq(seq, self._root.params.width)
         packet = encrypt_packet(payload, self._key, nonce=nonce,
                                 algorithm=self._config.algorithm,
-                                engine=self._config.engine)
+                                engine=self._backend)
         self._next_seq = seq + 1
         self._account(payload, packet)
         return packet
@@ -305,7 +306,7 @@ class _SendHalf:
             else:
                 packets[i] = encrypt_packet(payload, key, nonce=nonce,
                                             algorithm=config.algorithm,
-                                            engine=config.engine)
+                                            engine=self._backend)
         if jobs:
             for slot, packet in zip(job_slots, pool.run_jobs(encrypt_job,
                                                              jobs)):
@@ -345,7 +346,7 @@ class _SendHalf:
         else:
             packet = encrypt_packet(payload, key, nonce=nonce,
                                     algorithm=config.algorithm,
-                                    engine=config.engine)
+                                    engine=self._backend)
         self._account(payload, packet)
         return packet
 
@@ -360,6 +361,7 @@ class _RecvHalf:
         self._label = label
         self._config = config
         self._metrics = metrics
+        self._backend = _engines.get_engine(config.engine)
         self._last_seq = -1
         self._epoch = 0
         self._key = derive_epoch_key(root, session_id, label, 0)
@@ -414,7 +416,7 @@ class _RecvHalf:
         seq, _ = self._admit(packet)
         try:
             payload = decrypt_packet(packet, self._key,
-                                     engine=self._config.engine)
+                                     engine=self._backend)
         except Exception:
             # Structural/CRC damage: count it, leave the replay window
             # untouched so a valid retransmission of this sequence number
@@ -444,7 +446,7 @@ class _RecvHalf:
                     decrypt_job, self._key, packet, self._config.engine)
             else:
                 payload = decrypt_packet(packet, self._key,
-                                         engine=self._config.engine)
+                                         engine=self._backend)
         except Exception:
             self._metrics.rx.crc_failures += 1
             raise
@@ -469,9 +471,16 @@ class Session:
 
     ROLES = ("initiator", "responder")
 
-    def __init__(self, root: Key, role: str, session_id: bytes,
+    def __init__(self, root, role: str, session_id: bytes,
                  config: SessionConfig | None = None,
                  metrics: SessionMetrics | None = None):
+        if not isinstance(root, Key):
+            # A repro.api.Codec (duck-typed: importing repro.api here
+            # would be circular).  The codec supplies both the root key
+            # and — unless the caller overrides it — the link policy.
+            codec, root = root, root.key
+            if config is None:
+                config = codec.session_config()
         if role not in self.ROLES:
             raise SessionError(f"role must be one of {self.ROLES}, got {role!r}")
         if len(root) == 0:

@@ -28,8 +28,11 @@ the differential suite in ``tests/parallel/test_pipeline.py``.
 
 from __future__ import annotations
 
+import warnings
+
+from repro.core import engines as _engines
 from repro.core.errors import CipherFormatError
-from repro.core.fastpath import BatchCodec, check_engine
+from repro.core.fastpath import BatchCodec
 from repro.core.key import Key
 from repro.core.stream import NONCE_MAX, split_packets
 from repro.parallel.pool import EncryptionPool, decrypt_job, encrypt_job
@@ -131,28 +134,43 @@ class ParallelCodec:
 
     def __init__(self, key: Key, workers: int = 0, *,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 algorithm: int | None = None, engine: str = "fast",
+                 algorithm: int | None = None,
+                 engine: "str | _engines.Engine | None" = None,
                  pool: EncryptionPool | None = None):
         """Compile the schedule; remember ``workers`` for lazy pool start.
 
         ``algorithm`` is a packet-format algorithm id
         (:data:`~repro.core.stream.ALGORITHM_MHHEA` by default) and
-        ``engine`` the cipher implementation, both exactly as for
-        :func:`repro.core.stream.encrypt_packet`.  Raises
-        :class:`ValueError` for a non-positive ``chunk_size`` or a
-        negative ``workers`` count.
+        ``engine`` the cipher implementation — ``None`` keeps the
+        historical ``"fast"`` default, an
+        :class:`~repro.core.engines.Engine` instance is the resolved
+        path :class:`repro.api.Codec` uses, and a name is the
+        deprecated legacy spelling (one :class:`DeprecationWarning`,
+        unchanged wire bytes).  Raises :class:`ValueError` for a
+        non-positive ``chunk_size``, a negative ``workers`` count, or
+        (as :class:`~repro.core.errors.UnknownEngineError`) an
+        unregistered engine name.
         """
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        check_engine(engine)
+        if isinstance(engine, str):
+            backend = _engines.get_engine(engine)  # eager UnknownEngineError
+            warnings.warn(
+                "passing engine= by name to ParallelCodec is deprecated; "
+                "bind the engine once in a repro.api.Codec (or pass the "
+                "object from repro.core.engines.get_engine)",
+                DeprecationWarning, stacklevel=2,
+            )
+        else:
+            backend = _engines.get_engine("fast" if engine is None else engine)
         self.key = key
         self.chunk_size = chunk_size
-        self.engine = engine
+        self.engine = backend.name
         # BatchCodec validates the algorithm id and pre-compiles the
         # schedule for the inline/single-chunk path.
-        self._codec = BatchCodec(key, algorithm, engine=engine)
+        self._codec = BatchCodec(key, algorithm, engine=backend)
         self.algorithm = self._codec.algorithm
         self._workers = workers
         self._own_pool = False

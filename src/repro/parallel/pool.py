@@ -38,7 +38,8 @@ from concurrent.futures import Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Sequence
 
-from repro.core.fastpath import BatchCodec, check_engine
+from repro.core import engines as _engines
+from repro.core.fastpath import BatchCodec
 from repro.core.key import Key
 
 __all__ = [
@@ -133,11 +134,12 @@ class EncryptionPool:
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        check_engine(engine)
         self._workers = workers
         self._key = key
         self._algorithm = algorithm
-        self._engine = engine
+        # Normalised to the registry *name*: initargs must pickle, and
+        # the name re-resolves identically inside every worker.
+        self._engine = _engines.engine_name(engine)
         self._mp_context = mp_context
         self._lock = threading.Lock()
         self._restarts = 0

@@ -18,6 +18,76 @@ class TestParser:
             build_parser().parse_args(["frobnicate"])
 
 
+class TestVersionAndEngines:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_engines_subcommand_lists_registry(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("reference")
+        assert "library default" in lines[0]
+        assert lines[1].startswith("fast")
+        assert "CLI default" in lines[1]
+
+    def test_engines_subcommand_sees_plugins(self, capsys):
+        from repro.core import engines
+
+        class Plugin(engines.FastEngine):
+            name = "plugin"
+
+        engines.register_engine("plugin", Plugin)
+        try:
+            assert main(["engines"]) == 0
+            assert "plugin" in capsys.readouterr().out
+        finally:
+            engines._FACTORIES.pop("plugin", None)
+            engines._INSTANCES.pop("plugin", None)
+
+
+class TestErrorExits:
+    """Invalid arguments exit 2 with a one-line message, no traceback."""
+
+    def test_bad_key_hex(self, tmp_path, capsys):
+        plain = tmp_path / "p"
+        plain.write_bytes(b"x")
+        rc = main(["encrypt", "--key", "zz:zz", str(plain),
+                   str(tmp_path / "out")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mhhea: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_input_file(self, tmp_path, capsys):
+        rc = main(["encrypt", "--key", "03:25",
+                   str(tmp_path / "nonexistent"), str(tmp_path / "out")])
+        assert rc == 2
+        assert "repro-mhhea: error:" in capsys.readouterr().err
+
+    def test_unknown_engine_flag_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["encrypt", "--key", "03:25", "--engine", "turbo",
+                  str(tmp_path / "p"), str(tmp_path / "out")])
+        assert excinfo.value.code == 2
+        # argparse names the registered engines in its one-line error
+        assert "reference" in capsys.readouterr().err
+
+    def test_corrupt_packet_exits_2(self, tmp_path, capsys):
+        blob = tmp_path / "blob"
+        blob.write_bytes(b"not a packet at all")
+        rc = main(["decrypt", "--key", "03:25", str(blob),
+                   str(tmp_path / "out")])
+        assert rc == 2
+        assert "repro-mhhea: error:" in capsys.readouterr().err
+
+
 class TestKeygen:
     def test_prints_hex_key(self, capsys):
         assert main(["keygen", "--seed", "5"]) == 0

@@ -1,0 +1,174 @@
+"""The legacy-path contract: one DeprecationWarning, identical bytes.
+
+Every legacy stringly-typed call path (``engine=`` by name at the
+stream entry points and ``ParallelCodec``, the server/client ``engine=``
+override, ``engine=``/``parallel_workers=`` on the link helpers) must
+
+1. emit **exactly one** :class:`DeprecationWarning`, and
+2. produce wire bytes identical to the :class:`repro.api.Codec` path,
+
+while the facade paths themselves stay warning-free.  This is the
+satellite contract of the api_redesign PR, checked differentially over
+both engines.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import Codec, connect, open_codec, serve
+from repro.core.stream import (
+    decrypt_packet,
+    decrypt_packets,
+    encrypt_packet,
+    encrypt_packets,
+)
+from repro.net import SecureLinkClient, SecureLinkServer
+from repro.parallel import ParallelCodec
+
+PAYLOAD = bytes(i % 241 for i in range(10_000))
+
+
+def assert_warns_once(record):
+    """Exactly one DeprecationWarning in a pytest.warns record."""
+    deprecations = [w for w in record
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, [str(w.message) for w in record]
+    return str(deprecations[0].message)
+
+
+@pytest.fixture(params=["reference", "fast"])
+def engine(request):
+    return request.param
+
+
+@pytest.fixture
+def codec(key16, engine):
+    with open_codec(key16, engine=engine) as bound:
+        yield bound
+
+
+class TestStreamShims:
+    def test_encrypt_packet_name_warns_once_and_matches(self, key16, engine,
+                                                        codec):
+        with pytest.warns(DeprecationWarning) as record:
+            packet = encrypt_packet(PAYLOAD[:900], key16, nonce=0x5EED,
+                                    engine=engine)
+        message = assert_warns_once(record)
+        assert "Codec" in message
+        assert packet == codec.encrypt(PAYLOAD[:900], nonce=0x5EED)
+
+    def test_decrypt_packet_name_warns_once_and_matches(self, key16, engine,
+                                                        codec):
+        packet = codec.encrypt(PAYLOAD[:900], nonce=0x5EED)
+        with pytest.warns(DeprecationWarning) as record:
+            payload = decrypt_packet(packet, key16, engine=engine)
+        assert_warns_once(record)
+        assert payload == PAYLOAD[:900]
+
+    def test_packet_batches_warn_once_and_match(self, key16, engine, codec):
+        payloads = [b"one", b"two", b"three"]
+        nonces = [0x21, 0x22, 0x23]
+        with pytest.warns(DeprecationWarning) as record:
+            packets = encrypt_packets(payloads, key16, nonces, engine=engine)
+        assert_warns_once(record)
+        assert packets == codec.encrypt_packets(payloads, nonces)
+        with pytest.warns(DeprecationWarning) as record:
+            assert decrypt_packets(packets, key16, engine=engine) == payloads
+        assert_warns_once(record)
+
+    def test_default_and_object_selectors_stay_silent(self, key16, engine):
+        from repro.core.engines import get_engine
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            packet = encrypt_packet(b"silent", key16)  # None -> default
+            decrypt_packet(packet, key16)
+            backend = get_engine(engine)
+            packet = encrypt_packet(b"silent", key16, engine=backend)
+            assert decrypt_packet(packet, key16, engine=backend) == b"silent"
+
+
+class TestParallelShims:
+    def test_parallel_codec_name_warns_once_and_matches(self, key16, engine):
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = ParallelCodec(key16, chunk_size=2048, engine=engine)
+        message = assert_warns_once(record)
+        assert "Codec" in message
+        blob = legacy.encrypt_blob(PAYLOAD)
+        with open_codec(key16, engine=engine, chunk_size=2048) as bound:
+            assert bound.seal_blob(PAYLOAD) == blob
+            assert bound.open_blob(blob) == PAYLOAD
+
+    def test_parallel_codec_default_stays_silent_and_fast(self, key16):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            codec = ParallelCodec(key16)
+        assert codec.engine == "fast"  # historical default preserved
+
+
+class TestLinkShims:
+    def test_server_engine_override_warns_once(self, key16, engine):
+        with pytest.warns(DeprecationWarning) as record:
+            server = SecureLinkServer(key16, engine=engine)
+        assert_warns_once(record)
+        assert server._config.engine == engine
+
+    def test_client_engine_override_warns_once(self, key16, engine):
+        with pytest.warns(DeprecationWarning) as record:
+            client = SecureLinkClient(key16, engine=engine)
+        assert_warns_once(record)
+        assert client._config.engine == engine
+
+    def test_connect_serve_legacy_kwargs_warn_once(self, key16, engine):
+        with pytest.warns(DeprecationWarning) as record:
+            client = connect(key16, engine=engine, parallel_workers=2)
+        message = assert_warns_once(record)
+        assert "open_codec" in message
+        assert client._config.engine == engine
+        assert client._config.parallel_workers == 2
+        with pytest.warns(DeprecationWarning) as record:
+            server = serve(key16, parallel_workers=2)
+        assert_warns_once(record)
+        assert server._config.parallel_workers == 2
+
+    def test_connect_serve_with_codec_stay_silent(self, key16, engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            codec = open_codec(key16, engine=engine)
+            connect(codec)
+            serve(codec)
+
+    def test_legacy_link_config_equals_codec_config(self, key16, engine):
+        with pytest.warns(DeprecationWarning):
+            legacy_client = connect(key16, engine=engine, parallel_workers=2)
+        codec = Codec(key16, engine=engine, workers=2)
+        assert legacy_client._config == codec.session_config()
+
+
+class TestFacadeIsWarningFree:
+    """The whole new-path lifecycle under warnings-as-errors."""
+
+    def test_codec_lifecycle_never_warns(self, key16, engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with open_codec(key16, engine=engine, workers=1,
+                            chunk_size=2048) as codec:
+                packet = codec.encrypt(b"quiet", nonce=0x31)
+                assert codec.decrypt(packet) == b"quiet"
+                blob = codec.seal_blob(PAYLOAD)
+                assert codec.open_blob(blob) == PAYLOAD
+                packets = codec.encrypt_packets([b"a", b"b"], [1, 2])
+                assert codec.decrypt_packets(packets) == [b"a", b"b"]
+
+    def test_session_paths_never_warn(self, key16, engine):
+        from repro.net.session import Session
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            codec = Codec(key16, engine=engine, rekey_interval=4)
+            sender = Session(codec, "initiator", b"shimtest")
+            receiver = Session(codec, "responder", b"shimtest")
+            for i in range(9):  # crosses two rekey boundaries
+                payload = bytes([i]) * 50
+                assert receiver.decrypt(sender.encrypt(payload)) == payload

@@ -1,0 +1,143 @@
+"""Public-surface drift check (the CI ``api-surface`` job).
+
+The facade PR made the public API a deliberate artefact, so it gets the
+same treatment as the wire format: a golden snapshot.  This tool renders
+the surface — ``repro.__all__``, the full signature set of
+:mod:`repro.api` and :mod:`repro.core.engines`, the engine registry and
+the error hierarchy — into a stable text form and compares it against
+``docs/api_surface.txt``:
+
+* **check mode** (default, CI) — exit 1 with a unified diff when the
+  live surface and the snapshot disagree.  Any intentional API change
+  must therefore touch ``docs/api_surface.txt`` in the same commit,
+  which is exactly the review surface a facade needs.
+* **write mode** (``--write``) — regenerate the snapshot from the live
+  code.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_api.py            # compare (CI)
+    PYTHONPATH=src python tools/check_api.py --write    # regenerate
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import importlib
+import inspect
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SNAPSHOT = REPO / "docs" / "api_surface.txt"
+
+#: Modules whose full public signature set is part of the snapshot.
+SIGNATURE_MODULES = ["repro.api", "repro.core.engines"]
+
+HEADER = """\
+# Public API surface snapshot — the golden record of what the library
+# exports.  CI fails when the live surface drifts from this file;
+# regenerate deliberately (and review the diff) with:
+#
+#   PYTHONPATH=src python tools/check_api.py --write
+"""
+
+
+def _signature(obj) -> str:
+    """``inspect.signature`` text, or a marker for non-introspectables."""
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):  # pragma: no cover - C callables etc.
+        return "(...)"
+
+
+def _class_lines(name: str, cls: type) -> list[str]:
+    """One line per public method/property of an exported class."""
+    lines = [f"{name}{_signature(cls)}"]
+    for attr in sorted(vars(cls)):
+        if attr.startswith("_"):
+            continue
+        member = inspect.getattr_static(cls, attr)
+        if isinstance(member, property):
+            lines.append(f"{name}.{attr}  [property]")
+        elif isinstance(member, (classmethod, staticmethod)):
+            lines.append(f"{name}.{attr}{_signature(member.__func__)}")
+        elif inspect.isfunction(member):
+            lines.append(f"{name}.{attr}{_signature(member)}")
+        elif not callable(member):
+            lines.append(f"{name}.{attr}  [attribute]")
+    return lines
+
+
+def render_surface() -> str:
+    """The live public surface as deterministic text."""
+    import repro
+    from repro.core import engines, errors
+
+    lines: list[str] = [HEADER]
+
+    lines.append("[repro.__all__]")
+    lines += [f"  {name}" for name in sorted(repro.__all__)]
+
+    for module_name in SIGNATURE_MODULES:
+        module = importlib.import_module(module_name)
+        lines.append("")
+        lines.append(f"[{module_name}]")
+        for name in sorted(module.__all__):
+            obj = getattr(module, name)
+            if inspect.isclass(obj):
+                lines += [f"  {line}" for line in _class_lines(name, obj)]
+            elif callable(obj):
+                lines.append(f"  {name}{_signature(obj)}")
+            else:
+                lines.append(f"  {name} = {obj!r}")
+
+    lines.append("")
+    lines.append("[engine registry]")
+    lines += [f"  {name}" for name in engines.registered_engines()]
+
+    lines.append("")
+    lines.append("[repro.core.errors.__all__]")
+    lines += [f"  {name}" for name in sorted(errors.__all__)]
+
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Compare (default) or rewrite the snapshot; non-zero on drift."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write", action="store_true",
+                        help="regenerate docs/api_surface.txt from the code")
+    args = parser.parse_args(argv)
+
+    surface = render_surface()
+    if args.write:
+        SNAPSHOT.write_text(surface, encoding="utf-8")
+        print(f"wrote {SNAPSHOT.relative_to(REPO)}")
+        return 0
+
+    if not SNAPSHOT.exists():
+        print(f"missing snapshot {SNAPSHOT.relative_to(REPO)}; "
+              f"run with --write to create it")
+        return 1
+    recorded = SNAPSHOT.read_text(encoding="utf-8")
+    if recorded == surface:
+        print("api surface OK: live code matches docs/api_surface.txt")
+        return 0
+    diff = difflib.unified_diff(
+        recorded.splitlines(keepends=True), surface.splitlines(keepends=True),
+        fromfile="docs/api_surface.txt (recorded)",
+        tofile="live public surface",
+    )
+    sys.stdout.writelines(diff)
+    print("\napi surface drift: update intentionally with "
+          "`PYTHONPATH=src python tools/check_api.py --write` and review "
+          "the diff")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

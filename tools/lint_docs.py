@@ -39,10 +39,14 @@ sys.path.insert(0, str(REPO / "src"))
 
 #: Modules whose public surface must be fully docstring-covered.
 AUDITED_MODULES = [
+    "repro",
+    "repro.api",
     "repro.core",
     "repro.core.stream",
     "repro.core.fastpath",
     "repro.core.engine",
+    "repro.core.engines",
+    "repro.core.errors",
     "repro.core.key",
     "repro.net",
     "repro.net.session",
@@ -54,7 +58,8 @@ AUDITED_MODULES = [
 ]
 
 #: Markdown files whose ``python`` code blocks must execute.
-DOC_FILES = ["README.md", "docs/core.md", "docs/net.md", "docs/parallel.md"]
+DOC_FILES = ["README.md", "docs/api.md", "docs/core.md", "docs/net.md",
+             "docs/parallel.md"]
 
 _FENCE = re.compile(r"^```(\w[\w-]*(?: [\w-]+)*)?\s*$")
 
