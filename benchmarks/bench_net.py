@@ -63,6 +63,42 @@ def test_session_encrypt_throughput(benchmark, bench_key):
     assert wire_bytes > sum(len(p) for p in payloads)
 
 
+def test_link_pair_throughput(benchmark, bench_key, emit):
+    """The sans-IO protocol alone: no sockets, no loop, no threads.
+
+    The gap between this number and the asyncio echo round trip is the
+    transport cost — the protocol/transport split makes it measurable
+    for the first time.
+    """
+    from repro.link import LinkPair, PayloadReceived
+
+    payloads = packet_payloads(64, seed=14)
+    total = sum(len(p) for p in payloads)
+
+    def run():
+        pair = LinkPair(bench_key, session_id=SESSION_ID)
+        pair.handshake()
+        for payload in payloads:
+            pair.initiator.send_payload(payload)
+        _, events = pair.pump()
+        replies = []
+        for event in events:
+            assert isinstance(event, PayloadReceived)
+            pair.responder.send_payload(event.payload)
+        events, _ = pair.pump()
+        replies = [event.payload for event in events]
+        assert replies == payloads
+        return pair.initiator.session.metrics
+
+    metrics = benchmark(run)
+    emit(
+        "net_link_pair_throughput",
+        f"sans-IO LinkPair echo: {len(payloads)} packets, {total} payload "
+        f"bytes each way, no transport\n"
+        f"protocol-only goodput: {metrics.mbps('rx'):.3f} Mbps",
+    )
+
+
 def test_frame_decoder_vs_split_packets(benchmark, bench_key, emit):
     """Incremental framing of a 64-packet stream, fed in 1500-byte MTUs."""
     payloads = packet_payloads(64, seed=13)

@@ -130,9 +130,17 @@ def bench_parallel(payload_size: int, chunk_size: int,
 
 def bench_net(n_payloads: int, payload_size: int,
               parallel_workers: int) -> dict:
-    """Secure-link echo goodput, plain and (if asked) with offload."""
+    """Secure-link echo goodput across the transport matrix.
+
+    One number per transport over the same payload set: asyncio TCP
+    (plain and, if asked, pool-offloaded), the blocking-socket peers,
+    and the in-memory sans-IO pair — the last is the protocol with the
+    transport cost at zero, so the spread quantifies what each
+    transport layer charges.
+    """
     import asyncio
 
+    from repro.link import MemoryLinkServer, SyncLinkClient, SyncLinkServer
     from repro.net.session import SessionConfig
 
     key = Key.generate(seed=KEY_SEED, n_pairs=16)
@@ -150,12 +158,33 @@ def bench_net(n_payloads: int, payload_size: int,
                 assert replies == payloads
                 return elapsed
 
+    def sync_roundtrip() -> float:
+        with SyncLinkServer(key, port=0) as server:
+            with SyncLinkClient(key, port=server.port,
+                                session_id=b"benchsid") as client:
+                start = time.perf_counter()
+                replies = client.send_all(payloads)
+                elapsed = time.perf_counter() - start
+                assert replies == payloads
+                return elapsed
+
+    def memory_roundtrip() -> float:
+        with MemoryLinkServer(key) as server:
+            with server.connect(session_id=b"benchsid") as client:
+                start = time.perf_counter()
+                replies = client.send_all(payloads)
+                elapsed = time.perf_counter() - start
+                assert replies == payloads
+                return elapsed
+
     total = sum(len(p) for p in payloads)
     t_plain = asyncio.run(roundtrip(None))
     result = {
         "payloads": n_payloads,
         "payload_bytes": payload_size,
         "echo_goodput_mb_s": _mbps(total, t_plain),
+        "sync_goodput_mb_s": _mbps(total, sync_roundtrip()),
+        "memory_goodput_mb_s": _mbps(total, memory_roundtrip()),
     }
     if parallel_workers > 0:
         config = SessionConfig(parallel_workers=parallel_workers,
@@ -205,7 +234,9 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         print(f"{row['workers']} worker(s):      "
               f"{row['encrypt_mb_s']:8.2f} MB/s encrypt "
               f"({row['encrypt_speedup_vs_single']:.2f}x vs single)")
-    print(f"link goodput:     {net['echo_goodput_mb_s']:8.2f} MB/s echo")
+    print(f"link goodput:     {net['echo_goodput_mb_s']:8.2f} MB/s echo "
+          f"(sync {net['sync_goodput_mb_s']:.2f}, "
+          f"memory {net['memory_goodput_mb_s']:.2f})")
     print(f"\nwrote {output}")
     return report
 

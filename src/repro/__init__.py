@@ -16,7 +16,10 @@ carry the full system:
 * :mod:`repro.security` — the attacks and statistical tests behind the
   paper's security claims;
 * :mod:`repro.stego` — steganographic (cover-data) operation;
-* :mod:`repro.net` — the async secure-link subsystem (sessions with
+* :mod:`repro.link` — the sans-IO secure-link protocol core
+  (:class:`~repro.link.LinkProtocol` state machine, typed events,
+  in-memory / blocking-socket / UDP transports); see docs/net.md;
+* :mod:`repro.net` — the asyncio secure-link transport (sessions with
   nonce schedules and rekeying, stream framing, server/client peers,
   link metrics); see DESIGN.md sections 4–7;
 * :mod:`repro.parallel` — the sharded multi-worker encryption pipeline
@@ -25,6 +28,12 @@ carry the full system:
   all of the above, backed by the pluggable engine registry
   (:mod:`repro.core.engines`); see DESIGN.md section 10 and
   docs/api.md.
+
+Re-exports resolve lazily (PEP 562), so ``import repro`` — and
+therefore any submodule import — stays free of asyncio and sockets
+until a networked entry point is actually touched; that is what keeps
+the :mod:`repro.link` sans-IO core importable on event-loop-free edge
+targets (enforced by ``tests/link/test_sans_io.py``).
 
 The facade is the recommended entry point::
 
@@ -35,24 +44,7 @@ The facade is the recommended entry point::
         assert codec.open_blob(blob) == payload
 """
 
-from repro.api import Codec, connect, open_codec, serve
-from repro.core import (
-    EncryptedMessage,
-    HheaCipher,
-    Key,
-    KeyPair,
-    MhheaCipher,
-    PAPER_PARAMS,
-    TraceRecorder,
-    UnknownEngineError,
-    VectorParams,
-    get_engine,
-    register_engine,
-    registered_engines,
-)
-from repro.util.lfsr import Lfsr
-
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Codec",
@@ -74,3 +66,53 @@ __all__ = [
     "Lfsr",
     "__version__",
 ]
+
+#: Where each lazy re-export really lives.
+_EXPORTS = {
+    "Codec": "repro.api",
+    "open_codec": "repro.api",
+    "connect": "repro.api",
+    "serve": "repro.api",
+    "get_engine": "repro.core",
+    "register_engine": "repro.core",
+    "registered_engines": "repro.core",
+    "UnknownEngineError": "repro.core",
+    "EncryptedMessage": "repro.core",
+    "HheaCipher": "repro.core",
+    "Key": "repro.core",
+    "KeyPair": "repro.core",
+    "MhheaCipher": "repro.core",
+    "PAPER_PARAMS": "repro.core",
+    "TraceRecorder": "repro.core",
+    "VectorParams": "repro.core",
+    "Lfsr": "repro.util.lfsr",
+}
+
+
+#: Submodules reachable as ``repro.<name>`` attributes after a bare
+#: ``import repro`` — the eager-import era bound (some of) these as a
+#: side effect, so the lazy loader keeps every one of them working.
+_SUBMODULES = frozenset({
+    "analysis", "api", "cli", "core", "fpga", "hdl", "link", "net",
+    "parallel", "rtl", "security", "stego", "util",
+})
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy loader: import the defining module on first use."""
+    import importlib
+
+    if name in _SUBMODULES:
+        # importlib binds the submodule onto this package as it loads.
+        return importlib.import_module(f"{__name__}.{name}")
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: later lookups skip __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    """Advertise the lazy re-exports alongside real module globals."""
+    return sorted(set(globals()) | set(__all__) | _SUBMODULES)

@@ -17,8 +17,12 @@ whole lifecycle:
 * :meth:`Codec.seal_blob` / :meth:`Codec.open_blob` — chunked
   multi-packet blobs for large payloads (the :mod:`repro.parallel`
   framing, byte-identical for every worker count);
-* :func:`connect` / :func:`serve` — secure-link endpoints
-  (:mod:`repro.net`) whose session policy derives from the codec.
+* :meth:`Codec.link` — a sans-IO :class:`repro.link.LinkProtocol`
+  bound to the codec's link policy, for custom transports;
+* :func:`connect` / :func:`serve` — secure-link endpoints whose session
+  policy derives from the codec, on any transport
+  (``"tcp"`` asyncio, ``"sync"`` blocking sockets, ``"udp"`` datagrams,
+  ``"memory"`` in-process).
 
 Resource ownership is explicit: a codec that *starts* a pool (because
 ``workers > 0``) owns it and releases it on :meth:`Codec.close` /
@@ -44,6 +48,7 @@ from repro.core.stream import (
     decrypt_packet,
     encrypt_packet,
 )
+from repro.link.protocol import LinkProtocol
 from repro.net.client import SecureLinkClient
 from repro.net.server import DEFAULT_QUEUE_DEPTH, SecureLinkServer
 from repro.net.session import (
@@ -216,6 +221,24 @@ class Codec:
                              parallel_workers=self.workers,
                              parallel_threshold=self.parallel_threshold)
 
+    def link(self, role: str, session_id: bytes | None = None, *,
+             metrics=None, datagram: bool = False) -> LinkProtocol:
+        """A sans-IO :class:`~repro.link.LinkProtocol` bound to this codec.
+
+        The machine speaks this codec's whole link policy (key,
+        algorithm, engine, rekey interval, payload ceiling) and performs
+        no I/O: feed received bytes with ``receive_data``, dispatch on
+        the returned events, drain ``data_to_send`` into any transport.
+        ``role`` is ``"initiator"`` or ``"responder"``; ``datagram=True``
+        selects the one-frame-per-datagram mode (see docs/net.md).  The
+        protocol captures the policy at call time and runs standalone —
+        closing the codec later does not invalidate it.
+        """
+        self._check_open()
+        return LinkProtocol(self.key, role, config=self.session_config(),
+                            session_id=session_id, metrics=metrics,
+                            datagram=datagram)
+
     # -- single packets ---------------------------------------------------
 
     def encrypt(self, payload: bytes, nonce: int = DEFAULT_BASE_NONCE) -> bytes:
@@ -374,45 +397,140 @@ def _codec_for_link(endpoint: str, codec, engine, parallel_workers) -> Codec:
                  workers=legacy.get("parallel_workers", 0))
 
 
+#: Transport selectors accepted by :func:`connect` / :func:`serve`.
+_TRANSPORTS = ("tcp", "udp", "sync", "memory")
+
+
+def _check_transport(transport: str) -> None:
+    """Reject unknown transport names with one actionable message."""
+    if transport not in _TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}: expected one of "
+            f"{', '.join(repr(name) for name in _TRANSPORTS)}"
+        )
+
+
 def connect(codec, host: str = "127.0.0.1", port: int = 0, *,
+            transport: str = "tcp",
             session_id: bytes | None = None,
+            server=None,
             engine: str | None = None,
-            parallel_workers: int | None = None) -> SecureLinkClient:
+            parallel_workers: int | None = None):
     """A secure-link client speaking this codec's policy (initiator side).
 
     ``codec`` is a :class:`Codec` (or a key / hex key, from which a
     default codec is built; the ``engine=``/``parallel_workers=``
     keywords exist only for that legacy spelling and emit one
-    :class:`DeprecationWarning`).  The client is returned *unconnected*
-    — drive it as an async context manager::
+    :class:`DeprecationWarning`).  ``transport`` picks the adapter, all
+    of which drive the same :class:`~repro.link.LinkProtocol` and are
+    therefore wire-compatible with every ``serve`` transport but
+    ``"memory"``:
 
-        async with connect(codec, port=server.port) as client:
-            reply = await client.request(b"payload")
+    * ``"tcp"`` (default) — the asyncio
+      :class:`~repro.net.client.SecureLinkClient`, returned
+      *unconnected*; drive it as an async context manager::
+
+          async with connect(codec, port=server.port) as client:
+              reply = await client.request(b"payload")
+
+    * ``"sync"`` — a blocking-socket
+      :class:`~repro.link.SyncLinkClient` (plain ``with``, no event
+      loop);
+    * ``"udp"`` — a best-effort datagram
+      :class:`~repro.link.UdpLinkClient`;
+    * ``"memory"`` — an in-process connection to the
+      :class:`~repro.link.MemoryLinkServer` passed as ``server=``
+      (``host``/``port`` are meaningless and ignored).
+
+    The non-asyncio transports run cipher work inline and reject codecs
+    built with ``workers > 0``.
     """
+    _check_transport(transport)
     bound = _codec_for_link("connect", codec, engine, parallel_workers)
+    if transport == "memory":
+        if server is None:
+            raise ValueError(
+                "connect(transport='memory') needs the memory server: "
+                "pass serve(codec, transport='memory') as server="
+            )
+        # The caller's codec is the *client's* side of the handshake:
+        # a key or policy mismatch with the server fails here exactly
+        # like it would over a socket, never silently.
+        return server.connect(session_id=session_id, root=bound.key,
+                              config=bound.session_config())
+    if server is not None:
+        raise ValueError(
+            f"the server= argument only applies to transport='memory', "
+            f"not {transport!r}"
+        )
+    if transport == "sync":
+        from repro.link.sync import SyncLinkClient
+
+        return SyncLinkClient(bound.key, host=host, port=port,
+                              config=bound.session_config(),
+                              session_id=session_id)
+    if transport == "udp":
+        from repro.link.udp import UdpLinkClient
+
+        return UdpLinkClient(bound.key, host=host, port=port,
+                             config=bound.session_config(),
+                             session_id=session_id)
     return SecureLinkClient(bound.key, host=host, port=port,
                             config=bound.session_config(),
                             session_id=session_id)
 
 
 def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
+          transport: str = "tcp",
           handler=None, queue_depth: int = DEFAULT_QUEUE_DEPTH,
           engine: str | None = None,
-          parallel_workers: int | None = None) -> SecureLinkServer:
+          parallel_workers: int | None = None):
     """A secure-link server speaking this codec's policy (responder side).
 
-    Accepts the same ``codec`` spellings as :func:`connect`.  The
-    server is returned unstarted — drive it as an async context
-    manager (``port=0`` binds a free port, read ``server.port``)::
+    Accepts the same ``codec`` spellings as :func:`connect`, and the
+    same ``transport`` names:
 
-        async with serve(codec, port=0) as server:
-            ...
+    * ``"tcp"`` (default) — the asyncio
+      :class:`~repro.net.server.SecureLinkServer`, returned unstarted;
+      drive it as an async context manager (``port=0`` binds a free
+      port, read ``server.port``)::
 
-    ``handler`` receives each decrypted payload and returns the reply
-    (sync or async); ``None`` selects the server's default echo
-    handler, which is what the round-trip benchmarks measure.
+          async with serve(codec, port=0) as server:
+              ...
+
+    * ``"sync"`` — a threaded blocking-socket
+      :class:`~repro.link.SyncLinkServer` (plain ``with``);
+    * ``"udp"`` — a datagram :class:`~repro.link.UdpLinkServer`, one
+      replay-windowed session per peer address;
+    * ``"memory"`` — a socket-free
+      :class:`~repro.link.MemoryLinkServer` whose clients come from
+      ``connect(codec, transport="memory", server=...)``.
+
+    ``handler`` receives each decrypted payload and returns the reply;
+    ``None`` selects the echo handler the round-trip benchmarks
+    measure.  Async handlers (and ``queue_depth``) apply to the asyncio
+    transport only; the others take sync callables and run cipher work
+    inline (codecs with ``workers > 0`` are rejected).
     """
+    _check_transport(transport)
     bound = _codec_for_link("serve", codec, engine, parallel_workers)
+    if transport == "memory":
+        from repro.link.memory import MemoryLinkServer
+
+        return MemoryLinkServer(bound.key, config=bound.session_config(),
+                                handler=handler)
+    if transport == "sync":
+        from repro.link.sync import SyncLinkServer
+
+        return SyncLinkServer(bound.key, host=host, port=port,
+                              config=bound.session_config(),
+                              handler=handler)
+    if transport == "udp":
+        from repro.link.udp import UdpLinkServer
+
+        return UdpLinkServer(bound.key, host=host, port=port,
+                             config=bound.session_config(),
+                             handler=handler)
     extra = {} if handler is None else {"handler": handler}
     return SecureLinkServer(bound.key, host=host, port=port,
                             config=bound.session_config(),

@@ -21,8 +21,11 @@ with status 2 and a one-line message, never a traceback.
 ``serve``/``send`` speak the framed wire protocol of DESIGN.md sections
 4–6: a hello handshake (algorithm, width, rekey interval, key
 fingerprint), then ciphertext packets under per-session derived keys
-with automatic rekeying.  Both ends must be started with the same key
-and the same ``--rekey-interval``.  ``encrypt``/``decrypt``/``serve``/
+with automatic rekeying.  Both ends must be started with the same key,
+the same ``--rekey-interval`` and the same ``--transport`` (``tcp``,
+the reliable asyncio default, or ``udp``, best-effort datagrams whose
+replay window absorbs loss and reordering; UDP runs cipher work inline,
+so it rejects ``--workers``).  ``encrypt``/``decrypt``/``serve``/
 ``send`` default to the bit-parallel fast engine (``--engine reference``
 selects the per-bit golden model; both emit identical packets, see
 DESIGN.md section 8) and accept ``--workers N`` to shard cipher work
@@ -142,11 +145,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table1.add_argument("--effort", type=float, default=0.5)
 
+    def add_transport_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--transport", choices=("tcp", "udp"), default="tcp",
+            help="link transport: reliable asyncio TCP (default) or "
+                 "best-effort UDP datagrams (one packet per datagram; "
+                 "incompatible with --workers)",
+        )
+
     serve = sub.add_parser("serve", help="run a secure-link echo server")
     serve.add_argument("--key", required=True, help="hex key (keygen output)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0,
-                       help="TCP port (0 picks a free one)")
+                       help="port (0 picks a free one)")
+    add_transport_flag(serve)
     serve.add_argument("--rekey-interval", type=int, default=1024,
                        help="packets per direction before the key ratchets")
     add_engine_flag(serve)
@@ -158,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     send.add_argument("--key", required=True, help="hex key (keygen output)")
     send.add_argument("--host", default="127.0.0.1")
     send.add_argument("--port", type=int, required=True)
+    add_transport_flag(send)
     send.add_argument("--chunk", type=int, default=1024,
                       help="payload bytes per packet")
     send.add_argument("--rekey-interval", type=int, default=1024,
@@ -328,6 +341,21 @@ def _run(args, out) -> int:
 
         codec = _link_codec(args)
 
+        if args.transport == "udp":
+            # The datagram transport is thread-driven, not asyncio, and
+            # runs cipher work inline (serve() rejects --workers > 0
+            # with a one-line error and exit status 2).
+            with serve(codec, host=args.host, port=args.port,
+                       transport="udp") as server:
+                out.write(f"listening on {args.host}:{server.port}/udp\n")
+                out.flush()
+                try:
+                    server.serve_forever()
+                except KeyboardInterrupt:
+                    pass
+                out.write(server.metrics.render() + "\n")
+            return 0
+
         async def _serve() -> None:
             async with serve(codec, host=args.host,
                              port=args.port) as server:
@@ -353,6 +381,20 @@ def _run(args, out) -> int:
             data = handle.read()
         chunk = max(args.chunk, 1)
         payloads = [data[i:i + chunk] for i in range(0, len(data), chunk)] or [b""]
+
+        if args.transport == "udp":
+            with connect(codec, host=args.host, port=args.port,
+                         transport="udp") as client:
+                replies = client.send_all(payloads)
+                if replies != payloads:
+                    out.write("echo mismatch: link corrupted the data\n")
+                    return 1
+                out.write(
+                    f"echoed {len(payloads)} datagrams / {len(data)} bytes "
+                    f"byte-exact at {client.metrics.mbps('rx'):.2f} Mbps\n"
+                )
+                out.write(client.metrics.render("link") + "\n")
+                return 0
 
         async def _send() -> int:
             async with connect(codec, host=args.host,

@@ -1,0 +1,80 @@
+"""``repro.link`` — the sans-IO secure-link protocol core.
+
+The protocol/transport split (h11/h2 style): one
+:class:`LinkProtocol` state machine owns the Hello handshake, framing,
+session crypto and replay windows, and every transport is a thin
+adapter that moves its bytes —
+
+* :mod:`repro.net` — the asyncio ``SecureLinkServer`` /
+  ``SecureLinkClient`` (TCP, pool offload, backpressure);
+* :mod:`repro.link.sync` — blocking-socket :class:`SyncLinkClient` /
+  :class:`SyncLinkServer` for event-loop-free deployments;
+* :mod:`repro.link.udp` — best-effort :class:`UdpLinkClient` /
+  :class:`UdpLinkServer`, one frame per datagram, the replay window
+  absorbing loss and reordering;
+* :mod:`repro.link.memory` — :class:`LinkPair` and the in-process
+  server/client, fully deterministic and socket-free for tests.
+
+All four speak byte-identical wire, because the bytes come from the one
+machine.  Importing this package (or the protocol/event/memory core
+modules) pulls in **no asyncio and no socket** — the socket-backed
+transports load lazily on first attribute access, and
+``tests/link/test_sans_io.py`` enforces the clean import in a
+subprocess.
+"""
+
+from repro.link.events import (
+    HandshakeComplete,
+    LinkClosed,
+    LinkEvent,
+    PacketReceived,
+    PayloadReceived,
+    ProtocolError,
+)
+from repro.link.memory import LinkPair, MemoryLinkClient, MemoryLinkServer
+from repro.link.protocol import CLOSED, FAILED, HANDSHAKE, OPEN, LinkProtocol
+
+__all__ = [
+    "LinkProtocol",
+    "LinkEvent",
+    "HandshakeComplete",
+    "PayloadReceived",
+    "PacketReceived",
+    "LinkClosed",
+    "ProtocolError",
+    "HANDSHAKE",
+    "OPEN",
+    "CLOSED",
+    "FAILED",
+    "LinkPair",
+    "MemoryLinkClient",
+    "MemoryLinkServer",
+    "SyncLinkClient",
+    "SyncLinkServer",
+    "UdpLinkClient",
+    "UdpLinkServer",
+]
+
+#: Socket-backed transports, loaded on first use so the core package
+#: import stays free of the socket module (the sans-IO guarantee).
+_LAZY = {
+    "SyncLinkClient": "repro.link.sync",
+    "SyncLinkServer": "repro.link.sync",
+    "UdpLinkClient": "repro.link.udp",
+    "UdpLinkServer": "repro.link.udp",
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy loader for the socket-backed transport classes."""
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    """Advertise lazy transport names alongside the eager exports."""
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,100 @@
+"""Typed events emitted by the sans-IO :class:`~repro.link.LinkProtocol`.
+
+The protocol core never calls the application; it *returns* events from
+``receive_data`` / ``receive_datagram`` / ``receive_eof`` and the
+transport adapter dispatches on their types (the h11/h2 convention).
+Events are immutable value objects so adapters may queue, log or replay
+them freely.
+
+The event vocabulary is deliberately small:
+
+* :class:`HandshakeComplete` — the hello exchange finished and a
+  :class:`~repro.net.session.Session` now exists; payload traffic may
+  start.
+* :class:`PayloadReceived` — one packet arrived, passed the replay gate
+  and decrypted cleanly.
+* :class:`PacketReceived` — one *framed but undecrypted* packet arrived
+  (only with ``decrypt_payloads=False``, the escape hatch the asyncio
+  adapters use to offload cipher work to a worker pool).
+* :class:`LinkClosed` — the peer closed its sending direction cleanly on
+  a frame boundary.
+* :class:`ProtocolError` — the link is broken (framing damage, handshake
+  mismatch, replay, CRC failure); carries the underlying exception and
+  the machine refuses further traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+from repro.net.framing import Hello
+
+__all__ = [
+    "LinkEvent",
+    "HandshakeComplete",
+    "PayloadReceived",
+    "PacketReceived",
+    "LinkClosed",
+    "ProtocolError",
+]
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """Base class of every event a :class:`~repro.link.LinkProtocol` emits."""
+
+
+@dataclass(frozen=True)
+class HandshakeComplete(LinkEvent):
+    """The hello exchange succeeded; ``protocol.session`` is now live."""
+
+    session_id: bytes
+    hello: Hello = field(repr=False)
+
+
+@dataclass(frozen=True)
+class PayloadReceived(LinkEvent):
+    """One inbound packet decrypted cleanly into ``payload``.
+
+    ``seq`` is the packet's per-direction sequence number, already
+    committed to the replay window.
+    """
+
+    payload: bytes
+    seq: int
+
+
+@dataclass(frozen=True)
+class PacketReceived(LinkEvent):
+    """One complete ciphertext packet, framed but *not* decrypted.
+
+    Emitted instead of :class:`PayloadReceived` when the protocol was
+    built with ``decrypt_payloads=False``: the caller decrypts through
+    ``protocol.session`` itself (the asyncio adapters do this to await a
+    worker pool).  The replay gate still runs inside that decrypt call.
+    """
+
+    packet: bytes
+
+
+@dataclass(frozen=True)
+class LinkClosed(LinkEvent):
+    """The peer's byte stream ended cleanly on a frame boundary.
+
+    Only the *receive* direction is finished; the local end may keep
+    sending until it closes its transport (TCP half-close semantics).
+    """
+
+
+@dataclass(frozen=True)
+class ProtocolError(LinkEvent):
+    """The link is unrecoverably broken; ``error`` says why.
+
+    After emitting this event the machine is in the ``FAILED`` state:
+    further ``receive_*`` calls return no events and ``send_payload``
+    raises.  Transport adapters should close the connection and surface
+    ``error`` to the application.
+    """
+
+    error: ReproError

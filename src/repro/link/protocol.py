@@ -1,0 +1,447 @@
+"""The sans-IO secure-link protocol state machine.
+
+:class:`LinkProtocol` owns everything about the secure-link protocol
+that is *not* I/O: hello handshake sequencing, incremental
+:class:`~repro.net.framing.FrameDecoder` framing, the
+:class:`~repro.net.session.Session` (per-direction derived keys, nonce
+schedule, replay windows) and the close/error lifecycle.  It performs no
+I/O itself — callers feed received bytes in (:meth:`receive_data`), pull
+typed :mod:`~repro.link.events` out, and drain outbound bytes with
+:meth:`data_to_send` — so the same machine drives every transport:
+asyncio streams (:mod:`repro.net`), blocking sockets
+(:mod:`repro.link.sync`), UDP datagrams (:mod:`repro.link.udp`) and
+in-memory pairs (:mod:`repro.link.memory`).
+
+This module imports **no asyncio, socket, selectors or ssl** — directly
+or transitively — which ``tests/link/test_sans_io.py`` enforces in a
+subprocess.  That is what lets the protocol run on an edge device with
+no event loop, or be driven byte-by-byte by an accelerator frontend.
+
+Flow control is the transport's job, but the machine gives it the
+signals: :attr:`LinkProtocol.bytes_to_send` reports the queued outbound
+bytes, and the contract is to drain :meth:`data_to_send` after every
+``receive_*`` / ``send_*`` call before feeding more input, applying the
+transport's own backpressure (``await writer.drain()``, bounded queues,
+blocking ``sendall``) in between.
+
+State machine (see docs/net.md for the event table)::
+
+                 receive_data(hello ok)
+    HANDSHAKE ───────────────────────────▶ OPEN ──── close() ───▶ CLOSED
+        │                                  │  ╲
+        │ bad hello / junk / EOF           │   ╲ receive_eof() → LinkClosed
+        ▼                                  ▼    (peer done; sends still OK)
+      FAILED ◀──── framing / replay / CRC damage
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.core.errors import (
+    CipherFormatError,
+    HandshakeError,
+    ReplayError,
+    ReproError,
+    SessionError,
+)
+from repro.core.key import Key
+from repro.link.events import (
+    HandshakeComplete,
+    LinkClosed,
+    LinkEvent,
+    PacketReceived,
+    PayloadReceived,
+    ProtocolError,
+)
+from repro.net.framing import FrameDecoder, Hello
+from repro.net.metrics import SessionMetrics
+from repro.net.session import Session, SessionConfig, key_fingerprint
+
+__all__ = [
+    "HANDSHAKE",
+    "OPEN",
+    "CLOSED",
+    "FAILED",
+    "LinkProtocol",
+]
+
+def _resolve_root(root, config: SessionConfig | None):
+    """Normalise a ``Key``-or-``Codec`` argument to ``(key, config)``.
+
+    The one duck-typed unwrap every link-layer constructor shares: a
+    :class:`repro.api.Codec` (anything with ``.key`` and
+    ``.session_config()``) supplies both the root key and — unless the
+    caller overrides it — the link policy.  Duck-typed because importing
+    :mod:`repro.api` here would be circular.
+    """
+    if not isinstance(root, Key):
+        codec, root = root, root.key
+        if config is None:
+            config = codec.session_config()
+    return root, config
+
+
+#: Waiting for (initiator: the reply to) the hello frame.
+HANDSHAKE = "HANDSHAKE"
+#: Handshake done; payload packets flow both ways.
+OPEN = "OPEN"
+#: Locally closed via :meth:`LinkProtocol.close`; the machine is inert.
+CLOSED = "CLOSED"
+#: Broken by a protocol violation; the machine refuses further traffic.
+FAILED = "FAILED"
+
+
+class LinkProtocol:
+    """One endpoint of the secure link as a pure state machine.
+
+    Parameters
+    ----------
+    root:
+        The shared root :class:`~repro.core.key.Key`, or a
+        :class:`repro.api.Codec` (whose key and
+        :meth:`~repro.api.Codec.session_config` are used).
+    role:
+        ``"initiator"`` (emits the first hello, normally the client) or
+        ``"responder"`` (answers it, normally the server).
+    config:
+        The :class:`~repro.net.session.SessionConfig` link policy;
+        defaults to the codec's, else to ``SessionConfig()``.
+    session_id:
+        Initiator only: the 8-byte connection namespace (minted from
+        :func:`os.urandom` when omitted).  The responder learns it from
+        the peer's hello and must pass ``None``.
+    metrics:
+        A :class:`~repro.net.session.SessionMetrics` for the session, or
+        a zero-argument callable returning one — called only once the
+        handshake succeeds, so failed handshakes never register a
+        metrics slot.
+    datagram:
+        ``False`` (stream mode): bytes arrive via :meth:`receive_data`
+        and any damage is fatal.  ``True`` (datagram mode): whole frames
+        arrive via :meth:`receive_datagram`, and damaged, replayed or
+        stale datagrams are *dropped* (counted in
+        :attr:`datagrams_dropped`) — the replay window does the
+        reordering work, which is what makes best-effort UDP usable.
+    decrypt_payloads:
+        With ``False``, OPEN-state packet frames are emitted as
+        :class:`~repro.link.events.PacketReceived` (undecrypted) so the
+        caller can run ``session.decrypt_async`` on a worker pool; the
+        default decrypts inline and emits
+        :class:`~repro.link.events.PayloadReceived`.
+    """
+
+    def __init__(self, root, role: str,
+                 config: SessionConfig | None = None,
+                 session_id: bytes | None = None, *,
+                 metrics: "SessionMetrics | Callable[[], SessionMetrics] | None" = None,
+                 datagram: bool = False,
+                 decrypt_payloads: bool = True):
+        root, config = _resolve_root(root, config)
+        if role not in Session.ROLES:
+            raise SessionError(
+                f"role must be one of {Session.ROLES}, got {role!r}"
+            )
+        self._root = root
+        self._config = config or SessionConfig()
+        self._config.validate(root.params.width)
+        self.role = role
+        self._metrics = metrics
+        self._datagram = datagram
+        self._decrypt_payloads = decrypt_payloads
+        self._fingerprint = key_fingerprint(root)
+        self._decoder = FrameDecoder(
+            self._config.max_wire_payload(root.params.width)
+        )
+        self._out: list[bytes] = []
+        self._session: Session | None = None
+        self._state = HANDSHAKE
+        self._peer_closed = False
+        #: Datagram-mode only: damaged/replayed/stale datagrams dropped.
+        self.datagrams_dropped = 0
+        if role == "initiator":
+            if session_id is None:
+                session_id = os.urandom(8)
+            if len(session_id) != 8:
+                raise SessionError(
+                    f"session id must be 8 bytes, got {len(session_id)}"
+                )
+            self._session_id: bytes | None = session_id
+            self._out.append(self._hello().pack())
+        else:
+            if session_id is not None:
+                raise SessionError(
+                    "the responder learns the session id from the peer's "
+                    "hello; do not pass one"
+                )
+            self._session_id = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """One of ``HANDSHAKE`` / ``OPEN`` / ``CLOSED`` / ``FAILED``."""
+        return self._state
+
+    @property
+    def session(self) -> Session | None:
+        """The live :class:`~repro.net.session.Session` (post-handshake)."""
+        return self._session
+
+    @property
+    def session_id(self) -> bytes | None:
+        """This connection's 8-byte namespace (responder: post-hello)."""
+        return self._session_id
+
+    @property
+    def config(self) -> SessionConfig:
+        """The (validated) link policy this machine runs under."""
+        return self._config
+
+    @property
+    def peer_closed(self) -> bool:
+        """True once :meth:`receive_eof` accepted a clean peer close."""
+        return self._peer_closed
+
+    @property
+    def bytes_to_send(self) -> int:
+        """Outbound bytes queued and not yet drained (flow signal)."""
+        return sum(len(chunk) for chunk in self._out)
+
+    def _hello(self) -> Hello:
+        return Hello(
+            algorithm=self._config.algorithm,
+            width=self._root.params.width,
+            session_id=self._session_id,
+            fingerprint=self._fingerprint,
+            rekey_interval=self._config.rekey_interval,
+        )
+
+    # -- inbound ----------------------------------------------------------
+
+    def receive_data(self, data: bytes) -> list[LinkEvent]:
+        """Absorb a stream chunk; return the events it completes.
+
+        Arbitrary chunk boundaries are fine (one byte at a time works);
+        partial frames wait in the decoder.  Any protocol violation
+        returns a single :class:`~repro.link.events.ProtocolError` and
+        moves the machine to ``FAILED``.  After ``CLOSED``/``FAILED``
+        (or a clean peer close) input is ignored.
+        """
+        if self._datagram:
+            raise SessionError("datagram links use receive_datagram()")
+        if self._state in (CLOSED, FAILED) or self._peer_closed:
+            return []
+        try:
+            frames = self._decoder.feed(data)
+        except CipherFormatError as exc:
+            return self._fail(exc)
+        events: list[LinkEvent] = []
+        for frame in frames:
+            events.extend(self._handle_frame(frame))
+            if self._state == FAILED:
+                break
+        return events
+
+    def receive_datagram(self, datagram: bytes) -> list[LinkEvent]:
+        """Absorb one datagram holding exactly one frame (datagram mode).
+
+        Damage, replays and stale sequence numbers drop the datagram
+        (counted in :attr:`datagrams_dropped`) instead of failing the
+        link — datagram transports lose and reorder packets as a matter
+        of course, and the session's replay window already rejects
+        everything that is not strictly newer.  Handshake-policy
+        mismatches remain fatal: a peer with the wrong key or config can
+        never become valid by retransmission.
+        """
+        if not self._datagram:
+            raise SessionError("stream links use receive_data()")
+        if self._state in (CLOSED, FAILED):
+            return []
+        decoder = FrameDecoder(
+            self._config.max_wire_payload(self._root.params.width)
+        )
+        try:
+            frames = decoder.feed(datagram)
+        except CipherFormatError:
+            frames = []
+        if len(frames) != 1 or decoder.pending:
+            self.datagrams_dropped += 1
+            return []
+        frame = frames[0]
+        if self._state == HANDSHAKE:
+            return self._handle_frame(frame)
+        if frame.kind != "packet":
+            # A duplicated hello (e.g. a retransmit): not fatal, just late.
+            self.datagrams_dropped += 1
+            return []
+        try:
+            payload = self._session.decrypt(frame.raw)
+        except (ReplayError, CipherFormatError, SessionError):
+            self.datagrams_dropped += 1
+            return []
+        return [PayloadReceived(payload, self._session.last_recv_seq)]
+
+    def receive_eof(self) -> list[LinkEvent]:
+        """The transport hit end-of-stream; classify it.
+
+        A clean close on a frame boundary after the handshake yields
+        :class:`~repro.link.events.LinkClosed` — the *receive* side is
+        done but the local end may keep sending (TCP half-close).  EOF
+        during the handshake or mid-frame is a protocol error.
+        """
+        if self._state in (CLOSED, FAILED) or self._peer_closed:
+            return []
+        if self._state == HANDSHAKE:
+            return self._fail(HandshakeError(
+                "peer closed the connection during the handshake "
+                "(key or configuration mismatch?)"
+            ))
+        if self._decoder.pending:
+            return self._fail(CipherFormatError(
+                f"stream ended mid-frame with {self._decoder.pending} "
+                f"bytes pending"
+            ))
+        self._peer_closed = True
+        return [LinkClosed()]
+
+    # -- outbound ---------------------------------------------------------
+
+    def send_payload(self, payload: bytes) -> None:
+        """Encrypt ``payload`` into the next packet and queue its bytes.
+
+        Consumes one sequence number on the send direction.  Raises
+        :class:`~repro.core.errors.SessionError` unless the link is
+        ``OPEN`` (handshake done, not failed, not locally closed).
+        """
+        self._check_sendable()
+        self._out.append(self._session.encrypt(payload))
+
+    def send_packet(self, packet: bytes) -> None:
+        """Queue a packet already encrypted through :attr:`session`.
+
+        The escape hatch for transports that run the cipher elsewhere
+        (the asyncio adapters await ``session.encrypt_async`` on a
+        worker pool): the session reserved the sequence number, so the
+        caller's only duty is to hand packets over in that same order.
+        """
+        self._check_sendable()
+        self._out.append(packet)
+
+    def data_to_send(self) -> bytes:
+        """Drain and return every queued outbound byte (may be empty)."""
+        if not self._out:
+            return b""
+        out = b"".join(self._out)
+        self._out.clear()
+        return out
+
+    def datagrams_to_send(self) -> list[bytes]:
+        """Drain the outbound queue as one-frame datagrams.
+
+        Each element is exactly one wire frame (hello or packet), the
+        unit a datagram transport must preserve.
+        """
+        out = list(self._out)
+        self._out.clear()
+        return out
+
+    def close(self) -> None:
+        """Close the machine locally; queued-but-undrained bytes drop.
+
+        Our wire format has no goodbye frame — closing is a transport
+        act — so this only moves the state to ``CLOSED`` and makes
+        further sends raise.  Idempotent, also after ``FAILED``.
+        """
+        if self._state != FAILED:
+            self._state = CLOSED
+        self._out.clear()
+
+    # -- internals --------------------------------------------------------
+
+    def _check_sendable(self) -> None:
+        if self._state != OPEN:
+            raise SessionError(f"cannot send on a {self._state} link")
+
+    def _fail(self, error: ReproError) -> list[LinkEvent]:
+        """Break the machine: drop queued output, emit the error event."""
+        self._state = FAILED
+        self._out.clear()
+        return [ProtocolError(error)]
+
+    def _handle_frame(self, frame) -> list[LinkEvent]:
+        if self._state == HANDSHAKE:
+            if frame.kind != "hello":
+                return self._fail(HandshakeError(
+                    "received ciphertext before the handshake completed"
+                ))
+            try:
+                return self._complete_handshake(frame.hello())
+            except ReproError as exc:
+                return self._fail(exc)
+        if frame.kind != "packet":
+            return self._fail(HandshakeError(
+                "unexpected hello frame mid-session"
+            ))
+        if not self._decrypt_payloads:
+            return [PacketReceived(frame.raw)]
+        try:
+            payload = self._session.decrypt(frame.raw)
+        except ReproError as exc:
+            return self._fail(exc)
+        return [PayloadReceived(payload, self._session.last_recv_seq)]
+
+    def _complete_handshake(self, hello: Hello) -> list[LinkEvent]:
+        config = self._config
+        width = self._root.params.width
+        if self.role == "initiator":
+            if hello.fingerprint != self._fingerprint:
+                raise HandshakeError(
+                    "peer key fingerprint does not match ours"
+                )
+            if hello.session_id != self._session_id:
+                raise HandshakeError("peer echoed a different session id")
+            if (hello.algorithm != config.algorithm
+                    or hello.width != width
+                    or hello.rekey_interval != config.rekey_interval):
+                raise HandshakeError(
+                    f"peer countered with algorithm={hello.algorithm} "
+                    f"width={hello.width} "
+                    f"rekey_interval={hello.rekey_interval}"
+                )
+        else:
+            if hello.fingerprint != self._fingerprint:
+                raise HandshakeError(
+                    "key fingerprint mismatch — peer holds a different "
+                    "root key"
+                )
+            if hello.width != width:
+                raise HandshakeError(
+                    f"peer wants {hello.width}-bit vectors, "
+                    f"this end runs {width}"
+                )
+            if hello.algorithm != config.algorithm:
+                raise HandshakeError(
+                    f"peer wants algorithm {hello.algorithm}, "
+                    f"this end runs {config.algorithm}"
+                )
+            if hello.rekey_interval != config.rekey_interval:
+                raise HandshakeError(
+                    f"peer wants rekey interval {hello.rekey_interval}, "
+                    f"this end runs {config.rekey_interval}"
+                )
+            self._session_id = hello.session_id
+        metrics = self._metrics() if callable(self._metrics) else self._metrics
+        self._session = Session(self._root, role=self.role,
+                                session_id=self._session_id,
+                                config=config, metrics=metrics)
+        if self.role == "responder":
+            self._out.append(self._hello().pack())
+        self._state = OPEN
+        return [HandshakeComplete(self._session_id, hello)]
+
+    def __repr__(self) -> str:
+        return (f"<LinkProtocol role={self.role!r} state={self._state} "
+                f"datagram={self._datagram} "
+                f"bytes_to_send={self.bytes_to_send}>")

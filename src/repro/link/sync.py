@@ -1,0 +1,308 @@
+"""Blocking-socket secure-link transports (no event loop required).
+
+The deployment shape HHEML-style edge devices want: plain ``socket``
+calls driving the same sans-IO :class:`~repro.link.LinkProtocol` the
+asyncio peers use, so the wire bytes are identical and an edge client
+can talk to an asyncio server (and vice versa) without either side
+knowing.
+
+:class:`SyncLinkClient` is single-threaded and lockstep — each payload
+is sent and its reply collected before the next is written, so the TCP
+window can never deadlock against a slow peer.  :class:`SyncLinkServer`
+runs one accept thread plus one thread per connection; cipher work runs
+inline on those threads (``parallel_workers`` is rejected — use the
+asyncio transport for pool offload).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.core.errors import ReproError, SessionError
+from repro.link.events import (
+    LinkClosed,
+    PayloadReceived,
+    ProtocolError,
+)
+from repro.link.memory import _check_inline, _echo
+from repro.link.protocol import HANDSHAKE, LinkProtocol, _resolve_root
+from repro.net.metrics import MetricsRegistry, SessionMetrics
+from repro.net.session import SessionConfig
+
+__all__ = ["SyncLinkClient", "SyncLinkServer"]
+
+_READ_CHUNK = 1 << 16
+
+#: Accept-loop poll interval; bounds how long close() waits on accept.
+_ACCEPT_POLL = 0.2
+
+
+class SyncLinkClient:
+    """One secure-link connection over a blocking TCP socket.
+
+    Usage::
+
+        with SyncLinkClient(root_key, port=server.port) as client:
+            reply = client.request(b"payload")
+
+    ``timeout`` bounds every socket operation (``None`` blocks forever);
+    a timeout surfaces as :class:`socket.timeout` (an ``OSError``).
+    """
+
+    def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
+                 config: SessionConfig | None = None,
+                 session_id: bytes | None = None,
+                 timeout: float | None = 10.0):
+        root, config = _resolve_root(root, config)
+        self._root = root
+        self._host = host
+        self._port = port
+        self._config = config or SessionConfig()
+        self._config.validate(root.params.width)
+        _check_inline(self._config, "sync")
+        self._session_id = session_id
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+        self._proto: LinkProtocol | None = None
+        self._pending: list = []
+        self.session = None
+
+    @property
+    def metrics(self) -> SessionMetrics:
+        """This connection's session counters (valid once connected)."""
+        if self.session is None:
+            raise SessionError("client not connected")
+        return self.session.metrics
+
+    def connect(self) -> None:
+        """Open the TCP connection and run the hello exchange."""
+        if self.session is not None:
+            raise SessionError("client already connected")
+        self._sock = socket.create_connection((self._host, self._port),
+                                              timeout=self._timeout)
+        try:
+            self._proto = LinkProtocol(self._root, "initiator",
+                                       config=self._config,
+                                       session_id=self._session_id)
+            self._sock.sendall(self._proto.data_to_send())
+            while self._proto.state == HANDSHAKE:
+                chunk = self._sock.recv(_READ_CHUNK)
+                events = (self._proto.receive_eof() if not chunk
+                          else self._proto.receive_data(chunk))
+                for event in events:
+                    if isinstance(event, ProtocolError):
+                        raise event.error
+                    if not isinstance(event, LinkClosed):
+                        self._pending.append(event)
+            self.session = self._proto.session
+        except BaseException:
+            # A failed handshake must not leak the open socket.
+            self.close()
+            raise
+
+    def request(self, payload: bytes) -> bytes:
+        """Send one payload and wait for its reply."""
+        return self.send_all([payload])[0]
+
+    def send_all(self, payloads: list[bytes]) -> list[bytes]:
+        """Send payloads in lockstep, one reply collected per send.
+
+        Lockstep (not pipelined) on purpose: a single blocking thread
+        that wrote everything first could deadlock against a stalled
+        peer once both TCP windows fill.  Protocol failures close the
+        transport before re-raising, so a broken link never leaks its
+        socket.
+        """
+        if self.session is None or self._sock is None:
+            raise SessionError("client not connected")
+        replies: list[bytes] = []
+        try:
+            for payload in payloads:
+                self._proto.send_payload(payload)
+                self._sock.sendall(self._proto.data_to_send())
+                replies.append(self._read_reply(len(replies), len(payloads)))
+        except (ReproError, OSError):
+            self.close()
+            raise
+        return replies
+
+    def _read_reply(self, have: int, want: int) -> bytes:
+        while True:
+            while self._pending:
+                event = self._pending.pop(0)
+                if isinstance(event, ProtocolError):
+                    raise event.error
+                if isinstance(event, PayloadReceived):
+                    return event.payload
+            chunk = self._sock.recv(_READ_CHUNK)
+            if not chunk:
+                events = self._proto.receive_eof()
+                for event in events:
+                    if isinstance(event, ProtocolError):
+                        raise event.error
+                raise SessionError(
+                    f"peer closed the link after {have} of {want} replies"
+                )
+            self._pending.extend(self._proto.receive_data(chunk))
+
+    def close(self) -> None:
+        """Close the socket (idempotent; the session stays readable)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+            self._sock = None
+        if self._proto is not None:
+            self._proto.close()
+
+    def __enter__(self) -> "SyncLinkClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SyncLinkServer:
+    """Threaded blocking-socket secure-link server.
+
+    One daemon thread accepts, one daemon thread per connection drives a
+    responder :class:`~repro.link.LinkProtocol` with the ``handler``
+    (a sync ``bytes -> bytes`` callable; default echoes).  Protocol
+    errors on one connection close that connection and are recorded in
+    :attr:`errors`; they never take the listener down.
+
+    Usage::
+
+        with SyncLinkServer(root_key, port=0) as server:
+            ...  # server.port is the bound port
+    """
+
+    def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
+                 config: SessionConfig | None = None, handler=None):
+        root, config = _resolve_root(root, config)
+        self._root = root
+        self._host = host
+        self._requested_port = port
+        self._config = config or SessionConfig()
+        self._config.validate(root.params.width)
+        _check_inline(self._config, "sync")
+        self._handler = handler if handler is not None else _echo
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._next_peer = 0
+        self.metrics = MetricsRegistry()
+        self.errors: list[str] = []
+
+    def start(self) -> None:
+        """Bind the listening socket and start the accept thread."""
+        if self._sock is not None:
+            raise RuntimeError("server already started")
+        self._stop.clear()
+        self._sock = socket.create_server((self._host, self._requested_port))
+        self._sock.settimeout(_ACCEPT_POLL)
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self._sock is None:
+            raise RuntimeError("server not started")
+        return self._sock.getsockname()[1]
+
+    def close(self) -> None:
+        """Stop accepting, close live connections, join the threads."""
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        with self._lock:
+            live = list(self._connections)
+            threads = list(self._threads)
+        for conn in live:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+        for thread in threads:
+            thread.join(timeout=5)
+        with self._lock:
+            self._threads.clear()
+
+    def __enter__(self) -> "SyncLinkServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # pragma: no cover - closed under our feet
+                break
+            name = f"peer-{self._next_peer}"
+            self._next_peer += 1
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn, name), daemon=True)
+            with self._lock:
+                self._connections.add(conn)
+                # Prune finished connection threads so a long-lived
+                # server under churn never accumulates dead Thread
+                # objects (and close() never joins a graveyard).
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket, name: str) -> None:
+        proto = LinkProtocol(
+            self._root, "responder", config=self._config,
+            metrics=lambda: self.metrics.session(name),
+        )
+        try:
+            self._drive_connection(conn, proto)
+        except ReproError as exc:
+            self.errors.append(f"{name}: {exc}")
+        except OSError as exc:
+            self.errors.append(f"{name}: connection lost ({exc})")
+        finally:
+            # The transport is always released, handshake failed or not.
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+            with self._lock:
+                self._connections.discard(conn)
+
+    def _drive_connection(self, conn: socket.socket,
+                          proto: LinkProtocol) -> None:
+        while not self._stop.is_set():
+            chunk = conn.recv(_READ_CHUNK)
+            events = (proto.receive_eof() if not chunk
+                      else proto.receive_data(chunk))
+            if proto.bytes_to_send:
+                conn.sendall(proto.data_to_send())  # the hello reply
+            for event in events:
+                if isinstance(event, ProtocolError):
+                    raise event.error
+                if isinstance(event, LinkClosed):
+                    return
+                if isinstance(event, PayloadReceived):
+                    proto.send_payload(self._handler(event.payload))
+                    conn.sendall(proto.data_to_send())
+            if not chunk:
+                return

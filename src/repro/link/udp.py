@@ -1,0 +1,317 @@
+"""Best-effort UDP datagram transport for the secure link.
+
+One wire frame per datagram, no retransmission, no ordering guarantee:
+the session's replay window does the reordering work.  A datagram whose
+sequence number is not strictly newer than the last accepted one is
+dropped (counted, never fatal), so duplicated and late packets degrade
+throughput instead of breaking the link — exactly the
+:class:`~repro.link.LinkProtocol` datagram mode
+(``receive_datagram`` / ``datagrams_to_send``).
+
+Delivery is best-effort end to end: :meth:`UdpLinkClient.request` sends
+one datagram and waits (with a timeout) for one reply, so a lost packet
+surfaces as :class:`socket.timeout` for the caller to retry at the
+application level.  Cipher work runs inline (``parallel_workers`` is
+rejected, as on every non-asyncio transport).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.core.errors import HandshakeError, SessionError
+from repro.link.events import (
+    HandshakeComplete,
+    PayloadReceived,
+    ProtocolError,
+)
+from repro.link.memory import _check_inline, _echo
+from repro.link.protocol import HANDSHAKE, LinkProtocol, _resolve_root
+from repro.net.framing import HELLO_MAGIC
+from repro.net.metrics import MetricsRegistry, SessionMetrics
+from repro.net.session import SessionConfig
+
+__all__ = ["UdpLinkClient", "UdpLinkServer"]
+
+#: Largest datagram we ever read; a frame never legally exceeds this.
+_MAX_DATAGRAM = 65535
+
+#: Receive poll interval on the server socket; bounds close() latency.
+_RECV_POLL = 0.2
+
+#: Concurrent peer sessions one server holds.  UDP has no close signal,
+#: so at capacity a new hello evicts the least-recently-active session
+#: instead of being dropped — memory stays bounded under spoofed-source
+#: floods and a long-lived server keeps accepting new clients forever.
+MAX_PEERS = 1024
+
+
+class UdpLinkClient:
+    """One secure-link peer over a connected UDP socket.
+
+    Usage::
+
+        with UdpLinkClient(root_key, port=server.port) as client:
+            reply = client.request(b"payload")
+
+    ``timeout`` bounds the wait for each reply datagram; expiry raises
+    :class:`socket.timeout` (an ``OSError``) — the caller decides
+    whether to retry, because on a best-effort transport only the
+    application knows whether a payload is idempotent.
+    """
+
+    def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
+                 config: SessionConfig | None = None,
+                 session_id: bytes | None = None,
+                 timeout: float | None = 5.0):
+        root, config = _resolve_root(root, config)
+        self._root = root
+        self._host = host
+        self._port = port
+        self._config = config or SessionConfig()
+        self._config.validate(root.params.width)
+        _check_inline(self._config, "udp")
+        self._session_id = session_id
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+        self._proto: LinkProtocol | None = None
+        self.session = None
+
+    @property
+    def metrics(self) -> SessionMetrics:
+        """This connection's session counters (valid once connected)."""
+        if self.session is None:
+            raise SessionError("client not connected")
+        return self.session.metrics
+
+    def connect(self) -> None:
+        """Send the hello datagram and wait for the peer's reply."""
+        if self.session is not None:
+            raise SessionError("client already connected")
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            self._sock.settimeout(self._timeout)
+            self._sock.connect((self._host, self._port))
+            self._proto = LinkProtocol(self._root, "initiator",
+                                       config=self._config,
+                                       session_id=self._session_id,
+                                       datagram=True)
+            for datagram in self._proto.datagrams_to_send():
+                self._sock.send(datagram)
+            while self._proto.state == HANDSHAKE:
+                try:
+                    datagram = self._sock.recv(_MAX_DATAGRAM)
+                except (socket.timeout, ConnectionRefusedError) as exc:
+                    # Timeout: the datagram (or its reply) was lost.
+                    # Refusal: ICMP port-unreachable bounced back on the
+                    # connected socket — nothing listens on that port.
+                    raise HandshakeError(
+                        "no hello reply from the peer (server down, or "
+                        "the datagram was lost)"
+                    ) from exc
+                for event in self._proto.receive_datagram(datagram):
+                    if isinstance(event, ProtocolError):
+                        raise event.error
+                    assert isinstance(event, HandshakeComplete)
+            self.session = self._proto.session
+        except BaseException:
+            # A failed handshake must not leak the open socket.
+            self.close()
+            raise
+
+    def request(self, payload: bytes) -> bytes:
+        """Send one payload datagram and wait for its reply datagram."""
+        return self.send_all([payload])[0]
+
+    def send_all(self, payloads: list[bytes]) -> list[bytes]:
+        """Send payloads in lockstep, one reply awaited per datagram.
+
+        Replayed, duplicated or damaged inbound datagrams are skipped
+        (the protocol drops them silently); a reply that never arrives
+        raises :class:`socket.timeout` after ``timeout`` seconds.
+        """
+        if self.session is None or self._sock is None:
+            raise SessionError("client not connected")
+        replies: list[bytes] = []
+        for payload in payloads:
+            self._proto.send_payload(payload)
+            for datagram in self._proto.datagrams_to_send():
+                self._sock.send(datagram)
+            while True:
+                datagram = self._sock.recv(_MAX_DATAGRAM)
+                events = self._proto.receive_datagram(datagram)
+                payload_events = [event for event in events
+                                  if isinstance(event, PayloadReceived)]
+                for event in events:
+                    if isinstance(event, ProtocolError):
+                        raise event.error
+                if payload_events:
+                    replies.append(payload_events[0].payload)
+                    break
+        return replies
+
+    def close(self) -> None:
+        """Close the socket (idempotent; the session stays readable)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+            self._sock = None
+        if self._proto is not None:
+            self._proto.close()
+
+    def __enter__(self) -> "UdpLinkClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class UdpLinkServer:
+    """Datagram secure-link server: one socket, one thread, many peers.
+
+    Each source address gets its own responder
+    :class:`~repro.link.LinkProtocol` (datagram mode) and therefore its
+    own derived keys and replay window, exactly like one TCP connection.
+    A peer whose handshake fails is recorded in :attr:`errors` and
+    forgotten; damaged or replayed data datagrams are silently dropped
+    by its protocol.
+
+    Usage::
+
+        with UdpLinkServer(root_key, port=0) as server:
+            ...  # server.port is the bound UDP port
+    """
+
+    def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
+                 config: SessionConfig | None = None, handler=None):
+        root, config = _resolve_root(root, config)
+        self._root = root
+        self._host = host
+        self._requested_port = port
+        self._config = config or SessionConfig()
+        self._config.validate(root.params.width)
+        _check_inline(self._config, "udp")
+        self._handler = handler if handler is not None else _echo
+        self._sock: socket.socket | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._peers: dict[tuple, LinkProtocol] = {}
+        self._next_peer = 0
+        self.metrics = MetricsRegistry()
+        self.errors: list[str] = []
+
+    def start(self) -> None:
+        """Bind the UDP socket and start the datagram-serving thread."""
+        if self._sock is not None:
+            raise RuntimeError("server already started")
+        self._stop.clear()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((self._host, self._requested_port))
+        self._sock.settimeout(_RECV_POLL)
+        self._thread = threading.Thread(target=self._serve_loop, daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        """The bound UDP port (valid after :meth:`start`)."""
+        if self._sock is None:
+            raise RuntimeError("server not started")
+        return self._sock.getsockname()[1]
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until :meth:`close` (for CLI use)."""
+        if self._sock is None:
+            self.start()
+        while self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout=_RECV_POLL)
+
+    def close(self) -> None:
+        """Stop serving, close the socket, join the thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        self._peers.clear()
+
+    def __enter__(self) -> "UdpLinkServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _protocol_for(self, addr: tuple,
+                      datagram: bytes) -> LinkProtocol | None:
+        """The peer's protocol, or ``None`` when the datagram is ignored.
+
+        A *new* source address only earns per-peer state for something
+        that at least looks like a hello — over UDP, source addresses
+        are attacker-chosen, so junk from a spoofed flood must cost
+        nothing but the recvfrom.  At :data:`MAX_PEERS` capacity the
+        least-recently-active session is evicted to make room (its
+        client, if still alive, sees its next packets dropped and can
+        re-handshake).
+        """
+        proto = self._peers.get(addr)
+        if proto is not None:
+            proto.last_seen = time.monotonic()
+            return proto
+        if not datagram.startswith(HELLO_MAGIC):
+            return None
+        if len(self._peers) >= MAX_PEERS:
+            stalest = min(self._peers, key=lambda a: self._peers[a].last_seen)
+            self._peers.pop(stalest)
+        name = f"peer-{self._next_peer}"
+        self._next_peer += 1
+        proto = LinkProtocol(
+            self._root, "responder", config=self._config,
+            metrics=lambda: self.metrics.session(name),
+            datagram=True,
+        )
+        proto.peer_name = name
+        proto.last_seen = time.monotonic()
+        self._peers[addr] = proto
+        return proto
+
+    def _serve_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                datagram, addr = self._sock.recvfrom(_MAX_DATAGRAM)
+            except socket.timeout:
+                continue
+            except OSError:  # pragma: no cover - closed under our feet
+                break
+            try:
+                self._serve_datagram(datagram, addr)
+            except Exception as exc:
+                # A handler bug (or a sendto failure) on one peer's
+                # datagram must never kill the serving thread for every
+                # peer: record it, drop the offender, keep serving.
+                name = getattr(self._peers.get(addr), "peer_name", addr)
+                self.errors.append(f"{name}: {exc!r}")
+                self._peers.pop(addr, None)
+
+    def _serve_datagram(self, datagram: bytes, addr: tuple) -> None:
+        proto = self._protocol_for(addr, datagram)
+        if proto is None:
+            return
+        events = proto.receive_datagram(datagram)
+        for out in proto.datagrams_to_send():
+            self._sock.sendto(out, addr)  # the hello reply
+        for event in events:
+            if isinstance(event, ProtocolError):
+                self.errors.append(f"{proto.peer_name}: {event.error}")
+                self._peers.pop(addr, None)
+                break
+            if isinstance(event, PayloadReceived):
+                proto.send_payload(self._handler(event.payload))
+                for out in proto.datagrams_to_send():
+                    self._sock.sendto(out, addr)

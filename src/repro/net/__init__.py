@@ -1,4 +1,4 @@
-"""``repro.net`` — the secure-link subsystem.
+"""``repro.net`` — the asyncio transport of the secure-link subsystem.
 
 Turns the standalone packet codec of :mod:`repro.core.stream` into a
 working encrypted link, the deployment the paper targets ("packet-level
@@ -9,20 +9,22 @@ encryption" on high-speed data-communication networks, section VI):
   itself leaves to its caller);
 * :mod:`repro.net.framing` — incremental TCP-style frame extraction and
   the hello/handshake frame;
-* :mod:`repro.net.server` / :mod:`repro.net.client` — asyncio peers with
-  handshake, concurrent sessions and bounded-queue backpressure;
+* :mod:`repro.net.server` / :mod:`repro.net.client` — asyncio peers
+  built as thin adapters over the sans-IO
+  :class:`repro.link.LinkProtocol` state machine, with concurrent
+  sessions, worker-pool offload and bounded-queue backpressure;
 * :mod:`repro.net.metrics` — the counters ``benchmarks/bench_net.py``
   turns into link-throughput numbers comparable with the paper's
   Table 1.
 
+The protocol logic itself (handshake sequencing, framing, session
+crypto, replay windows) lives in :mod:`repro.link`; this package only
+moves bytes with asyncio.  Exports resolve lazily so that importing the
+session/framing layers — which the sans-IO core builds on — never drags
+in asyncio (enforced by ``tests/link/test_sans_io.py``).
+
 Wire and handshake formats are specified in DESIGN.md sections 4–6.
 """
-
-from repro.net.client import SecureLinkClient
-from repro.net.framing import Frame, FrameDecoder, Hello
-from repro.net.metrics import MetricsRegistry, SessionMetrics
-from repro.net.server import SecureLinkServer
-from repro.net.session import Session, SessionConfig, key_fingerprint
 
 __all__ = [
     "Frame",
@@ -35,3 +37,43 @@ __all__ = [
     "SessionConfig",
     "SessionMetrics",
 ]
+
+#: Where each lazy re-export really lives.
+_EXPORTS = {
+    "SecureLinkClient": "repro.net.client",
+    "Frame": "repro.net.framing",
+    "FrameDecoder": "repro.net.framing",
+    "Hello": "repro.net.framing",
+    "MetricsRegistry": "repro.net.metrics",
+    "SessionMetrics": "repro.net.metrics",
+    "SecureLinkServer": "repro.net.server",
+    "Session": "repro.net.session",
+    "SessionConfig": "repro.net.session",
+    "key_fingerprint": "repro.net.session",
+}
+
+
+#: Submodules reachable as ``repro.net.<name>`` attributes — the eager
+#: era bound them as an import side effect; the lazy loader keeps that.
+_SUBMODULES = frozenset({"client", "framing", "metrics", "server",
+                         "session"})
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy loader: import the defining module on first use."""
+    import importlib
+
+    if name in _SUBMODULES:
+        return importlib.import_module(f"{__name__}.{name}")
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: later lookups skip __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    """Advertise the lazy re-exports alongside real module globals."""
+    return sorted(set(globals()) | set(__all__) | set(_EXPORTS)
+                  | _SUBMODULES)

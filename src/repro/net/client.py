@@ -1,7 +1,9 @@
 """Asyncio secure-link client.
 
-The client mints the 8-byte session id, opens the TCP connection, runs
-the hello exchange (DESIGN.md section 6), and then offers two traffic
+A thin transport adapter over the sans-IO
+:class:`repro.link.LinkProtocol`: the machine mints the hello, parses
+the reply, frames the stream and runs the session crypto; this module
+moves its bytes over an asyncio connection and offers two traffic
 shapes:
 
 * :meth:`SecureLinkClient.request` — one payload out, one reply back;
@@ -21,13 +23,20 @@ from __future__ import annotations
 import asyncio
 import os
 import warnings
+from collections import deque
 from dataclasses import replace
 
-from repro.core.errors import HandshakeError, SessionError
-from repro.core.key import Key
-from repro.net.framing import HELLO_SIZE, FrameDecoder, Hello
+from repro.core.errors import ReproError, SessionError
+from repro.link.events import (
+    HandshakeComplete,
+    LinkClosed,
+    PacketReceived,
+    PayloadReceived,
+    ProtocolError,
+)
+from repro.link.protocol import HANDSHAKE, LinkProtocol, _resolve_root
 from repro.net.metrics import SessionMetrics
-from repro.net.session import Session, SessionConfig, key_fingerprint
+from repro.net.session import Session, SessionConfig
 from repro.parallel.pool import EncryptionPool
 
 __all__ = ["SecureLinkClient"]
@@ -51,12 +60,7 @@ class SecureLinkClient:
                  config: SessionConfig | None = None,
                  session_id: bytes | None = None,
                  engine: str | None = None):
-        if not isinstance(root, Key):
-            # A repro.api.Codec (duck-typed; importing repro.api here
-            # would be circular): key plus derived link policy.
-            codec, root = root, root.key
-            if config is None:
-                config = codec.session_config()
+        root, config = _resolve_root(root, config)
         self._root = root
         self._host = host
         self._port = port
@@ -79,9 +83,8 @@ class SecureLinkClient:
         self._pool: EncryptionPool | None = None
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
-        self._decoder = FrameDecoder(
-            self._config.max_wire_payload(root.params.width)
-        )
+        self._proto: LinkProtocol | None = None
+        self._events: deque = deque()
         self.session: Session | None = None
 
     @property
@@ -116,46 +119,31 @@ class SecureLinkClient:
             self._host, self._port
         )
         try:
-            await self._exchange_hellos()
+            self._proto = LinkProtocol(
+                self._root, "initiator", config=self._config,
+                session_id=self._session_id,
+                decrypt_payloads=self._pool is None,
+            )
+            self._events.clear()
+            self._writer.write(self._proto.data_to_send())  # our hello
+            await self._writer.drain()
+            while self._proto.state == HANDSHAKE:
+                chunk = await self._reader.read(_READ_CHUNK)
+                events = (self._proto.receive_eof() if not chunk
+                          else self._proto.receive_data(chunk))
+                for event in events:
+                    if isinstance(event, ProtocolError):
+                        raise event.error
+                    if not isinstance(event, HandshakeComplete):
+                        # Traffic that rode in with the hello reply is
+                        # kept for the reader, never dropped.
+                        self._events.append(event)
+            self.session = self._proto.session
         except BaseException:
             # A failed handshake must not leak the open socket: __aexit__
             # never runs when __aenter__ raises.
             await self.close()
             raise
-
-    async def _exchange_hellos(self) -> None:
-        fingerprint = key_fingerprint(self._root)
-        hello = Hello(
-            algorithm=self._config.algorithm,
-            width=self._root.params.width,
-            session_id=self._session_id,
-            fingerprint=fingerprint,
-            rekey_interval=self._config.rekey_interval,
-        )
-        self._writer.write(hello.pack())
-        await self._writer.drain()
-        try:
-            blob = await self._reader.readexactly(HELLO_SIZE)
-        except asyncio.IncompleteReadError as exc:
-            raise HandshakeError(
-                "server closed the connection during the handshake "
-                "(key or configuration mismatch?)"
-            ) from exc
-        reply = Hello.unpack(blob)
-        if reply.fingerprint != fingerprint:
-            raise HandshakeError("server key fingerprint does not match ours")
-        if reply.session_id != self._session_id:
-            raise HandshakeError("server echoed a different session id")
-        if (reply.algorithm != self._config.algorithm
-                or reply.width != self._root.params.width
-                or reply.rekey_interval != self._config.rekey_interval):
-            raise HandshakeError(
-                f"server countered with algorithm={reply.algorithm} "
-                f"width={reply.width} rekey_interval={reply.rekey_interval}"
-            )
-        self.session = Session(self._root, role="initiator",
-                               session_id=self._session_id,
-                               config=self._config)
 
     async def close(self) -> None:
         """Close the transport (the session object stays readable)."""
@@ -167,6 +155,8 @@ class SecureLinkClient:
                 pass
             self._writer = None
             self._reader = None
+        if self._proto is not None:
+            self._proto.close()
         if self._pool is not None:
             self._pool.close(wait=False)  # never block the event loop
             self._pool = None
@@ -191,13 +181,22 @@ class SecureLinkClient:
 
         Replies arrive in order (TCP ordering plus the server's per-
         connection processing loop), so the result aligns index-for-index
-        with the input.
+        with the input.  A protocol failure mid-stream closes the
+        transport before re-raising — a broken link is unrecoverable, so
+        the socket is never left dangling for a caller that skips the
+        context manager.
         """
         if self.session is None or self._writer is None:
             raise SessionError("client not connected")
         writer_task = asyncio.create_task(self._write_payloads(payloads))
         try:
             replies = await self._read_replies(len(payloads))
+        except (ReproError, OSError):
+            if not writer_task.done():
+                writer_task.cancel()
+            await asyncio.gather(writer_task, return_exceptions=True)
+            await self.close()
+            raise
         finally:
             if not writer_task.done():
                 writer_task.cancel()
@@ -210,31 +209,36 @@ class SecureLinkClient:
     async def _write_payloads(self, payloads: list[bytes]) -> None:
         """Stream every payload, keeping the worker pool saturated.
 
-        With a pool, up to ``workers + 1`` encrypt jobs are kept in
-        flight and the finished packets are written strictly in task
-        creation order — asyncio steps tasks in FIFO creation order, so
-        sequence numbers are reserved in that same order and the wire
-        order matches the serial path exactly.  Without a pool this
-        degenerates to the plain one-at-a-time loop.
+        Without a pool the sans-IO machine encrypts inline and this is a
+        plain feed-and-drain loop.  With a pool, up to ``workers + 1``
+        encrypt jobs are kept in flight and the finished packets are
+        handed to the machine strictly in task creation order — asyncio
+        steps tasks in FIFO creation order, so sequence numbers are
+        reserved in that same order and the wire order matches the
+        serial path exactly.
         """
         if self._pool is None:
             for payload in payloads:
-                self._writer.write(await self.session.encrypt_async(
-                    payload, None))
+                self._proto.send_payload(payload)
+                self._writer.write(self._proto.data_to_send())
                 await self._writer.drain()
             return
         window = self._pool.workers + 1
         in_flight: list[asyncio.Task] = []
+
+        async def ship(task: asyncio.Task) -> None:
+            self._proto.send_packet(await task)
+            self._writer.write(self._proto.data_to_send())
+            await self._writer.drain()
+
         try:
             for payload in payloads:
                 in_flight.append(asyncio.ensure_future(
                     self.session.encrypt_async(payload, self._pool)))
                 if len(in_flight) >= window:
-                    self._writer.write(await in_flight.pop(0))
-                    await self._writer.drain()
+                    await ship(in_flight.pop(0))
             while in_flight:
-                self._writer.write(await in_flight.pop(0))
-                await self._writer.drain()
+                await ship(in_flight.pop(0))
         finally:
             for task in in_flight:
                 task.cancel()
@@ -244,15 +248,31 @@ class SecureLinkClient:
     async def _read_replies(self, count: int) -> list[bytes]:
         replies: list[bytes] = []
         while len(replies) < count:
+            while self._events and len(replies) < count:
+                event = self._events.popleft()
+                if isinstance(event, ProtocolError):
+                    raise event.error
+                if isinstance(event, LinkClosed):
+                    raise SessionError(
+                        f"server closed the link after {len(replies)} of "
+                        f"{count} replies"
+                    )
+                if isinstance(event, PacketReceived):
+                    replies.append(await self.session.decrypt_async(
+                        event.packet, self._pool))
+                elif isinstance(event, PayloadReceived):
+                    replies.append(event.payload)
+            if len(replies) >= count:
+                break
             chunk = await self._reader.read(_READ_CHUNK)
             if not chunk:
-                raise SessionError(
-                    f"server closed the link after {len(replies)} of "
-                    f"{count} replies"
-                )
-            for frame in self._decoder.feed(chunk):
-                if frame.kind != "packet":
-                    raise HandshakeError("unexpected hello frame mid-session")
-                replies.append(await self.session.decrypt_async(
-                    frame.raw, self._pool))
+                events = self._proto.receive_eof()
+                if not events:
+                    raise SessionError(
+                        f"server closed the link after {len(replies)} of "
+                        f"{count} replies"
+                    )
+                self._events.extend(events)
+            else:
+                self._events.extend(self._proto.receive_data(chunk))
         return replies

@@ -1,14 +1,16 @@
 """Asyncio secure-link server (echo/relay side of the link).
 
-One :class:`SecureLinkServer` accepts any number of concurrent clients.
-Each connection gets its own handshake, its own
-:class:`~repro.net.session.Session` (namespaced by the client's session
-id, so working keys and nonce schedules never collide across
-connections) and its own bounded reply queue: the reader coroutine stops
-pulling bytes off the socket while the queue is full, which propagates
-backpressure to the client through TCP instead of buffering without
-limit — the lesson of the ZTEX link layer, which throttled the host
-rather than drop candidates.
+A thin transport adapter: all protocol logic — handshake sequencing,
+framing, session crypto, replay windows — lives in the sans-IO
+:class:`repro.link.LinkProtocol`; this module only moves that machine's
+bytes over asyncio streams.  One :class:`SecureLinkServer` accepts any
+number of concurrent clients.  Each connection gets its own protocol
+instance (namespaced by the client's session id, so working keys and
+nonce schedules never collide across connections) and its own bounded
+reply queue: the reader coroutine stops pulling bytes off the socket
+while the queue is full, which propagates backpressure to the client
+through TCP instead of buffering without limit — the lesson of the ZTEX
+link layer, which throttled the host rather than drop candidates.
 
 The default handler echoes payloads back, which is exactly what the
 round-trip benchmarks need; pass any ``bytes -> bytes`` callable (sync
@@ -23,11 +25,17 @@ import warnings
 from dataclasses import replace
 from typing import Awaitable, Callable
 
-from repro.core.errors import HandshakeError, ReproError
-from repro.core.key import Key
-from repro.net.framing import HELLO_SIZE, FrameDecoder, Hello
+from repro.core.errors import ReproError
+from repro.link.events import (
+    HandshakeComplete,
+    LinkClosed,
+    PacketReceived,
+    PayloadReceived,
+    ProtocolError,
+)
+from repro.link.protocol import LinkProtocol, _resolve_root
 from repro.net.metrics import MetricsRegistry
-from repro.net.session import Session, SessionConfig, key_fingerprint
+from repro.net.session import SessionConfig
 from repro.parallel.pool import EncryptionPool
 
 __all__ = ["SecureLinkServer", "DEFAULT_QUEUE_DEPTH"]
@@ -67,12 +75,7 @@ class SecureLinkServer:
                  engine: str | None = None):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
-        if not isinstance(root, Key):
-            # A repro.api.Codec (duck-typed; importing repro.api here
-            # would be circular): key plus derived link policy.
-            codec, root = root, root.key
-            if config is None:
-                config = codec.session_config()
+        root, config = _resolve_root(root, config)
         self._root = root
         self._host = host
         self._requested_port = port
@@ -176,6 +179,9 @@ class SecureLinkServer:
         except (ConnectionError, asyncio.IncompleteReadError) as exc:
             self.errors.append(f"{name}: connection lost ({exc})")
         finally:
+            # The transport is always released — handshake failure,
+            # protocol damage or clean EOF alike; leaking the socket of
+            # a failed connection would exhaust descriptors under churn.
             self._connections.discard(task)
             writer.close()
             try:
@@ -183,71 +189,51 @@ class SecureLinkServer:
             except (ConnectionError, OSError):  # pragma: no cover - teardown race
                 pass
 
-    async def _handshake(self, name: str, reader: asyncio.StreamReader,
-                         writer: asyncio.StreamWriter) -> Session:
-        blob = await reader.readexactly(HELLO_SIZE)
-        hello = Hello.unpack(blob)
-        fingerprint = key_fingerprint(self._root)
-        if hello.fingerprint != fingerprint:
-            raise HandshakeError(
-                f"{name}: key fingerprint mismatch — peer holds a different root key"
-            )
-        if hello.width != self._root.params.width:
-            raise HandshakeError(
-                f"{name}: peer wants {hello.width}-bit vectors, "
-                f"server runs {self._root.params.width}"
-            )
-        if hello.algorithm != self._config.algorithm:
-            raise HandshakeError(
-                f"{name}: peer wants algorithm {hello.algorithm}, "
-                f"server runs {self._config.algorithm}"
-            )
-        if hello.rekey_interval != self._config.rekey_interval:
-            raise HandshakeError(
-                f"{name}: peer wants rekey interval {hello.rekey_interval}, "
-                f"server runs {self._config.rekey_interval}"
-            )
-        session = Session(self._root, role="responder",
-                          session_id=hello.session_id, config=self._config,
-                          metrics=self.metrics.session(name))
-        reply = Hello(
-            algorithm=self._config.algorithm,
-            width=self._root.params.width,
-            session_id=hello.session_id,
-            fingerprint=fingerprint,
-            rekey_interval=self._config.rekey_interval,
-        )
-        writer.write(reply.pack())
-        await writer.drain()
-        return session
-
     async def _run_connection(self, name: str, reader: asyncio.StreamReader,
                               writer: asyncio.StreamWriter) -> None:
-        session = await self._handshake(name, reader, writer)
+        # The sans-IO machine owns the whole protocol; with a pool bound
+        # it hands packets over undecrypted (PacketReceived) so the
+        # cipher work can be awaited on worker processes.
+        proto = LinkProtocol(
+            self._root, "responder", config=self._config,
+            metrics=lambda: self.metrics.session(name),
+            decrypt_payloads=self._pool is None,
+        )
         queue: asyncio.Queue = asyncio.Queue(self._queue_depth)
-        sender = asyncio.create_task(self._send_replies(queue, session, writer))
+        sender = asyncio.create_task(self._send_replies(queue, proto, writer))
         try:
-            decoder = FrameDecoder(
-                self._config.max_wire_payload(self._root.params.width)
-            )
-            while True:
+            closed = False
+            while not closed:
                 chunk = await reader.read(_READ_CHUNK)
-                if not chunk:
-                    decoder.finish()
-                    break
-                for frame in decoder.feed(chunk):
-                    if frame.kind != "packet":
-                        raise HandshakeError(
-                            f"{name}: unexpected {frame.kind} frame mid-session"
-                        )
-                    payload = await session.decrypt_async(frame.raw,
-                                                          self._pool)
+                events = (proto.receive_eof() if not chunk
+                          else proto.receive_data(chunk))
+                if proto.bytes_to_send:
+                    # The hello reply, queued by the machine during
+                    # handshake completion — flushed before any payload
+                    # reply can possibly be enqueued below.
+                    writer.write(proto.data_to_send())
+                    await writer.drain()
+                for event in events:
+                    if isinstance(event, ProtocolError):
+                        raise event.error
+                    if isinstance(event, LinkClosed):
+                        closed = True
+                        break
+                    if isinstance(event, HandshakeComplete):
+                        continue
+                    if isinstance(event, PacketReceived):
+                        payload = await proto.session.decrypt_async(
+                            event.packet, self._pool)
+                    else:  # PayloadReceived (machine decrypted inline)
+                        payload = event.payload
                     result = self._handler(payload)
                     if inspect.isawaitable(result):
                         result = await result
                     # Bounded queue: blocks here (and therefore stops
                     # reading the socket) when the writer falls behind.
                     await self._enqueue(queue, result, sender)
+                if not chunk:
+                    break
             await self._enqueue(queue, None, sender)
             await sender
         finally:
@@ -274,11 +260,16 @@ class SecureLinkServer:
         await sender  # raises the writer's failure...
         raise ConnectionError("reply writer exited before the stream ended")
 
-    async def _send_replies(self, queue: asyncio.Queue, session: Session,
+    async def _send_replies(self, queue: asyncio.Queue, proto: LinkProtocol,
                             writer: asyncio.StreamWriter) -> None:
         while True:
             payload = await queue.get()
             if payload is None:
                 break
-            writer.write(await session.encrypt_async(payload, self._pool))
+            if self._pool is not None:
+                proto.send_packet(await proto.session.encrypt_async(
+                    payload, self._pool))
+            else:
+                proto.send_payload(payload)
+            writer.write(proto.data_to_send())
             await writer.drain()

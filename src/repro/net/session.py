@@ -46,8 +46,17 @@ from repro.core.stream import (
 )
 from repro.net.framing import MAX_PAYLOAD_DEFAULT
 from repro.net.metrics import SessionMetrics
-from repro.parallel.pool import EncryptionPool, decrypt_job, encrypt_job
 from repro.util.lfsr import max_period
+
+# repro.parallel.pool (EncryptionPool, encrypt_job, decrypt_job) is
+# imported lazily inside the batch/async methods: pulling in the
+# process-pool machinery drags multiprocessing (and thus the socket
+# module) into every importer, which would break the sans-IO guarantee
+# of repro.link — this module is part of its import closure.
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.pool import EncryptionPool
 
 __all__ = [
     "DEFAULT_REKEY_INTERVAL",
@@ -308,6 +317,8 @@ class _SendHalf:
                                             algorithm=config.algorithm,
                                             engine=self._backend)
         if jobs:
+            from repro.parallel.pool import encrypt_job
+
             for slot, packet in zip(job_slots, pool.run_jobs(encrypt_job,
                                                              jobs)):
                 packets[slot] = packet
@@ -340,6 +351,8 @@ class _SendHalf:
         nonce = nonce_for_seq(seq, self._root.params.width)
         self._next_seq = seq + 1
         if pool is not None and len(payload) >= config.parallel_threshold:
+            from repro.parallel.pool import encrypt_job
+
             packet = await pool.run_async(
                 encrypt_job, key, payload, nonce, config.algorithm,
                 config.engine)
@@ -442,6 +455,8 @@ class _RecvHalf:
                    and header.n_bits // 8 >= self._config.parallel_threshold)
         try:
             if offload:
+                from repro.parallel.pool import decrypt_job
+
                 payload = await pool.run_async(
                     decrypt_job, self._key, packet, self._config.engine)
             else:

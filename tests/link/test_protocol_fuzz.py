@@ -1,0 +1,172 @@
+"""Adversarial input fuzzing for the sans-IO state machine.
+
+The machine's contract under hostile bytes: it may only ever (a) wait
+for more input, or (b) return a ``ProtocolError`` event and refuse
+further traffic.  It must never hang, raise out of ``receive_data``,
+emit a damaged payload, or leave a half-built session behind.  Both
+engines are exercised — the machine's behaviour is engine-independent
+by construction, and this pins it.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.link import (
+    FAILED,
+    OPEN,
+    HandshakeComplete,
+    LinkProtocol,
+    PayloadReceived,
+    ProtocolError,
+)
+from repro.net.session import SessionConfig
+
+SID = b"fuzzsid1"
+
+SEED = int(os.environ.get("REPRO_TEST_SEED", "20050307"))
+
+ENGINES = ("reference", "fast")
+
+PAYLOADS = [b"", b"x", b"fuzz payload " * 9, bytes(range(256))]
+
+
+def wire_for(key, engine, payloads):
+    """(client_stream, server_reply_hello) for a canned conversation."""
+    config = SessionConfig(engine=engine, rekey_interval=3)
+    initiator = LinkProtocol(key, "initiator", config=config,
+                             session_id=SID)
+    responder = LinkProtocol(key, "responder", config=config)
+    client_hello = initiator.data_to_send()
+    responder.receive_data(client_hello)
+    reply_hello = responder.data_to_send()
+    initiator.receive_data(reply_hello)
+    for payload in payloads:
+        initiator.send_payload(payload)
+    return client_hello + initiator.data_to_send(), reply_hello
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestByteDribble:
+    """Feeding one byte at a time must change nothing but call counts."""
+
+    def test_responder_survives_dribbled_handshake_and_frames(self, key16,
+                                                              engine):
+        stream, _ = wire_for(key16, engine, PAYLOADS)
+        responder = LinkProtocol(key16, "responder",
+                                 config=SessionConfig(engine=engine,
+                                                      rekey_interval=3))
+        events = []
+        for i in range(len(stream)):
+            events.extend(responder.receive_data(stream[i:i + 1]))
+        assert responder.state == OPEN
+        assert isinstance(events[0], HandshakeComplete)
+        received = [e.payload for e in events
+                    if isinstance(e, PayloadReceived)]
+        assert received == PAYLOADS
+
+    def test_initiator_survives_dribbled_hello_reply(self, key16, engine):
+        config = SessionConfig(engine=engine, rekey_interval=3)
+        _, reply_hello = wire_for(key16, engine, [])
+        initiator = LinkProtocol(key16, "initiator", config=config,
+                                 session_id=SID)
+        initiator.data_to_send()
+        events = []
+        for i in range(len(reply_hello)):
+            events.extend(initiator.receive_data(reply_hello[i:i + 1]))
+        assert [type(e) for e in events] == [HandshakeComplete]
+        assert initiator.state == OPEN
+
+    def test_random_chunking_equals_single_feed(self, key16, engine):
+        stream, _ = wire_for(key16, engine, PAYLOADS)
+        whole = LinkProtocol(key16, "responder",
+                             config=SessionConfig(engine=engine,
+                                                  rekey_interval=3))
+        expected = whole.receive_data(stream)
+        rng = random.Random(SEED)
+        chunked = LinkProtocol(key16, "responder",
+                               config=SessionConfig(engine=engine,
+                                                    rekey_interval=3))
+        events, offset = [], 0
+        while offset < len(stream):
+            size = rng.randint(1, 97)
+            events.extend(chunked.receive_data(stream[offset:offset + size]))
+            offset += size
+        assert events == expected
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestMutation:
+    """Bit damage in every protocol state fails loudly, never quietly."""
+
+    def _drive(self, key, engine, stream):
+        """Feed a (possibly mangled) client stream; return (proto, events)."""
+        proto = LinkProtocol(key, "responder",
+                             config=SessionConfig(engine=engine,
+                                                  rekey_interval=3))
+        events = list(proto.receive_data(stream))
+        events.extend(proto.receive_eof())
+        return proto, events
+
+    def _assert_failed_loudly(self, proto, events):
+        errors = [e for e in events if isinstance(e, ProtocolError)]
+        assert errors, "damage was swallowed without a ProtocolError"
+        assert proto.state == FAILED
+        # Once failed, the machine must stay inert — no hangs, no raises.
+        assert proto.receive_data(b"afterwards") == []
+        assert proto.receive_eof() == []
+
+    def test_every_handshake_state_byte_mutation_fails(self, key16, engine):
+        stream, _ = wire_for(key16, engine, [])
+        for position in range(len(stream)):  # every byte of the hello
+            mangled = bytearray(stream)
+            mangled[position] ^= 0xFF
+            proto, events = self._drive(key16, engine, bytes(mangled))
+            self._assert_failed_loudly(proto, events)
+            assert proto.session is None, (
+                f"byte {position}: partial session leaked from a "
+                f"mutated handshake"
+            )
+
+    def test_open_state_mutations_fail_or_are_detected(self, key16, engine):
+        stream, _ = wire_for(key16, engine, PAYLOADS)
+        rng = random.Random(SEED)
+        hello_size = len(wire_for(key16, engine, [])[0])
+        positions = rng.sample(range(hello_size, len(stream)),
+                               min(60, len(stream) - hello_size))
+        for position in positions:
+            mangled = bytearray(stream)
+            mangled[position] ^= 1 << rng.randint(0, 7)
+            proto, events = self._drive(key16, engine, bytes(mangled))
+            payloads = [e.payload for e in events
+                        if isinstance(e, PayloadReceived)]
+            # A flipped bit may destroy framing (fail), corrupt a packet
+            # (CRC/replay fail), or tear the stream (EOF mid-frame
+            # fail) — but a mutated stream must never decrypt complete.
+            assert payloads != PAYLOADS, (
+                f"bit flip at {position} went completely undetected"
+            )
+            self._assert_failed_loudly(proto, events)
+
+    def test_truncation_in_every_state_fails_at_eof(self, key16, engine):
+        stream, _ = wire_for(key16, engine, PAYLOADS)
+        rng = random.Random(SEED + 1)
+        cuts = sorted(rng.sample(range(1, len(stream)), 40))
+        for cut in cuts:
+            proto, events = self._drive(key16, engine, stream[:cut])
+            payloads = [e.payload for e in events
+                        if isinstance(e, PayloadReceived)]
+            if payloads == PAYLOADS:
+                # Cut after the last frame: a clean close, not damage.
+                continue
+            self._assert_failed_loudly(proto, events)
+
+    def test_inserted_junk_between_frames_fails(self, key16, engine):
+        stream, _ = wire_for(key16, engine, [b"first"])
+        proto = LinkProtocol(key16, "responder",
+                             config=SessionConfig(engine=engine,
+                                                  rekey_interval=3))
+        events = list(proto.receive_data(stream))
+        events.extend(proto.receive_data(b"\x00garbage between frames"))
+        self._assert_failed_loudly(proto, events)

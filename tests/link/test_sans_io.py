@@ -1,0 +1,131 @@
+"""The sans-IO guarantee: the link core never touches asyncio/sockets.
+
+Two layers of enforcement:
+
+* a **source-level** check that no core module of ``repro.link`` (or
+  the session/framing layers it builds on) imports an I/O module at the
+  top level;
+* a **subprocess** check that actually importing the core pulls neither
+  ``asyncio`` nor ``socket`` into ``sys.modules`` — the property that
+  makes the protocol usable on event-loop-free edge targets, and the
+  one a stray eager re-export would silently break.
+"""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent.parent / "src"
+
+#: Modules that must stay free of I/O imports at the top level.
+CORE_MODULES = [
+    "repro/link/__init__.py",
+    "repro/link/events.py",
+    "repro/link/protocol.py",
+    "repro/link/memory.py",
+    "repro/net/__init__.py",
+    "repro/net/session.py",
+    "repro/net/framing.py",
+    "repro/net/metrics.py",
+]
+
+#: I/O modules the sans-IO core must never import.
+FORBIDDEN = {"asyncio", "socket", "selectors", "ssl", "socketserver"}
+
+
+def _top_level_imports(path: pathlib.Path) -> set:
+    """Names imported at module level (``import x`` / ``from x import``)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names.update(alias.name.split(".")[0] for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names.add(node.module.split(".")[0])
+    return names
+
+
+@pytest.mark.parametrize("relative", CORE_MODULES)
+def test_core_module_source_is_io_free(relative):
+    found = _top_level_imports(SRC / relative) & FORBIDDEN
+    assert not found, f"{relative} imports I/O modules: {sorted(found)}"
+
+
+def test_importing_link_core_pulls_no_asyncio_or_socket():
+    """A fresh interpreter importing repro.link stays I/O-free."""
+    code = (
+        "import sys\n"
+        "import repro.link\n"
+        "import repro.link.protocol, repro.link.events, repro.link.memory\n"
+        "bad = sorted(name for name in ('asyncio', 'socket', 'ssl')\n"
+        "             if name in sys.modules)\n"
+        "assert not bad, f'link core imported {bad}'\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": str(SRC)},
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_link_core_is_usable_without_asyncio():
+    """Not just importable: a full handshake + round trip, loop-free."""
+    code = (
+        "import sys\n"
+        "from repro.core.key import Key\n"
+        "from repro.link import LinkPair, PayloadReceived\n"
+        "pair = LinkPair(Key.generate(seed=1, n_pairs=4),\n"
+        "                session_id=b'NOLOOP00')\n"
+        "pair.handshake()\n"
+        "pair.initiator.send_payload(b'edge payload')\n"
+        "_, events = pair.pump()\n"
+        "assert [e.payload for e in events\n"
+        "        if isinstance(e, PayloadReceived)] == [b'edge payload']\n"
+        "assert 'asyncio' not in sys.modules\n"
+        "assert 'socket' not in sys.modules\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": str(SRC)},
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_lazy_package_keeps_submodule_attribute_access():
+    """``import repro; repro.api`` worked eagerly — it must keep working."""
+    code = (
+        "import repro\n"
+        "repro.api.open_codec\n"
+        "repro.net.session.Session\n"
+        "repro.link.LinkProtocol\n"
+        "repro.util.lfsr.Lfsr\n"
+        "repro.core.stream.encrypt_packet\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": str(SRC)},
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_socket_transports_load_lazily():
+    """Touching the sync transport *does* load socket — only then."""
+    code = (
+        "import sys\n"
+        "import repro.link\n"
+        "assert 'socket' not in sys.modules\n"
+        "repro.link.SyncLinkClient  # lazy attribute access\n"
+        "assert 'socket' in sys.modules\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": str(SRC)},
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,186 @@
+"""Differential wire capture: the sans-IO refactor changed zero bytes.
+
+The pre-refactor ``SecureLinkServer``/``SecureLinkClient`` built their
+traffic directly from the primitives: the client wrote
+``Hello(...).pack()`` then ``Session(root, "initiator", ...)`` packets
+in order; the server validated the hello, echoed
+``Hello(...).pack()`` with its own fingerprint, then
+``Session(root, "responder", ...)`` packets.  That formula *is* the
+legacy implementation, so these tests reconstruct it from the same
+primitives (``legacy_client_wire`` / ``legacy_server_wire``), run the
+*refactored* adapters against raw byte-capturing peers, and assert the
+captured traffic is byte-identical — handshake plus N payloads,
+crossing a rekey boundary, for both engines.  Any drift in the
+LinkProtocol's framing, hello layout, nonce schedule or ratchet
+sequencing fails here.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import SecureLinkClient, SecureLinkServer
+from repro.net.framing import HELLO_SIZE, Hello
+from repro.net.session import Session, SessionConfig, key_fingerprint
+
+SID = b"diffsid1"
+
+ENGINES = ("reference", "fast")
+
+#: Payloads crossing the rekey_interval=3 epoch boundary twice.
+PAYLOADS = [bytes([i]) * (20 + i) for i in range(8)]
+
+CONFIG_KWARGS = dict(rekey_interval=3)
+
+
+def run(coro):
+    """Run one async test body on a fresh event loop."""
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+def _hello(key, config, session_id):
+    return Hello(
+        algorithm=config.algorithm,
+        width=key.params.width,
+        session_id=session_id,
+        fingerprint=key_fingerprint(key),
+        rekey_interval=config.rekey_interval,
+    )
+
+
+def legacy_client_wire(key, config, payloads):
+    """Every byte the pre-refactor client wrote for this conversation."""
+    session = Session(key, "initiator", SID, config)
+    return (_hello(key, config, SID).pack()
+            + b"".join(session.encrypt(p) for p in payloads))
+
+
+def legacy_server_wire(key, config, payloads):
+    """Every byte the pre-refactor echo server wrote back."""
+    session = Session(key, "responder", SID, config)
+    return (_hello(key, config, SID).pack()
+            + b"".join(session.encrypt(p) for p in payloads))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_refactored_client_emits_legacy_bytes(key16, engine):
+    """New client vs a raw socket server replaying the legacy script."""
+    config = SessionConfig(engine=engine, **CONFIG_KWARGS)
+    expected_in = legacy_client_wire(key16, config, PAYLOADS)
+    scripted_out = legacy_server_wire(key16, config, PAYLOADS)
+    captured = bytearray()
+
+    async def scripted_server(reader, writer):
+        # The legacy peer's exact behaviour, as a byte script: read the
+        # hello, reply, then echo one scripted packet per inbound packet
+        # while recording every byte the client sends.
+        captured.extend(await reader.readexactly(HELLO_SIZE))
+        writer.write(scripted_out[:HELLO_SIZE])
+        await writer.drain()
+        offset = HELLO_SIZE
+        while len(captured) < len(expected_in):
+            chunk = await reader.read(1 << 16)
+            if not chunk:
+                break
+            captured.extend(chunk)
+            # Ship the scripted echoes in proportion: one reply packet
+            # per fully-received request packet, like the echo loop did.
+            done = _packets_complete(bytes(captured[HELLO_SIZE:]))
+            target = _nth_packet_end(scripted_out, HELLO_SIZE, done)
+            if target > offset:
+                writer.write(scripted_out[offset:target])
+                await writer.drain()
+                offset = target
+        writer.close()
+
+    async def body():
+        server = await asyncio.start_server(scripted_server, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        async with server:
+            async with SecureLinkClient(key16, port=port, config=config,
+                                        session_id=SID) as client:
+                replies = await client.send_all(PAYLOADS)
+        assert replies == PAYLOADS  # the new client accepts legacy echoes
+
+    run(body())
+    assert bytes(captured) == expected_in
+
+
+def _packets_complete(stream: bytes) -> int:
+    """How many whole packets ``stream`` holds (prefix parse)."""
+    from repro.core.stream import HEADER_SIZE, PacketHeader
+
+    count, offset = 0, 0
+    while offset + HEADER_SIZE <= len(stream):
+        header = PacketHeader.unpack(stream[offset:offset + HEADER_SIZE])
+        total = HEADER_SIZE + header.payload_size
+        if offset + total > len(stream):
+            break
+        offset += total
+        count += 1
+    return count
+
+
+def _nth_packet_end(stream: bytes, start: int, n: int) -> int:
+    """Byte offset just past the ``n``-th packet after ``start``."""
+    from repro.core.stream import HEADER_SIZE, PacketHeader
+
+    offset = start
+    for _ in range(n):
+        header = PacketHeader.unpack(stream[offset:offset + HEADER_SIZE])
+        offset += HEADER_SIZE + header.payload_size
+    return offset
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_refactored_server_emits_legacy_bytes(key16, engine):
+    """New server vs a raw socket client speaking the legacy script."""
+    config = SessionConfig(engine=engine, **CONFIG_KWARGS)
+    client_script = legacy_client_wire(key16, config, PAYLOADS)
+    expected_out = legacy_server_wire(key16, config, PAYLOADS)
+
+    async def body():
+        async with SecureLinkServer(key16, port=0, config=config) as server:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            try:
+                writer.write(client_script)
+                await writer.drain()
+                captured = await reader.readexactly(len(expected_out))
+                # Nothing extra may follow the scripted reply bytes.
+                writer.write_eof()
+                assert await reader.read() == b""
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            assert server.errors == []
+            return captured
+
+    assert run(body()) == expected_out
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_link_protocol_emits_legacy_bytes_standalone(key16, engine):
+    """The machine itself, no transport at all, matches the formula."""
+    from repro.link import LinkProtocol, PayloadReceived
+
+    config = SessionConfig(engine=engine, **CONFIG_KWARGS)
+    initiator = LinkProtocol(key16, "initiator", config=config,
+                             session_id=SID)
+    responder = LinkProtocol(key16, "responder", config=config)
+
+    client_bytes = bytearray(initiator.data_to_send())
+    responder.receive_data(bytes(client_bytes))
+    server_bytes = bytearray(responder.data_to_send())
+    initiator.receive_data(bytes(server_bytes))
+    for payload in PAYLOADS:
+        initiator.send_payload(payload)
+        packet = initiator.data_to_send()
+        client_bytes.extend(packet)
+        [event] = responder.receive_data(packet)
+        assert isinstance(event, PayloadReceived)
+        responder.send_payload(event.payload)
+        server_bytes.extend(responder.data_to_send())
+
+    assert bytes(client_bytes) == legacy_client_wire(key16, config, PAYLOADS)
+    assert bytes(server_bytes) == legacy_server_wire(key16, config, PAYLOADS)

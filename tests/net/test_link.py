@@ -213,6 +213,84 @@ class TestShutdown:
         run(body())
 
 
+class TestTransportLeaks:
+    """Regression: every error path must release the StreamWriter."""
+
+    def test_server_closes_writer_after_handshake_error(self, key16,
+                                                        monkeypatch):
+        from repro.net.server import SecureLinkServer as ServerClass
+
+        writers = []
+        original = ServerClass._serve_connection
+
+        async def capture(self, reader, writer):
+            writers.append(writer)
+            await original(self, reader, writer)
+
+        monkeypatch.setattr(ServerClass, "_serve_connection", capture)
+        other = Key.generate(seed=5150, n_pairs=16)
+
+        async def body():
+            async with SecureLinkServer(key16, port=0) as server:
+                client = SecureLinkClient(other, port=server.port,
+                                          session_id=SID)
+                with pytest.raises(HandshakeError):
+                    await client.connect()
+                await asyncio.sleep(0.05)
+                assert any("fingerprint" in err for err in server.errors)
+            assert writers, "server never saw the connection"
+            for writer in writers:
+                assert writer.is_closing(), "leaked server-side transport"
+            # The failed handshake must not register a metrics slot:
+            # only completed sessions are accounted.
+            assert server.metrics.sessions == {}
+        run(body())
+
+    def test_client_closes_writer_after_handshake_error(self, key16):
+        other = Key.generate(seed=5151, n_pairs=16)
+
+        async def body():
+            async with SecureLinkServer(key16, port=0) as server:
+                client = SecureLinkClient(other, port=server.port,
+                                          session_id=SID)
+                with pytest.raises(HandshakeError):
+                    await client.connect()
+                assert client._writer is None and client._reader is None
+        run(body())
+
+    def test_client_closes_writer_on_mid_stream_protocol_error(self, key16):
+        # A server that completes the handshake and then speaks garbage:
+        # the client's send_all must close its own transport before
+        # re-raising, so a non-context-manager caller cannot leak it.
+        from repro.net.framing import HELLO_SIZE, Hello
+        from repro.net.session import key_fingerprint
+
+        async def evil_server(reader, writer):
+            hello = Hello.unpack(await reader.readexactly(HELLO_SIZE))
+            reply = Hello(algorithm=hello.algorithm, width=hello.width,
+                          session_id=hello.session_id,
+                          fingerprint=key_fingerprint(key16),
+                          rekey_interval=hello.rekey_interval)
+            writer.write(reply.pack())
+            await writer.drain()
+            await reader.read(1 << 16)
+            writer.write(b"\x00garbage instead of a packet frame\x00" * 4)
+            await writer.drain()
+
+        async def body():
+            server = await asyncio.start_server(evil_server, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with server:
+                client = SecureLinkClient(key16, port=port, session_id=SID)
+                await client.connect()
+                with pytest.raises(Exception):
+                    await client.send_all([b"payload"])
+                assert client._writer is None, (
+                    "mid-stream protocol failure leaked the transport"
+                )
+        run(body())
+
+
 class TestEngineKwarg:
     def test_engine_override_on_server_and_client(self, key16):
         # The convenience kwarg is equivalent to SessionConfig(engine=...)

@@ -214,6 +214,47 @@ class TestSecureLink:
             loop.run_until_complete(server.close())
             loop.close()
 
+    def test_send_over_udp_transport(self, tmp_path, capsys):
+        from repro.core.key import Key
+        from repro.link import UdpLinkServer
+
+        key_hex = "03:25:71:46"
+        with UdpLinkServer(Key.from_hex(key_hex), port=0) as server:
+            payload = tmp_path / "payload.bin"
+            payload.write_bytes(b"datagram payload " * 32)
+            rc = main(["send", "--key", key_hex, "--transport", "udp",
+                       "--port", str(server.port), "--chunk", "200",
+                       str(payload)])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "byte-exact" in out
+            assert "datagrams" in out
+
+    def test_udp_transport_rejects_workers(self, tmp_path, capsys):
+        payload = tmp_path / "payload.bin"
+        payload.write_bytes(b"x")
+        rc = main(["send", "--key", "03:25:71:46", "--transport", "udp",
+                   "--workers", "2", "--port", "1", str(payload)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mhhea: error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "inline" in err
+
+    def test_serve_rejects_udp_with_workers(self, capsys):
+        rc = main(["serve", "--key", "03:25:71:46", "--transport", "udp",
+                   "--workers", "2"])
+        assert rc == 2
+        assert "repro-mhhea: error:" in capsys.readouterr().err
+
+    def test_unknown_transport_exits_2(self, tmp_path, capsys):
+        payload = tmp_path / "payload.bin"
+        payload.write_bytes(b"x")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["send", "--key", "03:25:71:46", "--transport", "quic",
+                  "--port", "1", str(payload)])
+        assert excinfo.value.code == 2  # argparse names the choices
+
     def test_send_with_workers_echoes_byte_exact(self, tmp_path, capsys):
         from repro.core.key import Key
         from repro.net import SecureLinkServer

@@ -35,7 +35,7 @@ sys.path.insert(0, str(REPO / "src"))
 SNAPSHOT = REPO / "docs" / "api_surface.txt"
 
 #: Modules whose full public signature set is part of the snapshot.
-SIGNATURE_MODULES = ["repro.api", "repro.core.engines"]
+SIGNATURE_MODULES = ["repro.api", "repro.core.engines", "repro.link"]
 
 HEADER = """\
 # Public API surface snapshot — the golden record of what the library

@@ -48,6 +48,12 @@ AUDITED_MODULES = [
     "repro.core.engines",
     "repro.core.errors",
     "repro.core.key",
+    "repro.link",
+    "repro.link.protocol",
+    "repro.link.events",
+    "repro.link.memory",
+    "repro.link.sync",
+    "repro.link.udp",
     "repro.net",
     "repro.net.session",
     "repro.net.framing",
