@@ -36,6 +36,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.core.key import Key
 from repro.core.stream import decrypt_packet, encrypt_packet
 from repro.net import SecureLinkClient, SecureLinkServer
+from repro.obs import core as obs
 from repro.parallel import ParallelCodec
 
 ARTIFACTS = pathlib.Path(__file__).parent / "_artifacts"
@@ -206,17 +207,28 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         workers_list, repeats = [1, 2, 4], 3
         net_payloads, net_size = 64, 1 << 14
 
-    print(f"[run_all] core engines ({core_size >> 10} KiB)...", flush=True)
-    core = bench_core(core_size, repeats)
-    print(f"[run_all] parallel pipeline ({par_size >> 10} KiB, "
-          f"workers {workers_list})...", flush=True)
-    parallel = bench_parallel(par_size, chunk, workers_list, repeats)
-    print(f"[run_all] secure link ({net_payloads} x {net_size >> 10} KiB)...",
-          flush=True)
-    net = bench_net(net_payloads, net_size, parallel_workers=workers_list[-1])
+    # The whole run executes under a live obs registry, so the artefact
+    # carries the observability view of its own workload (op counts,
+    # latency quantiles) next to the wall-clock numbers.  The overhead
+    # is bounded by benchmarks/bench_obs.py's <=5% gate.
+    registry = obs.ObsRegistry()
+    previous = obs.set_registry(registry)
+    try:
+        print(f"[run_all] core engines ({core_size >> 10} KiB)...", flush=True)
+        core = bench_core(core_size, repeats)
+        print(f"[run_all] parallel pipeline ({par_size >> 10} KiB, "
+              f"workers {workers_list})...", flush=True)
+        parallel = bench_parallel(par_size, chunk, workers_list, repeats)
+        print(f"[run_all] secure link ({net_payloads} x {net_size >> 10} KiB)...",
+              flush=True)
+        net = bench_net(net_payloads, net_size,
+                        parallel_workers=workers_list[-1])
+    finally:
+        obs.set_registry(previous)
+    snapshot = registry.snapshot()
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "generated_unix": int(time.time()),
         "quick": quick,
         "python": sys.version.split()[0],
@@ -224,6 +236,7 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         "core": core,
         "parallel": parallel,
         "net": net,
+        "obs": snapshot,
     }
     output.parent.mkdir(exist_ok=True)
     output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -237,6 +250,9 @@ def run(quick: bool, output: pathlib.Path) -> dict:
     print(f"link goodput:     {net['echo_goodput_mb_s']:8.2f} MB/s echo "
           f"(sync {net['sync_goodput_mb_s']:.2f}, "
           f"memory {net['memory_goodput_mb_s']:.2f})")
+    n_series = sum(len(snapshot[kind])
+                   for kind in ("counters", "gauges", "histograms"))
+    print(f"obs snapshot:     {n_series} series embedded")
     print(f"\nwrote {output}")
     return report
 

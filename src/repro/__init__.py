@@ -24,6 +24,8 @@ carry the full system:
   link metrics); see DESIGN.md sections 4–7;
 * :mod:`repro.parallel` — the sharded multi-worker encryption pipeline
   (chunked blobs, resilient process pools); see DESIGN.md section 9;
+* :mod:`repro.obs` — opt-in observability (metrics, spans, structured
+  logs, Prometheus / health endpoints); see docs/observability.md;
 * :mod:`repro.api` — the unified :class:`~repro.api.Codec` facade over
   all of the above, backed by the pluggable engine registry
   (:mod:`repro.core.engines`); see DESIGN.md section 10 and
@@ -94,7 +96,7 @@ _EXPORTS = {
 #: side effect, so the lazy loader keeps every one of them working.
 _SUBMODULES = frozenset({
     "analysis", "api", "cli", "core", "fpga", "hdl", "link", "net",
-    "parallel", "rtl", "security", "stego", "util",
+    "obs", "parallel", "rtl", "security", "stego", "util",
 })
 
 

@@ -40,6 +40,7 @@ from typing import Sequence
 from repro.core import engines as _engines
 from repro.core.errors import CipherFormatError, UnknownEngineError
 from repro.core.key import Key
+from repro.obs import core as _obs
 from repro.core.stream import (
     ALGORITHM_HHEA,
     ALGORITHM_MHHEA,
@@ -198,6 +199,10 @@ class Codec:
         if self._closed:
             raise RuntimeError("codec is closed")
 
+    def _count_op(self, op: str, n: int = 1) -> None:
+        """Mirror one facade operation into the obs registry (no-op cheap)."""
+        _obs.get_registry().counter("repro_codec_ops_total", op=op).inc(n)
+
     def _fan_out_pool(self) -> EncryptionPool | None:
         """The pool batch work fans out to, starting an owned one lazily."""
         if self._shared_pool is not None:
@@ -250,12 +255,14 @@ class Codec:
         :func:`connect`/:func:`serve`, which automate it per session.
         """
         self._check_open()
+        self._count_op("encrypt")
         return encrypt_packet(payload, self.key, nonce=nonce,
                               algorithm=self.algorithm, engine=self.engine)
 
     def decrypt(self, packet: bytes) -> bytes:
         """Decrypt one packet (any engine's output; CRC-checked)."""
         self._check_open()
+        self._count_op("decrypt")
         return decrypt_packet(packet, self.key, engine=self.engine)
 
     # -- ordered batches --------------------------------------------------
@@ -270,6 +277,7 @@ class Codec:
         :class:`ValueError` on a payload/nonce length mismatch.
         """
         self._check_open()
+        self._count_op("encrypt_packets")
         if len(payloads) != len(nonces):
             raise ValueError(
                 f"{len(payloads)} payloads but {len(nonces)} nonces"
@@ -285,6 +293,7 @@ class Codec:
     def decrypt_packets(self, packets: Sequence[bytes]) -> list[bytes]:
         """Decrypt many packets, order-preserving, pool-accelerated."""
         self._check_open()
+        self._count_op("decrypt_packets")
         pool = self._fan_out_pool() if len(packets) > 1 else None
         if pool is None:
             return [self.decrypt(packet) for packet in packets]
@@ -304,6 +313,7 @@ class Codec:
         and the bytes never depend on the pool.
         """
         self._check_open()
+        self._count_op("seal_blob")
         if len(payload) <= self.chunk_size:
             return self._blobs.encrypt_blob(payload, base_nonce)
         return self._blob_codec().encrypt_blob(payload, base_nonce)
@@ -311,6 +321,7 @@ class Codec:
     def open_blob(self, blob: bytes) -> bytes:
         """Decrypt a blob (or a plain single packet) back to its payload."""
         self._check_open()
+        self._count_op("open_blob")
         # Single-packet blobs decrypt inline: spawning worker processes
         # for one chunk is pure overhead (mirror of seal_blob's
         # small-payload shortcut).  The header parse is cheap and any
@@ -484,7 +495,8 @@ def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
           transport: str = "tcp",
           handler=None, queue_depth: int = DEFAULT_QUEUE_DEPTH,
           engine: str | None = None,
-          parallel_workers: int | None = None):
+          parallel_workers: int | None = None,
+          metrics_port: int | None = None):
     """A secure-link server speaking this codec's policy (responder side).
 
     Accepts the same ``codec`` spellings as :func:`connect`, and the
@@ -511,8 +523,17 @@ def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
     measure.  Async handlers (and ``queue_depth``) apply to the asyncio
     transport only; the others take sync callables and run cipher work
     inline (codecs with ``workers > 0`` are rejected).
+
+    ``metrics_port`` (asyncio transport only) starts a
+    :class:`repro.obs.MetricsEndpoint` beside the listener serving
+    ``GET /metrics`` (Prometheus text) and ``GET /healthz``; ``0``
+    binds an ephemeral port.
     """
     _check_transport(transport)
+    if metrics_port is not None and transport != "tcp":
+        raise ValueError(
+            f"metrics_port requires transport='tcp', got {transport!r}"
+        )
     bound = _codec_for_link("serve", codec, engine, parallel_workers)
     if transport == "memory":
         from repro.link.memory import MemoryLinkServer
@@ -534,4 +555,5 @@ def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
     extra = {} if handler is None else {"handler": handler}
     return SecureLinkServer(bound.key, host=host, port=port,
                             config=bound.session_config(),
-                            queue_depth=queue_depth, **extra)
+                            queue_depth=queue_depth,
+                            metrics_port=metrics_port, **extra)

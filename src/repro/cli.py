@@ -10,7 +10,15 @@ Subcommands map one-to-one onto the library's public surface:
 * ``report`` — run the FPGA flow and print the Appendix-A reports;
 * ``table1`` — print the Table 1 / Figure 9 reproduction;
 * ``serve`` — run a secure-link echo server (``repro.net``);
-* ``send`` — stream a file to a ``serve`` peer and verify the echoes.
+* ``send`` — stream a file to a ``serve`` peer and verify the echoes;
+* ``stats`` — fetch ``/metrics`` from a ``--metrics-port`` endpoint.
+
+``serve`` and ``send`` accept ``--metrics-port N`` (TCP transport only;
+``0`` binds a free port): the command enables the :mod:`repro.obs`
+registry, serves ``GET /metrics`` (Prometheus text), ``/metrics.json``
+and ``/healthz`` on that port for its lifetime, and prints the registry
+summary on exit.  ``repro-mhhea stats --port N`` fetches the text from
+a running endpoint (``--json`` for the snapshot document).
 
 Every cipher-facing subcommand funnels through :class:`repro.api.Codec`
 — the CLI is a thin shim over the facade, and ``--engine`` accepts any
@@ -45,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import sys
 
 from repro.core.engines import registered_engines
@@ -153,6 +162,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "incompatible with --workers)",
         )
 
+    def add_metrics_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--metrics-port", type=int, default=None,
+            help="serve GET /metrics (Prometheus text) and /healthz on "
+                 "this HTTP port (0 picks a free one); enables the obs "
+                 "registry and prints its summary on exit; TCP transport "
+                 "only",
+        )
+
     serve = sub.add_parser("serve", help="run a secure-link echo server")
     serve.add_argument("--key", required=True, help="hex key (keygen output)")
     serve.add_argument("--host", default="127.0.0.1")
@@ -165,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_flag(serve)
     serve.add_argument("--parallel-threshold", type=int, default=None,
                        help="smallest payload (bytes) offloaded to workers")
+    add_metrics_flag(serve)
 
     send = sub.add_parser("send", help="stream a file over the secure link")
     send.add_argument("--key", required=True, help="hex key (keygen output)")
@@ -179,7 +198,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_flag(send)
     send.add_argument("--parallel-threshold", type=int, default=None,
                       help="smallest payload (bytes) offloaded to workers")
+    add_metrics_flag(send)
     send.add_argument("input")
+
+    stats = sub.add_parser(
+        "stats", help="fetch /metrics from a running --metrics-port server")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, required=True,
+                       help="the server's --metrics-port")
+    stats.add_argument("--json", action="store_true",
+                       help="fetch the JSON snapshot instead of "
+                            "Prometheus text")
     return parser
 
 
@@ -192,6 +221,35 @@ def _link_codec(args) -> "Codec":
         extra["parallel_threshold"] = args.parallel_threshold
     return open_codec(args.key, engine=args.engine, workers=args.workers,
                       rekey_interval=args.rekey_interval, **extra)
+
+
+def _obs_registry(args):
+    """A fresh obs registry when ``--metrics-port`` asked for one."""
+    if args.metrics_port is None:
+        return None
+    from repro.obs import core as obs
+
+    return obs.ObsRegistry()
+
+
+@contextlib.contextmanager
+def _obs_installed(registry):
+    """Install ``registry`` process-wide for the duration of a command.
+
+    Restoring the previous registry on exit keeps embedded ``main()``
+    callers (tests, notebooks) from leaking an enabled registry into
+    later code; a no-op when ``registry`` is ``None``.
+    """
+    if registry is None:
+        yield
+        return
+    from repro.obs import core as obs
+
+    previous = obs.set_registry(registry)
+    try:
+        yield
+    finally:
+        obs.set_registry(previous)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -342,6 +400,8 @@ def _run(args, out) -> int:
         codec = _link_codec(args)
 
         if args.transport == "udp":
+            if args.metrics_port is not None:
+                raise ValueError("--metrics-port requires --transport tcp")
             # The datagram transport is thread-driven, not asyncio, and
             # runs cipher work inline (serve() rejects --workers > 0
             # with a one-line error and exit status 2).
@@ -356,21 +416,31 @@ def _run(args, out) -> int:
                 out.write(server.metrics.render() + "\n")
             return 0
 
+        registry = _obs_registry(args)
+
         async def _serve() -> None:
-            async with serve(codec, host=args.host,
-                             port=args.port) as server:
+            async with serve(codec, host=args.host, port=args.port,
+                             metrics_port=args.metrics_port) as server:
                 out.write(f"listening on {args.host}:{server.port}\n")
+                if server.metrics_endpoint is not None:
+                    out.write(
+                        f"metrics on http://{args.host}:"
+                        f"{server.metrics_endpoint.port}/metrics\n"
+                    )
                 out.flush()
                 try:
                     await server.serve_forever()
                 except asyncio.CancelledError:
                     pass
                 out.write(server.metrics.render() + "\n")
+                if registry is not None:
+                    out.write(registry.render() + "\n")
 
-        try:
-            asyncio.run(_serve())
-        except KeyboardInterrupt:
-            pass
+        with _obs_installed(registry):
+            try:
+                asyncio.run(_serve())
+            except KeyboardInterrupt:
+                pass
         return 0
 
     if args.command == "send":
@@ -383,6 +453,8 @@ def _run(args, out) -> int:
         payloads = [data[i:i + chunk] for i in range(0, len(data), chunk)] or [b""]
 
         if args.transport == "udp":
+            if args.metrics_port is not None:
+                raise ValueError("--metrics-port requires --transport tcp")
             with connect(codec, host=args.host, port=args.port,
                          transport="udp") as client:
                 replies = client.send_all(payloads)
@@ -396,21 +468,53 @@ def _run(args, out) -> int:
                 out.write(client.metrics.render("link") + "\n")
                 return 0
 
-        async def _send() -> int:
-            async with connect(codec, host=args.host,
-                               port=args.port) as client:
-                replies = await client.send_all(payloads)
-                if replies != payloads:
-                    out.write("echo mismatch: link corrupted the data\n")
-                    return 1
-                out.write(
-                    f"echoed {len(payloads)} packets / {len(data)} bytes "
-                    f"byte-exact at {client.metrics.mbps('rx'):.2f} Mbps\n"
-                )
-                out.write(client.metrics.render("link") + "\n")
-                return 0
+        registry = _obs_registry(args)
 
-        return asyncio.run(_send())
+        async def _send() -> int:
+            endpoint = None
+            if args.metrics_port is not None:
+                from repro.obs.http import MetricsEndpoint
+
+                endpoint = MetricsEndpoint(port=args.metrics_port)
+                await endpoint.start()
+                out.write(
+                    f"metrics on http://127.0.0.1:{endpoint.port}/metrics\n"
+                )
+                out.flush()
+            try:
+                async with connect(codec, host=args.host,
+                                   port=args.port) as client:
+                    replies = await client.send_all(payloads)
+                    if replies != payloads:
+                        out.write("echo mismatch: link corrupted the data\n")
+                        return 1
+                    out.write(
+                        f"echoed {len(payloads)} packets / {len(data)} bytes "
+                        f"byte-exact at {client.metrics.mbps('rx'):.2f} Mbps\n"
+                    )
+                    out.write(client.metrics.render("link") + "\n")
+                    if registry is not None:
+                        out.write(registry.render() + "\n")
+                    return 0
+            finally:
+                if endpoint is not None:
+                    await endpoint.close()
+
+        with _obs_installed(registry):
+            return asyncio.run(_send())
+
+    if args.command == "stats":
+        from repro.obs.http import http_get
+
+        path = "/metrics.json" if args.json else "/metrics"
+        status, body = http_get(args.host, args.port, path=path)
+        if status != 200:
+            raise ValueError(
+                f"GET http://{args.host}:{args.port}{path} "
+                f"returned HTTP {status}"
+            )
+        out.write(body if body.endswith("\n") else body + "\n")
+        return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

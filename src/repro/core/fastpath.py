@@ -50,6 +50,7 @@ from collections.abc import Sequence
 from repro.core.errors import CipherFormatError
 from repro.core.key import Key
 from repro.core.params import VectorParams
+from repro.obs import core as _obs
 from repro.util.bits import bits_to_int, check_uint, mask
 from repro.util.lfsr import LeapLfsr, Lfsr
 
@@ -483,11 +484,17 @@ class BatchCodec:
     def encrypt_many(self, payloads: Sequence[bytes],
                      nonces: Sequence[int]) -> list[bytes]:
         """One packet per payload; ``nonces`` must pair up one-to-one."""
-        return self._stream.encrypt_packets(payloads, self.key, nonces,
-                                            algorithm=self.algorithm,
-                                            engine=self.backend)
+        packets = self._stream.encrypt_packets(payloads, self.key, nonces,
+                                               algorithm=self.algorithm,
+                                               engine=self.backend)
+        _obs.get_registry().counter("repro_batch_payloads_total",
+                                    op="encrypt").inc(len(packets))
+        return packets
 
     def decrypt_many(self, packets: Sequence[bytes]) -> list[bytes]:
         """Decrypt a batch of packets produced under the same key."""
-        return self._stream.decrypt_packets(packets, self.key,
-                                            engine=self.backend)
+        payloads = self._stream.decrypt_packets(packets, self.key,
+                                                engine=self.backend)
+        _obs.get_registry().counter("repro_batch_payloads_total",
+                                    op="decrypt").inc(len(payloads))
+        return payloads

@@ -41,6 +41,7 @@ from repro.core import engines as _engines
 from repro.core.errors import CipherFormatError
 from repro.core.key import Key
 from repro.core.params import VectorParams
+from repro.obs import core as _obs
 from repro.util.bits import mask
 from repro.util.crc import crc16_ccitt
 from repro.util.lfsr import Lfsr
@@ -248,6 +249,8 @@ def encrypt_packet(
     packets, so mixed-engine links interoperate freely.
     """
     backend = _resolve_engine(engine)
+    registry = _obs.get_registry()
+    start = registry.clock() if registry.enabled else 0.0
     params = key.params
     if params.width % 8 != 0:
         raise CipherFormatError(
@@ -270,7 +273,14 @@ def encrypt_packet(
         crc=0,
     )
     header = replace(header, crc=_packet_crc(header, payload))
-    return header.pack() + payload
+    packet = header.pack() + payload
+    if registry.enabled:
+        registry.counter("repro_engine_ops_total",
+                         engine=backend.name, op="encrypt").inc()
+        registry.histogram("repro_engine_op_seconds",
+                           engine=backend.name,
+                           op="encrypt").observe(registry.clock() - start)
+    return packet
 
 
 def verify_packet(packet: bytes) -> PacketHeader:
@@ -315,6 +325,8 @@ def decrypt_packet(packet: bytes, key: Key,
     :func:`encrypt_packet`; any engine decrypts any engine's output.
     """
     backend = _resolve_engine(engine)
+    registry = _obs.get_registry()
+    start = registry.clock() if registry.enabled else 0.0
     header = verify_packet(packet)
     params = key.params
     if header.width != params.width:
@@ -323,8 +335,15 @@ def decrypt_packet(packet: bytes, key: Key,
         )
     payload = packet[HEADER_SIZE : HEADER_SIZE + header.payload_size]
     vectors = _payload_to_vectors(payload, header.width)
-    return backend.extract_bytes(key, _algorithm_name(header.algorithm),
-                                 params, vectors, header.n_bits)
+    plaintext = backend.extract_bytes(key, _algorithm_name(header.algorithm),
+                                      params, vectors, header.n_bits)
+    if registry.enabled:
+        registry.counter("repro_engine_ops_total",
+                         engine=backend.name, op="decrypt").inc()
+        registry.histogram("repro_engine_op_seconds",
+                           engine=backend.name,
+                           op="decrypt").observe(registry.clock() - start)
+    return plaintext
 
 
 def _encrypt_one(job: tuple) -> bytes:

@@ -58,6 +58,8 @@ from repro.link.events import (
 from repro.net.framing import FrameDecoder, Hello
 from repro.net.metrics import SessionMetrics
 from repro.net.session import Session, SessionConfig, key_fingerprint
+from repro.obs import core as _obs
+from repro.obs.logs import log_event
 
 __all__ = [
     "HANDSHAKE",
@@ -160,6 +162,23 @@ class LinkProtocol:
         self._peer_closed = False
         #: Datagram-mode only: damaged/replayed/stale datagrams dropped.
         self.datagrams_dropped = 0
+        # Observability: instruments are bound once at construction from
+        # the then-current registry — when obs is disabled these are the
+        # shared no-op singletons, so the hot path pays one empty call.
+        registry = _obs.get_registry()
+        self._obs = registry
+        self._handshake_start = registry.clock() if registry.enabled else 0.0
+        self._obs_frames_rx = registry.counter(
+            "repro_link_frames_total", direction="rx")
+        self._obs_bytes_rx = registry.counter(
+            "repro_link_bytes_total", direction="rx")
+        self._obs_bytes_tx = registry.counter(
+            "repro_link_bytes_total", direction="tx")
+        self._obs_handshake = registry.histogram(
+            "repro_link_handshake_seconds",
+            help="Construction-to-OPEN handshake latency.")
+        self._obs_datagram_drops = registry.counter(
+            "repro_link_drops_total", reason="datagram")
         if role == "initiator":
             if session_id is None:
                 session_id = os.urandom(8)
@@ -233,10 +252,13 @@ class LinkProtocol:
             raise SessionError("datagram links use receive_datagram()")
         if self._state in (CLOSED, FAILED) or self._peer_closed:
             return []
+        self._obs_bytes_rx.inc(len(data))
         try:
             frames = self._decoder.feed(data)
         except CipherFormatError as exc:
             return self._fail(exc)
+        if frames:
+            self._obs_frames_rx.inc(len(frames))
         events: list[LinkEvent] = []
         for frame in frames:
             events.extend(self._handle_frame(frame))
@@ -259,6 +281,7 @@ class LinkProtocol:
             raise SessionError("stream links use receive_data()")
         if self._state in (CLOSED, FAILED):
             return []
+        self._obs_bytes_rx.inc(len(datagram))
         decoder = FrameDecoder(
             self._config.max_wire_payload(self._root.params.width)
         )
@@ -267,19 +290,20 @@ class LinkProtocol:
         except CipherFormatError:
             frames = []
         if len(frames) != 1 or decoder.pending:
-            self.datagrams_dropped += 1
+            self._drop_datagram("unframeable")
             return []
         frame = frames[0]
+        self._obs_frames_rx.inc()
         if self._state == HANDSHAKE:
             return self._handle_frame(frame)
         if frame.kind != "packet":
             # A duplicated hello (e.g. a retransmit): not fatal, just late.
-            self.datagrams_dropped += 1
+            self._drop_datagram("late-hello")
             return []
         try:
             payload = self._session.decrypt(frame.raw)
-        except (ReplayError, CipherFormatError, SessionError):
-            self.datagrams_dropped += 1
+        except (ReplayError, CipherFormatError, SessionError) as exc:
+            self._drop_datagram(type(exc).__name__)
             return []
         return [PayloadReceived(payload, self._session.last_recv_seq)]
 
@@ -335,6 +359,7 @@ class LinkProtocol:
             return b""
         out = b"".join(self._out)
         self._out.clear()
+        self._obs_bytes_tx.inc(len(out))
         return out
 
     def datagrams_to_send(self) -> list[bytes]:
@@ -345,6 +370,8 @@ class LinkProtocol:
         """
         out = list(self._out)
         self._out.clear()
+        if out:
+            self._obs_bytes_tx.inc(sum(len(frame) for frame in out))
         return out
 
     def close(self) -> None:
@@ -354,8 +381,8 @@ class LinkProtocol:
         act — so this only moves the state to ``CLOSED`` and makes
         further sends raise.  Idempotent, also after ``FAILED``.
         """
-        if self._state != FAILED:
-            self._state = CLOSED
+        if self._state not in (FAILED, CLOSED):
+            self._transition(CLOSED)
         self._out.clear()
 
     # -- internals --------------------------------------------------------
@@ -364,9 +391,28 @@ class LinkProtocol:
         if self._state != OPEN:
             raise SessionError(f"cannot send on a {self._state} link")
 
+    def _transition(self, state: str) -> None:
+        """Move the machine to ``state``, counting the edge."""
+        self._state = state
+        self._obs.counter("repro_link_state_transitions_total",
+                          to=state).inc()
+
+    def _drop_datagram(self, reason: str) -> None:
+        self.datagrams_dropped += 1
+        self._obs_datagram_drops.inc()
+        if self._obs.enabled:
+            log_event("repro.link", "link.datagram_drop", level=30,
+                      role=self.role, reason=reason)
+
     def _fail(self, error: ReproError) -> list[LinkEvent]:
         """Break the machine: drop queued output, emit the error event."""
-        self._state = FAILED
+        previous, self._state = self._state, FAILED
+        self._obs.counter("repro_link_state_transitions_total",
+                          to=FAILED).inc()
+        if self._obs.enabled:
+            log_event("repro.link", "link.fail", level=30, role=self.role,
+                      state=previous, error=type(error).__name__,
+                      detail=str(error))
         self._out.clear()
         return [ProtocolError(error)]
 
@@ -438,7 +484,12 @@ class LinkProtocol:
                                 config=config, metrics=metrics)
         if self.role == "responder":
             self._out.append(self._hello().pack())
-        self._state = OPEN
+        self._transition(OPEN)
+        if self._obs.enabled:
+            self._obs_handshake.observe(
+                self._obs.clock() - self._handshake_start)
+            log_event("repro.link", "link.open", role=self.role,
+                      session_id=self._session_id.hex())
         return [HandshakeComplete(self._session_id, hello)]
 
     def __repr__(self) -> str:

@@ -37,6 +37,7 @@ from repro.link.events import (
 from repro.link.protocol import HANDSHAKE, LinkProtocol, _resolve_root
 from repro.net.metrics import SessionMetrics
 from repro.net.session import Session, SessionConfig
+from repro.obs import core as _obs
 from repro.parallel.pool import EncryptionPool
 
 __all__ = ["SecureLinkClient"]
@@ -139,6 +140,7 @@ class SecureLinkClient:
                         # kept for the reader, never dropped.
                         self._events.append(event)
             self.session = self._proto.session
+            _obs.get_registry().counter("repro_client_connects_total").inc()
         except BaseException:
             # A failed handshake must not leak the open socket: __aexit__
             # never runs when __aenter__ raises.

@@ -11,6 +11,15 @@ resulting Mbps next to the paper's hardware Table 1 numbers.
 
 The clock is injectable so tests (and deterministic benchmarks) can pin
 elapsed time instead of depending on the wall clock.
+
+This layer is now a facade over :mod:`repro.obs`: the plain
+``metrics.tx.packets``-style counters stay (cheap, always on, the wire
+tests read them directly), and when observability is enabled every
+``record_*`` call mirrors into the process-wide registry as
+``repro_session_*`` series and typed ``repro.net.session`` log events.
+Registries also learned to forget: :meth:`MetricsRegistry.remove` folds
+a closed session into retired aggregates so a long-lived server does
+not grow a dict entry per connection forever.
 """
 
 from __future__ import annotations
@@ -18,6 +27,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, fields
 from typing import Callable
+
+from repro.obs import core as _obs
+from repro.obs.logs import log_event
 
 __all__ = ["DirectionCounters", "SessionMetrics", "MetricsRegistry"]
 
@@ -59,12 +71,87 @@ class SessionMetrics:
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
         self._start = clock()
+        self._last_activity = self._start
         self.tx = DirectionCounters()
         self.rx = DirectionCounters()
 
     def elapsed(self) -> float:
         """Seconds since the session started (never zero)."""
         return max(self._clock() - self._start, 1e-9)
+
+    def idle(self) -> float:
+        """Seconds since the last ``record_*`` call (0 for a new session)."""
+        return max(self._clock() - self._last_activity, 0.0)
+
+    # -- recording (the session halves call these on the hot path) ---------
+
+    def _touch(self) -> None:
+        self._last_activity = self._clock()
+
+    def record_tx(self, payload_bytes: int, wire_bytes: int) -> None:
+        """Account one encrypted-and-sent packet."""
+        self.tx.packets += 1
+        self.tx.payload_bytes += payload_bytes
+        self.tx.wire_bytes += wire_bytes
+        self._touch()
+        registry = _obs.get_registry()
+        if registry.enabled:
+            registry.counter("repro_session_packets_total",
+                             direction="tx").inc()
+            registry.counter("repro_session_payload_bytes_total",
+                             direction="tx").inc(payload_bytes)
+            registry.counter("repro_session_wire_bytes_total",
+                             direction="tx").inc(wire_bytes)
+
+    def record_rx(self, payload_bytes: int, wire_bytes: int,
+                  gap: int = 0) -> None:
+        """Account one received-and-accepted packet (``gap`` = skipped seqs)."""
+        self.rx.packets += 1
+        self.rx.payload_bytes += payload_bytes
+        self.rx.wire_bytes += wire_bytes
+        if gap:
+            self.rx.gaps += gap
+        self._touch()
+        registry = _obs.get_registry()
+        if registry.enabled:
+            registry.counter("repro_session_packets_total",
+                             direction="rx").inc()
+            registry.counter("repro_session_payload_bytes_total",
+                             direction="rx").inc(payload_bytes)
+            registry.counter("repro_session_wire_bytes_total",
+                             direction="rx").inc(wire_bytes)
+            if gap:
+                registry.counter("repro_link_drops_total",
+                                 reason="gap").inc(gap)
+                log_event("repro.net.session", "session.gap", gap=gap)
+
+    def record_replay(self, seq: int | None = None) -> None:
+        """Account one replayed/stale sequence number (packet rejected)."""
+        self.rx.replays += 1
+        self._touch()
+        registry = _obs.get_registry()
+        if registry.enabled:
+            registry.counter("repro_link_drops_total", reason="replay").inc()
+            log_event("repro.net.session", "session.replay", level=30,
+                      seq=seq)
+
+    def record_crc_failure(self) -> None:
+        """Account one integrity/decode failure (packet rejected)."""
+        self.rx.crc_failures += 1
+        self._touch()
+        registry = _obs.get_registry()
+        if registry.enabled:
+            registry.counter("repro_link_drops_total", reason="crc").inc()
+            log_event("repro.net.session", "session.crc_failure", level=30)
+
+    def record_rekey(self, direction: str, count: int = 1) -> None:
+        """Account ``count`` epoch-key ratchets for ``direction``."""
+        self._direction(direction).rekeys += count
+        self._touch()
+        registry = _obs.get_registry()
+        if registry.enabled:
+            registry.counter("repro_session_rekeys_total",
+                             direction=direction).inc(count)
 
     def mbps(self, direction: str = "rx") -> float:
         """Payload megabits per second for ``direction`` (``tx``/``rx``)."""
@@ -108,11 +195,22 @@ class SessionMetrics:
 
 
 class MetricsRegistry:
-    """Aggregates the per-session metrics of a server (or client pool)."""
+    """Aggregates the per-session metrics of a server (or client pool).
+
+    Live sessions sit in :attr:`sessions`; when a connection closes the
+    server calls :meth:`remove`, which folds that session's counters
+    into retired ``(tx, rx)`` aggregates and drops the dict entry.
+    :meth:`aggregate` therefore stays lifetime-accurate while the dict
+    stays bounded by the number of *concurrent* links — previously it
+    grew one entry per connection forever.
+    """
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
         self.sessions: dict[str, SessionMetrics] = {}
+        self._retired_tx = DirectionCounters()
+        self._retired_rx = DirectionCounters()
+        self._retired_count = 0
 
     def session(self, name: str) -> SessionMetrics:
         """Create (or return) the metrics slot for ``name``."""
@@ -120,20 +218,62 @@ class MetricsRegistry:
             self.sessions[name] = SessionMetrics(self._clock)
         return self.sessions[name]
 
+    def remove(self, name: str) -> None:
+        """Retire session ``name``: fold its counters into the lifetime
+        aggregates and free its slot.  Unknown names are a no-op (a
+        connection may die before earning a metrics slot)."""
+        metrics = self.sessions.pop(name, None)
+        if metrics is None:
+            return
+        self._retired_tx.add(metrics.tx)
+        self._retired_rx.add(metrics.rx)
+        self._retired_count += 1
+
+    def evict_idle(self, idle_s: float) -> list[str]:
+        """Retire every session idle for at least ``idle_s`` seconds.
+
+        Returns the retired names.  For transports with no close signal
+        (UDP) or embedders that never call :meth:`remove`."""
+        stale = [name for name, metrics in self.sessions.items()
+                 if metrics.idle() >= idle_s]
+        for name in stale:
+            self.remove(name)
+        return stale
+
+    @property
+    def retired_count(self) -> int:
+        """How many sessions have been retired via :meth:`remove`."""
+        return self._retired_count
+
+    @property
+    def total_sessions(self) -> int:
+        """Lifetime session count: live slots plus retired ones."""
+        return len(self.sessions) + self._retired_count
+
     def aggregate(self) -> tuple[DirectionCounters, DirectionCounters]:
-        """Summed ``(tx, rx)`` counters across every session."""
+        """Summed ``(tx, rx)`` counters across live *and* retired sessions."""
         tx, rx = DirectionCounters(), DirectionCounters()
+        tx.add(self._retired_tx)
+        rx.add(self._retired_rx)
         for metrics in self.sessions.values():
             tx.add(metrics.tx)
             rx.add(metrics.rx)
         return tx, rx
 
     def render(self) -> str:
-        """All sessions plus a totals row."""
-        if not self.sessions:
+        """All live sessions plus retired and total rows."""
+        if not self.sessions and not self._retired_count:
             return "no sessions"
         parts = [metrics.render(name)
                  for name, metrics in sorted(self.sessions.items())]
+        if self._retired_count:
+            parts.append(
+                f"{'retired':<12} {self._retired_count} sessions, "
+                f"tx {self._retired_tx.packets} pkts / "
+                f"{self._retired_tx.payload_bytes} B, "
+                f"rx {self._retired_rx.packets} pkts / "
+                f"{self._retired_rx.payload_bytes} B"
+            )
         tx, rx = self.aggregate()
         parts.append(
             f"{'total':<12} tx {tx.packets} pkts / {tx.payload_bytes} B, "

@@ -36,6 +36,8 @@ from repro.link.events import (
 from repro.link.protocol import LinkProtocol, _resolve_root
 from repro.net.metrics import MetricsRegistry
 from repro.net.session import SessionConfig
+from repro.obs import core as _obs
+from repro.obs.logs import log_event
 from repro.parallel.pool import EncryptionPool
 
 __all__ = ["SecureLinkServer", "DEFAULT_QUEUE_DEPTH"]
@@ -66,13 +68,21 @@ class SecureLinkServer:
     Protocol errors on one connection (bad handshake, damaged frames,
     replays) close that connection and are recorded in :attr:`errors`;
     they never take the listener down.
+
+    ``metrics_port`` (non-None) starts a
+    :class:`repro.obs.MetricsEndpoint` next to the listener: ``GET
+    /metrics`` serves the process-wide obs registry as Prometheus text
+    and ``GET /healthz`` reports listener/connection health.  Pass ``0``
+    to bind an ephemeral port (read it back from
+    ``server.metrics_endpoint.port``).
     """
 
     def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
                  config: SessionConfig | None = None,
                  handler: Handler = _echo,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
-                 engine: str | None = None):
+                 engine: str | None = None,
+                 metrics_port: int | None = None):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         root, config = _resolve_root(root, config)
@@ -104,6 +114,10 @@ class SecureLinkServer:
         self._next_peer = 0
         self.metrics = MetricsRegistry()
         self.errors: list[str] = []
+        self._metrics_port = metrics_port
+        #: The live :class:`repro.obs.MetricsEndpoint` (``metrics_port``
+        #: given and the server started), else ``None``.
+        self.metrics_endpoint = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -124,6 +138,22 @@ class SecureLinkServer:
         self._server = await asyncio.start_server(
             self._serve_connection, self._host, self._requested_port
         )
+        if self._metrics_port is not None:
+            from repro.obs.http import MetricsEndpoint
+
+            self.metrics_endpoint = MetricsEndpoint(
+                host=self._host, port=self._metrics_port,
+                health=self._health)
+            await self.metrics_endpoint.start()
+
+    def _health(self) -> dict:
+        """The ``/healthz`` document for the metrics endpoint."""
+        return {
+            "status": "ok" if self._server is not None else "closed",
+            "active_links": len(self._connections),
+            "sessions": self.metrics.total_sessions,
+            "errors": len(self.errors),
+        }
 
     @property
     def port(self) -> int:
@@ -143,6 +173,9 @@ class SecureLinkServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._server = None
+        if self.metrics_endpoint is not None:
+            await self.metrics_endpoint.close()
+            self.metrics_endpoint = None
         if self._pool is not None:
             # Non-blocking: a synchronous join would stall the event
             # loop (and every other connection) on in-flight jobs.
@@ -170,19 +203,38 @@ class SecureLinkServer:
         self._connections.add(task)
         name = f"peer-{self._next_peer}"
         self._next_peer += 1
+        registry = _obs.get_registry()
+        registry.counter("repro_server_accepts_total").inc()
+        active = registry.gauge(
+            "repro_server_active_links",
+            help="Connections currently being served.")
+        active.inc()
         try:
             await self._run_connection(name, reader, writer)
         except asyncio.CancelledError:
             pass
         except ReproError as exc:
             self.errors.append(f"{name}: {exc}")
+            registry.counter("repro_server_errors_total",
+                             kind=type(exc).__name__).inc()
+            if registry.enabled:
+                log_event("repro.net.server", "server.connection_error",
+                          level=30, peer=name,
+                          error=type(exc).__name__, detail=str(exc))
         except (ConnectionError, asyncio.IncompleteReadError) as exc:
             self.errors.append(f"{name}: connection lost ({exc})")
+            registry.counter("repro_server_errors_total",
+                             kind="connection_lost").inc()
         finally:
             # The transport is always released — handshake failure,
             # protocol damage or clean EOF alike; leaking the socket of
             # a failed connection would exhaust descriptors under churn.
             self._connections.discard(task)
+            active.dec()
+            # Retire the metrics slot: its counters fold into the
+            # registry's lifetime aggregates, so the dict is bounded by
+            # concurrent (not lifetime) connections.
+            self.metrics.remove(name)
             writer.close()
             try:
                 await writer.wait_closed()

@@ -250,12 +250,10 @@ class _SendHalf:
             self._key = derive_epoch_key(self._root, self._session_id,
                                          self._label, epoch)
             self._epoch = epoch
-            self._metrics.tx.rekeys += 1
+            self._metrics.record_rekey("tx")
 
     def _account(self, payload: bytes, packet: bytes) -> None:
-        self._metrics.tx.packets += 1
-        self._metrics.tx.payload_bytes += len(payload)
-        self._metrics.tx.wire_bytes += len(packet)
+        self._metrics.record_tx(len(payload), len(packet))
 
     def encrypt(self, payload: bytes) -> bytes:
         self._check_payload(payload)
@@ -326,7 +324,7 @@ class _SendHalf:
             if epoch != self._epoch:
                 self._key = key
                 self._epoch = epoch
-                self._metrics.tx.rekeys += 1
+                self._metrics.record_rekey("tx")
             self._next_seq += 1
             self._account(payload, packet)
         return packets
@@ -404,7 +402,7 @@ class _RecvHalf:
             )
         seq = seq_for_nonce(header.nonce, width)
         if seq <= self._last_seq:
-            self._metrics.rx.replays += 1
+            self._metrics.record_replay(seq)
             raise ReplayError(
                 f"sequence {seq} already accepted (last was {self._last_seq})"
                 f" — replayed or reordered packet"
@@ -413,17 +411,15 @@ class _RecvHalf:
         if epoch != self._epoch:
             self._key = derive_epoch_key(self._root, self._session_id,
                                          self._label, epoch)
-            self._metrics.rx.rekeys += epoch - self._epoch
+            self._metrics.record_rekey("rx", epoch - self._epoch)
             self._epoch = epoch
         return seq, header
 
     def _commit(self, seq: int, packet: bytes, payload: bytes) -> None:
         """Advance the replay window and account one accepted packet."""
-        self._metrics.rx.gaps += seq - self._last_seq - 1
+        gap = seq - self._last_seq - 1
         self._last_seq = seq
-        self._metrics.rx.packets += 1
-        self._metrics.rx.payload_bytes += len(payload)
-        self._metrics.rx.wire_bytes += len(packet)
+        self._metrics.record_rx(len(payload), len(packet), gap=gap)
 
     def decrypt(self, packet: bytes) -> bytes:
         seq, _ = self._admit(packet)
@@ -434,7 +430,7 @@ class _RecvHalf:
             # Structural/CRC damage: count it, leave the replay window
             # untouched so a valid retransmission of this sequence number
             # is still acceptable.
-            self._metrics.rx.crc_failures += 1
+            self._metrics.record_crc_failure()
             raise
         self._commit(seq, packet, payload)
         return payload
@@ -463,7 +459,7 @@ class _RecvHalf:
                 payload = decrypt_packet(packet, self._key,
                                          engine=self._backend)
         except Exception:
-            self._metrics.rx.crc_failures += 1
+            self._metrics.record_crc_failure()
             raise
         self._commit(seq, packet, payload)
         return payload

@@ -1,0 +1,96 @@
+"""repro.obs — zero-dependency observability for the whole stack.
+
+One opt-in switch (:func:`enable`) lights up metrics, tracing and
+structured logging across every layer of the reproduction:
+
+* **Metrics** — :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  in a process-wide, swappable :class:`ObsRegistry` with an injectable
+  clock; rendered as Prometheus text (:meth:`ObsRegistry.render_prometheus`)
+  or a JSON snapshot (:meth:`ObsRegistry.snapshot`).
+* **Tracing** — nested :func:`span` context managers feeding the
+  ``repro_span_seconds`` histogram (:mod:`repro.obs.trace`).
+* **Logging** — typed JSON-lines events on the ``repro`` logger tree,
+  silent by default (:mod:`repro.obs.logs`).
+* **Exposition** — an opt-in asyncio ``/metrics`` + ``/healthz``
+  endpoint (:class:`MetricsEndpoint`, lazily imported so the sans-IO
+  core never pulls in asyncio), and the ``repro stats`` CLI.
+
+Disabled is the default and costs ~nothing: every accessor returns a
+shared no-op instrument, and instrumented code gates its clock reads on
+``registry.enabled``.  Enabling never changes wire bytes — only what is
+counted (pinned by a differential test and an overhead-gate bench).
+
+Example::
+
+    import repro.obs as obs
+
+    obs.enable()
+    codec.encrypt(b"payload")
+    print(obs.get_registry().render_prometheus())
+    obs.disable()
+"""
+
+from repro.obs.core import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    ObsRegistry,
+    counter,
+    disable,
+    enable,
+    gauge,
+    get_registry,
+    histogram,
+    is_enabled,
+    set_registry,
+    time_block,
+)
+from repro.obs.logs import configure_logging, log_event, reset_logging
+from repro.obs.trace import Span, current_span, span
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ObsRegistry",
+    "NullRegistry",
+    "MetricsEndpoint",
+    "Span",
+    "counter",
+    "gauge",
+    "histogram",
+    "time_block",
+    "span",
+    "current_span",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "is_enabled",
+    "configure_logging",
+    "reset_logging",
+    "log_event",
+    "http_get",
+]
+
+# The HTTP endpoint imports asyncio; load it only on attribute access so
+# `import repro.obs` stays inside the sans-IO import budget.
+_LAZY = {"MetricsEndpoint": "repro.obs.http", "http_get": "repro.obs.http"}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,158 @@
+"""Opt-in asyncio HTTP endpoint serving /metrics and /healthz.
+
+:class:`MetricsEndpoint` is a tiny HTTP/1.0 responder (GET only, three
+routes) built directly on ``asyncio.start_server`` — no http.server, no
+third-party framework — so a Prometheus scraper or a ``curl`` can read
+a live :class:`~repro.obs.core.ObsRegistry`:
+
+* ``GET /metrics`` — Prometheus text exposition (0.0.4);
+* ``GET /metrics.json`` — the JSON snapshot;
+* ``GET /healthz`` — a JSON health document from an injectable callable.
+
+This module imports asyncio and therefore lives OUTSIDE the sans-IO
+import closure: :mod:`repro.obs` loads it lazily (PEP 562), and the
+sans-IO gate in ``tests/link/test_sans_io.py`` stays true.
+
+:func:`http_get` is the matching blocking client used by the
+``repro stats`` CLI subcommand (plain sockets, no urllib ceremony).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Callable
+
+from repro.obs.core import get_registry
+from repro.obs.logs import log_event
+
+__all__ = ["MetricsEndpoint", "http_get"]
+
+_MAX_REQUEST = 8192
+_CONTENT_TYPES = {
+    "/metrics": "text/plain; version=0.0.4; charset=utf-8",
+    "/metrics.json": "application/json",
+    "/healthz": "application/json",
+}
+
+
+class MetricsEndpoint:
+    """An asyncio HTTP server exposing one registry's metrics and health.
+
+    ``registry=None`` (the default) resolves the process-wide registry
+    *per request*, so an endpoint started before ``obs.enable()`` picks
+    up the live registry once enabled.  ``health`` is a zero-argument
+    callable returning a JSON-able dict for ``/healthz`` (default:
+    ``{"status": "ok"}``).
+
+    Usable as an async context manager; ``port`` is the bound port
+    (pass ``port=0`` to let the OS pick).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 registry=None,
+                 health: Callable[[], dict] | None = None):
+        self.host = host
+        self.port = port
+        self.registry = registry
+        self.health = health
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "MetricsEndpoint":
+        """Bind and start serving; updates :attr:`port` with the real one."""
+        if self._server is not None:
+            raise RuntimeError("endpoint already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        log_event("repro.obs", "endpoint.start", host=self.host,
+                  port=self.port)
+        return self
+
+    async def close(self) -> None:
+        """Stop serving (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def __aenter__(self) -> "MetricsEndpoint":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def _registry(self):
+        return self.registry if self.registry is not None else get_registry()
+
+    def _respond(self, path: str) -> tuple[int, str, str]:
+        if path == "/metrics":
+            return 200, _CONTENT_TYPES[path], self._registry().render_prometheus()
+        if path == "/metrics.json":
+            return 200, _CONTENT_TYPES[path], json.dumps(
+                self._registry().snapshot(), sort_keys=True)
+        if path == "/healthz":
+            health = self.health() if self.health is not None else {"status": "ok"}
+            return 200, _CONTENT_TYPES[path], json.dumps(health, sort_keys=True)
+        return 404, "text/plain; charset=utf-8", f"no route {path}\n"
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=10.0)
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                asyncio.TimeoutError, ConnectionError):
+            writer.close()
+            return
+        if len(request) > _MAX_REQUEST:
+            writer.close()
+            return
+        try:
+            method, target, _ = request.split(b"\r\n", 1)[0].split(b" ", 2)
+        except ValueError:
+            method, target = b"", b"/"
+        path = target.decode("latin-1").split("?", 1)[0]
+        if method != b"GET":
+            status, ctype, body = 405, "text/plain; charset=utf-8", "GET only\n"
+        else:
+            status, ctype, body = self._respond(path)
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+        payload = body.encode("utf-8")
+        writer.write(
+            f"HTTP/1.0 {status} {reason.get(status, 'OK')}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + payload
+        )
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def http_get(host: str, port: int, path: str = "/metrics",
+             timeout: float = 5.0) -> tuple[int, str]:
+    """Blocking one-shot GET against a :class:`MetricsEndpoint`.
+
+    Returns ``(status_code, body_text)``.  Used by ``repro stats``; kept
+    deliberately dumb (HTTP/1.0, Connection: close, read to EOF).
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1"))
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].split(b" ")
+    status = int(status_line[1]) if len(status_line) > 1 else 0
+    return status, body.decode("utf-8", "replace")

@@ -1,0 +1,83 @@
+"""Structured JSON-lines event logging on the ``repro`` logger tree.
+
+Every instrumented layer emits typed events (``link.drop``,
+``pool.restart``, ``session.replay`` ...) through :func:`log_event` on a
+child of the ``repro`` logger.  Library rules apply: the tree carries a
+:class:`logging.NullHandler` by default so an embedding application
+hears nothing unless it (or :func:`configure_logging`) attaches a
+handler — and the ``isEnabledFor`` gate keeps unconsumed events at
+near-zero cost on the hot path.
+
+:func:`configure_logging` installs a :class:`JsonLinesHandler` that
+renders each record as one JSON object per line with stable key order:
+``ts`` (epoch seconds), ``level``, ``logger``, ``event`` and then the
+event's own fields.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO
+
+__all__ = ["ROOT_LOGGER", "JsonLinesHandler", "configure_logging",
+           "reset_logging", "log_event"]
+
+#: The root of the library's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+class JsonLinesHandler(logging.StreamHandler):
+    """A stream handler emitting one sorted-key JSON object per record."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "repro_fields", None)
+        if fields:
+            for key in sorted(fields):
+                payload.setdefault(key, fields[key])
+        return json.dumps(payload, sort_keys=False, default=str)
+
+
+def configure_logging(stream: IO | None = None,
+                      level: int = logging.INFO) -> JsonLinesHandler:
+    """Attach a JSON-lines handler to the ``repro`` tree; returns it.
+
+    ``stream`` defaults to stderr (the :class:`logging.StreamHandler`
+    default).  Call :func:`reset_logging` (or remove the returned
+    handler) to detach.
+    """
+    handler = JsonLinesHandler(stream)
+    handler.setLevel(level)
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler
+
+
+def reset_logging() -> None:
+    """Detach every non-null handler from the ``repro`` logger."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+
+
+def log_event(logger_name: str, event: str, level: int = logging.INFO,
+              **fields) -> None:
+    """Emit structured event ``event`` with ``fields`` on ``logger_name``.
+
+    Cheap when nobody listens: one ``isEnabledFor`` check and out.
+    Field values must be JSON-able or reasonably ``str()``-able.
+    """
+    logger = logging.getLogger(logger_name)
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"repro_fields": fields})

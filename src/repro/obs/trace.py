@@ -1,0 +1,105 @@
+"""Span-based tracing: nested, named timings over the obs registry.
+
+A :class:`Span` is a context manager that measures its body with the
+registry's injectable clock, records the duration into the
+``repro_span_seconds{span=...}`` histogram, and tracks lexical nesting
+through a thread-local stack so ``span("link.handshake")`` inside
+``span("server.connection")`` knows its parent and depth.  Finished
+spans also emit a DEBUG-level structured log event on the
+``repro.trace`` logger (see :mod:`repro.obs.logs`).
+
+When observability is disabled, :func:`span` returns the shared no-op
+context manager — no clock reads, no stack pushes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.core import NULL_INSTRUMENT, get_registry
+from repro.obs.logs import log_event
+
+__all__ = ["Span", "span", "current_span"]
+
+_stack = threading.local()
+
+
+def _span_stack() -> list:
+    stack = getattr(_stack, "spans", None)
+    if stack is None:
+        stack = _stack.spans = []
+    return stack
+
+
+class Span:
+    """One named, timed region; nests lexically within the active span.
+
+    Use through :func:`span` (or ``registry.span(name)``)::
+
+        with obs.span("link.handshake") as hs:
+            ...
+        print(hs.duration, hs.depth)
+
+    Attributes are populated on exit: ``duration`` (seconds by the
+    registry clock), ``parent`` (the enclosing :class:`Span` or None)
+    and ``depth`` (0 for a root span).
+    """
+
+    __slots__ = ("name", "registry", "parent", "depth", "duration", "_start")
+
+    def __init__(self, name: str, registry=None):
+        self.name = name
+        self.registry = registry if registry is not None else get_registry()
+        #: The enclosing span at entry time (None for a root span).
+        self.parent: Span | None = None
+        #: Nesting depth at entry time (0 == root).
+        self.depth = 0
+        #: Elapsed seconds, set on exit.
+        self.duration: float | None = None
+        self._start = 0.0
+
+    @property
+    def path(self) -> str:
+        """Dot-joined names from the root span down to this one."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+    def __enter__(self) -> "Span":
+        stack = _span_stack()
+        self.parent = stack[-1] if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._start = self.registry.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = self.registry.clock() - self._start
+        stack = _span_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.registry.histogram("repro_span_seconds",
+                                help="Traced span durations.",
+                                span=self.name).observe(self.duration)
+        log_event("repro.trace", "span.end", level=10,  # logging.DEBUG
+                  span=self.name, path=self.path, depth=self.depth,
+                  duration_s=self.duration,
+                  error=exc_type.__name__ if exc_type else None)
+
+    def __repr__(self) -> str:
+        state = f"{self.duration:.6f}s" if self.duration is not None else "open"
+        return f"<Span {self.path} {state}>"
+
+
+def span(name: str) -> "Span":
+    """A :class:`Span` on the current registry; no-op when disabled."""
+    registry = get_registry()
+    if not registry.enabled:
+        return NULL_INSTRUMENT
+    return Span(name, registry=registry)
+
+
+def current_span() -> Span | None:
+    """The innermost span open on this thread, or None."""
+    stack = getattr(_stack, "spans", None)
+    return stack[-1] if stack else None

@@ -35,6 +35,7 @@ from repro.core.errors import CipherFormatError
 from repro.core.fastpath import BatchCodec
 from repro.core.key import Key
 from repro.core.stream import NONCE_MAX, split_packets
+from repro.obs import core as _obs
 from repro.parallel.pool import EncryptionPool, decrypt_job, encrypt_job
 from repro.util.bits import mask
 
@@ -214,6 +215,8 @@ class ParallelCodec:
             jobs = [(self.key, chunk, nonce, self.algorithm, self.engine)
                     for chunk, nonce in zip(chunks, nonces)]
             packets = pool.run_jobs(encrypt_job, jobs)
+        _obs.get_registry().counter("repro_blob_chunks_total",
+                                    op="encrypt").inc(len(chunks))
         return b"".join(packets)
 
     def decrypt_blob(self, blob: bytes) -> bytes:
@@ -234,6 +237,8 @@ class ParallelCodec:
         else:
             jobs = [(self.key, packet, self.engine) for packet in packets]
             chunks = pool.run_jobs(decrypt_job, jobs)
+        _obs.get_registry().counter("repro_blob_chunks_total",
+                                    op="decrypt").inc(len(packets))
         return b"".join(chunks)
 
     def close(self) -> None:

@@ -41,6 +41,8 @@ from typing import Sequence
 from repro.core import engines as _engines
 from repro.core.fastpath import BatchCodec
 from repro.core.key import Key
+from repro.obs import core as _obs
+from repro.obs.logs import log_event
 
 __all__ = [
     "EncryptionPool",
@@ -192,6 +194,9 @@ class EncryptionPool:
                 old.shutdown(wait=False, cancel_futures=True)
             self._start_executor()
             self._restarts += 1
+            _obs.get_registry().counter("repro_pool_restarts_total").inc()
+            log_event("repro.parallel.pool", "pool.restart", level=30,
+                      restarts=self._restarts)
 
     def run_jobs(self, fn, jobs: Sequence[tuple]) -> list:
         """Run ``fn(*job)`` for every job; ordered results, crash-proof.
@@ -206,6 +211,9 @@ class EncryptionPool:
         are re-run; beyond the restart budget they run inline in the
         calling process, so the batch still completes byte-identically.
         """
+        registry = _obs.get_registry()
+        start = registry.clock() if registry.enabled else 0.0
+        inline_jobs = 0
         results: list = [None] * len(jobs)
         pending = list(enumerate(jobs))
         restarts_left = MAX_POOL_RESTARTS
@@ -229,7 +237,7 @@ class EncryptionPool:
                     except BrokenProcessPool:
                         lost.append((index, jobs[index]))
             if not lost:
-                return results
+                break
             if restarts_left > 0:
                 restarts_left -= 1
                 self.restart(broken=executor)
@@ -237,7 +245,16 @@ class EncryptionPool:
             else:
                 for index, job in lost:
                     results[index] = fn(*job)
-                return results
+                inline_jobs = len(lost)
+                break
+        if registry.enabled and jobs:
+            registry.counter("repro_pool_jobs_total",
+                             mode="pool").inc(len(jobs) - inline_jobs)
+            if inline_jobs:
+                registry.counter("repro_pool_jobs_total",
+                                 mode="inline").inc(inline_jobs)
+            registry.histogram("repro_pool_batch_seconds").observe(
+                registry.clock() - start)
         return results
 
     async def run_async(self, fn, /, *args):
@@ -250,19 +267,28 @@ class EncryptionPool:
         import asyncio
 
         loop = asyncio.get_running_loop()
+        registry = _obs.get_registry()
+        start = registry.clock() if registry.enabled else 0.0
+        mode = "pool"
         executor = self.executor
         try:
-            return await loop.run_in_executor(executor, fn, *args)
+            result = await loop.run_in_executor(executor, fn, *args)
         except BrokenProcessPool:
             self.restart(broken=executor)
             executor = self.executor
             try:
-                return await loop.run_in_executor(executor, fn, *args)
+                result = await loop.run_in_executor(executor, fn, *args)
             except BrokenProcessPool:
                 self.restart(broken=executor)
                 # Last resort still keeps the loop responsive: the job
                 # runs on the default thread pool, not the coroutine.
-                return await loop.run_in_executor(None, fn, *args)
+                mode = "inline"
+                result = await loop.run_in_executor(None, fn, *args)
+        if registry.enabled:
+            registry.counter("repro_pool_jobs_total", mode=mode).inc()
+            registry.histogram("repro_pool_job_seconds").observe(
+                registry.clock() - start)
+        return result
 
     def close(self, wait: bool = True) -> None:
         """Shut the workers down; idempotent.

@@ -37,8 +37,10 @@ class TestEchoRoundTrip:
                     replies = await client.send_all(payloads)
                     assert b"".join(replies) == message
                     assert client.metrics.rx.packets == len(payloads)
-                name = next(iter(server.metrics.sessions))
-                assert server.metrics.sessions[name].rx.packets == len(payloads)
+                # The server retires a session's slot when its connection
+                # closes; the lifetime aggregate keeps the counts.
+                _, rx = server.metrics.aggregate()
+                assert rx.packets == len(payloads)
         run(body())
 
     def test_payload_near_max_survives_cipher_expansion(self, key16):
@@ -110,7 +112,9 @@ class TestConcurrentClients:
                     *(one_client(server.port, tag) for tag in range(8))
                 )
                 assert counts == [12] * 8
-                assert len(server.metrics.sessions) == 8
+                # Live slots retire as connections tear down, but the
+                # lifetime session count and aggregates are stable.
+                assert server.metrics.total_sessions == 8
                 _, rx = server.metrics.aggregate()
                 assert rx.packets == 96
         run(body())

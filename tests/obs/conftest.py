@@ -1,0 +1,47 @@
+"""Shared fixtures for the observability suite.
+
+Every test runs with the process-wide registry restored afterwards —
+obs state is global by design, and a leaked enabled registry would make
+unrelated suites start recording.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import core as obs
+from repro.obs.logs import reset_logging
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_state():
+    previous = obs.get_registry()
+    yield
+    obs.set_registry(previous if previous.enabled else None)
+    reset_logging()
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(clock) -> obs.ObsRegistry:
+    """A live registry on the fake clock, installed process-wide."""
+    registry = obs.ObsRegistry(clock=clock)
+    obs.set_registry(registry)
+    return registry

@@ -1,0 +1,170 @@
+"""The /metrics + /healthz HTTP endpoint, scraped over real sockets."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.net import SecureLinkClient, SecureLinkServer
+from repro.obs import core as obs
+from repro.obs.http import MetricsEndpoint, http_get
+
+SID = b"obs-sid\x00"
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+def _get(host, port, path="/metrics"):
+    """http_get off the event-loop thread (it blocks on the socket)."""
+    return asyncio.to_thread(http_get, host, port, path)
+
+
+def _populate_via_memory_link(key):
+    """Drive a memory-transport echo so the registry holds link series."""
+    from repro.link.memory import MemoryLinkServer
+
+    with MemoryLinkServer(key) as server:
+        with server.connect(session_id=SID) as client:
+            payloads = [bytes([i]) * 64 for i in range(8)]
+            assert client.send_all(payloads) == payloads
+
+
+class TestStandaloneEndpoint:
+    def test_metrics_text_from_a_populated_registry(self, registry, key16):
+        _populate_via_memory_link(key16)
+
+        async def body():
+            async with MetricsEndpoint(port=0) as endpoint:
+                status, text = await _get("127.0.0.1", endpoint.port)
+                assert status == 200
+                # The catalogue the ISSUE promises a scraper can curl:
+                assert "repro_link_handshake_seconds_bucket" in text
+                assert "repro_link_handshake_seconds_count" in text
+                assert 'repro_engine_ops_total{engine="' in text
+                assert 'op="encrypt"' in text and 'op="decrypt"' in text
+                assert "repro_link_drops_total" in text
+                assert "# TYPE repro_link_handshake_seconds histogram" in text
+        run(body())
+
+    def test_metrics_json_snapshot(self, registry, key16):
+        _populate_via_memory_link(key16)
+
+        async def body():
+            async with MetricsEndpoint(port=0) as endpoint:
+                status, text = await _get("127.0.0.1", endpoint.port,
+                                          "/metrics.json")
+                assert status == 200
+                snap = json.loads(text)
+                assert snap["enabled"] is True
+                # Both ends of the memory pair time their handshake.
+                assert snap["histograms"]["repro_link_handshake_seconds"][
+                    "count"] == 2
+        run(body())
+
+    def test_default_healthz(self):
+        async def body():
+            async with MetricsEndpoint(port=0) as endpoint:
+                status, text = await _get("127.0.0.1", endpoint.port,
+                                          "/healthz")
+                assert status == 200
+                assert json.loads(text) == {"status": "ok"}
+        run(body())
+
+    def test_custom_health_callable(self):
+        async def body():
+            health = lambda: {"status": "degraded", "queue": 7}  # noqa: E731
+            async with MetricsEndpoint(port=0, health=health) as endpoint:
+                status, text = await _get("127.0.0.1", endpoint.port,
+                                          "/healthz")
+                assert status == 200
+                assert json.loads(text) == {"queue": 7, "status": "degraded"}
+        run(body())
+
+    def test_unknown_route_is_404(self):
+        async def body():
+            async with MetricsEndpoint(port=0) as endpoint:
+                status, text = await _get("127.0.0.1", endpoint.port, "/nope")
+                assert status == 404
+                assert "/nope" in text
+        run(body())
+
+    def test_non_get_is_405(self):
+        async def body():
+            async with MetricsEndpoint(port=0) as endpoint:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", endpoint.port)
+                writer.write(b"POST /metrics HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read(65536)
+                writer.close()
+                await writer.wait_closed()
+                assert b"405" in raw.split(b"\r\n", 1)[0]
+        run(body())
+
+    def test_endpoint_started_disabled_picks_up_enable(self):
+        # registry=None resolves the process registry per request.
+        obs.set_registry(None)
+
+        async def body():
+            async with MetricsEndpoint(port=0) as endpoint:
+                status, text = await _get("127.0.0.1", endpoint.port)
+                assert "disabled" in text
+                live = obs.enable()
+                live.counter("repro_late_total").inc(3)
+                status, text = await _get("127.0.0.1", endpoint.port)
+                assert status == 200
+                assert "repro_late_total 3" in text
+        run(body())
+
+    def test_double_start_rejected(self):
+        async def body():
+            async with MetricsEndpoint(port=0) as endpoint:
+                with pytest.raises(RuntimeError, match="already started"):
+                    await endpoint.start()
+        run(body())
+
+
+class TestServerEndpoint:
+    """SecureLinkServer(metrics_port=...) over a real TCP round trip."""
+
+    def test_metrics_and_healthz_during_service(self, registry, key16):
+        async def body():
+            async with SecureLinkServer(key16, port=0,
+                                        metrics_port=0) as server:
+                assert server.metrics_endpoint is not None
+                mport = server.metrics_endpoint.port
+                async with SecureLinkClient(key16, port=server.port,
+                                            session_id=SID) as client:
+                    assert await client.request(b"observe me") == b"observe me"
+                    status, text = await _get("127.0.0.1", mport)
+                    assert status == 200
+                    assert "repro_server_accepts_total 1" in text
+                    assert "repro_link_handshake_seconds_count" in text
+                    assert 'repro_session_packets_total{direction="rx"}' in text
+                    status, health = await _get("127.0.0.1", mport, "/healthz")
+                    assert status == 200
+                    doc = json.loads(health)
+                    assert doc["status"] == "ok"
+                    assert doc["active_links"] == 1
+                    assert doc["sessions"] == 1
+                    assert doc["errors"] == 0
+        run(body())
+
+    def test_endpoint_closes_with_the_server(self, registry, key16):
+        async def body():
+            server = SecureLinkServer(key16, port=0, metrics_port=0)
+            await server.start()
+            mport = server.metrics_endpoint.port
+            await server.close()
+            assert server.metrics_endpoint is None
+            with pytest.raises(OSError):
+                await _get("127.0.0.1", mport)
+        run(body())
+
+    def test_no_metrics_port_means_no_endpoint(self, key16):
+        async def body():
+            async with SecureLinkServer(key16, port=0) as server:
+                assert server.metrics_endpoint is None
+        run(body())

@@ -1,0 +1,54 @@
+"""Prometheus text exposition golden tests (format 0.0.4)."""
+
+from repro.obs import core as obs
+
+
+def test_prometheus_golden(registry, clock):
+    registry.counter("repro_ops_total",
+                     help="Operations by kind.", op="encrypt").inc(3)
+    registry.counter("repro_ops_total", op="decrypt").inc(1)
+    registry.gauge("repro_active", help="Live links.").set(2)
+    histogram = registry.histogram("repro_lat_seconds",
+                                   help="Latency.",
+                                   buckets=(0.001, 0.01, 0.1))
+    histogram.observe(0.0005)
+    histogram.observe(0.05)
+    histogram.observe(9.0)
+
+    assert registry.render_prometheus() == (
+        "# HELP repro_active Live links.\n"
+        "# TYPE repro_active gauge\n"
+        "repro_active 2\n"
+        "# HELP repro_lat_seconds Latency.\n"
+        "# TYPE repro_lat_seconds histogram\n"
+        'repro_lat_seconds_bucket{le="0.001"} 1\n'
+        'repro_lat_seconds_bucket{le="0.01"} 1\n'
+        'repro_lat_seconds_bucket{le="0.1"} 2\n'
+        'repro_lat_seconds_bucket{le="+Inf"} 3\n'
+        "repro_lat_seconds_sum 9.0505\n"
+        "repro_lat_seconds_count 3\n"
+        "# HELP repro_ops_total Operations by kind.\n"
+        "# TYPE repro_ops_total counter\n"
+        'repro_ops_total{op="decrypt"} 1\n'
+        'repro_ops_total{op="encrypt"} 3\n'
+    )
+
+
+def test_label_values_are_escaped(registry):
+    registry.counter("repro_err_total", kind='say "hi"\nback\\slash').inc()
+    text = registry.render_prometheus()
+    assert r'kind="say \"hi\"\nback\\slash"' in text
+
+
+def test_empty_registry_renders_a_bare_newline(registry):
+    assert registry.render_prometheus() == "\n"
+
+
+def test_disabled_registry_renders_a_marker():
+    previous = obs.set_registry(None)
+    try:
+        text = obs.get_registry().render_prometheus()
+        assert text.startswith("#")
+        assert "disabled" in text
+    finally:
+        obs.set_registry(previous if previous.enabled else None)

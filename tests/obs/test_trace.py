@@ -1,0 +1,72 @@
+"""Span tracing: nesting, timing via the injected clock, disabled mode."""
+
+from repro.obs import core as obs
+from repro.obs.core import NULL_INSTRUMENT
+from repro.obs.trace import Span, current_span, span
+
+
+def test_span_times_with_the_registry_clock(registry, clock):
+    with span("link.handshake") as hs:
+        clock.advance(0.125)
+    assert hs.duration == 0.125
+    histogram = registry.histogram("repro_span_seconds", span="link.handshake")
+    assert histogram.count == 1
+    assert histogram.sum == 0.125
+
+
+def test_spans_nest_lexically(registry, clock):
+    with span("server.connection") as outer:
+        assert current_span() is outer
+        with span("link.handshake") as inner:
+            assert inner.parent is outer
+            assert inner.depth == 1
+            assert current_span() is inner
+            clock.advance(0.01)
+        assert current_span() is outer
+    assert outer.parent is None
+    assert outer.depth == 0
+    assert inner.path == "server.connection.link.handshake"
+    assert current_span() is None
+
+
+def test_each_span_name_is_its_own_series(registry, clock):
+    with span("a"):
+        clock.advance(0.001)
+    with span("b"):
+        clock.advance(0.002)
+    snap = registry.snapshot()["histograms"]
+    assert snap["repro_span_seconds{span=a}"]["count"] == 1
+    assert snap["repro_span_seconds{span=b}"]["count"] == 1
+
+
+def test_span_survives_exceptions(registry, clock):
+    try:
+        with span("failing.op"):
+            clock.advance(0.5)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert current_span() is None  # stack popped despite the raise
+    assert registry.histogram("repro_span_seconds",
+                              span="failing.op").count == 1
+
+
+def test_disabled_span_is_the_null_singleton():
+    previous = obs.set_registry(None)
+    try:
+        cm = span("anything")
+        assert cm is NULL_INSTRUMENT
+        with cm as inner:
+            assert inner is NULL_INSTRUMENT
+        assert current_span() is None  # no stack pushes when disabled
+    finally:
+        obs.set_registry(previous if previous.enabled else None)
+
+
+def test_registry_span_binds_that_registry(clock):
+    registry = obs.ObsRegistry(clock=clock)  # NOT installed process-wide
+    with registry.span("bound") as bound:
+        assert isinstance(bound, Span)
+        clock.advance(0.25)
+    assert bound.duration == 0.25
+    assert registry.histogram("repro_span_seconds", span="bound").count == 1

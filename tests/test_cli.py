@@ -278,3 +278,112 @@ class TestSecureLink:
             thread.join(timeout=5)
             loop.run_until_complete(server.close())
             loop.close()
+
+
+class TestObservabilityCli:
+    """--metrics-port on serve/send, the stats subcommand, obs summaries."""
+
+    def test_metrics_port_rejected_on_udp_serve(self, capsys):
+        rc = main(["serve", "--key", "03:25:71:46", "--transport", "udp",
+                   "--metrics-port", "0"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mhhea: error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "--transport tcp" in err
+
+    def test_metrics_port_rejected_on_udp_send(self, tmp_path, capsys):
+        payload = tmp_path / "payload.bin"
+        payload.write_bytes(b"x")
+        rc = main(["send", "--key", "03:25:71:46", "--transport", "udp",
+                   "--port", "1", "--metrics-port", "0", str(payload)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--transport tcp" in err
+
+    def test_send_with_metrics_port_prints_obs_summary(self, tmp_path,
+                                                       capsys):
+        from repro.core.key import Key
+        from repro.net import SecureLinkServer
+        from repro.obs import core as obs
+
+        key_hex = "03:25:71:46"
+        loop = asyncio.new_event_loop()
+        server = SecureLinkServer(Key.from_hex(key_hex), port=0)
+        loop.run_until_complete(server.start())
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            payload = tmp_path / "payload.bin"
+            payload.write_bytes(b"observed payload " * 32)
+            assert not obs.is_enabled()
+            rc = main(["send", "--key", key_hex, "--port", str(server.port),
+                       "--chunk", "128", "--metrics-port", "0",
+                       str(payload)])
+            assert rc == 0
+            # The embedded call restored the disabled default afterwards.
+            assert not obs.is_enabled()
+            out = capsys.readouterr().out
+            assert "metrics on http://127.0.0.1:" in out
+            assert "byte-exact" in out
+            assert "obs:" in out
+            assert "repro_client_connects_total" in out
+            assert "repro_session_packets_total{direction=tx}" in out
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5)
+            loop.run_until_complete(server.close())
+            loop.close()
+
+    def test_stats_fetches_metrics_text_and_json(self, capsys):
+        from repro.obs import core as obs
+        from repro.obs.http import MetricsEndpoint
+
+        registry = obs.ObsRegistry()
+        registry.counter("repro_demo_total", op="x").inc(5)
+        loop = asyncio.new_event_loop()
+        endpoint = MetricsEndpoint(port=0, registry=registry)
+        loop.run_until_complete(endpoint.start())
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            rc = main(["stats", "--port", str(endpoint.port)])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert 'repro_demo_total{op="x"} 5' in out
+
+            rc = main(["stats", "--port", str(endpoint.port), "--json"])
+            assert rc == 0
+            import json
+
+            snap = json.loads(capsys.readouterr().out)
+            assert snap["counters"] == {"repro_demo_total{op=x}": 5}
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5)
+            loop.run_until_complete(endpoint.close())
+            loop.close()
+
+    def test_stats_against_dead_port_exits_2(self, capsys):
+        import socket
+
+        # Grab a port that is certainly closed by the time stats runs.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        rc = main(["stats", "--port", str(dead_port)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mhhea: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_parser_knows_the_new_surface(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--key", "x", "--metrics-port",
+                                  "9109"])
+        assert args.metrics_port == 9109
+        args = parser.parse_args(["stats", "--port", "9109", "--json"])
+        assert args.command == "stats"
+        assert args.json is True
+        args = parser.parse_args(["serve", "--key", "x"])
+        assert args.metrics_port is None

@@ -35,7 +35,8 @@ sys.path.insert(0, str(REPO / "src"))
 SNAPSHOT = REPO / "docs" / "api_surface.txt"
 
 #: Modules whose full public signature set is part of the snapshot.
-SIGNATURE_MODULES = ["repro.api", "repro.core.engines", "repro.link"]
+SIGNATURE_MODULES = ["repro.api", "repro.core.engines", "repro.link",
+                     "repro.obs"]
 
 HEADER = """\
 # Public API surface snapshot — the golden record of what the library

@@ -58,6 +58,11 @@ AUDITED_MODULES = [
     "repro.net.session",
     "repro.net.framing",
     "repro.net.metrics",
+    "repro.obs",
+    "repro.obs.core",
+    "repro.obs.trace",
+    "repro.obs.logs",
+    "repro.obs.http",
     "repro.parallel",
     "repro.parallel.pool",
     "repro.parallel.pipeline",
@@ -65,7 +70,7 @@ AUDITED_MODULES = [
 
 #: Markdown files whose ``python`` code blocks must execute.
 DOC_FILES = ["README.md", "docs/api.md", "docs/core.md", "docs/net.md",
-             "docs/parallel.md"]
+             "docs/observability.md", "docs/parallel.md"]
 
 _FENCE = re.compile(r"^```(\w[\w-]*(?: [\w-]+)*)?\s*$")
 
