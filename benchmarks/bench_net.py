@@ -99,6 +99,76 @@ def test_link_pair_throughput(benchmark, bench_key, emit):
     )
 
 
+def test_link_goodput_gate(bench_key, emit):
+    """CI floor for the link-layer hot path (zero-copy + batched decrypt).
+
+    Deliberately free of the pytest-benchmark fixture so the CI
+    bench-pipeline job (which installs only pytest) can run it with
+    ``-k goodput``.  Two floors, from the PR that closed the 30x
+    link-vs-core gap:
+
+    * ``goodput_over_core_ratio >= 0.25`` — machine-independent.  An
+      echo round trip costs two encrypts and two decrypts per payload
+      byte, so with the fast engine's ~2x decrypt/encrypt asymmetry the
+      ceiling is ~1/3; a ratio below 0.25 means framing/protocol
+      overhead is eating >25% of the cipher budget again.
+    * LinkPair goodput >= 5x the pre-rework baseline (0.0135 MB/s
+      measured on the 1-CPU CI-class box that set it).
+    """
+    import time
+
+    from repro.link import LinkPair, PayloadReceived
+    from repro.net.session import SessionConfig
+
+    baseline_mb_s = 0.0135  # pre-zero-copy LinkPair goodput (PR 6)
+    payloads = [bytes((i + j) % 256 for j in range(4096)) for i in range(16)]
+    total = sum(len(p) for p in payloads)
+    fast = SessionConfig(engine="fast")
+
+    def linkpair_echo() -> float:
+        pair = LinkPair(bench_key, config=fast, session_id=SESSION_ID)
+        pair.handshake()
+        start = time.perf_counter()
+        for payload in payloads:
+            pair.initiator.send_payload(payload)
+        replies = []
+        while len(replies) < len(payloads):
+            initiator_events, responder_events = pair.pump()
+            for event in responder_events:
+                if isinstance(event, PayloadReceived):
+                    pair.responder.send_payload(event.payload)
+            for event in initiator_events:
+                if isinstance(event, PayloadReceived):
+                    replies.append(event.payload)
+        elapsed = time.perf_counter() - start
+        assert replies == payloads
+        return total / elapsed / 1e6
+
+    def core_encrypt() -> float:
+        payload = payloads[0]
+        encrypt_packet(payload, bench_key, nonce=1, engine="fast")  # warm
+        start = time.perf_counter()
+        for nonce in range(1, 9):
+            encrypt_packet(payload, bench_key, nonce=nonce, engine="fast")
+        return len(payload) * 8 / (time.perf_counter() - start) / 1e6
+
+    goodput = max(linkpair_echo() for _ in range(2))  # best-of, warm second
+    core = max(core_encrypt() for _ in range(2))
+    ratio = goodput / core
+    emit(
+        "net_link_goodput_gate",
+        f"LinkPair goodput {goodput:.4f} MB/s "
+        f"({goodput / baseline_mb_s:.1f}x the pre-rework baseline), "
+        f"fast-engine encrypt {core:.4f} MB/s, ratio {ratio:.3f}",
+    )
+    assert goodput >= 5 * baseline_mb_s, (
+        f"LinkPair goodput {goodput:.4f} MB/s regressed below 5x the "
+        f"pre-rework baseline ({5 * baseline_mb_s:.4f} MB/s)")
+    assert ratio >= 0.25, (
+        f"goodput_over_core_ratio {ratio:.3f} below the 0.25 floor: the "
+        f"link layer is burning cipher budget on overhead again")
+
+
 def test_frame_decoder_vs_split_packets(benchmark, bench_key, emit):
     """Incremental framing of a 64-packet stream, fed in 1500-byte MTUs."""
     payloads = packet_payloads(64, seed=13)

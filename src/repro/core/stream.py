@@ -189,8 +189,13 @@ def _packet_crc(header: PacketHeader, payload: bytes) -> int:
     layer: the receive side derives its replay window from the nonce
     field, so a flipped nonce bit must fail the checksum instead of
     silently shifting the window (DESIGN.md section 5).
+
+    The CRC is chained (header first, then payload continued from the
+    header's register state) rather than computed over a concatenation:
+    ``payload`` may be a zero-copy :class:`memoryview` from the framing
+    layer, and ``bytes + memoryview`` would both copy and ``TypeError``.
     """
-    return crc16_ccitt(replace(header, crc=0).pack() + payload)
+    return crc16_ccitt(payload, init=crc16_ccitt(replace(header, crc=0).pack()))
 
 
 #: Vector sizes with a native struct format (covers every power-of-two
@@ -291,8 +296,21 @@ def verify_packet(packet: bytes) -> PacketHeader:
     the integrity half of :func:`decrypt_packet`, split out so the
     framing layer (``FrameDecoder(verify_crc=True)``) can refuse to emit
     a damaged frame without holding any key material.
+
+    ``packet`` may be any bytes-like object; the zero-copy receive path
+    hands in memoryviews and nothing here materialises them.
     """
     header = PacketHeader.unpack(packet)
+    _verify_parsed(packet, header)
+    return header
+
+
+def _verify_parsed(packet: bytes, header: PacketHeader) -> None:
+    """The integrity half of :func:`verify_packet` after header parsing.
+
+    Split out so the batched session decrypt path — which already parsed
+    the header for replay-window admission — does not parse it twice.
+    """
     if header.n_bits % 8 != 0:
         # encrypt_packet only ever writes whole bytes; catching the
         # violation here keeps decrypt_packet's error contract uniform
@@ -312,7 +330,25 @@ def verify_packet(packet: bytes) -> PacketHeader:
         raise CipherFormatError(
             f"packet CRC mismatch: header {header.crc:#06x}, computed {actual_crc:#06x}"
         )
-    return header
+
+
+def _extract_verified(packet: bytes, header: PacketHeader, key: Key,
+                      backend: "_engines.Engine") -> bytes:
+    """Extraction half of :func:`decrypt_packet`, after verification.
+
+    Shared by the single-packet path and the session batch path; the
+    caller guarantees ``header`` came from ``packet`` and the packet
+    passed :func:`verify_packet`'s checks.
+    """
+    params = key.params
+    if header.width != params.width:
+        raise CipherFormatError(
+            f"packet uses {header.width}-bit vectors but key is for {params.width}"
+        )
+    payload = packet[HEADER_SIZE : HEADER_SIZE + header.payload_size]
+    vectors = _payload_to_vectors(payload, header.width)
+    return backend.extract_bytes(key, _algorithm_name(header.algorithm),
+                                 params, vectors, header.n_bits)
 
 
 def decrypt_packet(packet: bytes, key: Key,
@@ -328,15 +364,7 @@ def decrypt_packet(packet: bytes, key: Key,
     registry = _obs.get_registry()
     start = registry.clock() if registry.enabled else 0.0
     header = verify_packet(packet)
-    params = key.params
-    if header.width != params.width:
-        raise CipherFormatError(
-            f"packet uses {header.width}-bit vectors but key is for {params.width}"
-        )
-    payload = packet[HEADER_SIZE : HEADER_SIZE + header.payload_size]
-    vectors = _payload_to_vectors(payload, header.width)
-    plaintext = backend.extract_bytes(key, _algorithm_name(header.algorithm),
-                                      params, vectors, header.n_bits)
+    plaintext = _extract_verified(packet, header, key, backend)
     if registry.enabled:
         registry.counter("repro_engine_ops_total",
                          engine=backend.name, op="decrypt").inc()

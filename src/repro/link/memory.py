@@ -80,6 +80,12 @@ class LinkPair:
 
         Returns ``(initiator_events, responder_events)`` gathered along
         the way.  Deterministic: initiator bytes move first each round.
+
+        Each direction's entire queue moves as *one* chunk per round, so
+        the receiving machine decrypts the whole burst through the
+        batched path — this is the zero-transport-cost shape the
+        link-layer benchmarks measure (docs/net.md, "Link-layer
+        performance").
         """
         initiator_events: list[LinkEvent] = []
         responder_events: list[LinkEvent] = []

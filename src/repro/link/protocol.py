@@ -157,11 +157,15 @@ class LinkProtocol:
             self._config.max_wire_payload(root.params.width)
         )
         self._out: list[bytes] = []
+        self._out_size = 0
         self._session: Session | None = None
         self._state = HANDSHAKE
         self._peer_closed = False
         #: Datagram-mode only: damaged/replayed/stale datagrams dropped.
         self.datagrams_dropped = 0
+        #: Stream-mode only: bytes received (and dropped) after the peer's
+        #: clean half-close — a conforming peer sends nothing after EOF.
+        self.bytes_after_close = 0
         # Observability: instruments are bound once at construction from
         # the then-current registry — when obs is disabled these are the
         # shared no-op singletons, so the hot path pays one empty call.
@@ -179,6 +183,8 @@ class LinkProtocol:
             help="Construction-to-OPEN handshake latency.")
         self._obs_datagram_drops = registry.counter(
             "repro_link_drops_total", reason="datagram")
+        self._obs_after_close_drops = registry.counter(
+            "repro_link_drops_total", reason="after-close")
         if role == "initiator":
             if session_id is None:
                 session_id = os.urandom(8)
@@ -187,7 +193,7 @@ class LinkProtocol:
                     f"session id must be 8 bytes, got {len(session_id)}"
                 )
             self._session_id: bytes | None = session_id
-            self._out.append(self._hello().pack())
+            self._queue(self._hello().pack())
         else:
             if session_id is not None:
                 raise SessionError(
@@ -226,7 +232,7 @@ class LinkProtocol:
     @property
     def bytes_to_send(self) -> int:
         """Outbound bytes queued and not yet drained (flow signal)."""
-        return sum(len(chunk) for chunk in self._out)
+        return self._out_size
 
     def _hello(self) -> Hello:
         return Hello(
@@ -246,24 +252,64 @@ class LinkProtocol:
         partial frames wait in the decoder.  Any protocol violation
         returns a single :class:`~repro.link.events.ProtocolError` and
         moves the machine to ``FAILED``.  After ``CLOSED``/``FAILED``
-        (or a clean peer close) input is ignored.
+        input is ignored; after a clean peer close it is dropped *with
+        accounting* (``repro_link_drops_total{reason="after-close"}``
+        and :attr:`bytes_after_close`) — a conforming peer never sends
+        past its own EOF, so silence here would hide a misbehaving one.
+
+        This is the link hot path, and it is batched: every consecutive
+        run of ciphertext frames in the chunk goes through
+        :meth:`Session.decrypt_batch <repro.net.session.Session.decrypt_batch>`
+        in one call (one header parse per packet, one observability
+        update per run) and events are collected into a single list per
+        call — no per-frame allocation beyond the events themselves.
         """
         if self._datagram:
             raise SessionError("datagram links use receive_datagram()")
-        if self._state in (CLOSED, FAILED) or self._peer_closed:
+        if self._state in (CLOSED, FAILED):
+            return []
+        if self._peer_closed:
+            self._drop_after_close(len(data))
             return []
         self._obs_bytes_rx.inc(len(data))
         try:
             frames = self._decoder.feed(data)
         except CipherFormatError as exc:
             return self._fail(exc)
-        if frames:
-            self._obs_frames_rx.inc(len(frames))
+        if not frames:
+            return []
+        self._obs_frames_rx.inc(len(frames))
         events: list[LinkEvent] = []
-        for frame in frames:
+        n = len(frames)
+        i = 0
+        while i < n:
+            frame = frames[i]
+            if (self._state == OPEN and frame.kind == "packet"
+                    and self._decrypt_payloads):
+                # Batch the whole consecutive ciphertext run.
+                j = i + 1
+                while j < n and frames[j].kind == "packet":
+                    j += 1
+                accepted: list[tuple[bytes, int]] = []
+                try:
+                    self._session.decrypt_batch(
+                        [frames[k].raw for k in range(i, j)],
+                        accepted=accepted)
+                except ReproError as exc:
+                    # Frames accepted before the damage keep their
+                    # events, exactly as per-frame processing would.
+                    events.extend(PayloadReceived(payload, seq)
+                                  for payload, seq in accepted)
+                    events.extend(self._fail(exc))
+                    return events
+                events.extend(PayloadReceived(payload, seq)
+                              for payload, seq in accepted)
+                i = j
+                continue
             events.extend(self._handle_frame(frame))
             if self._state == FAILED:
                 break
+            i += 1
         return events
 
     def receive_datagram(self, datagram: bytes) -> list[LinkEvent]:
@@ -276,20 +322,28 @@ class LinkProtocol:
         everything that is not strictly newer.  Handshake-policy
         mismatches remain fatal: a peer with the wrong key or config can
         never become valid by retransmission.
+
+        With ``decrypt_payloads=False`` an OPEN-state datagram is
+        emitted as :class:`~repro.link.events.PacketReceived` exactly
+        like the stream path, so the worker-pool offload hatch works
+        over datagram transports too — the caller then owns the
+        ``session.decrypt`` call and its replay/drop policy.
         """
         if not self._datagram:
             raise SessionError("stream links use receive_data()")
         if self._state in (CLOSED, FAILED):
             return []
         self._obs_bytes_rx.inc(len(datagram))
-        decoder = FrameDecoder(
-            self._config.max_wire_payload(self._root.params.width)
-        )
+        # One decoder per link, reset (with skip accounting) whenever a
+        # datagram fails to frame — a fresh instance per datagram would
+        # hide the skipped bytes and reallocate on the hot path.
+        decoder = self._decoder
         try:
             frames = decoder.feed(datagram)
         except CipherFormatError:
             frames = []
         if len(frames) != 1 or decoder.pending:
+            decoder.reset(count_skipped=True)
             self._drop_datagram("unframeable")
             return []
         frame = frames[0]
@@ -300,6 +354,8 @@ class LinkProtocol:
             # A duplicated hello (e.g. a retransmit): not fatal, just late.
             self._drop_datagram("late-hello")
             return []
+        if not self._decrypt_payloads:
+            return [PacketReceived(bytes(frame.raw))]
         try:
             payload = self._session.decrypt(frame.raw)
         except (ReplayError, CipherFormatError, SessionError) as exc:
@@ -340,7 +396,7 @@ class LinkProtocol:
         ``OPEN`` (handshake done, not failed, not locally closed).
         """
         self._check_sendable()
-        self._out.append(self._session.encrypt(payload))
+        self._queue(self._session.encrypt(payload))
 
     def send_packet(self, packet: bytes) -> None:
         """Queue a packet already encrypted through :attr:`session`.
@@ -351,16 +407,23 @@ class LinkProtocol:
         caller's only duty is to hand packets over in that same order.
         """
         self._check_sendable()
-        self._out.append(packet)
+        self._queue(packet)
 
     def data_to_send(self) -> bytes:
-        """Drain and return every queued outbound byte (may be empty)."""
-        if not self._out:
+        """Drain and return every queued outbound byte (may be empty).
+
+        Single-chunk drains (the lockstep request/reply shape) hand the
+        queued packet back as-is — no join, no copy; multi-chunk drains
+        pay one join for the whole burst.
+        """
+        out = self._out
+        if not out:
             return b""
-        out = b"".join(self._out)
-        self._out.clear()
-        self._obs_bytes_tx.inc(len(out))
-        return out
+        data = out[0] if len(out) == 1 else b"".join(out)
+        out.clear()
+        self._out_size = 0
+        self._obs_bytes_tx.inc(len(data))
+        return data
 
     def datagrams_to_send(self) -> list[bytes]:
         """Drain the outbound queue as one-frame datagrams.
@@ -371,7 +434,8 @@ class LinkProtocol:
         out = list(self._out)
         self._out.clear()
         if out:
-            self._obs_bytes_tx.inc(sum(len(frame) for frame in out))
+            self._obs_bytes_tx.inc(self._out_size)
+            self._out_size = 0
         return out
 
     def close(self) -> None:
@@ -384,8 +448,13 @@ class LinkProtocol:
         if self._state not in (FAILED, CLOSED):
             self._transition(CLOSED)
         self._out.clear()
+        self._out_size = 0
 
     # -- internals --------------------------------------------------------
+
+    def _queue(self, chunk: bytes) -> None:
+        self._out.append(chunk)
+        self._out_size += len(chunk)
 
     def _check_sendable(self) -> None:
         if self._state != OPEN:
@@ -404,6 +473,15 @@ class LinkProtocol:
             log_event("repro.link", "link.datagram_drop", level=30,
                       role=self.role, reason=reason)
 
+    def _drop_after_close(self, n_bytes: int) -> None:
+        """Account bytes a peer sent after its own clean half-close."""
+        self.bytes_after_close += n_bytes
+        self._obs_after_close_drops.inc()
+        if self._obs.enabled:
+            log_event("repro.link", "link.after_close_drop", level=30,
+                      role=self.role, dropped_bytes=n_bytes,
+                      total_bytes=self.bytes_after_close)
+
     def _fail(self, error: ReproError) -> list[LinkEvent]:
         """Break the machine: drop queued output, emit the error event."""
         previous, self._state = self._state, FAILED
@@ -414,6 +492,7 @@ class LinkProtocol:
                       state=previous, error=type(error).__name__,
                       detail=str(error))
         self._out.clear()
+        self._out_size = 0
         return [ProtocolError(error)]
 
     def _handle_frame(self, frame) -> list[LinkEvent]:
@@ -431,7 +510,10 @@ class LinkProtocol:
                 "unexpected hello frame mid-session"
             ))
         if not self._decrypt_payloads:
-            return [PacketReceived(frame.raw)]
+            # Copy out of the decoder's drain buffer: the event may
+            # outlive this call and cross a process-pool pickle boundary,
+            # neither of which a memoryview survives.
+            return [PacketReceived(bytes(frame.raw))]
         try:
             payload = self._session.decrypt(frame.raw)
         except ReproError as exc:
@@ -483,7 +565,7 @@ class LinkProtocol:
                                 session_id=self._session_id,
                                 config=config, metrics=metrics)
         if self.role == "responder":
-            self._out.append(self._hello().pack())
+            self._queue(self._hello().pack())
         self._transition(OPEN)
         if self._obs.enabled:
             self._obs_handshake.observe(

@@ -294,15 +294,18 @@ class SyncLinkServer:
             chunk = conn.recv(_READ_CHUNK)
             events = (proto.receive_eof() if not chunk
                       else proto.receive_data(chunk))
-            if proto.bytes_to_send:
-                conn.sendall(proto.data_to_send())  # the hello reply
+            closed = False
             for event in events:
                 if isinstance(event, ProtocolError):
                     raise event.error
                 if isinstance(event, LinkClosed):
-                    return
-                if isinstance(event, PayloadReceived):
+                    closed = True
+                elif isinstance(event, PayloadReceived):
                     proto.send_payload(self._handler(event.payload))
-                    conn.sendall(proto.data_to_send())
-            if not chunk:
+            # One coalesced write per received chunk: the hello reply and
+            # every reply of a batched drain share a single sendall (one
+            # syscall per burst instead of one per frame).
+            if proto.bytes_to_send:
+                conn.sendall(proto.data_to_send())
+            if closed or not chunk:
                 return

@@ -303,15 +303,14 @@ class UdpLinkServer:
         proto = self._protocol_for(addr, datagram)
         if proto is None:
             return
-        events = proto.receive_datagram(datagram)
-        for out in proto.datagrams_to_send():
-            self._sock.sendto(out, addr)  # the hello reply
-        for event in events:
+        for event in proto.receive_datagram(datagram):
             if isinstance(event, ProtocolError):
                 self.errors.append(f"{proto.peer_name}: {event.error}")
                 self._peers.pop(addr, None)
-                break
+                return  # _fail() dropped any queued output with the link
             if isinstance(event, PayloadReceived):
                 proto.send_payload(self._handler(event.payload))
-                for out in proto.datagrams_to_send():
-                    self._sock.sendto(out, addr)
+        # One outbound drain per inbound datagram: the hello reply and
+        # any payload replies leave in a single queue sweep.
+        for out in proto.datagrams_to_send():
+            self._sock.sendto(out, addr)

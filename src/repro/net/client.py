@@ -44,6 +44,11 @@ __all__ = ["SecureLinkClient"]
 
 _READ_CHUNK = 1 << 16
 
+#: Queued frame bytes that trigger a flush on the inline write path.
+#: Coalescing keeps one write+drain per burst instead of one per
+#: payload while bounding how much ciphertext sits in the machine.
+_WRITE_BUDGET = 1 << 18
+
 
 class SecureLinkClient:
     """One secure-link connection from the initiator side.
@@ -220,8 +225,18 @@ class SecureLinkClient:
         serial path exactly.
         """
         if self._pool is None:
+            # Inline-cipher path: let frames pile up in the machine and
+            # flush in bursts — one write+drain per _WRITE_BUDGET of
+            # ciphertext instead of one per payload.  The server's
+            # batched receive path then decrypts each burst through
+            # Session.decrypt_batch (docs/net.md, "Link-layer
+            # performance").
             for payload in payloads:
                 self._proto.send_payload(payload)
+                if self._proto.bytes_to_send >= _WRITE_BUDGET:
+                    self._writer.write(self._proto.data_to_send())
+                    await self._writer.drain()
+            if self._proto.bytes_to_send:
                 self._writer.write(self._proto.data_to_send())
                 await self._writer.drain()
             return

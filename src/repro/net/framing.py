@@ -110,10 +110,19 @@ class Hello:
 
 @dataclass(frozen=True)
 class Frame:
-    """One complete wire frame: its kind plus the raw bytes."""
+    """One complete wire frame: its kind plus the raw bytes.
+
+    ``raw`` is a read-only bytes-like object — on the zero-copy decode
+    path it is a :class:`memoryview` into the decoder's drain buffer
+    rather than a fresh ``bytes`` copy.  It compares equal to the
+    equivalent ``bytes`` and every parser accepts it as-is; call
+    ``bytes(frame.raw)`` only where a real ``bytes`` object is required
+    (pickling to a worker pool, long-term retention).  See
+    :class:`FrameDecoder` for the view-lifetime contract.
+    """
 
     kind: str  # "hello" or "packet"
-    raw: bytes
+    raw: "bytes | memoryview"
 
     def hello(self) -> Hello:
         """Parse a ``hello`` frame (raises on a ``packet`` frame)."""
@@ -156,6 +165,22 @@ class FrameDecoder:
     earlier in the same ``feed`` call are discarded with it, because on
     a reliable transport junk means the peers have lost framing and no
     later byte can be trusted.
+
+    **Zero-copy operation and view lifetimes.**  The decoder keeps one
+    immutable ``bytes`` buffer and a head offset instead of a mutable
+    ``bytearray``: when nothing is pending, ``feed`` *adopts* the chunk
+    as the buffer outright (no copy at all); when a partial frame is
+    carried over, only that pending tail is copied once to prepend it to
+    the new chunk.  Emitted :class:`Frame` objects carry
+    :class:`memoryview` slices of the owning buffer — one owner per
+    drain, never a per-frame copy.  Because owners are immutable and are
+    *replaced* (not resized) on compaction, emitted views stay valid
+    forever: they simply keep their owning buffer alive.  The flip side
+    is that retaining one small frame pins its whole drain buffer in
+    memory — consumers that hold frames beyond the current receive call
+    should copy with ``bytes(frame.raw)`` (the link protocol does this
+    for ``PacketReceived`` events, which may outlive the drain and cross
+    process-pool boundaries).
     """
 
     #: Bytes of possible magic prefix preserved while resynchronising.
@@ -170,23 +195,32 @@ class FrameDecoder:
         self.verify_crc = verify_crc
         self.bytes_skipped = 0
         self.frames_decoded = 0
-        self._buffer = bytearray()
+        self._buf: bytes = b""
+        self._head = 0
+        self._view = memoryview(b"")
 
     @property
     def pending(self) -> int:
         """Bytes buffered but not yet framed."""
-        return len(self._buffer)
+        return len(self._buf) - self._head
 
     def feed(self, chunk: bytes) -> list[Frame]:
         """Absorb ``chunk`` and return every frame it completes."""
-        self._buffer += chunk
+        if self._head >= len(self._buf):
+            # Nothing pending: adopt the chunk as the owning buffer.
+            self._buf = chunk if type(chunk) is bytes else bytes(chunk)
+        else:
+            # Compact: one copy of the pending tail, never of past frames.
+            self._buf = self._buf[self._head:] + chunk
+        self._head = 0
+        self._view = memoryview(self._buf)
         frames: list[Frame] = []
         while True:
-            before = len(self._buffer)
+            before = self._head
             frame = self._try_next()
             if frame is not None:
                 frames.append(frame)
-            elif len(self._buffer) == before:
+            elif self._head == before:
                 # Neither a frame nor resync progress: wait for more bytes.
                 break
         return frames
@@ -197,34 +231,51 @@ class FrameDecoder:
         Call when the transport signals EOF; raises
         :class:`CipherFormatError` if bytes of an incomplete frame remain.
         """
-        if self._buffer:
+        if self.pending:
             raise CipherFormatError(
-                f"stream ended mid-frame with {len(self._buffer)} bytes pending"
+                f"stream ended mid-frame with {self.pending} bytes pending"
             )
+
+    def reset(self, count_skipped: bool = False) -> None:
+        """Drop any pending bytes and return to the empty state.
+
+        Datagram-mode links reuse one decoder across datagrams: after a
+        drop decision the leftover bytes of the bad datagram must not
+        bleed into the next one.  With ``count_skipped=True`` the
+        discarded pending bytes are added to :attr:`bytes_skipped`, so
+        drop accounting stays truthful across reuse.  Cumulative
+        counters (:attr:`frames_decoded`, :attr:`bytes_skipped`) are
+        never reset.
+        """
+        if count_skipped:
+            self.bytes_skipped += self.pending
+        self._buf = b""
+        self._head = 0
+        self._view = memoryview(b"")
 
     # -- internals --------------------------------------------------------
 
     def _try_next(self) -> Frame | None:
-        buf = self._buffer
-        if len(buf) < len(MAGIC):
+        buf, head = self._buf, self._head
+        if len(buf) - head < len(MAGIC):
             return None
-        magic = bytes(buf[: len(MAGIC)])
-        if magic == MAGIC:
+        if buf.startswith(MAGIC, head):
             return self._try_packet()
-        if magic == HELLO_MAGIC:
+        if buf.startswith(HELLO_MAGIC, head):
             return self._try_hello()
         if not self.resync:
             raise CipherFormatError(
-                f"cannot frame stream: unknown magic {magic!r}"
+                f"cannot frame stream: unknown magic {buf[head:head + 4]!r}"
             )
         self._skip_to_magic()
         return None
 
     def _try_packet(self) -> Frame | None:
-        buf = self._buffer
-        if len(buf) < HEADER_SIZE:
+        buf, head = self._buf, self._head
+        if len(buf) - head < HEADER_SIZE:
             return None
-        header = self._parse(PacketHeader.unpack, bytes(buf[:HEADER_SIZE]))
+        header = self._parse(PacketHeader.unpack,
+                             self._view[head:head + HEADER_SIZE])
         if header is None:
             return None
         if header.payload_size > self.max_payload:
@@ -238,18 +289,18 @@ class FrameDecoder:
                 return None
             raise CipherFormatError(message)
         total = HEADER_SIZE + header.payload_size
-        if len(buf) < total:
+        if len(buf) - head < total:
             return None
         if self.verify_crc:
-            if self._parse(verify_packet, bytes(buf[:total])) is None:
+            if self._parse(verify_packet, self._view[head:head + total]) is None:
                 return None
         return self._emit("packet", total)
 
     def _try_hello(self) -> Frame | None:
-        buf = self._buffer
-        if len(buf) < HELLO_SIZE:
+        buf, head = self._buf, self._head
+        if len(buf) - head < HELLO_SIZE:
             return None
-        if self._parse(Hello.unpack, bytes(buf[:HELLO_SIZE])) is None:
+        if self._parse(Hello.unpack, self._view[head:head + HELLO_SIZE]) is None:
             return None
         return self._emit("hello", HELLO_SIZE)
 
@@ -265,30 +316,30 @@ class FrameDecoder:
             return None
 
     def _emit(self, kind: str, size: int) -> Frame:
-        raw = bytes(self._buffer[:size])
-        del self._buffer[:size]
+        start = self._head
+        self._head = start + size
         self.frames_decoded += 1
-        return Frame(kind, raw)
+        return Frame(kind, self._view[start:start + size])
 
     def _discard(self, count: int) -> None:
-        del self._buffer[:count]
+        self._head += count
         self.bytes_skipped += count
 
     def _skip_to_magic(self) -> None:
         """Drop bytes until a magic (or a possible magic prefix) leads."""
-        buf = self._buffer
+        buf, head = self._buf, self._head
         candidates = [position for position in
-                      (buf.find(MAGIC), buf.find(HELLO_MAGIC))
+                      (buf.find(MAGIC, head), buf.find(HELLO_MAGIC, head))
                       if position >= 0]
         if candidates:
-            self._discard(min(candidates))
+            self._discard(min(candidates) - head)
             return
         # No full magic in view: keep a short tail that could be the
         # start of one split across chunks, drop the rest.
         keep = 0
-        for length in range(min(self._TAIL, len(buf)), 0, -1):
-            tail = bytes(buf[-length:])
+        for length in range(min(self._TAIL, len(buf) - head), 0, -1):
+            tail = buf[len(buf) - length:]
             if MAGIC.startswith(tail) or HELLO_MAGIC.startswith(tail):
                 keep = length
                 break
-        self._discard(len(buf) - keep)
+        self._discard(len(buf) - head - keep)

@@ -315,13 +315,27 @@ class SecureLinkServer:
     async def _send_replies(self, queue: asyncio.Queue, proto: LinkProtocol,
                             writer: asyncio.StreamWriter) -> None:
         while True:
-            payload = await queue.get()
-            if payload is None:
+            batch = [await queue.get()]
+            # Coalesce every reply already waiting: the machine queues
+            # them all, then one write+drain flushes the burst — one
+            # syscall round per wakeup instead of one per payload.
+            while True:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            finished = False
+            for payload in batch:
+                if payload is None:
+                    finished = True
+                    break
+                if self._pool is not None:
+                    proto.send_packet(await proto.session.encrypt_async(
+                        payload, self._pool))
+                else:
+                    proto.send_payload(payload)
+            if proto.bytes_to_send:
+                writer.write(proto.data_to_send())
+                await writer.drain()
+            if finished:
                 break
-            if self._pool is not None:
-                proto.send_packet(await proto.session.encrypt_async(
-                    payload, self._pool))
-            else:
-                proto.send_payload(payload)
-            writer.write(proto.data_to_send())
-            await writer.drain()

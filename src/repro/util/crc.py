@@ -12,14 +12,24 @@ Two implementations live here on purpose, mirroring the engine split of
 * :func:`crc16_ccitt_bitserial` — the bit-serial formulation, one
   polynomial step per message bit.  It doubles as the golden model for
   the (optional) CRC hardware exercises in the HDL tests.
-* :func:`crc16_ccitt` — the byte-at-a-time table form every caller uses.
-  The 256-entry table is generated from the bit-serial model itself, so
-  the two cannot disagree; ``tests/util`` cross-checks them anyway.
+* :func:`crc16_ccitt` — the form every caller uses.  CRC-16/CCITT-FALSE
+  is exactly the XMODEM/binhex polynomial run with init ``0xFFFF``, so
+  production delegates to :func:`binascii.crc_hqx` (a C loop — the CRC
+  covers every wire byte, which made the pure-Python table loop a
+  measurable share of the link hot path).  The 256-entry table form is
+  kept as :func:`crc16_ccitt_table`; ``tests/util`` cross-checks all
+  three implementations.
+
+Both accept any bytes-like object (``bytes``, ``bytearray``,
+``memoryview``) so the zero-copy framing path can checksum views
+without materialising them.
 """
 
 from __future__ import annotations
 
-__all__ = ["crc16_ccitt", "crc16_ccitt_bitserial", "Crc16"]
+from binascii import crc_hqx as _crc_hqx
+
+__all__ = ["crc16_ccitt", "crc16_ccitt_table", "crc16_ccitt_bitserial", "Crc16"]
 
 _POLY = 0x1021
 
@@ -43,13 +53,18 @@ def crc16_ccitt_bitserial(data: bytes, init: int = 0xFFFF) -> int:
 _TABLE = tuple(crc16_ccitt_bitserial(bytes([b]), init=0) for b in range(256))
 
 
-def crc16_ccitt(data: bytes, init: int = 0xFFFF) -> int:
-    """CRC-16/CCITT-FALSE of ``data`` (poly 0x1021, MSB-first, init 0xFFFF)."""
+def crc16_ccitt_table(data: bytes, init: int = 0xFFFF) -> int:
+    """Byte-at-a-time table CRC-16/CCITT-FALSE (pure-Python form)."""
     crc = init & 0xFFFF
     table = _TABLE
-    for byte in data:
+    for byte in memoryview(data):
         crc = ((crc << 8) & 0xFF00) ^ table[(crc >> 8) ^ byte]
     return crc
+
+
+def crc16_ccitt(data: bytes, init: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE of ``data`` (poly 0x1021, MSB-first, init 0xFFFF)."""
+    return _crc_hqx(data, init & 0xFFFF)
 
 
 class Crc16:

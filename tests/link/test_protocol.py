@@ -287,6 +287,178 @@ class TestDatagramMode:
         with pytest.raises(SessionError, match="stream links"):
             stream.receive_datagram(b"x")
 
+    def test_decrypt_payloads_false_emits_packet(self, key16):
+        # Regression: datagram mode used to decrypt inline regardless of
+        # decrypt_payloads=False, breaking the worker-pool offload hatch
+        # on datagram transports.
+        initiator, responder = self.pair(key16, decrypt_payloads=False)
+        initiator.send_payload(b"offloaded")
+        [datagram] = initiator.datagrams_to_send()
+        [event] = responder.receive_datagram(datagram)
+        assert isinstance(event, PacketReceived)
+        # bytes, not a view: the event crosses pickle boundaries.
+        assert type(event.packet) is bytes
+        assert responder.session.decrypt(event.packet) == b"offloaded"
+
+    def test_decrypt_payloads_false_still_drops_unframeable(self, key16):
+        initiator, responder = self.pair(key16, decrypt_payloads=False)
+        assert responder.receive_datagram(b"not a frame") == []
+        assert responder.datagrams_dropped == 1
+        assert responder.state == OPEN
+
+    def test_decoder_reused_across_datagrams(self, key16):
+        # Regression: each datagram used to get a fresh FrameDecoder,
+        # losing the skip accounting and reallocating on the hot path.
+        initiator, responder = self.pair(key16)
+        decoder = responder._decoder
+        initiator.send_payload(b"one")
+        [datagram] = initiator.datagrams_to_send()
+        responder.receive_datagram(datagram)
+        assert responder._decoder is decoder
+
+    def test_drop_accounting_survives_decoder_reuse(self, key16):
+        initiator, responder = self.pair(key16)
+        junk_first = b"\xde\xad\xbe\xef garbage"
+        junk_second = b"MH"  # a bare magic prefix: unframeable too
+        assert responder.receive_datagram(junk_first) == []
+        assert responder.receive_datagram(junk_second) == []
+        assert responder.datagrams_dropped == 2
+        skipped = responder._decoder.bytes_skipped
+        assert skipped == len(junk_first) + len(junk_second)
+        # The reused decoder is clean: a valid datagram still decodes,
+        # and the cumulative skip count is undisturbed by success.
+        initiator.send_payload(b"still fine")
+        [datagram] = initiator.datagrams_to_send()
+        assert responder.receive_datagram(datagram) == [
+            PayloadReceived(b"still fine", 0)
+        ]
+        assert responder._decoder.bytes_skipped == skipped
+        assert responder.datagrams_dropped == 2
+
+    def test_two_frames_in_one_datagram_dropped_with_accounting(self, key16):
+        initiator, responder = self.pair(key16)
+        initiator.send_payload(b"a")
+        initiator.send_payload(b"b")
+        two = b"".join(initiator.datagrams_to_send())
+        assert responder.receive_datagram(two) == []
+        assert responder.datagrams_dropped == 1
+        # Neither frame bled into the next receive: the decoder reset.
+        initiator.send_payload(b"c")
+        [datagram] = initiator.datagrams_to_send()
+        assert responder.receive_datagram(datagram) == [
+            PayloadReceived(b"c", 2)
+        ]
+
+
+class TestBatchedReceive:
+    """The stream hot path: bursts decrypt through Session.decrypt_batch."""
+
+    def test_burst_matches_per_frame_delivery(self, key16):
+        pair = handshaken(key16)
+        payloads = [b"burst %d" % i for i in range(6)]
+        for payload in payloads:
+            pair.initiator.send_payload(payload)
+        burst = pair.initiator.data_to_send()
+        events = pair.responder.receive_data(burst)
+        assert events == [PayloadReceived(p, i)
+                          for i, p in enumerate(payloads)]
+
+    def test_burst_one_byte_at_a_time(self, key16):
+        pair = handshaken(key16)
+        payloads = [b"drip %d" % i for i in range(3)]
+        for payload in payloads:
+            pair.initiator.send_payload(payload)
+        burst = pair.initiator.data_to_send()
+        events = []
+        for i in range(len(burst)):
+            events.extend(pair.responder.receive_data(burst[i:i + 1]))
+        assert events == [PayloadReceived(p, i)
+                          for i, p in enumerate(payloads)]
+
+    def test_damage_mid_burst_keeps_accepted_prefix(self, key16):
+        pair = handshaken(key16)
+        for i in range(3):
+            pair.initiator.send_payload(b"pkt %d" % i)
+        packets = []
+        # Collect the three individual packets for surgical damage.
+        from repro.core.stream import split_packets
+        packets = split_packets(pair.initiator.data_to_send())
+        mangled = packets[1][:-1] + bytes([packets[1][-1] ^ 0xFF])
+        events = pair.responder.receive_data(
+            packets[0] + mangled + packets[2])
+        assert events[0] == PayloadReceived(b"pkt 0", 0)
+        assert isinstance(events[1], ProtocolError)
+        assert len(events) == 2  # nothing after the failure
+        assert pair.responder.state == FAILED
+
+    def test_replay_mid_burst_keeps_accepted_prefix(self, key16):
+        pair = handshaken(key16)
+        pair.initiator.send_payload(b"first")
+        pair.initiator.send_payload(b"second")
+        from repro.core.stream import split_packets
+        packets = split_packets(pair.initiator.data_to_send())
+        events = pair.responder.receive_data(
+            packets[0] + packets[1] + packets[0])
+        assert events[:2] == [PayloadReceived(b"first", 0),
+                              PayloadReceived(b"second", 1)]
+        assert isinstance(events[2], ProtocolError)
+        assert isinstance(events[2].error, ReplayError)
+
+    def test_mixed_hello_and_packets_in_one_chunk(self, key16):
+        # The responder's first chunk can carry the hello plus payloads
+        # that rode in behind it; the batch path must not touch the
+        # hello and must decrypt the run that follows.
+        initiator = LinkProtocol(key16, "initiator", session_id=SID)
+        responder = LinkProtocol(key16, "responder")
+        hello = initiator.data_to_send()
+        # Pre-open the initiator's view of the link via a twin pair to
+        # mint valid packets for the same session id and keys.
+        twin = LinkPair(key16, session_id=SID)
+        twin.handshake()
+        twin.initiator.send_payload(b"rode along")
+        chunk = hello + twin.initiator.data_to_send()
+        events = responder.receive_data(chunk)
+        assert [type(e) for e in events] == [HandshakeComplete,
+                                             PayloadReceived]
+        assert events[1].payload == b"rode along"
+
+
+class TestAfterCloseAccounting:
+    """Bytes past the peer's clean EOF are dropped *with* accounting."""
+
+    def test_bytes_after_close_counted(self, key16):
+        pair = handshaken(key16)
+        pair.initiator.send_payload(b"late")
+        late = pair.initiator.data_to_send()
+        assert pair.responder.receive_eof() == [LinkClosed()]
+        assert pair.responder.receive_data(late) == []
+        assert pair.responder.bytes_after_close == len(late)
+        assert pair.responder.receive_data(b"more") == []
+        assert pair.responder.bytes_after_close == len(late) + 4
+        # The link is still half-open: the local send side works.
+        pair.responder.send_payload(b"reply out")
+
+    def test_after_close_obs_counter_and_log(self, key16, caplog):
+        import logging
+
+        from repro.obs import core as obs
+
+        registry = obs.ObsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            # Instruments bind at construction: build the pair while the
+            # live registry is installed.
+            pair = handshaken(key16)
+            pair.responder.receive_eof()
+            with caplog.at_level(logging.WARNING, logger="repro.link"):
+                pair.responder.receive_data(b"zombie bytes")
+        finally:
+            obs.set_registry(previous if previous.enabled else None)
+        counter = registry.counter("repro_link_drops_total",
+                                   reason="after-close")
+        assert counter.value == 1
+        assert "after_close_drop" in caplog.text
+
 
 class TestCodecBinding:
     def test_codec_link_carries_policy(self, key16):

@@ -196,3 +196,81 @@ class TestResync:
         decoder = FrameDecoder(resync=True)
         frames = decoder.feed(bytes(damaged) + packets[1])
         assert [f.raw for f in frames] == [packets[1]]
+
+
+class TestZeroCopy:
+    """The memoryview framing contract: no copies, durable views."""
+
+    def test_adopted_chunk_is_not_copied(self, key16):
+        # With nothing pending, feed() adopts the chunk as the owning
+        # buffer outright: the frames are views *into the caller's
+        # bytes object*, no intermediate buffer exists at all.
+        packets, stream = packet_stream(key16, 3)
+        frames = FrameDecoder().feed(stream)
+        assert [f.raw for f in frames] == packets
+        for frame in frames:
+            assert isinstance(frame.raw, memoryview)
+            assert frame.raw.obj is stream
+
+    def test_one_owner_per_drain(self, key16):
+        packets, stream = packet_stream(key16, 4)
+        frames = FrameDecoder().feed(stream)
+        owners = {id(f.raw.obj) for f in frames}
+        assert len(owners) == 1
+
+    def test_byte_dribble_views_stay_correct(self, key16):
+        # 1-byte chunks force a compaction per feed; every emitted view
+        # must still hold exactly its packet's bytes at the end.
+        packets, stream = packet_stream(key16, 4)
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(stream)):
+            frames.extend(decoder.feed(stream[i:i + 1]))
+        assert decoder.pending == 0
+        assert [bytes(f.raw) for f in frames] == packets
+
+    def test_held_frame_survives_later_compaction(self, key16):
+        # The aliasing hazard: a consumer keeps frame 0 while the
+        # decoder keeps compacting for later chunks.  Owners are
+        # replaced, never mutated, so the held view must stay intact.
+        packets, stream = packet_stream(key16, 3)
+        decoder = FrameDecoder()
+        split = len(packets[0]) + 5  # packet 0 + a partial packet 1
+        held = decoder.feed(stream[:split])[0]
+        assert decoder.pending == 5
+        later = []
+        for i in range(split, len(stream)):  # dribble: compacts each feed
+            later.extend(decoder.feed(stream[i:i + 1]))
+        assert bytes(held.raw) == packets[0]
+        assert [bytes(f.raw) for f in later] == packets[1:]
+
+    def test_resync_emits_views(self, key16):
+        packets, _ = packet_stream(key16, 2)
+        decoder = FrameDecoder(resync=True)
+        frames = decoder.feed(b"\xde\xad" + packets[0] + b"!?" + packets[1])
+        assert [bytes(f.raw) for f in frames] == packets
+        assert all(isinstance(f.raw, memoryview) for f in frames)
+        assert decoder.bytes_skipped == 4
+
+    def test_reset_drops_pending_without_counting(self, key16):
+        _, stream = packet_stream(key16, 1)
+        decoder = FrameDecoder()
+        decoder.feed(stream[:-3])
+        assert decoder.pending > 0
+        decoder.reset()
+        assert decoder.pending == 0
+        assert decoder.bytes_skipped == 0
+        decoder.finish()  # clean state: EOF is legal again
+
+    def test_reset_count_skipped_accounts_pending(self, key16):
+        packets, stream = packet_stream(key16, 1)
+        decoder = FrameDecoder(resync=True)
+        decoder.feed(stream[:-3])
+        dropped = decoder.pending
+        decoder.reset(count_skipped=True)
+        assert decoder.bytes_skipped == dropped
+        # Cumulative counters survive reset: the next stream adds on.
+        frames = decoder.feed(stream)
+        assert [f.raw for f in frames] == packets
+        assert decoder.bytes_skipped == dropped
+        assert decoder.frames_decoded == 1
