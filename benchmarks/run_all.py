@@ -1,12 +1,13 @@
 """Unified benchmark harness — one command, one machine-readable artefact.
 
-Runs the four benchmark families (core engines, fast path, sharded
-parallel pipeline, secure link) under a single timing convention and
-writes ``benchmarks/_artifacts/BENCH_pipeline.json``: MB/s per stage,
-speedups against the reference engine and against the single-worker
-fast path, and the worker scaling curve.  CI uploads the file as an
-artifact on every run, so the performance trajectory accumulates PR
-over PR instead of living in scrollback.
+Runs the benchmark families (core engines, fast path, sharded parallel
+pipeline, secure link, hostile-network scenario battery) under a single
+timing convention and writes
+``benchmarks/_artifacts/BENCH_pipeline.json``: MB/s per stage, speedups
+against the reference engine and against the single-worker fast path,
+the worker scaling curve, and the scenario reconciliation ledgers.  CI
+uploads the file as an artifact on every run, so the performance
+trajectory accumulates PR over PR instead of living in scrollback.
 
 Usage::
 
@@ -15,10 +16,10 @@ Usage::
     PYTHONPATH=src python benchmarks/run_all.py --output out.json
 
 Numbers are honest for the machine they ran on: ``cpu_count`` is
-recorded in the artefact, and the parallel section's speedup reflects
-whatever the host's cores actually delivered (on a single-core box a
-4-worker pool cannot beat one worker; the JSON will say so).  The
-pytest gate for multi-core expectations lives in
+recorded in the artefact, and below four CPUs the parallel section
+marks ``best_encrypt_speedup`` as ``"unproven"`` rather than recording
+a misleading sub-1x number (the raw scaling curve is still embedded).
+The pytest gate for multi-core expectations lives in
 ``benchmarks/bench_parallel.py`` and is skipped below four CPUs.
 """
 
@@ -117,7 +118,7 @@ def bench_parallel(payload_size: int, chunk_size: int,
             "decrypt_speedup_vs_single": t_inline_dec / t_dec,
         })
     best = max(curve, key=lambda row: row["encrypt_speedup_vs_single"])
-    return {
+    result = {
         "payload_bytes": payload_size,
         "chunk_bytes": chunk_size,
         "single_worker_encrypt_mb_s": _mbps(payload_size, t_inline),
@@ -127,6 +128,18 @@ def bench_parallel(payload_size: int, chunk_size: int,
         "best_workers": best["workers"],
         "wire_identical_across_workers": True,  # asserted above
     }
+    if (os.cpu_count() or 1) < 4:
+        # On a 1-2 core box a worker pool cannot demonstrate scaling; a
+        # recorded 0.99x would read as a regression when it is merely an
+        # untestable claim.  Say so instead of publishing a misleading
+        # number (the raw curve stays for the curious).
+        result["best_encrypt_speedup"] = "unproven"
+        result["scaling_note"] = (
+            f"host has {os.cpu_count()} CPU(s); multi-worker speedup "
+            f"cannot be demonstrated below 4 cores "
+            f"(benchmarks/bench_parallel.py gates it in CI)"
+        )
+    return result
 
 
 def bench_net(n_payloads: int, payload_size: int,
@@ -237,6 +250,54 @@ def bench_net(n_payloads: int, payload_size: int,
     return result
 
 
+def bench_scenario() -> dict:
+    """The hostile-network scenario battery, reconciled and summarised.
+
+    Runs :func:`repro.scenario.standard_matrix` plus the stream-mode
+    control and records, per scenario: the fault counts injected, the
+    delivery/drop ledgers, and whether every invariant reconciled.
+    These are correctness-under-fire results, not timings — committing
+    them alongside the perf numbers means a PR that breaks hostile-path
+    accounting shows up in the artefact diff.
+    """
+    from repro.scenario import (
+        run_scenario,
+        run_stream_control,
+        standard_matrix,
+    )
+
+    results = [run_scenario(entry) for entry in standard_matrix()]
+    control = run_stream_control()
+    summaries = []
+    for result in results:
+        ledgers = result.directions.values()
+        summaries.append({
+            "name": result.name,
+            "ok": result.ok,
+            "problems": list(result.problems),
+            "sent": sum(t["sent"] for t in ledgers),
+            "delivered": sum(t["delivered"] for t in ledgers),
+            "dropped": sum(sum(t["dropped"].values()) for t in ledgers),
+            "faults_injected": sum(
+                sum(count for kind, count in t["faults"].items()
+                    if kind != "deliver")
+                for t in ledgers if t["faults"] is not None),
+            "trace_digests": {
+                direction: t["trace_digest"]
+                for direction, t in result.directions.items()},
+        })
+    return {
+        "scenarios": summaries,
+        "stream_control": {
+            "ok": control["ok"],
+            "messages": control["messages"],
+            "wire_bytes": control["wire_bytes"],
+            "problems": control["problems"],
+        },
+        "all_ok": all(row["ok"] for row in summaries) and control["ok"],
+    }
+
+
 def run(quick: bool, output: pathlib.Path) -> dict:
     """Execute every section and write the JSON artefact."""
     if quick:
@@ -268,6 +329,13 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         obs.set_registry(previous)
     snapshot = registry.snapshot()
 
+    # The scenario battery installs its own registry per run, so it sits
+    # outside the obs snapshot above on purpose: its numbers are exact
+    # reconciliation ledgers, not throughput samples.
+    print("[run_all] scenario battery (hostile-network matrix)...",
+          flush=True)
+    scenario = bench_scenario()
+
     # How much of the raw cipher budget the link layer delivers as echo
     # goodput.  An echo round trip costs two encrypts and two decrypts
     # per payload byte, so with the fast engine's ~2x decrypt/encrypt
@@ -278,7 +346,7 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         net["linkpair_goodput_mb_s"] / core["fast_encrypt_mb_s"])
 
     report = {
-        "schema": 2,
+        "schema": 3,
         "generated_unix": int(time.time()),
         "quick": quick,
         "python": sys.version.split()[0],
@@ -286,6 +354,7 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         "core": core,
         "parallel": parallel,
         "net": net,
+        "scenario": scenario,
         "obs": snapshot,
     }
     output.parent.mkdir(exist_ok=True)
@@ -297,11 +366,17 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         print(f"{row['workers']} worker(s):      "
               f"{row['encrypt_mb_s']:8.2f} MB/s encrypt "
               f"({row['encrypt_speedup_vs_single']:.2f}x vs single)")
+    if parallel["best_encrypt_speedup"] == "unproven":
+        print(f"worker scaling:   unproven ({parallel['scaling_note']})")
     print(f"link goodput:     {net['echo_goodput_mb_s']:8.2f} MB/s echo "
           f"(sync {net['sync_goodput_mb_s']:.2f}, "
           f"memory {net['memory_goodput_mb_s']:.2f})")
     print(f"linkpair goodput: {net['linkpair_goodput_mb_s']:8.2f} MB/s "
           f"({net['goodput_over_core_ratio']:.3f} of fast-engine encrypt)")
+    n_ok = sum(1 for row in scenario["scenarios"] if row["ok"])
+    print(f"scenario battery: {n_ok}/{len(scenario['scenarios'])} scenarios "
+          f"reconciled, stream control "
+          f"{'ok' if scenario['stream_control']['ok'] else 'FAILED'}")
     n_series = sum(len(snapshot[kind])
                    for kind in ("counters", "gauges", "histograms"))
     print(f"obs snapshot:     {n_series} series embedded")

@@ -24,6 +24,10 @@ carry the full system:
   link metrics); see DESIGN.md sections 4–7;
 * :mod:`repro.parallel` — the sharded multi-worker encryption pipeline
   (chunked blobs, resilient process pools); see DESIGN.md section 9;
+* :mod:`repro.scenario` — deterministic load generation and fault
+  injection over the sans-IO link: replayable fault schedules, traffic
+  mixes, and a scenario runner that reconciles every injected fault
+  against the protocol's own drop accounting; see docs/scenarios.md;
 * :mod:`repro.obs` — opt-in observability (metrics, spans, structured
   logs, Prometheus / health endpoints); see docs/observability.md;
 * :mod:`repro.api` — the unified :class:`~repro.api.Codec` facade over
@@ -96,7 +100,7 @@ _EXPORTS = {
 #: side effect, so the lazy loader keeps every one of them working.
 _SUBMODULES = frozenset({
     "analysis", "api", "cli", "core", "fpga", "hdl", "link", "net",
-    "obs", "parallel", "rtl", "security", "stego", "util",
+    "obs", "parallel", "rtl", "scenario", "security", "stego", "util",
 })
 
 

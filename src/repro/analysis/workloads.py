@@ -10,7 +10,12 @@ runs are reproducible and the traffic mix is explicit.  Four flavours:
 * :func:`constant_bits` — the all-zero/all-one messages of the
   chosen-plaintext attack;
 * :func:`packet_payloads` — a deterministic mix of packet sizes shaped
-  like link traffic (IMIX-style) for the packet-layer benches.
+  like link traffic (IMIX-style) for the packet-layer benches;
+* :func:`small_payloads` — short chat/telemetry-sized payloads for
+  high-packet-count runs (the scenario soaks);
+* :func:`burst_cycles` — bursty traffic: dense payload bursts separated
+  by idle cycles, the on/off shape of interactive links (used by
+  :class:`repro.scenario.TrafficMix`).
 """
 
 from __future__ import annotations
@@ -18,7 +23,8 @@ from __future__ import annotations
 from repro.util.bits import bytes_to_bits
 from repro.util.rng import make_rng, random_bytes
 
-__all__ = ["message_bits", "ascii_text", "constant_bits", "packet_payloads"]
+__all__ = ["message_bits", "ascii_text", "constant_bits", "packet_payloads",
+           "small_payloads", "burst_cycles"]
 
 _WORDS = (
     "packet", "cipher", "vector", "hiding", "random", "stream", "secure",
@@ -69,6 +75,40 @@ def packet_payloads(n_packets: int, seed: int = 1) -> list[bytes]:
         size = sizes[rng.randrange(len(sizes))]
         payloads.append(random_bytes(seed + 1000 + i, size))
     return payloads
+
+
+def small_payloads(n_packets: int, seed: int = 1, lo: int = 8,
+                   hi: int = 64) -> list[bytes]:
+    """``n_packets`` short payloads of ``lo``..``hi`` bytes (inclusive).
+
+    The chat/telemetry end of the traffic spectrum: many tiny packets,
+    per-packet overhead dominant — the shape the scenario soak runs use
+    to cross many rekey epochs cheaply.
+    """
+    if n_packets < 0:
+        raise ValueError(f"n_packets must be non-negative, got {n_packets}")
+    if not 0 < lo <= hi:
+        raise ValueError(f"need 0 < lo <= hi, got lo={lo} hi={hi}")
+    rng = make_rng(seed)
+    return [random_bytes(seed + 2000 + i, lo + rng.randrange(hi - lo + 1))
+            for i in range(n_packets)]
+
+
+def burst_cycles(n_bursts: int, burst_len: int, seed: int = 1) -> list[list[bytes]]:
+    """Bursty traffic: ``n_bursts`` dense bursts of IMIX payloads.
+
+    Each inner list is one burst whose payloads are meant to be sent
+    back-to-back (one transport round); the gaps *between* bursts are
+    the idle cycles.  Deterministic in ``seed``, like every generator
+    here.
+    """
+    if n_bursts < 0:
+        raise ValueError(f"n_bursts must be non-negative, got {n_bursts}")
+    if burst_len < 1:
+        raise ValueError(f"burst_len must be >= 1, got {burst_len}")
+    payloads = packet_payloads(n_bursts * burst_len, seed)
+    return [payloads[i * burst_len:(i + 1) * burst_len]
+            for i in range(n_bursts)]
 
 
 def bits_of_text(n_bytes: int, seed: int = 1) -> list[int]:

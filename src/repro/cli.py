@@ -11,7 +11,10 @@ Subcommands map one-to-one onto the library's public surface:
 * ``table1`` — print the Table 1 / Figure 9 reproduction;
 * ``serve`` — run a secure-link echo server (``repro.net``);
 * ``send`` — stream a file to a ``serve`` peer and verify the echoes;
-* ``stats`` — fetch ``/metrics`` from a ``--metrics-port`` endpoint.
+* ``stats`` — fetch ``/metrics`` from a ``--metrics-port`` endpoint;
+* ``scenario`` — run the hostile-network scenario battery
+  (:mod:`repro.scenario`): seeded fault schedules against the sans-IO
+  link with exact drop reconciliation; exits 1 if any invariant fails.
 
 ``serve`` and ``send`` accept ``--metrics-port N`` (TCP transport only;
 ``0`` binds a free port): the command enables the :mod:`repro.obs`
@@ -200,6 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="smallest payload (bytes) offloaded to workers")
     add_metrics_flag(send)
     send.add_argument("input")
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run the hostile-network scenario battery with exact "
+             "fault/drop reconciliation")
+    scenario.add_argument("--list", action="store_true",
+                          help="list the committed scenarios and exit")
+    scenario.add_argument("--only", metavar="NAME", default=None,
+                          help="run a single scenario by name")
+    scenario.add_argument("--transports", action="store_true",
+                          help="also run the memory-vs-UDP transport "
+                               "matrix (opens loopback sockets)")
+    scenario.add_argument("--json", action="store_true",
+                          help="emit the full result document as JSON")
 
     stats = sub.add_parser(
         "stats", help="fetch /metrics from a running --metrics-port server")
@@ -502,6 +519,62 @@ def _run(args, out) -> int:
 
         with _obs_installed(registry):
             return asyncio.run(_send())
+
+    if args.command == "scenario":
+        import json
+
+        from repro.scenario import (
+            run_scenario,
+            run_stream_control,
+            standard_matrix,
+        )
+
+        scenarios = standard_matrix()
+        if args.list:
+            for entry in scenarios:
+                out.write(f"{entry.name}\n")
+            return 0
+        if args.only is not None:
+            scenarios = [entry for entry in scenarios
+                         if entry.name == args.only]
+            if not scenarios:
+                raise ValueError(
+                    f"unknown scenario {args.only!r} "
+                    f"(repro-mhhea scenario --list)"
+                )
+        results = [run_scenario(entry) for entry in scenarios]
+        document = {"scenarios": [result.to_dict() for result in results]}
+        ok = all(result.ok for result in results)
+        if args.only is None:
+            control = run_stream_control()
+            document["stream_control"] = control
+            ok = ok and control["ok"]
+        if args.transports:
+            from repro.scenario.udp import run_transport_matrix
+
+            matrix = run_transport_matrix()
+            document["transport_matrix"] = matrix
+            ok = ok and matrix["ok"]
+        if args.json:
+            out.write(json.dumps(document, indent=2) + "\n")
+        else:
+            for result in results:
+                totals = result.directions
+                delivered = sum(t["delivered"] for t in totals.values())
+                sent = sum(t["sent"] for t in totals.values())
+                status = "ok" if result.ok else "FAIL"
+                out.write(f"{result.name:<16} {status:<4} "
+                          f"{delivered}/{sent} delivered\n")
+                for problem in result.problems:
+                    out.write(f"  problem: {problem}\n")
+            for name in ("stream_control", "transport_matrix"):
+                section = document.get(name)
+                if section is not None:
+                    status = "ok" if section["ok"] else "FAIL"
+                    out.write(f"{name:<16} {status}\n")
+                    for problem in section["problems"]:
+                        out.write(f"  problem: {problem}\n")
+        return 0 if ok else 1
 
     if args.command == "stats":
         from repro.obs.http import http_get

@@ -58,6 +58,13 @@ class LinkPair:
     :meth:`handshake` instead of passing silently.  ``session_id``
     pins the connection namespace for deterministic tests and defaults
     to a random one.
+
+    ``i2r_filter`` / ``r2i_filter`` are per-direction byte filters
+    applied to each chunk as it crosses the pair in :meth:`pump`:
+    ``filter(chunk) -> bytes``.  Return the chunk unchanged to tap the
+    wire (the scenario harness captures bytes this way), return
+    modified bytes to inject deliberate stream damage, or ``b""`` to
+    swallow the chunk.  ``None`` (the default) moves bytes untouched.
     """
 
     def __init__(self, root, config: SessionConfig | None = None,
@@ -65,7 +72,8 @@ class LinkPair:
                  responder_root=None,
                  responder_config: SessionConfig | None = None,
                  initiator_metrics: SessionMetrics | None = None,
-                 responder_metrics: SessionMetrics | None = None):
+                 responder_metrics: SessionMetrics | None = None,
+                 i2r_filter=None, r2i_filter=None):
         self.initiator = LinkProtocol(root, "initiator", config=config,
                                       session_id=session_id,
                                       metrics=initiator_metrics)
@@ -74,6 +82,8 @@ class LinkPair:
         self.responder = LinkProtocol(responder_root, "responder",
                                       config=responder_config,
                                       metrics=responder_metrics)
+        self._i2r_filter = i2r_filter
+        self._r2i_filter = r2i_filter
 
     def pump(self) -> tuple[list[LinkEvent], list[LinkEvent]]:
         """Shuttle queued bytes both ways until neither end has output.
@@ -91,9 +101,13 @@ class LinkPair:
         responder_events: list[LinkEvent] = []
         while self.initiator.bytes_to_send or self.responder.bytes_to_send:
             data = self.initiator.data_to_send()
+            if data and self._i2r_filter is not None:
+                data = self._i2r_filter(data)
             if data:
                 responder_events.extend(self.responder.receive_data(data))
             data = self.responder.data_to_send()
+            if data and self._r2i_filter is not None:
+                data = self._r2i_filter(data)
             if data:
                 initiator_events.extend(self.initiator.receive_data(data))
         return initiator_events, responder_events

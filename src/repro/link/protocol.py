@@ -234,6 +234,16 @@ class LinkProtocol:
         """Outbound bytes queued and not yet drained (flow signal)."""
         return self._out_size
 
+    @property
+    def bytes_skipped(self) -> int:
+        """Inbound bytes the framing layer discarded (cumulative).
+
+        In datagram mode these are the bytes of unframeable datagrams
+        (truncated, corrupted beyond the magic, or junk); in stream mode
+        with resync they are the junk scanned past.  The scenario
+        harness reconciles this against its injected-fault ledger."""
+        return self._decoder.bytes_skipped
+
     def _hello(self) -> Hello:
         return Hello(
             algorithm=self._config.algorithm,

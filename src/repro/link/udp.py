@@ -185,10 +185,20 @@ class UdpLinkServer:
 
         with UdpLinkServer(root_key, port=0) as server:
             ...  # server.port is the bound UDP port
+
+    ``inbound_faults`` is the scenario-harness injection hook: a
+    callable ``(datagram: bytes) -> list[bytes]`` applied to every
+    inbound *data* datagram before the protocol sees it — return ``[]``
+    to lose it, several elements to duplicate, modified bytes to
+    corrupt (:meth:`repro.scenario.FaultSchedule.filter` has exactly
+    this shape).  Hello datagrams bypass the hook so the handshake
+    stays deterministic, mirroring the in-memory scenario harness where
+    fault schedules start at the first data datagram.
     """
 
     def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
-                 config: SessionConfig | None = None, handler=None):
+                 config: SessionConfig | None = None, handler=None,
+                 inbound_faults=None):
         root, config = _resolve_root(root, config)
         self._root = root
         self._host = host
@@ -197,6 +207,7 @@ class UdpLinkServer:
         self._config.validate(root.params.width)
         _check_inline(self._config, "udp")
         self._handler = handler if handler is not None else _echo
+        self._inbound_faults = inbound_faults
         self._sock: socket.socket | None = None
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -222,6 +233,15 @@ class UdpLinkServer:
         if self._sock is None:
             raise RuntimeError("server not started")
         return self._sock.getsockname()[1]
+
+    @property
+    def peer_links(self) -> tuple:
+        """The live per-peer protocol machines, in no particular order.
+
+        Read-only introspection for harnesses and tests that reconcile
+        per-peer drop counters (``datagrams_dropped``,
+        ``bytes_skipped``) against an external ledger."""
+        return tuple(self._peers.values())
 
     def serve_forever(self) -> None:
         """Block the calling thread until :meth:`close` (for CLI use)."""
@@ -300,6 +320,14 @@ class UdpLinkServer:
                 self._peers.pop(addr, None)
 
     def _serve_datagram(self, datagram: bytes, addr: tuple) -> None:
+        if (self._inbound_faults is not None
+                and not datagram.startswith(HELLO_MAGIC)):
+            for mutated in self._inbound_faults(datagram):
+                self._handle_datagram(bytes(mutated), addr)
+            return
+        self._handle_datagram(datagram, addr)
+
+    def _handle_datagram(self, datagram: bytes, addr: tuple) -> None:
         proto = self._protocol_for(addr, datagram)
         if proto is None:
             return

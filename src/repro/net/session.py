@@ -385,13 +385,17 @@ class _RecvHalf:
         """Highest sequence number accepted so far (-1 before any)."""
         return self._last_seq
 
-    def _admit(self, packet: bytes) -> tuple[int, PacketHeader]:
-        """Header checks and replay gate; returns sequence and header.
+    def _admit(self, packet: bytes) -> tuple[int, PacketHeader, Key]:
+        """Header checks and replay gate; returns sequence, header, key.
 
         Runs *before* any decryption work so damaged, replayed or
-        misconfigured packets are rejected cheaply, and ratchets the
-        receive key to the packet's epoch.  Does not commit the replay
-        window — that happens only after decryption succeeds.
+        misconfigured packets are rejected cheaply.  The returned key is
+        derived for the *packet's* epoch but not stored: no receiver
+        state — replay window, epoch, cached key — moves until the
+        packet authenticates in :meth:`_commit`.  (A corrupted nonce can
+        spell an arbitrary epoch; committing its key pre-verification
+        would let one flipped bit ratchet the receiver's state around
+        and poison the rekey counters with wild excursions.)
         """
         header = PacketHeader.unpack(packet)
         width = self._root.params.width
@@ -411,31 +415,40 @@ class _RecvHalf:
                 f" — replayed or reordered packet"
             )
         epoch = seq // self._config.rekey_interval
+        key = self._key
         if epoch != self._epoch:
-            self._key = derive_epoch_key(self._root, self._session_id,
-                                         self._label, epoch)
+            key = derive_epoch_key(self._root, self._session_id,
+                                   self._label, epoch)
+        return seq, header, key
+
+    def _commit(self, seq: int, packet: bytes, payload: bytes,
+                key: Key) -> None:
+        """Advance replay window, epoch and key; account one packet.
+
+        Committed sequence numbers are strictly increasing, so the
+        committed epoch is monotone and ``rx.rekeys`` counts exactly the
+        epochs genuine traffic crossed — never a corrupted nonce's.
+        """
+        epoch = seq // self._config.rekey_interval
+        if epoch != self._epoch:
             self._metrics.record_rekey("rx", epoch - self._epoch)
             self._epoch = epoch
-        return seq, header
-
-    def _commit(self, seq: int, packet: bytes, payload: bytes) -> None:
-        """Advance the replay window and account one accepted packet."""
+            self._key = key
         gap = seq - self._last_seq - 1
         self._last_seq = seq
         self._metrics.record_rx(len(payload), len(packet), gap=gap)
 
     def decrypt(self, packet: bytes) -> bytes:
-        seq, _ = self._admit(packet)
+        seq, _, key = self._admit(packet)
         try:
-            payload = decrypt_packet(packet, self._key,
-                                     engine=self._backend)
+            payload = decrypt_packet(packet, key, engine=self._backend)
         except Exception:
             # Structural/CRC damage: count it, leave the replay window
             # untouched so a valid retransmission of this sequence number
             # is still acceptable.
             self._metrics.record_crc_failure()
             raise
-        self._commit(seq, packet, payload)
+        self._commit(seq, packet, payload, key)
         return payload
 
     def decrypt_batch(self, packets, accepted=None) -> list[bytes]:
@@ -463,15 +476,14 @@ class _RecvHalf:
         payloads: list[bytes] = []
         try:
             for packet in packets:
-                seq, header = self._admit(packet)
+                seq, header, key = self._admit(packet)
                 try:
                     _verify_parsed(packet, header)
-                    payload = _extract_verified(packet, header, self._key,
-                                                backend)
+                    payload = _extract_verified(packet, header, key, backend)
                 except Exception:
                     self._metrics.record_crc_failure()
                     raise
-                self._commit(seq, packet, payload)
+                self._commit(seq, packet, payload, key)
                 payloads.append(payload)
                 if accepted is not None:
                     accepted.append((payload, seq))
@@ -496,7 +508,7 @@ class _RecvHalf:
         serialised by the caller (the link's single reader coroutine
         does), or replay-window commits could interleave.
         """
-        seq, header = self._admit(packet)
+        seq, header, key = self._admit(packet)
         offload = (pool is not None
                    and header.n_bits // 8 >= self._config.parallel_threshold)
         try:
@@ -504,14 +516,13 @@ class _RecvHalf:
                 from repro.parallel.pool import decrypt_job
 
                 payload = await pool.run_async(
-                    decrypt_job, self._key, packet, self._config.engine)
+                    decrypt_job, key, packet, self._config.engine)
             else:
-                payload = decrypt_packet(packet, self._key,
-                                         engine=self._backend)
+                payload = decrypt_packet(packet, key, engine=self._backend)
         except Exception:
             self._metrics.record_crc_failure()
             raise
-        self._commit(seq, packet, payload)
+        self._commit(seq, packet, payload, key)
         return payload
 
 

@@ -1,0 +1,76 @@
+"""repro.scenario — deterministic load generation and fault injection.
+
+The scenario harness drives the sans-IO secure link
+(:mod:`repro.link`) through seeded hostile-network conditions and
+checks, after every run, that the protocol's own accounting reconciles
+*exactly* with the injected faults:
+
+* :class:`FaultSchedule` — replayable per-datagram loss / duplication /
+  corruption / truncation / delay processes (:mod:`repro.scenario.faults`);
+* :class:`TrafficMix` — deterministic duplex workload mixes grown from
+  :mod:`repro.analysis.workloads` (:mod:`repro.scenario.traffic`);
+* :class:`FaultyLink` / :func:`run_scenario` / :func:`standard_matrix`
+  — the datagram-mode harness with its independent mirror oracle
+  (:mod:`repro.scenario.runner`);
+* :func:`run_stream_control` — the fault-free stream-mode control run
+  with byte-exact wire capture;
+* :class:`CoverCodec` — the stego cover-traffic transport framing
+  (:mod:`repro.scenario.cover`);
+* :func:`run_transport_matrix` — the same schedule over in-memory and
+  real UDP transports, demanding identical results
+  (:mod:`repro.scenario.udp`; imported lazily, as it opens sockets).
+
+Everything except :mod:`repro.scenario.udp` is sans-IO — no sockets,
+no event loop — and stays inside the import closure policed by
+``tests/link/test_sans_io.py``.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.cover import CoverCodec
+from repro.scenario.faults import (
+    FAULT_KINDS,
+    Delivery,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.scenario.runner import (
+    FaultyLink,
+    ReferenceReceiver,
+    Scenario,
+    ScenarioResult,
+    SentDatagram,
+    run_scenario,
+    run_stream_control,
+    standard_matrix,
+)
+from repro.scenario.traffic import DIRECTIONS, TrafficMix
+
+__all__ = [
+    "FAULT_KINDS",
+    "DIRECTIONS",
+    "FaultEvent",
+    "Delivery",
+    "FaultSchedule",
+    "TrafficMix",
+    "CoverCodec",
+    "SentDatagram",
+    "ReferenceReceiver",
+    "FaultyLink",
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario",
+    "run_stream_control",
+    "standard_matrix",
+    "run_transport_matrix",
+]
+
+
+def __getattr__(name: str):
+    # PEP 562: the UDP matrix opens real sockets, so importing it
+    # eagerly would drag the socket module into the sans-IO closure.
+    if name == "run_transport_matrix":
+        from repro.scenario.udp import run_transport_matrix
+
+        return run_transport_matrix
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

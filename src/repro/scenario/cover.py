@@ -1,0 +1,138 @@
+"""Cover-traffic framing: link datagrams hidden in stego cover objects.
+
+The paper's steganographic mode (:mod:`repro.stego.cover`) hides message
+bits inside innocuous cover data.  :class:`CoverCodec` turns that into a
+*transport framing*: every secure-link wire datagram is embedded into a
+deterministic, per-frame cover blob, and what travels is the stego
+object — to an observer, a stream of cover-shaped byte blobs rather
+than ``MHEA``-framed ciphertext.
+
+Wire format of one cover frame (little-endian)::
+
+    b"COVR" | n_bits u32 | n_vectors u32 | data_len u32 | stego bytes
+
+The receiver rebuilds the :class:`~repro.stego.cover.StegoObject` and
+extracts the original datagram with the stego key alone.  Anything that
+does not parse back — truncated frames, corrupted headers, stego bytes
+damaged beyond extraction — is *undecodable* and counted, never raised:
+on a hostile network the cover layer drops what it cannot read and the
+inner link protocol's replay window handles the resulting loss, exactly
+like any other datagram transport.  Damage that survives the cover
+layer (e.g. a flipped bit inside the used stego area) surfaces as a
+tampered inner datagram, which the link protocol then drops with its
+own truthful accounting — the two layers compose.
+
+Cover material is drawn deterministically per frame from a seed, sized
+to the *guaranteed* capacity floor of :func:`repro.stego.cover.cover_capacity_bits`
+(one message bit per cover word), so embedding can never raise
+:class:`~repro.core.errors.CoverExhaustedError` mid-run.
+
+Sans-IO like the rest of the scenario core: no sockets, no loop.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.errors import ReproError
+from repro.core.key import Key
+from repro.core.params import PAPER_PARAMS, VectorParams
+from repro.stego.cover import StegoObject, embed_in_cover, extract_from_cover
+from repro.util.rng import random_bytes
+
+__all__ = ["COVER_MAGIC", "COVER_HEADER", "CoverCodec"]
+
+#: Magic leading every cover frame on the wire.
+COVER_MAGIC = b"COVR"
+
+#: magic, n_bits, n_vectors, stego byte length (little-endian).
+COVER_HEADER = struct.Struct("<4sIII")
+
+
+class CoverCodec:
+    """Wrap/unwrap link datagrams as stego cover frames (one direction).
+
+    Parameters
+    ----------
+    stego_key:
+        The :class:`~repro.core.key.Key` both ends share for embedding
+        and extraction (independent of the link's session keys; the
+        link's own root key works fine for tests).
+    cover_seed:
+        Seeds the deterministic per-frame cover material.  Both ends
+        only need the *stego key* to agree — the cover bytes travel in
+        the frame — but a fixed seed keeps runs replayable.
+    params:
+        Vector geometry of the stego embedding (the paper's 16-bit
+        configuration by default).
+    """
+
+    def __init__(self, stego_key: Key, cover_seed: int = 2005,
+                 params: VectorParams = PAPER_PARAMS):
+        self._key = stego_key
+        self._params = params
+        self._seed = cover_seed
+        self._frame_index = 0
+        #: Frames wrapped so far (also the per-frame cover seed offset).
+        self.frames_wrapped = 0
+        #: Inbound frames dropped because they would not parse back.
+        self.undecodable = 0
+
+    def wrap(self, datagram: bytes) -> bytes:
+        """Embed one wire datagram into a fresh cover; return the frame."""
+        index = self._frame_index
+        self._frame_index = index + 1
+        step = self._params.width // 8
+        # Capacity floor: one bit per cover word, so n_bits words always
+        # fit (plus one spare word so zero-length datagrams stay legal).
+        n_words = len(datagram) * 8 + 1
+        cover = random_bytes(self._seed + index, n_words * step)
+        stego = embed_in_cover(datagram, cover, self._key, self._params)
+        self.frames_wrapped += 1
+        return COVER_HEADER.pack(COVER_MAGIC, stego.n_bits, stego.n_vectors,
+                                 len(stego.data)) + stego.data
+
+    def unwrap(self, frame: bytes) -> bytes | None:
+        """Extract the datagram from one cover frame, or ``None``.
+
+        ``None`` means the frame is undecodable — malformed header,
+        inconsistent lengths, or stego payload damaged beyond
+        extraction — and :attr:`undecodable` was incremented.  A frame
+        that extracts to *wrong* bytes (damage inside the used stego
+        area that still parses) is returned as-is; the inner link
+        protocol's own framing/CRC accounting catches it.
+        """
+        step = self._params.width // 8
+        header_size = COVER_HEADER.size
+        try:
+            if len(frame) < header_size:
+                raise ValueError("cover frame shorter than its header")
+            magic, n_bits, n_vectors, data_len = COVER_HEADER.unpack_from(
+                frame)
+            if magic != COVER_MAGIC:
+                raise ValueError(f"bad cover magic {magic!r}")
+            if len(frame) - header_size != data_len:
+                raise ValueError(
+                    f"cover frame advertises {data_len} stego bytes, "
+                    f"carries {len(frame) - header_size}"
+                )
+            if n_vectors * step > data_len:
+                raise ValueError(
+                    f"{n_vectors} vectors do not fit in {data_len} bytes"
+                )
+            if n_bits % 8 != 0 or n_vectors > n_bits + 1:
+                raise ValueError(
+                    f"inconsistent stego geometry: {n_bits} bits, "
+                    f"{n_vectors} vectors"
+                )
+            stego = StegoObject(data=frame[header_size:], n_bits=n_bits,
+                                n_vectors=n_vectors,
+                                width=self._params.width)
+            return extract_from_cover(stego, self._key, self._params)
+        except (ReproError, ValueError, struct.error):
+            self.undecodable += 1
+            return None
+
+    def __repr__(self) -> str:
+        return (f"<CoverCodec wrapped={self.frames_wrapped} "
+                f"undecodable={self.undecodable}>")

@@ -1,0 +1,262 @@
+"""Seeded, replayable hostile-network fault schedules.
+
+A :class:`FaultSchedule` decides the fate of every datagram that passes
+through it — deliver, lose, duplicate, corrupt, truncate or delay — from
+nothing but a seed and a set of rates.  The same seed applied to the
+same datagram sequence always produces the identical fate sequence and
+the identical byte-level tampering, which is what makes hostile-network
+runs *replayable*: a red scenario in CI reruns locally, byte for byte,
+from its seed alone.
+
+Every decision is recorded as a :class:`FaultEvent` in :attr:`FaultSchedule.trace`,
+and every emitted datagram is wrapped in a :class:`Delivery` that
+remembers which original it came from and whether its bytes were
+tampered with.  The scenario runner (:mod:`repro.scenario.runner`)
+reconciles these traces exactly against the protocol's own drop
+counters (``datagrams_dropped``, ``bytes_skipped``) — injected faults
+and observed drops must account for each other to the last byte.
+
+This module is part of the sans-IO scenario core: it imports no
+asyncio, socket or event-loop machinery (enforced by
+``tests/link/test_sans_io.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import SplitMix64
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "Delivery",
+    "FaultSchedule",
+]
+
+#: Every fate a schedule can assign to one datagram, in decision order.
+FAULT_KINDS = ("loss", "duplicate", "corrupt", "truncate", "delay",
+               "deliver")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fate decision in a schedule's replayable trace.
+
+    ``detail`` pins the byte-level specifics so two runs from the same
+    seed can be compared event-for-event: corrupted offsets and XOR
+    masks for ``corrupt``, the kept length for ``truncate``, the release
+    index for ``delay``.
+    """
+
+    index: int
+    """Zero-based position of the datagram in this schedule's stream."""
+
+    kind: str
+    """One of :data:`FAULT_KINDS`."""
+
+    size: int
+    """Original datagram size in bytes."""
+
+    detail: tuple = ()
+    """Fate-specific parameters (offsets, masks, lengths, indices)."""
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One datagram as it leaves the schedule towards the receiver."""
+
+    origin: int
+    """``FaultEvent.index`` of the original datagram this copy came from."""
+
+    data: bytes
+    """The bytes that actually travel (possibly tampered)."""
+
+    tampered: bool
+    """True when ``data`` differs from the original (corrupt/truncate)."""
+
+
+class FaultSchedule:
+    """A deterministic per-datagram fault process over one direction.
+
+    Parameters
+    ----------
+    seed:
+        The replay seed.  Two schedules built with the same seed and
+        rates assign identical fates to the n-th datagram, whatever its
+        content.
+    loss, duplicate, corrupt, truncate, delay:
+        Probability of each fate, decided by a single uniform draw per
+        datagram (mutually exclusive; their sum must not exceed 1; the
+        remainder is clean delivery).
+    delay_span:
+        A delayed datagram is held back and released after between 1 and
+        ``delay_span`` later datagrams have passed — the reordering the
+        replay window must then absorb.
+    max_flips:
+        ``corrupt`` XORs between 1 and ``max_flips`` bytes with non-zero
+        masks at seeded offsets.
+
+    Feed datagrams with :meth:`apply` (or :meth:`apply_all`); drain any
+    still-held delayed datagrams with :meth:`flush` at end of stream.
+    The schedule is single-use: to replay, build a new instance with
+    the same arguments (:meth:`replay` does exactly that).
+    """
+
+    def __init__(self, seed: int, *, loss: float = 0.0,
+                 duplicate: float = 0.0, corrupt: float = 0.0,
+                 truncate: float = 0.0, delay: float = 0.0,
+                 delay_span: int = 3, max_flips: int = 3):
+        rates = {"loss": loss, "duplicate": duplicate, "corrupt": corrupt,
+                 "truncate": truncate, "delay": delay}
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+        if sum(rates.values()) > 1.0:
+            raise ValueError(
+                f"fault rates sum to {sum(rates.values())}, over 1.0"
+            )
+        if delay_span < 1:
+            raise ValueError(f"delay_span must be >= 1, got {delay_span}")
+        if max_flips < 1:
+            raise ValueError(f"max_flips must be >= 1, got {max_flips}")
+        self.seed = seed
+        self.rates = rates
+        self.delay_span = delay_span
+        self.max_flips = max_flips
+        self.trace: list[FaultEvent] = []
+        self._rng = SplitMix64(seed)
+        self._index = 0
+        #: Held (release_after_index, Delivery) pairs, in decision order.
+        self._held: list[tuple[int, Delivery]] = []
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def counts(self) -> dict:
+        """Fate totals so far, one entry per :data:`FAULT_KINDS` kind."""
+        totals = {kind: 0 for kind in FAULT_KINDS}
+        for event in self.trace:
+            totals[event.kind] += 1
+        return totals
+
+    @property
+    def datagrams_seen(self) -> int:
+        """How many datagrams this schedule has decided fates for."""
+        return self._index
+
+    @property
+    def held(self) -> int:
+        """Delayed datagrams still waiting for release."""
+        return len(self._held)
+
+    def replay(self) -> "FaultSchedule":
+        """A fresh schedule with identical seed and rates (same fates)."""
+        return FaultSchedule(self.seed, delay_span=self.delay_span,
+                             max_flips=self.max_flips, **self.rates)
+
+    # -- the fault process ------------------------------------------------
+
+    def apply(self, datagram: bytes) -> list[Delivery]:
+        """Decide one datagram's fate; return what arrives *now*, in order.
+
+        The returned list holds zero or more :class:`Delivery` objects:
+        empty for a loss or a delay, two copies for a duplicate, one
+        (possibly tampered) copy otherwise — followed by any earlier
+        delayed datagrams whose release point has been reached.
+        """
+        index = self._index
+        self._index = index + 1
+        datagram = bytes(datagram)
+        event, out = self._decide(index, datagram)
+        self.trace.append(event)
+        out.extend(self._release(index))
+        return out
+
+    def apply_all(self, datagrams) -> list[Delivery]:
+        """:meth:`apply` each datagram; one flat arrival list, in order."""
+        arrivals: list[Delivery] = []
+        for datagram in datagrams:
+            arrivals.extend(self.apply(datagram))
+        return arrivals
+
+    def flush(self) -> list[Delivery]:
+        """Release every still-held delayed datagram (end of stream)."""
+        out = [delivery for _, delivery in self._held]
+        self._held.clear()
+        return out
+
+    def filter(self, datagram: bytes) -> list[bytes]:
+        """Adapter for transport injection hooks: raw bytes in, out.
+
+        :class:`~repro.link.udp.UdpLinkServer` (``inbound_faults=``) and
+        the :class:`~repro.link.memory.LinkPair` direction filters speak
+        plain byte sequences; this wraps :meth:`apply` for them.
+        """
+        return [delivery.data for delivery in self.apply(datagram)]
+
+    # -- internals --------------------------------------------------------
+
+    def _decide(self, index: int,
+                datagram: bytes) -> tuple[FaultEvent, list[Delivery]]:
+        draw = self._rng.uniform()
+        threshold = 0.0
+        fate = "deliver"
+        if datagram:  # empty datagrams always deliver (nothing to tamper)
+            for name in ("loss", "duplicate", "corrupt", "truncate",
+                         "delay"):
+                threshold += self.rates[name]
+                if draw < threshold:
+                    fate = name
+                    break
+        size = len(datagram)
+        clean = Delivery(index, datagram, tampered=False)
+        if fate == "loss":
+            return FaultEvent(index, "loss", size), []
+        if fate == "duplicate":
+            return FaultEvent(index, "duplicate", size), [clean, clean]
+        if fate == "corrupt":
+            tampered, detail = self._corrupt(datagram)
+            return (FaultEvent(index, "corrupt", size, detail),
+                    [Delivery(index, tampered, tampered=True)])
+        if fate == "truncate":
+            keep = self._rng.below(size)  # 0 .. size-1: always shorter
+            return (FaultEvent(index, "truncate", size, (keep,)),
+                    [Delivery(index, datagram[:keep], tampered=True)])
+        if fate == "delay":
+            release = index + 1 + self._rng.below(self.delay_span)
+            self._held.append((release, clean))
+            return FaultEvent(index, "delay", size, (release,)), []
+        return FaultEvent(index, "deliver", size), [clean]
+
+    def _corrupt(self, datagram: bytes) -> tuple[bytes, tuple]:
+        """Flip 1..max_flips bytes at seeded offsets with non-zero masks."""
+        n_flips = 1 + self._rng.below(self.max_flips)
+        out = bytearray(datagram)
+        detail = []
+        for _ in range(n_flips):
+            offset = self._rng.below(len(out))
+            mask = 1 + self._rng.below(255)
+            out[offset] ^= mask
+            detail.append((offset, mask))
+        if bytes(out) == datagram:
+            # Two flips on one offset can cancel; a "corrupt" fate must
+            # always actually change the bytes or drop accounting drifts.
+            out[0] ^= 0xFF
+            detail.append((0, 0xFF))
+        return bytes(out), tuple(detail)
+
+    def _release(self, index: int) -> list[Delivery]:
+        """Held datagrams whose release point ``index`` has reached."""
+        due = [delivery for release, delivery in self._held
+               if release <= index]
+        if due:
+            self._held = [(release, delivery)
+                          for release, delivery in self._held
+                          if release > index]
+        return due
+
+    def __repr__(self) -> str:
+        active = {name: rate for name, rate in self.rates.items() if rate}
+        return (f"<FaultSchedule seed={self.seed} rates={active} "
+                f"seen={self._index} held={len(self._held)}>")

@@ -1,0 +1,134 @@
+"""Replayable duplex traffic mixes for scenario runs.
+
+A :class:`TrafficMix` is a fully materialised, deterministic workload:
+a list of *rounds*, each round a list of ``(direction, payload)`` sends
+("``i2r``" initiator→responder, "``r2i``" responder→initiator).  One
+round maps to one transport exchange in the scenario runner — every
+payload in a round is queued before any bytes move, so a round is also
+the batching unit the link's hot path sees.
+
+The constructors grow the deterministic generators of
+:mod:`repro.analysis.workloads` into link-shaped mixes:
+
+* :meth:`TrafficMix.imix` — the classic 40/576/1500 IMIX packet mix,
+  one direction;
+* :meth:`TrafficMix.bursty` — dense bursts separated by idle rounds
+  (on/off interactive traffic);
+* :meth:`TrafficMix.duplex` — bidirectional: both ends send every
+  round, exercising both replay windows and both key ratchets;
+* :meth:`TrafficMix.soak` — thousands of tiny payloads for the
+  rekey-crossing soak runs.
+
+Same seed, same mix — the replayability contract every scenario
+invariant builds on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.workloads import (
+    burst_cycles,
+    packet_payloads,
+    small_payloads,
+)
+
+__all__ = ["DIRECTIONS", "TrafficMix"]
+
+#: The two simplex directions of one duplex link.
+DIRECTIONS = ("i2r", "r2i")
+
+
+class TrafficMix:
+    """A deterministic list of send rounds over one duplex link."""
+
+    def __init__(self, name: str, rounds: list):
+        for round_ in rounds:
+            for direction, payload in round_:
+                if direction not in DIRECTIONS:
+                    raise ValueError(
+                        f"direction must be one of {DIRECTIONS}, "
+                        f"got {direction!r}"
+                    )
+                if not isinstance(payload, (bytes, bytearray)):
+                    raise ValueError(
+                        f"payloads must be bytes, got {type(payload).__name__}"
+                    )
+        self.name = name
+        self.rounds = [[(direction, bytes(payload))
+                        for direction, payload in round_]
+                       for round_ in rounds]
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def imix(cls, n_packets: int, seed: int = 1,
+             direction: str = "i2r") -> "TrafficMix":
+        """IMIX-mix payloads (40/576/1500 bytes), one per round."""
+        payloads = packet_payloads(n_packets, seed)
+        return cls(f"imix-{n_packets}",
+                   [[(direction, payload)] for payload in payloads])
+
+    @classmethod
+    def bursty(cls, n_bursts: int, burst_len: int, seed: int = 1,
+               direction: str = "i2r") -> "TrafficMix":
+        """Dense IMIX bursts, each burst one round (idle between)."""
+        bursts = burst_cycles(n_bursts, burst_len, seed)
+        return cls(f"bursty-{n_bursts}x{burst_len}",
+                   [[(direction, payload) for payload in burst]
+                    for burst in bursts])
+
+    @classmethod
+    def duplex(cls, n_rounds: int, seed: int = 1) -> "TrafficMix":
+        """Both directions send one IMIX payload every round."""
+        i2r = packet_payloads(n_rounds, seed)
+        r2i = packet_payloads(n_rounds, seed + 1)
+        return cls(f"duplex-{n_rounds}",
+                   [[("i2r", a), ("r2i", b)] for a, b in zip(i2r, r2i)])
+
+    @classmethod
+    def soak(cls, n_messages: int, seed: int = 1, burst_len: int = 32,
+             duplex: bool = True) -> "TrafficMix":
+        """Many tiny payloads in bursts, optionally bidirectional.
+
+        Sized for rekey-epoch crossing: with a small
+        ``rekey_interval`` a few thousand messages cross several
+        epochs per direction in seconds of wall clock.
+        """
+        payloads = small_payloads(n_messages, seed)
+        rounds = []
+        for start in range(0, n_messages, burst_len):
+            burst = payloads[start:start + burst_len]
+            round_ = [("i2r", payload) for payload in burst]
+            if duplex:
+                round_.extend(
+                    ("r2i", payload)
+                    for payload in small_payloads(len(burst),
+                                                  seed + 7000 + start))
+            rounds.append(round_)
+        return cls(f"soak-{n_messages}", rounds)
+
+    # -- introspection ----------------------------------------------------
+
+    def payloads(self, direction: str) -> list[bytes]:
+        """Every payload sent on ``direction``, in send order."""
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, got {direction!r}"
+            )
+        return [payload for round_ in self.rounds
+                for sent_direction, payload in round_
+                if sent_direction == direction]
+
+    @property
+    def total_messages(self) -> int:
+        """Payload count across both directions."""
+        return sum(len(round_) for round_ in self.rounds)
+
+    @property
+    def total_bytes(self) -> int:
+        """Plaintext byte count across both directions."""
+        return sum(len(payload) for round_ in self.rounds
+                   for _, payload in round_)
+
+    def __repr__(self) -> str:
+        return (f"<TrafficMix {self.name!r} rounds={len(self.rounds)} "
+                f"messages={self.total_messages} bytes={self.total_bytes}>")

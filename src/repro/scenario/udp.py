@@ -1,0 +1,201 @@
+"""Cross-transport invariant matrix: the same schedule over real UDP.
+
+The in-memory :class:`~repro.scenario.runner.FaultyLink` proves the
+link's hostile-network accounting against a mirror oracle; this module
+proves the *transport independence* of that accounting.  The same
+seeded :class:`~repro.scenario.faults.FaultSchedule`, applied once
+inside the in-memory harness and once via the
+:class:`~repro.link.udp.UdpLinkServer` ``inbound_faults`` hook over a
+real loopback socket, must yield the identical delivered-payload
+sequence and identical drop/skip counters — loopback UDP preserves
+order, so arrival order equals the schedule's emission order on both
+transports and the runs are bit-comparable.
+
+Two deliberate alignment choices keep the comparison exact:
+
+* handshakes bypass the schedules on both transports (hellos are
+  exempt from the UDP hook; the memory harness handshakes before
+  faulting), so schedule index 0 is the first data datagram everywhere;
+* neither run flushes end-of-stream delayed datagrams — a pull-based
+  transport hook has no end-of-stream signal, so datagrams still held
+  when traffic stops count as lost on both sides;
+* both runs pin the same session id, so the derived keys — and with
+  them every ciphertext byte — match across transports, and even
+  content-dependent counters (a corrupted length field skips however
+  many bytes it happens to spell) compare exactly.
+
+This module opens real sockets and therefore lives *outside* the
+sans-IO scenario core; import it lazily (``repro.scenario`` only loads
+it on attribute access).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.core.errors import SessionError
+from repro.core.key import Key
+from repro.link.protocol import HANDSHAKE, LinkProtocol
+from repro.link.udp import _MAX_DATAGRAM, UdpLinkServer
+from repro.net.session import SessionConfig
+from repro.scenario.faults import FaultSchedule
+from repro.scenario.runner import SCENARIO_SESSION_ID, FaultyLink
+from repro.scenario.traffic import TrafficMix
+
+__all__ = ["run_transport_matrix"]
+
+#: Default faults for the matrix: every family except none.
+MATRIX_FAULTS = {"loss": 0.1, "duplicate": 0.1, "corrupt": 0.1,
+                 "truncate": 0.05, "delay": 0.1}
+
+
+def _summary(delivered: list, receiver) -> dict:
+    return {
+        "delivered": len(delivered),
+        "accepted_packets": (receiver.session.metrics.rx.packets
+                             if receiver.session else 0),
+        "datagrams_dropped": receiver.datagrams_dropped,
+        "bytes_skipped": receiver.bytes_skipped,
+    }
+
+
+def _memory_run(mix: TrafficMix, faults: dict, fault_seed: int,
+                config: SessionConfig, key_seed: int) -> tuple[list, dict]:
+    """The reference run: FaultyLink, initiator→responder faults only."""
+    root = Key.generate(seed=key_seed)
+    link = FaultyLink(root, config=config,
+                      i2r_faults=FaultSchedule(fault_seed, **faults))
+    link.handshake()
+    link.run_mix(mix)
+    # No flush(): see the module docstring — end-of-stream held
+    # datagrams count as lost, matching the pull-based UDP hook.
+    problems = link.verify()
+    delivered = [payload for payload, _ in link.delivered["i2r"]]
+    summary = _summary(delivered, link.responder)
+    summary["oracle_ok"] = not problems
+    summary["problems"] = problems
+    return delivered, summary
+
+
+def _udp_run(mix: TrafficMix, faults: dict, fault_seed: int,
+             config: SessionConfig, key_seed: int,
+             deadline_s: float) -> tuple[list, dict, list]:
+    """The same schedule through a real loopback UDP server."""
+    root = Key.generate(seed=key_seed)
+    schedule = FaultSchedule(fault_seed, **faults)
+    received: list[bytes] = []
+    emitted = [0]  # datagrams the hook has released towards the protocol
+
+    def handler(payload: bytes) -> bytes:
+        received.append(payload)
+        return b""
+
+    def hook(datagram: bytes) -> list[bytes]:
+        out = schedule.filter(datagram)
+        emitted[0] += len(out)
+        return out
+
+    problems: list[str] = []
+    payloads = mix.payloads("i2r")
+    with UdpLinkServer(root, config=config, handler=handler,
+                       inbound_faults=hook) as server:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            sock.connect(("127.0.0.1", server.port))
+            sock.settimeout(5.0)
+            # Same session id as the memory harness: derived keys, and
+            # therefore every ciphertext byte, match across transports —
+            # content-dependent skip counts then compare exactly.
+            proto = LinkProtocol(root, "initiator", config=config,
+                                 session_id=SCENARIO_SESSION_ID,
+                                 datagram=True)
+            for datagram in proto.datagrams_to_send():
+                sock.send(datagram)
+            while proto.state == HANDSHAKE:
+                proto.receive_datagram(sock.recv(_MAX_DATAGRAM))
+            sock.setblocking(False)
+            for i, payload in enumerate(payloads):
+                proto.send_payload(payload)
+                for datagram in proto.datagrams_to_send():
+                    sock.send(datagram)
+                if i % 8 == 7:
+                    time.sleep(0.001)  # let the serving thread drain
+                try:  # discard echo replies; they are not under test
+                    while True:
+                        sock.recv(_MAX_DATAGRAM)
+                except (BlockingIOError, InterruptedError):
+                    pass
+            deadline = time.monotonic() + deadline_s
+            peer = None
+            while time.monotonic() < deadline:
+                peers = server.peer_links
+                peer = peers[0] if peers else None
+                if peer is not None and schedule.datagrams_seen == len(payloads):
+                    accepted = (peer.session.metrics.rx.packets
+                                if peer.session else 0)
+                    if accepted + peer.datagrams_dropped >= emitted[0]:
+                        break
+                time.sleep(0.01)
+            else:
+                problems.append(
+                    f"udp run did not drain within {deadline_s}s: "
+                    f"{schedule.datagrams_seen}/{len(payloads)} datagrams "
+                    f"seen by the schedule"
+                )
+            if peer is None:
+                raise SessionError("udp server never built a peer session")
+            if server.errors:
+                problems.append(f"udp server errors: {server.errors}")
+            summary = _summary(received, peer)
+            summary["problems"] = problems
+        finally:
+            sock.close()
+    return list(received), summary, problems
+
+
+def run_transport_matrix(mix: TrafficMix | None = None,
+                         faults: dict | None = None,
+                         fault_seed: int = 20050307,
+                         rekey_interval: int = 64,
+                         key_seed: int = 2005,
+                         deadline_s: float = 20.0) -> dict:
+    """Run one schedule over memory and UDP; demand identical results.
+
+    Returns a dict with ``ok``, ``problems`` and the per-transport
+    summaries.  Identical means: the delivered-payload *sequences* are
+    equal element for element, and the receiving protocol's
+    ``datagrams_dropped`` and ``bytes_skipped`` ledgers agree — the
+    sans-IO machine's accounting is transport-invariant.
+    """
+    if mix is None:
+        # Small payloads keep every datagram well under loopback UDP
+        # buffer sizes, so the only losses are the scheduled ones.
+        mix = TrafficMix.soak(120, seed=23, duplex=False)
+    if faults is None:
+        faults = dict(MATRIX_FAULTS)
+    config = SessionConfig(rekey_interval=rekey_interval)
+    memory_delivered, memory_summary = _memory_run(
+        mix, faults, fault_seed, config, key_seed)
+    udp_delivered, udp_summary, problems = _udp_run(
+        mix, faults, fault_seed, config, key_seed, deadline_s)
+    problems = list(memory_summary["problems"]) + problems
+    if memory_delivered != udp_delivered:
+        problems.append(
+            f"delivered sequences diverge: memory "
+            f"{len(memory_delivered)} payloads, udp {len(udp_delivered)}"
+            f" (or order/content differs)"
+        )
+    for field in ("datagrams_dropped", "bytes_skipped"):
+        if memory_summary[field] != udp_summary[field]:
+            problems.append(
+                f"{field} diverges: memory {memory_summary[field]}, "
+                f"udp {udp_summary[field]}"
+            )
+    return {
+        "ok": not problems,
+        "problems": problems,
+        "messages": len(mix.payloads("i2r")),
+        "memory": memory_summary,
+        "udp": udp_summary,
+    }

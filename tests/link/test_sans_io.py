@@ -30,6 +30,13 @@ CORE_MODULES = [
     "repro/net/session.py",
     "repro/net/framing.py",
     "repro/net/metrics.py",
+    # The scenario harness core is sans-IO by contract; only
+    # repro/scenario/udp.py (lazily loaded) may open sockets.
+    "repro/scenario/__init__.py",
+    "repro/scenario/faults.py",
+    "repro/scenario/traffic.py",
+    "repro/scenario/cover.py",
+    "repro/scenario/runner.py",
 ]
 
 #: I/O modules the sans-IO core must never import.
@@ -105,6 +112,27 @@ def test_lazy_package_keeps_submodule_attribute_access():
         "repro.link.LinkProtocol\n"
         "repro.util.lfsr.Lfsr\n"
         "repro.core.stream.encrypt_packet\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": str(SRC)},
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_scenario_core_pulls_no_asyncio_or_socket():
+    """The fault-injection harness stays sans-IO; only the UDP matrix
+    (a lazy attribute) may load socket."""
+    code = (
+        "import sys\n"
+        "import repro.scenario\n"
+        "from repro.scenario import FaultSchedule, TrafficMix, FaultyLink\n"
+        "bad = sorted(name for name in ('asyncio', 'socket', 'ssl')\n"
+        "             if name in sys.modules)\n"
+        "assert not bad, f'scenario core imported {bad}'\n"
+        "repro.scenario.run_transport_matrix  # lazy attribute access\n"
+        "assert 'socket' in sys.modules\n"
     )
     result = subprocess.run(
         [sys.executable, "-c", code],

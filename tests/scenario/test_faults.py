@@ -1,0 +1,127 @@
+"""Tests for the seeded fault schedules: determinism, fates, replay."""
+
+import pytest
+
+from repro.scenario import FAULT_KINDS, Delivery, FaultSchedule
+
+
+def _datagrams(n, size=24):
+    return [bytes([i % 256]) * size for i in range(n)]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kind", ["loss", "duplicate", "corrupt",
+                                      "truncate", "delay"])
+    def test_rate_out_of_range_rejected(self, kind):
+        with pytest.raises(ValueError, match="rate must be in"):
+            FaultSchedule(1, **{kind: 1.5})
+        with pytest.raises(ValueError, match="rate must be in"):
+            FaultSchedule(1, **{kind: -0.1})
+
+    def test_rates_summing_over_one_rejected(self):
+        with pytest.raises(ValueError, match="sum to"):
+            FaultSchedule(1, loss=0.5, corrupt=0.6)
+
+    def test_delay_span_and_max_flips_floors(self):
+        with pytest.raises(ValueError, match="delay_span"):
+            FaultSchedule(1, delay_span=0)
+        with pytest.raises(ValueError, match="max_flips"):
+            FaultSchedule(1, max_flips=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fates_and_bytes(self):
+        kwargs = dict(loss=0.2, duplicate=0.1, corrupt=0.15,
+                      truncate=0.05, delay=0.1)
+        a = FaultSchedule(99, **kwargs)
+        b = FaultSchedule(99, **kwargs)
+        out_a = a.apply_all(_datagrams(200)) + a.flush()
+        out_b = b.apply_all(_datagrams(200)) + b.flush()
+        assert a.trace == b.trace
+        assert out_a == out_b  # Delivery is a frozen dataclass: == is deep
+
+    def test_replay_rebuilds_identical_schedule(self):
+        a = FaultSchedule(7, loss=0.3, corrupt=0.2, delay=0.1, delay_span=5)
+        out_a = a.apply_all(_datagrams(100))
+        b = a.replay()
+        assert b.seed == a.seed and b.rates == a.rates
+        assert b.apply_all(_datagrams(100)) == out_a
+        assert b.trace == a.trace
+
+    def test_different_seeds_diverge(self):
+        a = FaultSchedule(1, loss=0.5)
+        b = FaultSchedule(2, loss=0.5)
+        a.apply_all(_datagrams(100))
+        b.apply_all(_datagrams(100))
+        assert a.trace != b.trace
+
+    def test_fates_independent_of_content(self):
+        a = FaultSchedule(5, loss=0.4)
+        b = FaultSchedule(5, loss=0.4)
+        a.apply_all(_datagrams(50, size=8))
+        b.apply_all([b"completely different bytes"] * 50)
+        assert [e.kind for e in a.trace] == [e.kind for e in b.trace]
+
+
+class TestFates:
+    def test_pure_loss(self):
+        s = FaultSchedule(3, loss=1.0)
+        assert s.apply_all(_datagrams(20)) == []
+        assert s.counts["loss"] == 20
+
+    def test_pure_duplicate(self):
+        s = FaultSchedule(3, duplicate=1.0)
+        out = s.apply_all(_datagrams(10))
+        assert len(out) == 20
+        assert all(not d.tampered for d in out)
+        # Both copies carry the origin index of the same original.
+        assert [d.origin for d in out] == [i // 2 for i in range(20)]
+
+    def test_corrupt_always_changes_bytes(self):
+        s = FaultSchedule(11, corrupt=1.0, max_flips=2)
+        originals = _datagrams(100, size=6)
+        out = s.apply_all(originals)
+        assert len(out) == 100
+        for original, delivery in zip(originals, out):
+            assert delivery.tampered
+            assert delivery.data != original
+            assert len(delivery.data) == len(original)
+
+    def test_truncate_always_shortens_to_prefix(self):
+        s = FaultSchedule(13, truncate=1.0)
+        originals = _datagrams(50)
+        for original, delivery in zip(originals, s.apply_all(originals)):
+            assert delivery.tampered
+            assert len(delivery.data) < len(original)
+            assert original.startswith(delivery.data)
+
+    def test_delay_holds_then_releases_in_span(self):
+        s = FaultSchedule(17, delay=1.0, delay_span=3)
+        out = s.apply_all(_datagrams(30))
+        late = s.flush()
+        assert len(out) + len(late) == 30
+        assert s.held == 0
+        # A delayed datagram reappears within delay_span of its slot.
+        for event in s.trace:
+            (release,) = event.detail
+            assert event.index < release <= event.index + 1 + 3
+
+    def test_empty_datagram_always_delivers(self):
+        s = FaultSchedule(19, loss=1.0)
+        out = s.apply(b"")
+        assert out == [Delivery(0, b"", tampered=False)]
+        assert s.counts["deliver"] == 1
+
+    def test_counts_cover_every_kind(self):
+        s = FaultSchedule(23, loss=0.2, duplicate=0.2, corrupt=0.2,
+                          truncate=0.2, delay=0.1)
+        s.apply_all(_datagrams(300))
+        assert set(s.counts) == set(FAULT_KINDS)
+        assert sum(s.counts.values()) == 300
+        assert all(s.counts[k] > 0 for k in FAULT_KINDS)
+
+    def test_filter_adapter_returns_raw_bytes(self):
+        s = FaultSchedule(29, duplicate=1.0)
+        out = s.filter(b"datagram-bytes")
+        assert out == [b"datagram-bytes", b"datagram-bytes"]
+        assert all(isinstance(x, bytes) for x in out)

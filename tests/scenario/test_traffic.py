@@ -1,0 +1,70 @@
+"""Tests for the deterministic traffic mixes."""
+
+import pytest
+
+from repro.scenario import DIRECTIONS, TrafficMix
+
+
+class TestValidation:
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            TrafficMix("bad", [[("sideways", b"x")]])
+
+    def test_non_bytes_payload_rejected(self):
+        with pytest.raises(ValueError, match="bytes"):
+            TrafficMix("bad", [[("i2r", "a string")]])
+
+    def test_payloads_direction_validated(self):
+        mix = TrafficMix.imix(3)
+        with pytest.raises(ValueError, match="direction"):
+            mix.payloads("up")
+
+
+class TestConstructors:
+    def test_imix_deterministic(self):
+        assert TrafficMix.imix(20, seed=4).rounds == \
+            TrafficMix.imix(20, seed=4).rounds
+
+    def test_imix_sizes_are_imix(self):
+        sizes = {len(p) for p in TrafficMix.imix(60, seed=1).payloads("i2r")}
+        assert sizes <= {40, 576, 1500}
+        assert len(sizes) > 1
+
+    def test_bursty_shape(self):
+        mix = TrafficMix.bursty(4, 8, seed=2)
+        assert len(mix.rounds) == 4
+        assert all(len(round_) == 8 for round_ in mix.rounds)
+
+    def test_duplex_both_directions_every_round(self):
+        mix = TrafficMix.duplex(10, seed=3)
+        for round_ in mix.rounds:
+            assert [direction for direction, _ in round_] == ["i2r", "r2i"]
+        assert len(mix.payloads("i2r")) == len(mix.payloads("r2i")) == 10
+
+    def test_soak_counts(self):
+        mix = TrafficMix.soak(100, seed=5, burst_len=32)
+        assert len(mix.payloads("i2r")) == 100
+        assert len(mix.payloads("r2i")) == 100  # duplex by default
+        assert mix.total_messages == 200
+        simplex = TrafficMix.soak(100, seed=5, duplex=False)
+        assert simplex.payloads("r2i") == []
+        assert simplex.total_messages == 100
+
+    def test_soak_payloads_stay_small(self):
+        mix = TrafficMix.soak(200, seed=6)
+        assert all(8 <= len(p) <= 64 for p in mix.payloads("i2r"))
+
+
+class TestIntrospection:
+    def test_totals_agree_with_payloads(self):
+        mix = TrafficMix.duplex(15, seed=7)
+        assert mix.total_messages == sum(
+            len(mix.payloads(d)) for d in DIRECTIONS)
+        assert mix.total_bytes == sum(
+            len(p) for d in DIRECTIONS for p in mix.payloads(d))
+
+    def test_payloads_are_defensive_bytes(self):
+        source = bytearray(b"mutable")
+        mix = TrafficMix("m", [[("i2r", source)]])
+        source[0] = 0
+        assert mix.payloads("i2r") == [b"mutable"]

@@ -1,0 +1,28 @@
+"""Cross-transport invariants: one schedule, memory and real UDP."""
+
+from repro.scenario import TrafficMix
+from repro.scenario.udp import MATRIX_FAULTS, run_transport_matrix
+
+
+class TestTransportMatrix:
+    def test_same_schedule_same_results_on_both_transports(self):
+        result = run_transport_matrix()
+        assert result["ok"], result["problems"]
+        assert result["memory"]["oracle_ok"]
+        for field in ("delivered", "accepted_packets",
+                      "datagrams_dropped", "bytes_skipped"):
+            assert result["memory"][field] == result["udp"][field], field
+        # The default schedule must actually exercise the fault paths.
+        assert result["memory"]["datagrams_dropped"] > 0
+
+    def test_clean_schedule_delivers_everything_on_both(self):
+        result = run_transport_matrix(
+            mix=TrafficMix.soak(40, seed=31, duplex=False), faults={})
+        assert result["ok"], result["problems"]
+        assert result["memory"]["delivered"] == 40
+        assert result["udp"]["delivered"] == 40
+        assert result["udp"]["datagrams_dropped"] == 0
+
+    def test_default_faults_cover_every_family(self):
+        assert set(MATRIX_FAULTS) == {"loss", "duplicate", "corrupt",
+                                      "truncate", "delay"}

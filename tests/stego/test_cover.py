@@ -77,6 +77,39 @@ class TestEmbedExtract:
         stego = embed_in_cover(message, cover, key16)  # must not raise
         assert stego.n_vectors <= floor
 
+    def test_capacity_floor_is_exact(self, key16):
+        """A message of exactly the floor always fits; one byte over
+        the per-word ceiling never does."""
+        cover = random_bytes(20, 256)  # 128 words of 16 bits
+        floor = cover_capacity_bits(cover, key16)
+        assert floor == 128
+        stego = embed_in_cover(bytes(floor // 8), cover, key16)  # no raise
+        assert extract_from_cover(stego, key16) == bytes(floor // 8)
+        # Each word carries at most width//2 = 8 bits, so one byte past
+        # words*8 bits cannot fit whatever the key says.
+        with pytest.raises(CoverExhaustedError):
+            embed_in_cover(bytes(floor + 1), cover, key16)
+
+    def test_exhaustion_boundary_at_exact_consumption(self, key16):
+        """Sharpest boundary: a cover trimmed to the vectors actually
+        consumed still embeds; one word less raises."""
+        message = b"boundary probe"
+        cover = random_bytes(21, 4096)
+        used = embed_in_cover(message, cover, key16).n_vectors
+        exact = cover[: used * 2]
+        again = embed_in_cover(message, exact, key16)
+        assert again.n_vectors == used
+        assert extract_from_cover(again, key16) == message
+        with pytest.raises(CoverExhaustedError):
+            embed_in_cover(message, cover[: (used - 1) * 2], key16)
+
+    def test_exhaustion_leaves_no_partial_stego(self, key16):
+        """The exhaustion error carries the consumed-vector count and
+        the failed embed never returns a half-built object."""
+        cover = random_bytes(22, 32)  # 16 words
+        with pytest.raises(CoverExhaustedError, match="vectors"):
+            embed_in_cover(bytes(64), cover, key16)
+
     def test_width_mismatch_on_extract(self, key16):
         cover = random_bytes(9, 512)
         stego = embed_in_cover(b"x", cover, key16)

@@ -387,3 +387,35 @@ class TestObservabilityCli:
         assert args.json is True
         args = parser.parse_args(["serve", "--key", "x"])
         assert args.metrics_port is None
+
+
+class TestScenario:
+    def test_list_names_the_committed_battery(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        names = capsys.readouterr().out.split()
+        assert "clean-duplex" in names
+        assert "hostile-mix" in names
+        assert len(names) == len(set(names))
+
+    def test_single_scenario_runs_and_reconciles(self, capsys):
+        assert main(["scenario", "--only", "clean-duplex"]) == 0
+        out = capsys.readouterr().out
+        assert "clean-duplex" in out
+        assert "ok" in out
+        assert "FAIL" not in out
+
+    def test_json_output_is_parseable(self, capsys):
+        import json
+
+        assert main(["scenario", "--only", "lossy", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        (entry,) = document["scenarios"]
+        assert entry["name"] == "lossy"
+        assert entry["ok"] is True
+        assert entry["directions"]["i2r"]["sent"] == 120
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenario", "--only", "frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mhhea: error:")
+        assert "--list" in err

@@ -66,11 +66,17 @@ AUDITED_MODULES = [
     "repro.parallel",
     "repro.parallel.pool",
     "repro.parallel.pipeline",
+    "repro.scenario",
+    "repro.scenario.faults",
+    "repro.scenario.traffic",
+    "repro.scenario.cover",
+    "repro.scenario.runner",
 ]
 
 #: Markdown files whose ``python`` code blocks must execute.
 DOC_FILES = ["README.md", "docs/api.md", "docs/core.md", "docs/net.md",
-             "docs/observability.md", "docs/parallel.md"]
+             "docs/observability.md", "docs/parallel.md",
+             "docs/scenarios.md"]
 
 _FENCE = re.compile(r"^```(\w[\w-]*(?: [\w-]+)*)?\s*$")
 
