@@ -1,0 +1,122 @@
+"""Key-exchange cost: full X25519 handshakes vs ticket resumption.
+
+The hello-v2 exchange buys authentication and forward secrecy with two
+pure-Python Montgomery-ladder scalar multiplications per side — by far
+the most expensive thing the link ever does.  Resumption exists
+precisely to amortise that: a returning client redeems a sealed ticket
+and derives fresh session keys with nothing but HKDF.  These benches
+pin the economics:
+
+* the full handshake completes at a usable rate (it is a per-connection
+  cost, not a per-byte one);
+* resumption is decisively cheaper than the full exchange — if a
+  refactor ever erases that gap, the ticket machinery has lost its
+  reason to exist and this gate fails.
+"""
+
+import time
+
+from repro.core.key import Key
+from repro.kex import (
+    KexConfig,
+    ResumptionTicket,
+    TicketVault,
+    kex_auth_secret,
+)
+from repro.link import LinkPair
+
+KEY_SEED = 2005
+
+
+def _client_kex(root, ticket=None):
+    return KexConfig(auth_secret=kex_auth_secret(root),
+                     modes=("ecdh", "resume"), params=root.params,
+                     n_pairs=len(root), ticket=ticket)
+
+
+def _server_kex(root, vault):
+    return KexConfig(auth_secret=kex_auth_secret(root),
+                     modes=("ecdh", "resume", "psk"), params=root.params,
+                     n_pairs=len(root), tickets=vault)
+
+
+def _handshake(root, *, kex=None, responder_kex=None):
+    pair = LinkPair(root, session_id=b"KEXBENCH", responder_root=root,
+                    kex=kex, responder_kex=responder_kex)
+    pair.handshake()
+    return pair
+
+
+def _mint_ticket(vault) -> ResumptionTicket:
+    """Seal a resumption ticket directly — what a prior ecdh handshake
+    would have left the client holding, minus the ecdh cost."""
+    master = bytes(range(32))
+    tenant = bytes(16)
+    return ResumptionTicket(ticket=vault.issue(master, tenant),
+                            master_secret=master, tenant_id=tenant)
+
+
+def _rate(fn, *, min_rounds: int = 5) -> float:
+    """Handshakes per second, best-of over ``min_rounds`` single runs."""
+    best = float("inf")
+    for _ in range(min_rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return 1.0 / best
+
+
+def test_full_handshake_rate(benchmark, emit):
+    root = Key.generate(seed=KEY_SEED, n_pairs=16)
+    vault = TicketVault(b"bench vault")
+
+    def full():
+        pair = _handshake(root, kex=_client_kex(root),
+                          responder_kex=_server_kex(root, vault))
+        assert pair.initiator.kex_mode == "ecdh"
+
+    benchmark(full)
+
+
+def test_resumption_speedup_gate(emit):
+    root = Key.generate(seed=KEY_SEED, n_pairs=16)
+    vault = TicketVault(b"bench vault")
+
+    def full():
+        pair = _handshake(root, kex=_client_kex(root),
+                          responder_kex=_server_kex(root, vault))
+        assert pair.initiator.kex_mode == "ecdh"
+
+    def resume():
+        pair = _handshake(root,
+                          kex=_client_kex(root, ticket=_mint_ticket(vault)),
+                          responder_kex=_server_kex(root, vault))
+        assert pair.initiator.kex_mode == "resume"
+
+    def psk():
+        pair = _handshake(root)
+        assert pair.initiator.kex_mode == "psk"
+
+    ecdh_rate = _rate(full)
+    resume_rate = _rate(resume)
+    psk_rate = _rate(psk)
+    speedup = resume_rate / ecdh_rate
+
+    emit("kex_handshakes", "\n".join([
+        f"psk (hello-v1)   : {psk_rate:8.1f} handshakes/s",
+        f"ecdh (hello-v2)  : {ecdh_rate:8.1f} handshakes/s",
+        f"ticket resumption: {resume_rate:8.1f} handshakes/s "
+        f"({speedup:.1f}x vs full exchange)",
+    ]))
+
+    # The gate: resumption must stay decisively cheaper than the full
+    # exchange it replaces (the ladder costs dwarf everything else).
+    assert speedup >= 2.0, (
+        f"resumption only {speedup:.2f}x faster than the full handshake; "
+        f"the ticket path has stopped paying for itself"
+    )
+    # And the full handshake must stay usable as a per-connection cost.
+    assert ecdh_rate >= 1.0, (
+        f"full kex handshake below 1/s ({ecdh_rate:.2f}); "
+        f"the pure-Python ladder has regressed pathologically"
+    )

@@ -1,8 +1,8 @@
 """Unified benchmark harness — one command, one machine-readable artefact.
 
 Runs the benchmark families (core engines, fast path, sharded parallel
-pipeline, secure link, hostile-network scenario battery) under a single
-timing convention and writes
+pipeline, secure link, key exchange, hostile-network scenario battery)
+under a single timing convention and writes
 ``benchmarks/_artifacts/BENCH_pipeline.json``: MB/s per stage, speedups
 against the reference engine and against the single-worker fast path,
 the worker scaling curve, and the scenario reconciliation ledgers.  CI
@@ -298,6 +298,55 @@ def bench_scenario() -> dict:
     }
 
 
+def bench_kex(repeats: int) -> dict:
+    """Handshake economics: psk vs full X25519 vs ticket resumption.
+
+    Per-connection costs, not per-byte ones — recorded as handshakes
+    per second so the artefact diff shows when a change to the ladder,
+    the key schedule, or the ticket path moves the connection-setup
+    budget.  ``resumption_speedup`` is the number the ticket subsystem
+    exists to keep large; benchmarks/bench_kex.py gates it in CI.
+    """
+    from repro.kex import (
+        KexConfig,
+        ResumptionTicket,
+        TicketVault,
+        kex_auth_secret,
+    )
+    from repro.link import LinkPair
+
+    root = Key.generate(seed=KEY_SEED, n_pairs=16)
+    auth = kex_auth_secret(root)
+    vault = TicketVault(b"run_all vault")
+    common = dict(auth_secret=auth, params=root.params, n_pairs=len(root))
+    server = KexConfig(modes=("ecdh", "resume", "psk"), tickets=vault,
+                       **common)
+
+    def handshake(kex):
+        pair = LinkPair(root, session_id=b"KEXBENCH", responder_root=root,
+                        kex=kex, responder_kex=server if kex else None)
+        pair.handshake()
+
+    def mint():
+        master, tenant = bytes(range(32)), bytes(16)
+        return ResumptionTicket(ticket=vault.issue(master, tenant),
+                                master_secret=master, tenant_id=tenant)
+
+    rates = {}
+    for mode, kex_factory in (
+            ("psk", lambda: None),
+            ("ecdh", lambda: KexConfig(modes=("ecdh",), **common)),
+            ("resume", lambda: KexConfig(modes=("ecdh", "resume"),
+                                         ticket=mint(), **common))):
+        best = _best_of(lambda: handshake(kex_factory()), repeats)
+        rates[f"{mode}_handshakes_per_s"] = 1.0 / best
+    return {
+        **rates,
+        "resumption_speedup": (rates["resume_handshakes_per_s"]
+                               / rates["ecdh_handshakes_per_s"]),
+    }
+
+
 def run(quick: bool, output: pathlib.Path) -> dict:
     """Execute every section and write the JSON artefact."""
     if quick:
@@ -325,6 +374,8 @@ def run(quick: bool, output: pathlib.Path) -> dict:
               flush=True)
         net = bench_net(net_payloads, net_size,
                         parallel_workers=workers_list[-1])
+        print("[run_all] key exchange (psk / ecdh / resume)...", flush=True)
+        kex = bench_kex(repeats)
     finally:
         obs.set_registry(previous)
     snapshot = registry.snapshot()
@@ -346,7 +397,7 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         net["linkpair_goodput_mb_s"] / core["fast_encrypt_mb_s"])
 
     report = {
-        "schema": 3,
+        "schema": 4,
         "generated_unix": int(time.time()),
         "quick": quick,
         "python": sys.version.split()[0],
@@ -354,6 +405,7 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         "core": core,
         "parallel": parallel,
         "net": net,
+        "kex": kex,
         "scenario": scenario,
         "obs": snapshot,
     }
@@ -373,6 +425,9 @@ def run(quick: bool, output: pathlib.Path) -> dict:
           f"memory {net['memory_goodput_mb_s']:.2f})")
     print(f"linkpair goodput: {net['linkpair_goodput_mb_s']:8.2f} MB/s "
           f"({net['goodput_over_core_ratio']:.3f} of fast-engine encrypt)")
+    print(f"kex handshakes:   {kex['ecdh_handshakes_per_s']:8.1f}/s full "
+          f"x25519, {kex['resume_handshakes_per_s']:.1f}/s resumed "
+          f"({kex['resumption_speedup']:.1f}x)")
     n_ok = sum(1 for row in scenario["scenarios"] if row["ok"])
     print(f"scenario battery: {n_ok}/{len(scenario['scenarios'])} scenarios "
           f"reconciled, stream control "

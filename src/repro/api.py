@@ -49,6 +49,9 @@ from repro.core.stream import (
     decrypt_packet,
     encrypt_packet,
 )
+from repro.kex.handshake import KexConfig, kex_auth_secret
+from repro.kex.hkdf import hkdf_expand
+from repro.kex.tickets import TicketVault
 from repro.link.protocol import LinkProtocol
 from repro.net.client import SecureLinkClient
 from repro.net.server import DEFAULT_QUEUE_DEPTH, SecureLinkServer
@@ -227,7 +230,8 @@ class Codec:
                              parallel_threshold=self.parallel_threshold)
 
     def link(self, role: str, session_id: bytes | None = None, *,
-             metrics=None, datagram: bool = False) -> LinkProtocol:
+             metrics=None, datagram: bool = False,
+             kex=None, ticket=None) -> LinkProtocol:
         """A sans-IO :class:`~repro.link.LinkProtocol` bound to this codec.
 
         The machine speaks this codec's whole link policy (key,
@@ -238,11 +242,20 @@ class Codec:
         selects the one-frame-per-datagram mode (see docs/net.md).  The
         protocol captures the policy at call time and runs standalone —
         closing the codec later does not invalidate it.
+
+        ``kex`` selects the handshake family: ``None`` / ``"psk"`` for
+        the classic pre-shared hello, ``"ecdh"`` for the authenticated
+        hello-v2 exchange (authentication secret derived from this
+        codec's key; responders also seal resumption tickets), or a
+        full :class:`repro.kex.KexConfig`.  ``ticket`` is a client's
+        :class:`repro.kex.ResumptionTicket` from an earlier session.
         """
         self._check_open()
+        side = "serve" if role == "responder" else "connect"
         return LinkProtocol(self.key, role, config=self.session_config(),
                             session_id=session_id, metrics=metrics,
-                            datagram=datagram)
+                            datagram=datagram,
+                            kex=_resolve_kex(self, side, kex, ticket))
 
     # -- single packets ---------------------------------------------------
 
@@ -421,12 +434,50 @@ def _check_transport(transport: str) -> None:
         )
 
 
+def _resolve_kex(bound, side: str, kex, ticket=None) -> "KexConfig | None":
+    """Normalise the public ``kex=`` spelling to a :class:`KexConfig`.
+
+    ``None`` / ``"psk"`` select the classic pre-shared hello (returns
+    ``None`` — the wire-pinned path).  ``"ecdh"`` builds a config from
+    the bound codec's key: the authentication secret is derived from
+    the key (so the handshake is as trustworthy as the key it
+    bootstraps from, and adds forward secrecy on top), servers get a
+    ticket vault sealed under a key-derived secret, clients may offer
+    ``ticket``.  A full :class:`repro.kex.KexConfig` passes through
+    (with ``ticket`` merged in, if given).
+    """
+    if kex is None or kex == "psk":
+        if ticket is not None:
+            raise ValueError("a resumption ticket requires kex='ecdh'")
+        return None
+    if isinstance(kex, KexConfig):
+        if ticket is not None:
+            from dataclasses import replace as _replace
+
+            kex = _replace(kex, ticket=ticket)
+        return kex
+    if kex != "ecdh":
+        raise ValueError(
+            f"unknown kex selector {kex!r}: expected 'ecdh', 'psk', "
+            f"or a repro.kex.KexConfig"
+        )
+    auth = kex_auth_secret(bound.key)
+    common = dict(auth_secret=auth, params=bound.key.params,
+                  n_pairs=len(bound.key))
+    if side == "serve":
+        vault = TicketVault(hkdf_expand(auth, b"mhhea-kex ticket vault", 32))
+        return KexConfig(modes=("ecdh", "resume", "psk"), tickets=vault,
+                         **common)
+    return KexConfig(modes=("ecdh", "resume"), ticket=ticket, **common)
+
+
 def connect(codec, host: str = "127.0.0.1", port: int = 0, *,
             transport: str = "tcp",
             session_id: bytes | None = None,
             server=None,
             engine: str | None = None,
-            parallel_workers: int | None = None):
+            parallel_workers: int | None = None,
+            kex=None, ticket=None):
     """A secure-link client speaking this codec's policy (initiator side).
 
     ``codec`` is a :class:`Codec` (or a key / hex key, from which a
@@ -455,9 +506,23 @@ def connect(codec, host: str = "127.0.0.1", port: int = 0, *,
 
     The non-asyncio transports run cipher work inline and reject codecs
     built with ``workers > 0``.
+
+    ``kex`` / ``ticket`` select the handshake family exactly as on
+    :meth:`Codec.link`: ``kex="ecdh"`` runs the authenticated hello-v2
+    exchange (deriving the session's root key), ``ticket`` offers a
+    :class:`repro.kex.ResumptionTicket` from an earlier connection.
+    The datagram ``"udp"`` transport cannot carry the multi-round
+    exchange (and has nowhere to store tickets) and rejects ``kex``.
     """
     _check_transport(transport)
     bound = _codec_for_link("connect", codec, engine, parallel_workers)
+    kex_config = _resolve_kex(bound, "connect", kex, ticket)
+    if kex_config is not None and transport == "udp":
+        raise ValueError(
+            "kex='ecdh' requires a stream transport (tcp, sync or "
+            "memory); the udp transport is datagram-only and has no "
+            "ticket support"
+        )
     if transport == "memory":
         if server is None:
             raise ValueError(
@@ -468,7 +533,8 @@ def connect(codec, host: str = "127.0.0.1", port: int = 0, *,
         # a key or policy mismatch with the server fails here exactly
         # like it would over a socket, never silently.
         return server.connect(session_id=session_id, root=bound.key,
-                              config=bound.session_config())
+                              config=bound.session_config(),
+                              kex=kex_config)
     if server is not None:
         raise ValueError(
             f"the server= argument only applies to transport='memory', "
@@ -479,7 +545,7 @@ def connect(codec, host: str = "127.0.0.1", port: int = 0, *,
 
         return SyncLinkClient(bound.key, host=host, port=port,
                               config=bound.session_config(),
-                              session_id=session_id)
+                              session_id=session_id, kex=kex_config)
     if transport == "udp":
         from repro.link.udp import UdpLinkClient
 
@@ -488,7 +554,7 @@ def connect(codec, host: str = "127.0.0.1", port: int = 0, *,
                              session_id=session_id)
     return SecureLinkClient(bound.key, host=host, port=port,
                             config=bound.session_config(),
-                            session_id=session_id)
+                            session_id=session_id, kex=kex_config)
 
 
 def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
@@ -496,7 +562,8 @@ def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
           handler=None, queue_depth: int = DEFAULT_QUEUE_DEPTH,
           engine: str | None = None,
           parallel_workers: int | None = None,
-          metrics_port: int | None = None):
+          metrics_port: int | None = None,
+          kex=None):
     """A secure-link server speaking this codec's policy (responder side).
 
     Accepts the same ``codec`` spellings as :func:`connect`, and the
@@ -535,17 +602,24 @@ def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
             f"metrics_port requires transport='tcp', got {transport!r}"
         )
     bound = _codec_for_link("serve", codec, engine, parallel_workers)
+    kex_config = _resolve_kex(bound, "serve", kex)
+    if kex_config is not None and transport == "udp":
+        raise ValueError(
+            "kex='ecdh' requires a stream transport (tcp, sync or "
+            "memory); the udp transport is datagram-only and has no "
+            "ticket support"
+        )
     if transport == "memory":
         from repro.link.memory import MemoryLinkServer
 
         return MemoryLinkServer(bound.key, config=bound.session_config(),
-                                handler=handler)
+                                handler=handler, kex=kex_config)
     if transport == "sync":
         from repro.link.sync import SyncLinkServer
 
         return SyncLinkServer(bound.key, host=host, port=port,
                               config=bound.session_config(),
-                              handler=handler)
+                              handler=handler, kex=kex_config)
     if transport == "udp":
         from repro.link.udp import UdpLinkServer
 
@@ -556,4 +630,5 @@ def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
     return SecureLinkServer(bound.key, host=host, port=port,
                             config=bound.session_config(),
                             queue_depth=queue_depth,
-                            metrics_port=metrics_port, **extra)
+                            metrics_port=metrics_port, kex=kex_config,
+                            **extra)

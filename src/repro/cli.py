@@ -57,6 +57,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import os
 import sys
 
 from repro.core.engines import registered_engines
@@ -165,6 +166,16 @@ def build_parser() -> argparse.ArgumentParser:
                  "incompatible with --workers)",
         )
 
+    def add_kex_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--kex", choices=("ecdh", "psk"), default="psk",
+            help="handshake mode: 'psk' (default) uses the pre-shared "
+                 "key directly with the classic hello; 'ecdh' runs the "
+                 "authenticated X25519 exchange (hello-v2) first, "
+                 "deriving fresh per-session root keys; stream "
+                 "transports only",
+        )
+
     def add_metrics_flag(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--metrics-port", type=int, default=None,
@@ -186,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_flag(serve)
     serve.add_argument("--parallel-threshold", type=int, default=None,
                        help="smallest payload (bytes) offloaded to workers")
+    add_kex_flag(serve)
     add_metrics_flag(serve)
 
     send = sub.add_parser("send", help="stream a file over the secure link")
@@ -201,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_flag(send)
     send.add_argument("--parallel-threshold", type=int, default=None,
                       help="smallest payload (bytes) offloaded to workers")
+    add_kex_flag(send)
+    send.add_argument("--ticket-file", default=None, metavar="PATH",
+                      help="resumption-ticket store (requires --kex ecdh): "
+                           "an existing ticket at PATH is offered for "
+                           "session resumption, and the freshly issued "
+                           "one is saved back for the next run")
     add_metrics_flag(send)
     send.add_argument("input")
 
@@ -414,6 +432,10 @@ def _run(args, out) -> int:
     if args.command == "serve":
         from repro.api import serve
 
+        if args.kex == "ecdh" and args.transport == "udp":
+            raise ValueError("--kex ecdh requires --transport tcp "
+                             "(the udp transport is datagram-only)")
+        kex = "ecdh" if args.kex == "ecdh" else None
         codec = _link_codec(args)
 
         if args.transport == "udp":
@@ -437,7 +459,8 @@ def _run(args, out) -> int:
 
         async def _serve() -> None:
             async with serve(codec, host=args.host, port=args.port,
-                             metrics_port=args.metrics_port) as server:
+                             metrics_port=args.metrics_port,
+                             kex=kex) as server:
                 out.write(f"listening on {args.host}:{server.port}\n")
                 if server.metrics_endpoint is not None:
                     out.write(
@@ -463,6 +486,18 @@ def _run(args, out) -> int:
     if args.command == "send":
         from repro.api import connect
 
+        if args.kex == "ecdh" and args.transport == "udp":
+            raise ValueError("--kex ecdh requires --transport tcp "
+                             "(the udp transport is datagram-only)")
+        if args.ticket_file is not None and args.kex != "ecdh":
+            raise ValueError("--ticket-file requires --kex ecdh")
+        kex = "ecdh" if args.kex == "ecdh" else None
+        ticket = None
+        if args.ticket_file is not None and os.path.exists(args.ticket_file):
+            from repro.kex import ResumptionTicket
+
+            with open(args.ticket_file, "rb") as handle:
+                ticket = ResumptionTicket.from_bytes(handle.read())
         codec = _link_codec(args)
         with open(args.input, "rb") as handle:
             data = handle.read()
@@ -499,12 +534,20 @@ def _run(args, out) -> int:
                 )
                 out.flush()
             try:
-                async with connect(codec, host=args.host,
-                                   port=args.port) as client:
+                async with connect(codec, host=args.host, port=args.port,
+                                   kex=kex, ticket=ticket) as client:
                     replies = await client.send_all(payloads)
                     if replies != payloads:
                         out.write("echo mismatch: link corrupted the data\n")
                         return 1
+                    if kex is not None:
+                        out.write(f"kex mode: {client.kex_mode}\n")
+                        if (args.ticket_file is not None
+                                and client.issued_ticket is not None):
+                            with open(args.ticket_file, "wb") as handle:
+                                handle.write(client.issued_ticket.to_bytes())
+                            out.write("saved resumption ticket to "
+                                      f"{args.ticket_file}\n")
                     out.write(
                         f"echoed {len(payloads)} packets / {len(data)} bytes "
                         f"byte-exact at {client.metrics.mbps('rx'):.2f} Mbps\n"
@@ -524,6 +567,7 @@ def _run(args, out) -> int:
         import json
 
         from repro.scenario import (
+            run_kex_attacks,
             run_scenario,
             run_stream_control,
             standard_matrix,
@@ -549,12 +593,19 @@ def _run(args, out) -> int:
             control = run_stream_control()
             document["stream_control"] = control
             ok = ok and control["ok"]
+            attacks = run_kex_attacks()
+            document["kex_attacks"] = attacks
+            ok = ok and attacks["ok"]
         if args.transports:
+            from repro.scenario.tcp import run_tcp_matrix
             from repro.scenario.udp import run_transport_matrix
 
             matrix = run_transport_matrix()
             document["transport_matrix"] = matrix
             ok = ok and matrix["ok"]
+            tcp_matrix = run_tcp_matrix()
+            document["tcp_matrix"] = tcp_matrix
+            ok = ok and tcp_matrix["ok"]
         if args.json:
             out.write(json.dumps(document, indent=2) + "\n")
         else:
@@ -567,7 +618,8 @@ def _run(args, out) -> int:
                           f"{delivered}/{sent} delivered\n")
                 for problem in result.problems:
                     out.write(f"  problem: {problem}\n")
-            for name in ("stream_control", "transport_matrix"):
+            for name in ("stream_control", "kex_attacks",
+                         "transport_matrix", "tcp_matrix"):
                 section = document.get(name)
                 if section is not None:
                     status = "ok" if section["ok"] else "FAIL"

@@ -18,6 +18,7 @@ __all__ = [
     "FlowError",
     "SessionError",
     "HandshakeError",
+    "KexError",
     "ReplayError",
     "UnknownEngineError",
 ]
@@ -64,6 +65,17 @@ class SessionError(ReproError):
 
 class HandshakeError(SessionError):
     """The peers could not agree on a link configuration or key."""
+
+
+class KexError(HandshakeError):
+    """The key-exchange phase failed (see repro.kex).
+
+    Raised for malformed kex frames, contributory-behaviour failures
+    (an all-zero X25519 shared secret from a low-order public key),
+    confirmation-MAC mismatches, rejected resumption tickets, and
+    downgrade attempts.  Subclassing :class:`HandshakeError` keeps
+    handlers written against the pre-kex link working unchanged.
+    """
 
 
 class ReplayError(SessionError):

@@ -1,0 +1,50 @@
+"""HKDF-SHA256 (RFC 5869): the derivation step under every kex key.
+
+One raw Diffie-Hellman secret (or one resumption master secret) has to
+fan out into independent keys — confirmation-MAC keys per direction,
+the MHHEA root-key seed, the next resumption secret, ticket sealing
+keys, per-tenant secrets.  HKDF's extract-then-expand construction is
+the standard tool: extract concentrates the input keying material into
+one pseudorandom key, expand stretches it under distinct ``info``
+labels so no two outputs are related.  Pure :mod:`hashlib`/:mod:`hmac`,
+pinned against the RFC 5869 appendix A test vectors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["HASH_SIZE", "hkdf_extract", "hkdf_expand", "hkdf"]
+
+#: Output size of the underlying hash (SHA-256).
+HASH_SIZE = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """RFC 5869 section 2.2: concentrate ``ikm`` into one PRK."""
+    if not salt:
+        salt = bytes(HASH_SIZE)
+    return hmac.new(salt, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """RFC 5869 section 2.3: stretch ``prk`` to ``length`` bytes."""
+    if length < 1 or length > 255 * HASH_SIZE:
+        raise ValueError(f"hkdf output length {length} outside "
+                         f"[1, {255 * HASH_SIZE}]")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(block) for block in blocks) < length:
+        previous = hmac.new(
+            prk, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(salt: bytes, ikm: bytes, info: bytes, length: int) -> bytes:
+    """Extract-then-expand in one call."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

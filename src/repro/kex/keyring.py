@@ -1,0 +1,84 @@
+"""Per-tenant key hierarchy: one fleet root, many derived secrets.
+
+At fleet scale no operator provisions a distinct MHHEA key per tenant
+by hand.  The keyring derives everything from one 32-byte fleet root
+via HKDF under distinct labels, so the derivation tree is::
+
+    fleet root
+    ├── tenant auth secret   (authenticates that tenant's handshakes)
+    ├── tenant PSK root key  (pre-shared-mode MHHEA key for the tenant)
+    └── ticket vault secret  (seals resumption tickets, fleet-wide)
+
+and below the handshake each session adds its own layer::
+
+    auth secret + ECDH/ticket secret ──> session master
+    ├── per-session MHHEA root key
+    ├── confirmation-MAC keys (one per direction)
+    └── next resumption master secret
+
+Compromise of one tenant's secrets never reaches a sibling tenant
+(HKDF expansion under distinct infos), and the existing epoch ratchet
+(:func:`repro.net.session.derive_epoch_key`) keys each traffic epoch
+below the per-session root exactly as it always has.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import KexError
+from repro.core.key import MAX_PAIRS, Key
+from repro.core.params import PAPER_PARAMS, VectorParams
+from repro.kex.hkdf import hkdf_expand
+
+__all__ = ["TENANT_ID_SIZE", "normalize_tenant_id", "TenantKeyring"]
+
+#: Wire size of a tenant identifier (ClientHello field).
+TENANT_ID_SIZE = 16
+
+
+def normalize_tenant_id(tenant: "bytes | str") -> bytes:
+    """Canonicalise a tenant name to the 16-byte wire form.
+
+    Strings are UTF-8 encoded; anything shorter than 16 bytes is
+    NUL-padded.  Longer identifiers are rejected rather than truncated
+    (two tenants must never collide onto one key branch).
+    """
+    raw = tenant.encode("utf-8") if isinstance(tenant, str) else bytes(tenant)
+    if len(raw) > TENANT_ID_SIZE:
+        raise KexError(
+            f"tenant id {raw!r} is {len(raw)} bytes; max {TENANT_ID_SIZE}"
+        )
+    return raw.ljust(TENANT_ID_SIZE, b"\x00")
+
+
+class TenantKeyring:
+    """Derives per-tenant secrets from a single fleet root."""
+
+    def __init__(self, fleet_root: bytes):
+        if len(fleet_root) < 16:
+            raise KexError(
+                f"fleet root must be at least 16 bytes, got {len(fleet_root)}"
+            )
+        self._root = bytes(fleet_root)
+
+    def tenant_secret(self, tenant: "bytes | str") -> bytes:
+        """The 32-byte handshake-authentication secret for a tenant."""
+        tenant_id = normalize_tenant_id(tenant)
+        return hkdf_expand(self._root, b"mhhea-kex tenant auth" + tenant_id, 32)
+
+    def tenant_key(self, tenant: "bytes | str", *,
+                   params: VectorParams = PAPER_PARAMS,
+                   n_pairs: int = MAX_PAIRS) -> Key:
+        """The tenant's pre-shared-mode MHHEA root key.
+
+        Lets a fleet run old (PSK-only) clients per tenant while new
+        clients handshake: both branches hang off the same root.
+        """
+        tenant_id = normalize_tenant_id(tenant)
+        seed_bytes = hkdf_expand(
+            self._root, b"mhhea-kex tenant root key" + tenant_id, 8)
+        return Key.generate(seed=int.from_bytes(seed_bytes, "little"),
+                            n_pairs=n_pairs, params=params)
+
+    def ticket_secret(self) -> bytes:
+        """The fleet-wide ticket-vault sealing secret."""
+        return hkdf_expand(self._root, b"mhhea-kex ticket vault", 32)

@@ -1,0 +1,184 @@
+"""Session-resumption tickets: server-sealed, bounded, single-use.
+
+A full X25519 handshake costs two pure-Python scalar multiplications;
+a returning client should not pay that on every reconnect.  The server
+therefore seals the resumption master secret into an opaque *ticket*
+(TLS-session-ticket style) and hands it to the client inside the
+ServerHello.  On the next connect the client offers the ticket back;
+the server unseals it, and both sides derive fresh session keys from
+the recovered master secret plus both fresh randoms — no public-key
+work at all.
+
+Sealing construction (stdlib only; the vault secret never leaves the
+server, so this is symmetric self-encryption, not a protocol peers
+must agree on)::
+
+    ticket   = nonce(16) | ciphertext | mac(16)
+    stream   = SHA256(enc_key | nonce | counter_le64) blocks
+    mac      = HMAC-SHA256(mac_key, nonce | ciphertext)[:16]
+    plain    = master_secret(32) | tenant_id(16) | expiry_f64(8)
+
+``enc_key``/``mac_key`` are HKDF-expanded from the vault secret under
+distinct labels.  Verification is encrypt-then-MAC with a constant-time
+compare; a tampered ticket is indistinguishable from an unknown one.
+
+Single-use: every redeemed nonce enters a replay cache until the
+ticket's own expiry passes, so the same ticket can never key two
+sessions (a captured ticket replay forces the attacker into the full
+handshake, where the confirmation MACs stop them).  The cache is
+bounded; at capacity the vault stops *accepting* (never stops
+rejecting) and counts the shed ticket, so memory stays bounded under a
+flood of resumption attempts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+import time
+
+from repro.core.errors import KexError
+from repro.kex.hkdf import hkdf_expand
+
+__all__ = ["TICKET_OVERHEAD", "TicketVault"]
+
+_NONCE_SIZE = 16
+_MAC_SIZE = 16
+_MASTER_SIZE = 32
+_TENANT_SIZE = 16
+_EXPIRY = struct.Struct("<d")
+_PLAIN_SIZE = _MASTER_SIZE + _TENANT_SIZE + _EXPIRY.size
+
+#: Sealed-ticket size minus the plaintext: nonce plus MAC tag.
+TICKET_OVERHEAD = _NONCE_SIZE + _MAC_SIZE
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(hashlib.sha256(
+            key + nonce + counter.to_bytes(8, "little")).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class TicketVault:
+    """Server-side sealer, redeemer, and replay cache for tickets.
+
+    Parameters
+    ----------
+    secret:
+        The sealing secret; rotate it to invalidate every outstanding
+        ticket at once.  :meth:`repro.kex.keyring.TenantKeyring.ticket_secret`
+        derives one from the fleet root.
+    lifetime_s:
+        Seconds a ticket stays redeemable after issue.
+    clock:
+        Injectable time source (defaults to :func:`time.time`) so tests
+        can step expiry deterministically.
+    max_pending:
+        Replay-cache capacity; redemptions beyond it are rejected
+        (counted under ``rejected_capacity``) rather than grow memory.
+    """
+
+    def __init__(self, secret: bytes, *, lifetime_s: float = 3600.0,
+                 clock=None, rng=None, max_pending: int = 4096):
+        if not secret:
+            raise KexError("ticket vault secret must be non-empty")
+        if lifetime_s <= 0:
+            raise KexError(f"ticket lifetime must be positive, "
+                           f"got {lifetime_s}")
+        self._enc_key = hkdf_expand(secret, b"mhhea-kex ticket enc", 32)
+        self._mac_key = hkdf_expand(secret, b"mhhea-kex ticket mac", 32)
+        self.lifetime_s = float(lifetime_s)
+        self._clock = clock if clock is not None else time.time
+        self._rng = rng if rng is not None else os.urandom
+        self.max_pending = max_pending
+        #: nonce -> expiry of every ticket redeemed and still unexpired.
+        self._redeemed: dict[bytes, float] = {}
+        self.counters = {
+            "issued": 0,
+            "accepted": 0,
+            "rejected_tampered": 0,
+            "rejected_expired": 0,
+            "rejected_replayed": 0,
+            "rejected_capacity": 0,
+        }
+
+    def issue(self, master_secret: bytes, tenant_id: bytes) -> bytes:
+        """Seal a resumption master secret into an opaque ticket."""
+        if len(master_secret) != _MASTER_SIZE:
+            raise KexError(f"master secret must be {_MASTER_SIZE} bytes")
+        if len(tenant_id) != _TENANT_SIZE:
+            raise KexError(f"tenant id must be {_TENANT_SIZE} bytes")
+        expiry = self._clock() + self.lifetime_s
+        plain = master_secret + tenant_id + _EXPIRY.pack(expiry)
+        nonce = self._rng(_NONCE_SIZE)
+        ciphertext = _xor(plain, _keystream(self._enc_key, nonce, len(plain)))
+        mac = hmac.new(self._mac_key, nonce + ciphertext,
+                       hashlib.sha256).digest()[:_MAC_SIZE]
+        self.counters["issued"] += 1
+        return nonce + ciphertext + mac
+
+    def redeem(self, ticket: bytes) -> tuple[bytes, bytes] | None:
+        """Unseal a ticket; ``(master_secret, tenant_id)`` or ``None``.
+
+        Returning ``None`` (instead of raising) on a bad ticket lets
+        the handshake fall back to the full exchange when the client
+        also offered ECDH — a stale ticket should cost a round of
+        public-key work, not the connection.
+        """
+        if len(ticket) < TICKET_OVERHEAD + _PLAIN_SIZE:
+            self.counters["rejected_tampered"] += 1
+            return None
+        nonce = ticket[:_NONCE_SIZE]
+        ciphertext = ticket[_NONCE_SIZE:-_MAC_SIZE]
+        mac = ticket[-_MAC_SIZE:]
+        expected = hmac.new(self._mac_key, nonce + ciphertext,
+                            hashlib.sha256).digest()[:_MAC_SIZE]
+        if not hmac.compare_digest(mac, expected):
+            self.counters["rejected_tampered"] += 1
+            return None
+        plain = _xor(ciphertext, _keystream(self._enc_key, nonce,
+                                            len(ciphertext)))
+        if len(plain) != _PLAIN_SIZE:
+            self.counters["rejected_tampered"] += 1
+            return None
+        master_secret = plain[:_MASTER_SIZE]
+        tenant_id = plain[_MASTER_SIZE:_MASTER_SIZE + _TENANT_SIZE]
+        (expiry,) = _EXPIRY.unpack(plain[-_EXPIRY.size:])
+        now = self._clock()
+        if now >= expiry:
+            self.counters["rejected_expired"] += 1
+            return None
+        self._evict(now)
+        if nonce in self._redeemed:
+            self.counters["rejected_replayed"] += 1
+            return None
+        if len(self._redeemed) >= self.max_pending:
+            self.counters["rejected_capacity"] += 1
+            return None
+        self._redeemed[nonce] = expiry
+        self.counters["accepted"] += 1
+        return master_secret, tenant_id
+
+    def _evict(self, now: float) -> None:
+        """Drop replay-cache entries whose tickets have expired anyway."""
+        if len(self._redeemed) < self.max_pending:
+            return
+        expired = [nonce for nonce, expiry in self._redeemed.items()
+                   if now >= expiry]
+        for nonce in expired:
+            del self._redeemed[nonce]
+
+    @property
+    def pending(self) -> int:
+        """Replay-cache entries currently held."""
+        return len(self._redeemed)

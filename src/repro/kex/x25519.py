@@ -1,0 +1,128 @@
+"""Pure-Python X25519 Diffie-Hellman (RFC 7748).
+
+The ECCDH→symmetric-cipher composition the paper's lineage built in
+hardware (SNIPPETS.md Snippets 1–2: a curve core whose shared secret
+keys a block cipher) needs an agreement primitive on the software side.
+The container ships no crypto package, so this is the function from
+RFC 7748 section 5 written directly against the reference pseudocode:
+little-endian field elements over ``p = 2^255 - 19``, scalar clamping,
+and the constant-time-shaped Montgomery ladder.  "Constant-time-shaped"
+is deliberate phrasing — Python's big integers make true constant time
+impossible, so the ladder avoids secret-dependent *branches* (the
+conditional swap is arithmetic) but makes no timing guarantee beyond
+that.  The test suite pins the RFC section 5.2 scalar-multiplication
+vectors and the section 6.1 Diffie-Hellman vectors, plus the iterated
+ladder KAT.
+
+Contributory behaviour: RFC 7748 section 6.1 requires checking for the
+all-zero shared secret that low-order public keys produce.
+:func:`shared_secret` performs that check and raises
+:class:`~repro.core.errors.KexError`, so a handshake with a malicious
+"point" aborts instead of deriving keys every attacker can compute.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import KexError
+
+__all__ = [
+    "KEY_SIZE",
+    "X25519_BASEPOINT",
+    "clamp_scalar",
+    "x25519",
+    "public_key",
+    "shared_secret",
+]
+
+#: Byte length of scalars, coordinates, and shared secrets.
+KEY_SIZE = 32
+
+#: The curve25519 base point: u = 9, little-endian.
+X25519_BASEPOINT = (9).to_bytes(KEY_SIZE, "little")
+
+_P = 2**255 - 19
+_A24 = 121665  # (486662 - 2) / 4
+
+
+def clamp_scalar(scalar: bytes) -> int:
+    """Decode and clamp a 32-byte scalar per RFC 7748 section 5."""
+    if len(scalar) != KEY_SIZE:
+        raise KexError(f"x25519 scalar must be {KEY_SIZE} bytes, "
+                       f"got {len(scalar)}")
+    k = bytearray(scalar)
+    k[0] &= 248
+    k[31] &= 127
+    k[31] |= 64
+    return int.from_bytes(k, "little")
+
+
+def _decode_u(u: bytes) -> int:
+    """Decode a u-coordinate, masking the unused top bit per the RFC."""
+    if len(u) != KEY_SIZE:
+        raise KexError(f"x25519 u-coordinate must be {KEY_SIZE} bytes, "
+                       f"got {len(u)}")
+    masked = bytearray(u)
+    masked[31] &= 127
+    return int.from_bytes(masked, "little")
+
+
+def _cswap(swap: int, a: int, b: int) -> tuple[int, int]:
+    """Branch-free conditional swap: ``swap`` is 0 or 1."""
+    mask = -swap  # 0 or -1: all-zeros or all-ones in two's complement
+    dummy = mask & (a ^ b)
+    return a ^ dummy, b ^ dummy
+
+
+def x25519(scalar: bytes, u: bytes) -> bytes:
+    """Scalar multiplication: the X25519 function of RFC 7748 section 5."""
+    k = clamp_scalar(scalar)
+    x1 = _decode_u(u)
+    x2, z2 = 1, 0
+    x3, z3 = x1, 1
+    swap = 0
+    for t in range(254, -1, -1):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        x2, x3 = _cswap(swap, x2, x3)
+        z2, z3 = _cswap(swap, z2, z3)
+        swap = k_t
+
+        a = (x2 + z2) % _P
+        aa = (a * a) % _P
+        b = (x2 - z2) % _P
+        bb = (b * b) % _P
+        e = (aa - bb) % _P
+        c = (x3 + z3) % _P
+        d = (x3 - z3) % _P
+        da = (d * a) % _P
+        cb = (c * b) % _P
+        x3 = (da + cb) % _P
+        x3 = (x3 * x3) % _P
+        z3 = (da - cb) % _P
+        z3 = (z3 * z3) % _P
+        z3 = (z3 * x1) % _P
+        x2 = (aa * bb) % _P
+        z2 = (e * ((aa + _A24 * e) % _P)) % _P
+
+    x2, x3 = _cswap(swap, x2, x3)
+    z2, z3 = _cswap(swap, z2, z3)
+    result = (x2 * pow(z2, _P - 2, _P)) % _P
+    return result.to_bytes(KEY_SIZE, "little")
+
+
+def public_key(private: bytes) -> bytes:
+    """The public key for a 32-byte private scalar."""
+    return x25519(private, X25519_BASEPOINT)
+
+
+def shared_secret(private: bytes, peer_public: bytes) -> bytes:
+    """Diffie-Hellman agreement with contributory-behaviour check.
+
+    Raises :class:`KexError` when the result is all zeros — the
+    signature of a low-order peer public key (RFC 7748 section 6.1).
+    """
+    secret = x25519(private, peer_public)
+    if secret == bytes(KEY_SIZE):
+        raise KexError("x25519 produced an all-zero shared secret "
+                       "(low-order peer public key)")
+    return secret

@@ -32,7 +32,7 @@ from repro.link.events import (
     ProtocolError,
 )
 from repro.link.memory import LinkPair, MemoryLinkClient, MemoryLinkServer
-from repro.link.protocol import CLOSED, FAILED, HANDSHAKE, OPEN, LinkProtocol
+from repro.link.protocol import CLOSED, FAILED, HANDSHAKE, KEX, OPEN, LinkProtocol
 
 __all__ = [
     "LinkProtocol",
@@ -42,6 +42,7 @@ __all__ = [
     "PacketReceived",
     "LinkClosed",
     "ProtocolError",
+    "KEX",
     "HANDSHAKE",
     "OPEN",
     "CLOSED",

@@ -65,6 +65,11 @@ class LinkPair:
     wire (the scenario harness captures bytes this way), return
     modified bytes to inject deliberate stream damage, or ``b""`` to
     swallow the chunk.  ``None`` (the default) moves bytes untouched.
+
+    ``kex`` / ``responder_kex`` are :class:`repro.kex.KexConfig`
+    objects enabling the hello-v2 exchange; with only ``kex`` given
+    (and no ``responder_root``) both ends share it, mirroring the
+    shared-root default.
     """
 
     def __init__(self, root, config: SessionConfig | None = None,
@@ -73,15 +78,19 @@ class LinkPair:
                  responder_config: SessionConfig | None = None,
                  initiator_metrics: SessionMetrics | None = None,
                  responder_metrics: SessionMetrics | None = None,
-                 i2r_filter=None, r2i_filter=None):
+                 i2r_filter=None, r2i_filter=None,
+                 kex=None, responder_kex=None):
         self.initiator = LinkProtocol(root, "initiator", config=config,
                                       session_id=session_id,
-                                      metrics=initiator_metrics)
-        if responder_root is None:
+                                      metrics=initiator_metrics,
+                                      kex=kex)
+        if responder_root is None and responder_kex is None:
             responder_root, responder_config = root, config
+            responder_kex = kex
         self.responder = LinkProtocol(responder_root, "responder",
                                       config=responder_config,
-                                      metrics=responder_metrics)
+                                      metrics=responder_metrics,
+                                      kex=responder_kex)
         self._i2r_filter = i2r_filter
         self._r2i_filter = r2i_filter
 
@@ -141,12 +150,13 @@ class MemoryLinkServer:
     """
 
     def __init__(self, root, config: SessionConfig | None = None,
-                 handler=None):
+                 handler=None, *, kex=None):
         root, config = _resolve_root(root, config)
         self._root = root
         self._config = config or SessionConfig()
         self._config.validate(root.params.width)
         _check_inline(self._config, "memory")
+        self._kex = kex
         self._handler = handler if handler is not None else _echo
         self._next_peer = 0
         self.metrics = MetricsRegistry()
@@ -154,7 +164,8 @@ class MemoryLinkServer:
 
     def connect(self, session_id: bytes | None = None,
                 root=None,
-                config: SessionConfig | None = None) -> "MemoryLinkClient":
+                config: SessionConfig | None = None, *,
+                kex=None) -> "MemoryLinkClient":
         """Open one in-memory connection; returns its client end.
 
         ``root``/``config`` are the *client's* key material and policy
@@ -178,7 +189,8 @@ class MemoryLinkServer:
             pair = LinkPair(root, config=config, session_id=session_id,
                             responder_root=self._root,
                             responder_config=self._config,
-                            responder_metrics=metrics)
+                            responder_metrics=metrics,
+                            kex=kex, responder_kex=self._kex)
             pair.handshake()
         except Exception as exc:
             self.errors.append(f"{name}: {exc}")
@@ -213,6 +225,21 @@ class MemoryLinkClient:
     def metrics(self):
         """This connection's client-side session counters."""
         return self.session.metrics
+
+    @property
+    def kex_mode(self) -> str | None:
+        """The handshake mode this connection negotiated."""
+        return self._pair.initiator.kex_mode
+
+    @property
+    def issued_ticket(self):
+        """The resumption ticket the server issued, if any."""
+        return self._pair.initiator.issued_ticket
+
+    @property
+    def fingerprint(self) -> bytes | None:
+        """The session root key's fingerprint."""
+        return self._pair.initiator.fingerprint
 
     def request(self, payload: bytes) -> bytes:
         """Send one payload and return its reply."""

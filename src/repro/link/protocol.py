@@ -26,12 +26,23 @@ blocking ``sendall``) in between.
 
 State machine (see docs/net.md for the event table)::
 
-                 receive_data(hello ok)
-    HANDSHAKE ───────────────────────────▶ OPEN ──── close() ───▶ CLOSED
-        │                                  │  ╲
-        │ bad hello / junk / EOF           │   ╲ receive_eof() → LinkClosed
-        ▼                                  ▼    (peer done; sends still OK)
-      FAILED ◀──── framing / replay / CRC damage
+      KEX ──(hello-v2 complete: root key derived)──▶ HANDSHAKE
+       │                                                │
+       │ forged/tampered kex frame,                     │ receive_data(hello ok)
+       │ downgrade attempt, EOF                         ▼
+       └──────────────▶ FAILED ◀── bad hello ── OPEN ── close() ─▶ CLOSED
+                          ▲                      │  ╲
+                          │                      │   ╲ receive_eof() → LinkClosed
+                          └── framing / replay / CRC damage
+
+The ``KEX`` phase exists only when a :class:`repro.kex.KexConfig` is
+passed: it runs the authenticated hello-v2 exchange
+(:class:`repro.kex.Handshake`) *ahead* of the classic hello, derives
+the MHHEA root key for this session, and only then falls through to
+the unchanged ``HANDSHAKE`` → ``OPEN`` path (the classic hello doubles
+as key confirmation under the freshly derived root).  Without a kex
+config the machine is byte-identical to the pre-kex protocol — the
+pre-shared path stays wire-pinned.
 """
 
 from __future__ import annotations
@@ -42,11 +53,13 @@ from typing import Callable
 from repro.core.errors import (
     CipherFormatError,
     HandshakeError,
+    KexError,
     ReplayError,
     ReproError,
     SessionError,
 )
 from repro.core.key import Key
+from repro.kex.handshake import Handshake as KexHandshake, KexConfig
 from repro.link.events import (
     HandshakeComplete,
     LinkClosed,
@@ -62,6 +75,7 @@ from repro.obs import core as _obs
 from repro.obs.logs import log_event
 
 __all__ = [
+    "KEX",
     "HANDSHAKE",
     "OPEN",
     "CLOSED",
@@ -85,6 +99,8 @@ def _resolve_root(root, config: SessionConfig | None):
     return root, config
 
 
+#: Running the negotiated hello-v2 key exchange (kex links only).
+KEX = "KEX"
 #: Waiting for (initiator: the reply to) the hello frame.
 HANDSHAKE = "HANDSHAKE"
 #: Handshake done; payload packets flow both ways.
@@ -132,6 +148,16 @@ class LinkProtocol:
         caller can run ``session.decrypt_async`` on a worker pool; the
         default decrypts inline and emits
         :class:`~repro.link.events.PayloadReceived`.
+    kex:
+        A :class:`repro.kex.KexConfig` to run the authenticated
+        hello-v2 exchange ahead of the classic hello.  ``None`` (the
+        default) keeps the pre-shared path byte-identical.  With a kex
+        config, ``root`` may be ``None`` — the root key is derived by
+        the handshake; pass a root as well to let a responder whose
+        config allows ``"psk"`` also accept classic pre-shared peers.
+        An initiator whose config offers only ``"psk"`` (or offers
+        ``"resume"`` without holding a ticket and no ``"ecdh"``)
+        simply speaks the classic hello.
     """
 
     def __init__(self, root, role: str,
@@ -139,22 +165,62 @@ class LinkProtocol:
                  session_id: bytes | None = None, *,
                  metrics: "SessionMetrics | Callable[[], SessionMetrics] | None" = None,
                  datagram: bool = False,
-                 decrypt_payloads: bool = True):
-        root, config = _resolve_root(root, config)
+                 decrypt_payloads: bool = True,
+                 kex: "KexConfig | None" = None):
+        if root is not None:
+            root, config = _resolve_root(root, config)
         if role not in Session.ROLES:
             raise SessionError(
                 f"role must be one of {Session.ROLES}, got {role!r}"
             )
+        self._kex_config = kex
+        self._kex: "KexHandshake | None" = None
+        self.kex_mode: "str | None" = None
+        self.issued_ticket = None
+        if kex is not None:
+            kex.validate()
+            if role == "initiator":
+                run_v2 = ("ecdh" in kex.modes
+                          or ("resume" in kex.modes
+                              and kex.ticket is not None))
+            else:
+                run_v2 = "ecdh" in kex.modes or "resume" in kex.modes
+            if not run_v2 and "psk" not in kex.modes:
+                raise KexError(
+                    "kex config offers neither a usable hello-v2 mode "
+                    "nor the pre-shared fallback"
+                )
+            if run_v2:
+                self._kex = KexHandshake(kex, role)
+            if root is not None and root.params.width != kex.params.width:
+                raise SessionError(
+                    f"pre-shared root is {root.params.width}-bit but the "
+                    f"kex config derives {kex.params.width}-bit keys"
+                )
+        if root is None:
+            if self._kex is None:
+                raise SessionError(
+                    "a root key is required unless a kex config with a "
+                    "hello-v2 mode is given"
+                )
+            if "psk" in kex.modes and role == "responder":
+                raise SessionError(
+                    "a responder allowing 'psk' needs the pre-shared "
+                    "root key as well"
+                )
+            width = kex.params.width
+        else:
+            width = root.params.width
         self._root = root
         self._config = config or SessionConfig()
-        self._config.validate(root.params.width)
+        self._config.validate(width)
         self.role = role
         self._metrics = metrics
         self._datagram = datagram
         self._decrypt_payloads = decrypt_payloads
-        self._fingerprint = key_fingerprint(root)
+        self._fingerprint = key_fingerprint(root) if root is not None else None
         self._decoder = FrameDecoder(
-            self._config.max_wire_payload(root.params.width)
+            self._config.max_wire_payload(width)
         )
         self._out: list[bytes] = []
         self._out_size = 0
@@ -193,7 +259,11 @@ class LinkProtocol:
                     f"session id must be 8 bytes, got {len(session_id)}"
                 )
             self._session_id: bytes | None = session_id
-            self._queue(self._hello().pack())
+            if self._kex is not None:
+                self._state = KEX
+                self._queue(self._kex.first_message())
+            else:
+                self._queue(self._hello().pack())
         else:
             if session_id is not None:
                 raise SessionError(
@@ -201,13 +271,23 @@ class LinkProtocol:
                     "hello; do not pass one"
                 )
             self._session_id = None
+            if self._kex is not None:
+                self._state = KEX
 
     # -- introspection ----------------------------------------------------
 
     @property
     def state(self) -> str:
-        """One of ``HANDSHAKE`` / ``OPEN`` / ``CLOSED`` / ``FAILED``."""
+        """One of ``KEX`` / ``HANDSHAKE`` / ``OPEN`` / ``CLOSED`` /
+        ``FAILED``."""
         return self._state
+
+    @property
+    def handshaking(self) -> bool:
+        """True while the link is still negotiating (``KEX`` or
+        ``HANDSHAKE``) — the condition every transport's connect loop
+        waits on."""
+        return self._state in (KEX, HANDSHAKE)
 
     @property
     def session(self) -> Session | None:
@@ -223,6 +303,16 @@ class LinkProtocol:
     def config(self) -> SessionConfig:
         """The (validated) link policy this machine runs under."""
         return self._config
+
+    @property
+    def fingerprint(self) -> bytes | None:
+        """The session root key's fingerprint.
+
+        For pre-shared links this is fixed at construction; with a kex
+        it is ``None`` until the exchange derives the session root, so
+        two values differing across connections is the observable proof
+        that each exchange minted fresh keys."""
+        return self._fingerprint
 
     @property
     def peer_closed(self) -> bool:
@@ -358,7 +448,7 @@ class LinkProtocol:
             return []
         frame = frames[0]
         self._obs_frames_rx.inc()
-        if self._state == HANDSHAKE:
+        if self._state in (KEX, HANDSHAKE):
             return self._handle_frame(frame)
         if frame.kind != "packet":
             # A duplicated hello (e.g. a retransmit): not fatal, just late.
@@ -383,7 +473,7 @@ class LinkProtocol:
         """
         if self._state in (CLOSED, FAILED) or self._peer_closed:
             return []
-        if self._state == HANDSHAKE:
+        if self._state in (KEX, HANDSHAKE):
             return self._fail(HandshakeError(
                 "peer closed the connection during the handshake "
                 "(key or configuration mismatch?)"
@@ -506,10 +596,13 @@ class LinkProtocol:
         return [ProtocolError(error)]
 
     def _handle_frame(self, frame) -> list[LinkEvent]:
+        if self._state == KEX:
+            return self._handle_kex_frame(frame)
         if self._state == HANDSHAKE:
             if frame.kind != "hello":
                 return self._fail(HandshakeError(
-                    "received ciphertext before the handshake completed"
+                    "received a non-hello frame before the handshake "
+                    "completed"
                 ))
             try:
                 return self._complete_handshake(frame.hello())
@@ -529,6 +622,62 @@ class LinkProtocol:
         except ReproError as exc:
             return self._fail(exc)
         return [PayloadReceived(payload, self._session.last_recv_seq)]
+
+    def _handle_kex_frame(self, frame) -> list[LinkEvent]:
+        """One frame while the hello-v2 exchange runs (``KEX`` state).
+
+        The downgrade-protection policy lives here: what this machine
+        accepts is fixed by its *local* configuration before any byte
+        arrives, never by what the peer sends.  A classic hello-v1 is
+        honoured only by a responder explicitly configured with
+        ``"psk"`` in its modes (and holding the pre-shared root); every
+        other combination — an initiator that sent a ClientHello being
+        answered with a hello-v1, a responder that requires hello-v2
+        receiving one — aborts the link.
+        """
+        if frame.kind == "hello":
+            if (self.role == "responder"
+                    and "psk" in self._kex_config.modes
+                    and self._root is not None):
+                # An old pre-shared peer: fall back by *local policy*.
+                try:
+                    return self._complete_handshake(frame.hello())
+                except ReproError as exc:
+                    return self._fail(exc)
+            return self._fail(KexError(
+                "peer sent a pre-shared hello on a link that requires "
+                "the authenticated key exchange (downgrade attempt?)"
+            ))
+        if frame.kind != "kex":
+            return self._fail(KexError(
+                "received ciphertext before the key exchange completed"
+            ))
+        try:
+            reply = self._kex.absorb(frame.raw)
+        except KexError as exc:
+            return self._fail(exc)
+        if reply is not None:
+            self._queue(reply)
+        if self._kex.done:
+            self._install_kex_root()
+        return []
+
+    def _install_kex_root(self) -> None:
+        """Adopt the handshake-derived root and fall through to the
+        classic hello exchange (which now doubles as key confirmation
+        under the derived key)."""
+        self._root = self._kex.root_key
+        self._fingerprint = key_fingerprint(self._root)
+        self.kex_mode = self._kex.mode
+        self.issued_ticket = self._kex.issued_ticket
+        self._transition(HANDSHAKE)
+        if self._obs.enabled:
+            self._obs.histogram(
+                "repro_link_kex_seconds", mode=self._kex.mode,
+                help="Construction-to-derived-root kex latency.",
+            ).observe(self._obs.clock() - self._handshake_start)
+        if self.role == "initiator":
+            self._queue(self._hello().pack())
 
     def _complete_handshake(self, hello: Hello) -> list[LinkEvent]:
         config = self._config
@@ -576,12 +725,17 @@ class LinkProtocol:
                                 config=config, metrics=metrics)
         if self.role == "responder":
             self._queue(self._hello().pack())
+        if self.kex_mode is None:
+            self.kex_mode = "psk"
         self._transition(OPEN)
         if self._obs.enabled:
+            self._obs.counter("repro_link_handshakes_total",
+                              mode=self.kex_mode).inc()
             self._obs_handshake.observe(
                 self._obs.clock() - self._handshake_start)
             log_event("repro.link", "link.open", role=self.role,
-                      session_id=self._session_id.hex())
+                      session_id=self._session_id.hex(),
+                      kex_mode=self.kex_mode)
         return [HandshakeComplete(self._session_id, hello)]
 
     def __repr__(self) -> str:

@@ -26,7 +26,7 @@ from repro.link.events import (
     ProtocolError,
 )
 from repro.link.memory import _check_inline, _echo
-from repro.link.protocol import HANDSHAKE, LinkProtocol, _resolve_root
+from repro.link.protocol import LinkProtocol, _resolve_root
 from repro.net.metrics import MetricsRegistry, SessionMetrics
 from repro.net.session import SessionConfig
 
@@ -53,14 +53,20 @@ class SyncLinkClient:
     def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
                  config: SessionConfig | None = None,
                  session_id: bytes | None = None,
-                 timeout: float | None = 10.0):
-        root, config = _resolve_root(root, config)
+                 timeout: float | None = 10.0, *,
+                 kex=None):
+        if root is not None:
+            root, config = _resolve_root(root, config)
         self._root = root
         self._host = host
         self._port = port
         self._config = config or SessionConfig()
-        self._config.validate(root.params.width)
+        width = root.params.width if root is not None else (
+            kex.params.width if kex is not None else None)
+        if width is not None:
+            self._config.validate(width)
         _check_inline(self._config, "sync")
+        self._kex = kex
         self._session_id = session_id
         self._timeout = timeout
         self._sock: socket.socket | None = None
@@ -75,6 +81,21 @@ class SyncLinkClient:
             raise SessionError("client not connected")
         return self.session.metrics
 
+    @property
+    def kex_mode(self) -> str | None:
+        """The negotiated handshake mode (``None`` before connect)."""
+        return self._proto.kex_mode if self._proto is not None else None
+
+    @property
+    def issued_ticket(self):
+        """The resumption ticket the server issued, if any."""
+        return self._proto.issued_ticket if self._proto is not None else None
+
+    @property
+    def fingerprint(self) -> bytes | None:
+        """The session root key's fingerprint (kex: post-handshake)."""
+        return self._proto.fingerprint if self._proto is not None else None
+
     def connect(self) -> None:
         """Open the TCP connection and run the hello exchange."""
         if self.session is not None:
@@ -84,9 +105,10 @@ class SyncLinkClient:
         try:
             self._proto = LinkProtocol(self._root, "initiator",
                                        config=self._config,
-                                       session_id=self._session_id)
+                                       session_id=self._session_id,
+                                       kex=self._kex)
             self._sock.sendall(self._proto.data_to_send())
-            while self._proto.state == HANDSHAKE:
+            while self._proto.handshaking:
                 chunk = self._sock.recv(_READ_CHUNK)
                 events = (self._proto.receive_eof() if not chunk
                           else self._proto.receive_data(chunk))
@@ -95,6 +117,10 @@ class SyncLinkClient:
                         raise event.error
                     if not isinstance(event, LinkClosed):
                         self._pending.append(event)
+                # Multi-round exchanges (the kex phase) queue replies
+                # mid-handshake; flush them before reading on.
+                if self._proto.bytes_to_send:
+                    self._sock.sendall(self._proto.data_to_send())
             self.session = self._proto.session
         except BaseException:
             # A failed handshake must not leak the open socket.
@@ -181,8 +207,10 @@ class SyncLinkServer:
     """
 
     def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
-                 config: SessionConfig | None = None, handler=None):
+                 config: SessionConfig | None = None, handler=None, *,
+                 kex=None):
         root, config = _resolve_root(root, config)
+        self._kex = kex
         self._root = root
         self._host = host
         self._requested_port = port
@@ -272,6 +300,7 @@ class SyncLinkServer:
         proto = LinkProtocol(
             self._root, "responder", config=self._config,
             metrics=lambda: self.metrics.session(name),
+            kex=self._kex,
         )
         try:
             self._drive_connection(conn, proto)

@@ -34,7 +34,7 @@ from repro.link.events import (
     PayloadReceived,
     ProtocolError,
 )
-from repro.link.protocol import HANDSHAKE, LinkProtocol, _resolve_root
+from repro.link.protocol import LinkProtocol, _resolve_root
 from repro.net.metrics import SessionMetrics
 from repro.net.session import Session, SessionConfig
 from repro.obs import core as _obs
@@ -65,8 +65,13 @@ class SecureLinkClient:
     def __init__(self, root, host: str = "127.0.0.1", port: int = 0,
                  config: SessionConfig | None = None,
                  session_id: bytes | None = None,
-                 engine: str | None = None):
-        root, config = _resolve_root(root, config)
+                 engine: str | None = None, *,
+                 kex=None):
+        if root is not None:
+            root, config = _resolve_root(root, config)
+        elif kex is None:
+            raise SessionError("a root key is required without a kex config")
+        self._kex = kex
         self._root = root
         self._host = host
         self._port = port
@@ -84,7 +89,8 @@ class SecureLinkClient:
             )
             config = replace(config, engine=engine)
         self._config = config
-        self._config.validate(root.params.width)
+        self._config.validate(root.params.width if root is not None
+                              else kex.params.width)
         self._session_id = session_id if session_id is not None else os.urandom(8)
         self._pool: EncryptionPool | None = None
         self._reader: asyncio.StreamReader | None = None
@@ -103,6 +109,21 @@ class SecureLinkClient:
         if self.session is None:
             raise SessionError("client not connected")
         return self.session.metrics
+
+    @property
+    def kex_mode(self) -> str | None:
+        """The negotiated handshake mode (``None`` before connect)."""
+        return self._proto.kex_mode if self._proto is not None else None
+
+    @property
+    def issued_ticket(self):
+        """The resumption ticket the server issued, if any."""
+        return self._proto.issued_ticket if self._proto is not None else None
+
+    @property
+    def fingerprint(self) -> bytes | None:
+        """The session root key's fingerprint (kex: post-handshake)."""
+        return self._proto.fingerprint if self._proto is not None else None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -129,11 +150,12 @@ class SecureLinkClient:
                 self._root, "initiator", config=self._config,
                 session_id=self._session_id,
                 decrypt_payloads=self._pool is None,
+                kex=self._kex,
             )
             self._events.clear()
-            self._writer.write(self._proto.data_to_send())  # our hello
+            self._writer.write(self._proto.data_to_send())  # our opener
             await self._writer.drain()
-            while self._proto.state == HANDSHAKE:
+            while self._proto.handshaking:
                 chunk = await self._reader.read(_READ_CHUNK)
                 events = (self._proto.receive_eof() if not chunk
                           else self._proto.receive_data(chunk))
@@ -144,6 +166,11 @@ class SecureLinkClient:
                         # Traffic that rode in with the hello reply is
                         # kept for the reader, never dropped.
                         self._events.append(event)
+                if self._proto.bytes_to_send:
+                    # Multi-round exchanges (the kex phase) queue
+                    # replies mid-handshake; flush before reading on.
+                    self._writer.write(self._proto.data_to_send())
+                    await self._writer.drain()
             self.session = self._proto.session
             _obs.get_registry().counter("repro_client_connects_total").inc()
         except BaseException:

@@ -10,7 +10,10 @@ the two frame kinds on the wire (DESIGN.md section 6):
 * ``hello`` — the fixed-size handshake frame (:class:`Hello`), magic
   ``b"MHLO"``;
 * ``packet`` — one ciphertext packet in the
-  :mod:`repro.core.stream` container format, magic ``b"MHEA"``.
+  :mod:`repro.core.stream` container format, magic ``b"MHEA"``;
+* ``kex`` — one hello-v2 key-exchange message
+  (:mod:`repro.kex.wire`), magic ``b"MKX2"``, used only while a
+  negotiated handshake runs ahead of the classic hello.
 
 The decoder enforces an oversized-payload ceiling (a corrupted length
 field must not make a receiver buffer gigabytes) and, optionally,
@@ -31,6 +34,12 @@ from repro.core.stream import (
     MAGIC,
     PacketHeader,
     verify_packet,
+)
+from repro.kex.wire import (
+    KEX_MAGIC,
+    KEX_PREFIX_SIZE,
+    kex_frame_size,
+    unpack_record as _unpack_kex_record,
 )
 from repro.util.crc import crc16_ccitt
 
@@ -121,7 +130,7 @@ class Frame:
     :class:`FrameDecoder` for the view-lifetime contract.
     """
 
-    kind: str  # "hello" or "packet"
+    kind: str  # "hello", "packet" or "kex"
     raw: "bytes | memoryview"
 
     def hello(self) -> Hello:
@@ -263,6 +272,8 @@ class FrameDecoder:
             return self._try_packet()
         if buf.startswith(HELLO_MAGIC, head):
             return self._try_hello()
+        if buf.startswith(KEX_MAGIC, head):
+            return self._try_kex()
         if not self.resync:
             raise CipherFormatError(
                 f"cannot frame stream: unknown magic {buf[head:head + 4]!r}"
@@ -304,6 +315,22 @@ class FrameDecoder:
             return None
         return self._emit("hello", HELLO_SIZE)
 
+    def _try_kex(self) -> Frame | None:
+        buf, head = self._buf, self._head
+        if len(buf) - head < KEX_PREFIX_SIZE:
+            return None
+        # kex_frame_size raises on an oversized body; route that through
+        # the shared junk policy (fatal, or skip under resync).
+        total = self._parse(kex_frame_size, buf[head:head + KEX_PREFIX_SIZE])
+        if total is None:
+            return None
+        if len(buf) - head < total:
+            return None
+        if self._parse(_unpack_kex_record,
+                       self._view[head:head + total]) is None:
+            return None
+        return self._emit("kex", total)
+
     def _parse(self, parser, blob):
         """Run ``parser``; under resync, treat failures as junk to skip."""
         try:
@@ -329,7 +356,8 @@ class FrameDecoder:
         """Drop bytes until a magic (or a possible magic prefix) leads."""
         buf, head = self._buf, self._head
         candidates = [position for position in
-                      (buf.find(MAGIC, head), buf.find(HELLO_MAGIC, head))
+                      (buf.find(MAGIC, head), buf.find(HELLO_MAGIC, head),
+                       buf.find(KEX_MAGIC, head))
                       if position >= 0]
         if candidates:
             self._discard(min(candidates) - head)
@@ -339,7 +367,8 @@ class FrameDecoder:
         keep = 0
         for length in range(min(self._TAIL, len(buf) - head), 0, -1):
             tail = buf[len(buf) - length:]
-            if MAGIC.startswith(tail) or HELLO_MAGIC.startswith(tail):
+            if (MAGIC.startswith(tail) or HELLO_MAGIC.startswith(tail)
+                    or KEX_MAGIC.startswith(tail)):
                 keep = length
                 break
         self._discard(len(buf) - head - keep)

@@ -82,10 +82,12 @@ class SecureLinkServer:
                  handler: Handler = _echo,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  engine: str | None = None,
-                 metrics_port: int | None = None):
+                 metrics_port: int | None = None,
+                 kex=None):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         root, config = _resolve_root(root, config)
+        self._kex = kex
         self._root = root
         self._host = host
         self._requested_port = port
@@ -250,6 +252,7 @@ class SecureLinkServer:
             self._root, "responder", config=self._config,
             metrics=lambda: self.metrics.session(name),
             decrypt_payloads=self._pool is None,
+            kex=self._kex,
         )
         queue: asyncio.Queue = asyncio.Queue(self._queue_depth)
         sender = asyncio.create_task(self._send_replies(queue, proto, writer))

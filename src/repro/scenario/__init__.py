@@ -10,23 +10,34 @@ checks, after every run, that the protocol's own accounting reconciles
 * :class:`TrafficMix` — deterministic duplex workload mixes grown from
   :mod:`repro.analysis.workloads` (:mod:`repro.scenario.traffic`);
 * :class:`FaultyLink` / :func:`run_scenario` / :func:`standard_matrix`
-  — the datagram-mode harness with its independent mirror oracle
+  — the datagram-mode harness with its independent mirror oracle,
+  including active-attacker injections (:meth:`FaultyLink.inject`,
+  :data:`ATTACK_KINDS`) reconciled against the same oracle
   (:mod:`repro.scenario.runner`);
 * :func:`run_stream_control` — the fault-free stream-mode control run
   with byte-exact wire capture;
+* :func:`run_kex_attacks` — the hello-v2 handshake attack battery:
+  downgrade stripping, transcript tampering, splice replays and ticket
+  replay/tamper/expiry, each asserting abort-with-reconciled-counters
+  (:mod:`repro.scenario.attacks`);
 * :class:`CoverCodec` — the stego cover-traffic transport framing
   (:mod:`repro.scenario.cover`);
 * :func:`run_transport_matrix` — the same schedule over in-memory and
   real UDP transports, demanding identical results
-  (:mod:`repro.scenario.udp`; imported lazily, as it opens sockets).
+  (:mod:`repro.scenario.udp`; imported lazily, as it opens sockets);
+* :func:`run_tcp_matrix` — every handshake mode (psk/ecdh/resume) over
+  in-memory and real asyncio TCP transports, demanding identical
+  negotiation and accounting (:mod:`repro.scenario.tcp`; lazy too).
 
-Everything except :mod:`repro.scenario.udp` is sans-IO — no sockets,
-no event loop — and stays inside the import closure policed by
+Everything except :mod:`repro.scenario.udp` and
+:mod:`repro.scenario.tcp` is sans-IO — no sockets, no event loop — and
+stays inside the import closure policed by
 ``tests/link/test_sans_io.py``.
 """
 
 from __future__ import annotations
 
+from repro.scenario.attacks import run_kex_attacks
 from repro.scenario.cover import CoverCodec
 from repro.scenario.faults import (
     FAULT_KINDS,
@@ -35,6 +46,7 @@ from repro.scenario.faults import (
     FaultSchedule,
 )
 from repro.scenario.runner import (
+    ATTACK_KINDS,
     FaultyLink,
     ReferenceReceiver,
     Scenario,
@@ -47,6 +59,7 @@ from repro.scenario.runner import (
 from repro.scenario.traffic import DIRECTIONS, TrafficMix
 
 __all__ = [
+    "ATTACK_KINDS",
     "FAULT_KINDS",
     "DIRECTIONS",
     "FaultEvent",
@@ -61,16 +74,22 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "run_stream_control",
+    "run_kex_attacks",
     "standard_matrix",
     "run_transport_matrix",
+    "run_tcp_matrix",
 ]
 
 
 def __getattr__(name: str):
-    # PEP 562: the UDP matrix opens real sockets, so importing it
-    # eagerly would drag the socket module into the sans-IO closure.
+    # PEP 562: the transport matrices open real sockets, so importing
+    # them eagerly would drag socket/asyncio into the sans-IO closure.
     if name == "run_transport_matrix":
         from repro.scenario.udp import run_transport_matrix
 
         return run_transport_matrix
+    if name == "run_tcp_matrix":
+        from repro.scenario.tcp import run_tcp_matrix
+
+        return run_tcp_matrix
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

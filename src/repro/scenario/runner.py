@@ -59,12 +59,14 @@ from repro.net.session import (
     key_fingerprint,
     seq_for_nonce,
 )
+from repro.kex.wire import MSG_CLIENT_HELLO, OFFER_ECDH, pack_record
 from repro.obs import core as _obs
 from repro.scenario.cover import CoverCodec
 from repro.scenario.faults import Delivery, FaultSchedule
 from repro.scenario.traffic import DIRECTIONS, TrafficMix
 
 __all__ = [
+    "ATTACK_KINDS",
     "SentDatagram",
     "ReferenceReceiver",
     "FaultyLink",
@@ -77,6 +79,10 @@ __all__ = [
 
 #: Session id every scenario link pins (determinism over uniqueness).
 SCENARIO_SESSION_ID = b"SCENLINK"
+
+#: Attacker datagram families :meth:`FaultyLink.inject` can forge.
+ATTACK_KINDS = ("replay-hello", "replay-data", "forge-hello",
+                "forge-junk", "forge-kex")
 
 
 @dataclass(frozen=True)
@@ -229,6 +235,10 @@ class FaultyLink:
         self.delivered = {direction: [] for direction in DIRECTIONS}
         self.arrivals = {direction: 0 for direction in DIRECTIONS}
         self.cover_drops = {direction: 0 for direction in DIRECTIONS}
+        #: Handshake datagrams each direction carried (attack material).
+        self.hellos = {direction: [] for direction in DIRECTIONS}
+        #: Injected attacker datagrams per direction, ``{kind: count}``.
+        self.attacks = {direction: {} for direction in DIRECTIONS}
         self.failures: list[str] = []
         self._codecs = None
         if cover:
@@ -272,6 +282,7 @@ class FaultyLink:
             for direction in DIRECTIONS:
                 sender, _ = self._ends(direction)
                 for datagram in sender.datagrams_to_send():
+                    self.hellos[direction].append(bytes(datagram))
                     self._deliver_clean(direction, bytes(datagram))
             if (self.initiator.state == OPEN
                     and self.responder.state == OPEN):
@@ -365,6 +376,98 @@ class FaultyLink:
                         (event.payload, event.seq))
                 elif isinstance(event, ProtocolError):
                     self.failures.append(f"{direction}: {event.error}")
+
+    # -- active attacker --------------------------------------------------
+
+    def _forge(self, direction: str, kind: str) -> bytes:
+        """Craft one attacker datagram of ``kind`` for ``direction``."""
+        if kind == "replay-hello":
+            if not self.hellos[direction]:
+                raise SessionError(
+                    f"no {direction} handshake datagram captured to replay"
+                )
+            return self.hellos[direction][0]
+        if kind == "replay-data":
+            if not self.sent[direction]:
+                raise SessionError(
+                    f"no {direction} data datagram sent yet to replay"
+                )
+            return self.sent[direction][-1].frame
+        if kind == "forge-hello":
+            # A syntactically perfect hello with a fabricated key
+            # fingerprint: after the handshake it can only ever be
+            # classified as late, never renegotiate the session.
+            from repro.net.framing import Hello as _Hello
+
+            return _Hello(algorithm=self._config.algorithm,
+                          width=self._width, session_id=b"FORGERID",
+                          fingerprint=b"\xde\xad\xbe\xef\xfa\xce\xd0\x0d",
+                          rekey_interval=self._config.rekey_interval).pack()
+        if kind == "forge-junk":
+            # Strictly increasing bytes can never spell a frame magic,
+            # so the whole datagram is unframeable noise.
+            return bytes(range(32, 96))
+        if kind == "forge-kex":
+            # A well-framed hello-v2 ClientHello spliced into an open
+            # datagram link: framing-valid (CRC fixed up), but the link
+            # already has a session — it must be dropped, not answered.
+            return pack_record(MSG_CLIENT_HELLO, OFFER_ECDH, bytes(70))
+        raise SessionError(
+            f"attack kind must be one of {ATTACK_KINDS}, got {kind!r}"
+        )
+
+    def inject(self, direction: str, kind: str) -> str:
+        """Deliver one attacker-forged datagram; returns its fate.
+
+        The forged bytes travel the same arrival path as scheduled
+        deliveries — through the cover layer (which an attacker cannot
+        speak) when one is active, then through both the receiver and
+        its mirror oracle — so every injection stays inside the exact
+        reconciliation :meth:`verify` enforces.  Returns the oracle's
+        drop bucket (``"unframeable"``/``"late-hello"``/``"replay"``/
+        ...), ``"cover"`` when the cover framing already rejected it, or
+        ``"accepted"``.  A replayed data datagram whose original was
+        lost in transit is legitimately accepted *once* — the replay
+        window guarantees at-most-once delivery, not exactly-never —
+        which is why replays reuse the original send record.
+        """
+        frame = self._forge(direction, kind)
+        record = (self.sent[direction][-1] if kind == "replay-data"
+                  else SentDatagram(-1, direction, -1, frame, b""))
+        _, receiver = self._ends(direction)
+        oracle = self.oracles[direction]
+        self.attacks[direction][kind] = \
+            self.attacks[direction].get(kind, 0) + 1
+        self.arrivals[direction] += 1
+        if self._codecs is not None:
+            _, rx_codec, oracle_codec = self._codecs[direction]
+            inner = rx_codec.unwrap(frame)
+            mirror = oracle_codec.unwrap(frame)
+            if (inner is None) != (mirror is None):
+                self.failures.append(
+                    f"{direction}: cover unwrap desync on injected "
+                    f"{kind} datagram"
+                )
+            if inner is None:
+                self.cover_drops[direction] += 1
+                return "cover"
+        else:
+            inner = frame
+            mirror = frame
+        before = dict(oracle.drops)
+        accepted_before = len(oracle.accepted)
+        oracle.absorb(mirror, record)
+        for event in receiver.receive_datagram(inner):
+            if isinstance(event, PayloadReceived):
+                self.delivered[direction].append((event.payload, event.seq))
+            elif isinstance(event, ProtocolError):
+                self.failures.append(f"{direction}: {event.error}")
+        if len(oracle.accepted) > accepted_before:
+            return "accepted"
+        for bucket, count in oracle.drops.items():
+            if count != before[bucket]:
+                return bucket
+        return "held"  # pragma: no cover - oracle always decides
 
     # -- invariants -------------------------------------------------------
 
@@ -506,6 +609,10 @@ class Scenario:
     fault_directions: tuple = DIRECTIONS
     """Which directions the schedules cover (both by default)."""
 
+    attacks: tuple = ()
+    """Attacker injections as ``(direction, kind)`` pairs
+    (:data:`ATTACK_KINDS`), delivered after the traffic mix."""
+
 
 @dataclass
 class ScenarioResult:
@@ -558,6 +665,8 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
                           cover=scenario.cover)
         link.handshake()
         link.run_mix(scenario.mix)
+        for direction, kind in scenario.attacks:
+            link.inject(direction, kind)
         link.flush()
         problems = link.verify()
         problems.extend(link.probe())
@@ -578,6 +687,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
                                    // scenario.rekey_interval
                                    if accepted_seqs else 0),
                 "faults": dict(schedule.counts) if schedule else None,
+                "attacks": dict(link.attacks[direction]),
                 "trace_digest": _trace_digest(schedule),
             }
         return ScenarioResult(name=scenario.name, ok=not problems,
@@ -738,4 +848,17 @@ def standard_matrix() -> list[Scenario]:
         Scenario("cover-hostile", TrafficMix.soak(48, seed=19, duplex=True),
                  faults={"loss": 0.1, "corrupt": 0.1, "truncate": 0.05},
                  cover=True, rekey_interval=16),
+        Scenario("attacker-replay", TrafficMix.duplex(48, seed=20),
+                 attacks=(("i2r", "replay-hello"), ("i2r", "replay-data"),
+                          ("r2i", "replay-hello"), ("r2i", "replay-data"))),
+        Scenario("attacker-forge", TrafficMix.imix(60, seed=21),
+                 attacks=(("i2r", "forge-hello"), ("i2r", "forge-junk"),
+                          ("i2r", "forge-kex"), ("r2i", "forge-hello"),
+                          ("r2i", "forge-junk"), ("r2i", "forge-kex"))),
+        Scenario("attacker-under-fire", TrafficMix.duplex(90, seed=22),
+                 faults={"loss": 0.1, "corrupt": 0.1},
+                 attacks=(("i2r", "replay-hello"), ("i2r", "replay-data"),
+                          ("i2r", "forge-hello"), ("i2r", "forge-junk"),
+                          ("i2r", "forge-kex"), ("r2i", "replay-data"),
+                          ("r2i", "forge-kex"))),
     ]

@@ -1,0 +1,348 @@
+"""Hello-v2 wire round-trips, the full state machine, and its refusals."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import CipherFormatError, KexError
+from repro.kex.handshake import (
+    Handshake,
+    KexConfig,
+    ResumptionTicket,
+    kex_auth_secret,
+)
+from repro.kex.keyring import TENANT_ID_SIZE, TenantKeyring, normalize_tenant_id
+from repro.kex.hkdf import hkdf_expand
+from repro.kex.tickets import TicketVault
+from repro.kex import wire
+from repro.core.key import Key
+
+AUTH = bytes(range(32))
+
+
+def client_config(**kwargs):
+    kwargs.setdefault("auth_secret", AUTH)
+    kwargs.setdefault("modes", ("ecdh", "resume"))
+    return KexConfig(**kwargs)
+
+
+def server_config(**kwargs):
+    kwargs.setdefault("auth_secret", AUTH)
+    kwargs.setdefault("modes", ("ecdh", "resume", "psk"))
+    kwargs.setdefault("tickets", TicketVault(b"vault secret"))
+    return KexConfig(**kwargs)
+
+
+def run_handshake(client_cfg, server_cfg):
+    client = Handshake(client_cfg, "initiator")
+    server = Handshake(server_cfg, "responder")
+    reply = server.absorb(client.first_message())
+    finished = client.absorb(reply)
+    assert server.absorb(finished) is None
+    assert client.done and server.done
+    return client, server
+
+
+def retamper(blob, mutate):
+    """Unpack, mutate, and repack a kex frame with a *valid* CRC — the
+    framing CRC is unkeyed, so an on-path attacker can always fix it up."""
+    record = wire.unpack_record(blob)
+    msg_type, mode, body = mutate(record)
+    return wire.pack_record(msg_type, mode, body)
+
+
+# -- wire format ----------------------------------------------------------
+
+def test_record_roundtrip():
+    blob = wire.pack_record(wire.MSG_CLIENT_HELLO, wire.OFFER_ECDH, b"body")
+    record = wire.unpack_record(blob)
+    assert record.msg_type == wire.MSG_CLIENT_HELLO
+    assert record.mode == wire.OFFER_ECDH
+    assert record.body == b"body"
+    assert record.raw == blob
+    assert record.transcript_bytes == blob[:-2]
+
+
+@pytest.mark.parametrize("mangle", [
+    lambda b: b[:-1],                               # truncated
+    lambda b: b"XKX2" + b[4:],                      # wrong magic
+    lambda b: b[:4] + b"\x7f" + b[5:],              # unknown version
+    lambda b: b[:7] + b"\x01" + b[8:],              # reserved flags set
+    lambda b: b[:-2] + bytes(2),                    # CRC mismatch
+    lambda b: b + b"x",                             # trailing garbage
+], ids=["truncated", "magic", "version", "flags", "crc", "overlong"])
+def test_unpack_rejects_damage(mangle):
+    blob = wire.pack_record(wire.MSG_FINISHED, wire.MODE_ECDH, bytes(32))
+    with pytest.raises(CipherFormatError):
+        wire.unpack_record(mangle(blob))
+
+
+def test_unknown_message_type_rejected():
+    blob = wire.pack_record(9, wire.MODE_ECDH, b"")
+    with pytest.raises(CipherFormatError):
+        wire.unpack_record(blob)
+
+
+def test_oversized_body_rejected_before_buffering():
+    with pytest.raises(KexError):
+        wire.pack_record(wire.MSG_CLIENT_HELLO, 0,
+                         bytes(wire.KEX_MAX_BODY + 1))
+    prefix = bytearray(
+        wire.pack_record(wire.MSG_CLIENT_HELLO, 0, b"")[:wire.KEX_PREFIX_SIZE])
+    prefix[8:10] = (wire.KEX_MAX_BODY + 1).to_bytes(2, "little")
+    with pytest.raises(CipherFormatError):
+        wire.kex_frame_size(bytes(prefix))
+
+
+def test_kex_frame_size_partial_prefix():
+    blob = wire.pack_record(wire.MSG_FINISHED, wire.MODE_ECDH, bytes(32))
+    assert wire.kex_frame_size(blob[:wire.KEX_PREFIX_SIZE - 1]) is None
+    assert wire.kex_frame_size(blob) == len(blob)
+
+
+def test_client_hello_roundtrip():
+    hello = wire.ClientHello(
+        offers=wire.OFFER_ECDH | wire.OFFER_RESUME, width=16, n_pairs=8,
+        public=bytes(range(32)), random=bytes(range(16)),
+        tenant_id=b"tenant-a".ljust(16, b"\x00"), ticket=b"opaque ticket")
+    again = wire.ClientHello.unpack(wire.unpack_record(hello.pack()))
+    assert again == hello
+
+
+def test_server_hello_roundtrip_and_confirm_fill():
+    hello = wire.ServerHello(mode=wire.MODE_ECDH, public=bytes(32),
+                             random=bytes(16), ticket=b"t" * 48,
+                             confirm=bytes(32))
+    filled = hello.with_confirm(b"\xab" * 32)
+    again = wire.ServerHello.unpack(wire.unpack_record(filled.pack()))
+    assert again == filled
+    assert again.confirm == b"\xab" * 32
+
+
+def test_unpack_helpers_enforce_message_type():
+    finished = wire.unpack_record(wire.Finished(wire.MODE_ECDH,
+                                                bytes(32)).pack())
+    with pytest.raises(KexError):
+        wire.ClientHello.unpack(finished)
+    with pytest.raises(KexError):
+        wire.ServerHello.unpack(finished)
+
+
+# -- the state machine ----------------------------------------------------
+
+def test_full_ecdh_handshake_agrees_on_keys():
+    client, server = run_handshake(client_config(), server_config())
+    assert client.mode == server.mode == "ecdh"
+    assert client.root_key.to_bytes() == server.root_key.to_bytes()
+    assert client.issued_ticket is not None
+    assert client.issued_ticket.ticket == server.issued_ticket.ticket
+
+
+def test_resumption_skips_public_key_work_and_rekeys():
+    vault = TicketVault(b"vault secret")
+    first, _ = run_handshake(client_config(),
+                             server_config(tickets=vault))
+    ticket = first.issued_ticket
+    resumed, server = run_handshake(client_config(ticket=ticket),
+                                    server_config(tickets=vault))
+    assert resumed.mode == server.mode == "resume"
+    # Fresh randoms on both sides: the resumed session's root is new.
+    assert resumed.root_key.to_bytes() != first.root_key.to_bytes()
+    # And a fresh ticket was minted for the *next* resumption.
+    assert resumed.issued_ticket is not None
+    assert resumed.issued_ticket.ticket != ticket.ticket
+
+
+def test_stale_ticket_falls_back_to_ecdh():
+    vault = TicketVault(b"vault secret")
+    first, _ = run_handshake(client_config(), server_config(tickets=vault))
+    other_vault = TicketVault(b"a different vault")
+    client, server = run_handshake(
+        client_config(ticket=first.issued_ticket),
+        server_config(tickets=other_vault))
+    assert client.mode == server.mode == "ecdh"
+
+
+def test_wrong_auth_secret_aborts():
+    client = Handshake(client_config(), "initiator")
+    server = Handshake(server_config(auth_secret=bytes(32)), "responder")
+    reply = server.absorb(client.first_message())
+    with pytest.raises(KexError, match="MAC"):
+        client.absorb(reply)
+    assert client.failed and not client.done
+
+
+def test_tampered_offer_bitmask_aborts():
+    """Rewriting the offer bits (the classic downgrade move) changes the
+    transcript on one side only: the confirm MAC catches it even though
+    the attacker fixed the CRC up."""
+    client = Handshake(client_config(), "initiator")
+    server = Handshake(server_config(), "responder")
+    hello = client.first_message()
+    tampered = retamper(hello, lambda r: (r.msg_type,
+                                          r.mode | wire.OFFER_RESUME,
+                                          r.body))
+    reply = server.absorb(tampered)
+    with pytest.raises(KexError, match="MAC"):
+        client.absorb(reply)
+    assert client.failed
+
+
+def test_tampered_server_confirm_aborts():
+    client = Handshake(client_config(), "initiator")
+    server = Handshake(server_config(), "responder")
+    reply = server.absorb(client.first_message())
+    tampered = retamper(reply, lambda r: (
+        r.msg_type, r.mode, r.body[:-1] + bytes([r.body[-1] ^ 1])))
+    with pytest.raises(KexError, match="MAC"):
+        client.absorb(tampered)
+
+
+def test_tampered_finished_aborts_responder():
+    client = Handshake(client_config(), "initiator")
+    server = Handshake(server_config(), "responder")
+    finished = client.absorb(server.absorb(client.first_message()))
+    tampered = retamper(finished, lambda r: (
+        r.msg_type, r.mode, bytes([r.body[0] ^ 1]) + r.body[1:]))
+    with pytest.raises(KexError, match="MAC"):
+        server.absorb(tampered)
+    assert server.failed and not server.done
+
+
+def test_low_order_client_public_rejected():
+    client = Handshake(client_config(), "initiator")
+    server = Handshake(server_config(), "responder")
+    hello = client.first_message()
+    # Zero the client public key (body: width u8 | n_pairs u8 | public 32).
+    zeroed = retamper(hello, lambda r: (
+        r.msg_type, r.mode, r.body[:2] + bytes(32) + r.body[34:]))
+    with pytest.raises(KexError, match="zero"):
+        server.absorb(zeroed)
+
+
+def test_parameter_mismatch_refused():
+    client = Handshake(client_config(n_pairs=4), "initiator")
+    server = Handshake(server_config(n_pairs=8), "responder")
+    with pytest.raises(KexError, match="key pairs"):
+        server.absorb(client.first_message())
+
+
+def test_failed_handshake_is_poisoned():
+    client = Handshake(client_config(), "initiator")
+    server = Handshake(server_config(auth_secret=bytes(32)), "responder")
+    reply = server.absorb(client.first_message())
+    with pytest.raises(KexError):
+        client.absorb(reply)
+    with pytest.raises(KexError, match="already failed"):
+        client.absorb(reply)
+
+
+def test_responder_refuses_ecdh_when_policy_is_resume_only():
+    client = Handshake(client_config(modes=("ecdh",)), "initiator")
+    server = Handshake(server_config(modes=("resume",)), "responder")
+    with pytest.raises(KexError, match="no common kex mode"):
+        server.absorb(client.first_message())
+
+
+def test_resume_only_client_without_ticket_has_nothing_to_offer():
+    client = Handshake(client_config(modes=("resume",)), "initiator")
+    with pytest.raises(KexError, match="nothing to offer"):
+        client.first_message()
+
+
+def test_psk_only_config_cannot_build_a_handshake():
+    with pytest.raises(KexError):
+        Handshake(KexConfig(auth_secret=AUTH, modes=("psk",)), "initiator")
+
+
+def test_handshake_is_deterministic_under_injected_entropy():
+    kwargs = dict(private_key=bytes(range(32)), random_bytes=bytes(16))
+    a = Handshake(client_config(), "initiator", **kwargs)
+    b = Handshake(client_config(), "initiator", **kwargs)
+    assert a.first_message() == b.first_message()
+
+
+# -- config validation ----------------------------------------------------
+
+@pytest.mark.parametrize("kwargs,needle", [
+    (dict(modes=("quantum",)), "unknown kex modes"),
+    (dict(modes=()), "must not be empty"),
+    (dict(modes=("ecdh", "ecdh")), "duplicate"),
+    (dict(auth_secret=None), "auth_secret or a keyring"),
+    (dict(n_pairs=0), "n_pairs"),
+    (dict(tenant_id=b"x" * 17), "tenant"),
+])
+def test_config_validation(kwargs, needle):
+    config = dataclasses.replace(KexConfig(auth_secret=AUTH), **kwargs)
+    with pytest.raises(KexError, match=needle):
+        config.validate()
+
+
+def test_keyring_overrides_flat_auth_secret():
+    keyring = TenantKeyring(b"fleet root secret")
+    config = KexConfig(keyring=keyring)
+    config.validate()
+    tenant = normalize_tenant_id("acme")
+    assert config.resolve_auth_secret(tenant) == keyring.tenant_secret(tenant)
+
+
+# -- ticket serialisation -------------------------------------------------
+
+def test_resumption_ticket_roundtrip():
+    ticket = ResumptionTicket(ticket=b"sealed" * 10,
+                              master_secret=bytes(range(32)),
+                              tenant_id=normalize_tenant_id("acme"))
+    assert ResumptionTicket.from_bytes(ticket.to_bytes()) == ticket
+
+
+@pytest.mark.parametrize("mangle", [
+    lambda b: b[:-1],            # truncated ticket payload
+    lambda b: b"NOPE" + b[4:],   # wrong magic
+    lambda b: b[:10],            # shorter than the fixed header
+], ids=["truncated", "magic", "short"])
+def test_resumption_ticket_rejects_damage(mangle):
+    blob = ResumptionTicket(b"sealed", bytes(32),
+                            normalize_tenant_id("t")).to_bytes()
+    with pytest.raises(KexError):
+        ResumptionTicket.from_bytes(mangle(blob))
+
+
+# -- derived authentication ----------------------------------------------
+
+def test_kex_auth_secret_is_deterministic_and_key_bound():
+    a = Key.generate(seed=1, n_pairs=4)
+    assert kex_auth_secret(a) == kex_auth_secret(Key.generate(seed=1,
+                                                              n_pairs=4))
+    assert kex_auth_secret(a) != kex_auth_secret(Key.generate(seed=2,
+                                                              n_pairs=4))
+    assert len(kex_auth_secret(a)) == 32
+
+
+# -- tenant keyring -------------------------------------------------------
+
+def test_tenant_ids_normalise_and_bound():
+    assert normalize_tenant_id("acme") == b"acme" + bytes(12)
+    assert normalize_tenant_id(b"") == bytes(TENANT_ID_SIZE)
+    with pytest.raises(KexError):
+        normalize_tenant_id("x" * (TENANT_ID_SIZE + 1))
+
+
+def test_keyring_separates_tenants():
+    keyring = TenantKeyring(b"fleet root secret")
+    assert keyring.tenant_secret("acme") != keyring.tenant_secret("bmce")
+    a = keyring.tenant_key("acme", n_pairs=4)
+    b = keyring.tenant_key("bmce", n_pairs=4)
+    assert a.to_bytes() != b.to_bytes()
+    assert keyring.tenant_key("acme", n_pairs=4).to_bytes() == a.to_bytes()
+
+
+def test_keyring_ticket_secret_differs_from_tenant_secrets():
+    keyring = TenantKeyring(b"fleet root secret")
+    assert keyring.ticket_secret() != keyring.tenant_secret("acme")
+    assert keyring.ticket_secret() == hkdf_expand(
+        b"fleet root secret", b"mhhea-kex ticket vault", 32)
+
+
+def test_keyring_rejects_weak_roots():
+    with pytest.raises(KexError):
+        TenantKeyring(b"short")

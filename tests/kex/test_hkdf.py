@@ -1,0 +1,67 @@
+"""RFC 5869 appendix A test vectors for HKDF-SHA256."""
+
+import pytest
+
+from repro.kex.hkdf import HASH_SIZE, hkdf, hkdf_expand, hkdf_extract
+
+# RFC 5869 A.1 — basic test case with SHA-256.
+A1_IKM = bytes.fromhex("0b" * 22)
+A1_SALT = bytes.fromhex("000102030405060708090a0b0c")
+A1_INFO = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+A1_PRK = bytes.fromhex(
+    "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+A1_OKM = bytes.fromhex(
+    "3cb25f25faacd57a90434f64d0362f2a"
+    "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+    "34007208d5b887185865")
+
+# RFC 5869 A.2 — longer inputs/outputs.
+A2_IKM = bytes(range(0x00, 0x50))
+A2_SALT = bytes(range(0x60, 0xB0))
+A2_INFO = bytes(range(0xB0, 0x100))
+A2_PRK = bytes.fromhex(
+    "06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244")
+A2_OKM = bytes.fromhex(
+    "b11e398dc80327a1c8e7f78c596a4934"
+    "4f012eda2d4efad8a050cc4c19afa97c"
+    "59045a99cac7827271cb41c65e590e09"
+    "da3275600c2f09b8367793a9aca3db71"
+    "cc30c58179ec3e87c14c01d5c1f3434f"
+    "1d87")
+
+# RFC 5869 A.3 — zero-length salt and info.
+A3_IKM = bytes.fromhex("0b" * 22)
+A3_PRK = bytes.fromhex(
+    "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04")
+A3_OKM = bytes.fromhex(
+    "8da4e775a563c18f715f802a063c5a31"
+    "b8a11f5c5ee1879ec3454e5f3c738d2d"
+    "9d201395faa4b61a96c8")
+
+
+@pytest.mark.parametrize("salt,ikm,info,prk,okm", [
+    (A1_SALT, A1_IKM, A1_INFO, A1_PRK, A1_OKM),
+    (A2_SALT, A2_IKM, A2_INFO, A2_PRK, A2_OKM),
+    (b"", A3_IKM, b"", A3_PRK, A3_OKM),
+], ids=["A.1", "A.2", "A.3"])
+def test_rfc5869_vectors(salt, ikm, info, prk, okm):
+    assert hkdf_extract(salt, ikm) == prk
+    assert hkdf_expand(prk, info, len(okm)) == okm
+    assert hkdf(salt, ikm, info, len(okm)) == okm
+
+
+def test_expand_is_a_prefix_family():
+    prk = hkdf_extract(b"salt", b"ikm")
+    long = hkdf_expand(prk, b"label", 64)
+    assert hkdf_expand(prk, b"label", 16) == long[:16]
+
+
+def test_distinct_labels_are_unrelated():
+    prk = hkdf_extract(b"salt", b"ikm")
+    assert hkdf_expand(prk, b"a", 32) != hkdf_expand(prk, b"b", 32)
+
+
+@pytest.mark.parametrize("length", [0, -1, 255 * HASH_SIZE + 1])
+def test_expand_length_bounds(length):
+    with pytest.raises(ValueError):
+        hkdf_expand(bytes(HASH_SIZE), b"info", length)

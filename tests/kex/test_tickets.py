@@ -1,0 +1,134 @@
+"""TicketVault: sealing, single-use redemption, expiry, and bounds.
+
+Every test injects ``clock`` (and where it matters, ``rng``) so expiry
+and replay behaviour are stepped deterministically — no sleeping.
+"""
+
+import pytest
+
+from repro.core.errors import KexError
+from repro.kex.tickets import TICKET_OVERHEAD, TicketVault
+
+MASTER = bytes(range(32))
+TENANT = b"tenant-a".ljust(16, b"\x00")
+
+
+def make_vault(**kwargs):
+    ticks = [1000.0]
+    kwargs.setdefault("lifetime_s", 60.0)
+    vault = TicketVault(b"vault sealing secret", clock=lambda: ticks[0],
+                        **kwargs)
+    return vault, ticks
+
+
+def test_issue_redeem_roundtrip():
+    vault, _ = make_vault()
+    ticket = vault.issue(MASTER, TENANT)
+    assert len(ticket) == TICKET_OVERHEAD + 32 + 16 + 8
+    assert vault.redeem(ticket) == (MASTER, TENANT)
+    assert vault.counters["issued"] == 1
+    assert vault.counters["accepted"] == 1
+
+
+def test_tickets_are_single_use():
+    vault, _ = make_vault()
+    ticket = vault.issue(MASTER, TENANT)
+    assert vault.redeem(ticket) is not None
+    assert vault.redeem(ticket) is None
+    assert vault.counters["rejected_replayed"] == 1
+    assert vault.pending == 1
+
+
+def test_expired_tickets_are_refused():
+    vault, ticks = make_vault(lifetime_s=60.0)
+    ticket = vault.issue(MASTER, TENANT)
+    ticks[0] += 59.0
+    assert vault.redeem(ticket) is not None
+    late = vault.issue(MASTER, TENANT)
+    ticks[0] += 61.0
+    assert vault.redeem(late) is None
+    assert vault.counters["rejected_expired"] == 1
+
+
+@pytest.mark.parametrize("mangle", [
+    lambda t: t[:10],                                   # far too short
+    lambda t: t[:20] + bytes([t[20] ^ 0x10]) + t[21:],  # ciphertext flip
+    lambda t: t[:-1] + bytes([t[-1] ^ 1]),              # MAC flip
+    lambda t: bytes([t[0] ^ 1]) + t[1:],                # nonce flip
+], ids=["short", "ciphertext", "mac", "nonce"])
+def test_tampered_tickets_are_refused(mangle):
+    vault, _ = make_vault()
+    ticket = vault.issue(MASTER, TENANT)
+    assert vault.redeem(mangle(ticket)) is None
+    assert vault.counters["rejected_tampered"] == 1
+    # The untouched original still redeems: rejection has no side effects.
+    assert vault.redeem(ticket) is not None
+
+
+def test_foreign_vault_tickets_are_refused():
+    vault, _ = make_vault()
+    other = TicketVault(b"a different secret", clock=lambda: 1000.0)
+    assert other.redeem(vault.issue(MASTER, TENANT)) is None
+    assert other.counters["rejected_tampered"] == 1
+
+
+def test_replay_cache_is_bounded():
+    vault, _ = make_vault(max_pending=2)
+    tickets = [vault.issue(MASTER, TENANT) for _ in range(3)]
+    assert vault.redeem(tickets[0]) is not None
+    assert vault.redeem(tickets[1]) is not None
+    assert vault.redeem(tickets[2]) is None
+    assert vault.counters["rejected_capacity"] == 1
+    assert vault.pending == 2
+    # Rejection keeps working at capacity: replays are still refused.
+    assert vault.redeem(tickets[0]) is None
+    assert vault.counters["rejected_replayed"] == 1
+
+
+def test_replay_cache_evicts_expired_entries():
+    vault, ticks = make_vault(max_pending=2, lifetime_s=60.0)
+    old = [vault.issue(MASTER, TENANT) for _ in range(2)]
+    for ticket in old:
+        assert vault.redeem(ticket) is not None
+    ticks[0] += 61.0  # both cached entries are now past expiry
+    fresh = vault.issue(MASTER, TENANT)
+    assert vault.redeem(fresh) is not None
+    assert vault.counters["rejected_capacity"] == 0
+    assert vault.pending == 1
+
+
+def test_distinct_nonces_even_for_identical_payloads():
+    vault, _ = make_vault()
+    assert vault.issue(MASTER, TENANT) != vault.issue(MASTER, TENANT)
+
+
+def test_deterministic_under_injected_rng():
+    counter = [0]
+
+    def rng(n):
+        counter[0] += 1
+        return bytes([counter[0]]) * n
+
+    a = TicketVault(b"s", clock=lambda: 0.0, rng=rng)
+    ticket = a.issue(MASTER, TENANT)
+    assert ticket[:16] == bytes([1]) * 16
+    assert a.redeem(ticket) == (MASTER, TENANT)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(secret=b""),
+    dict(lifetime_s=0.0),
+    dict(lifetime_s=-1.0),
+])
+def test_vault_construction_rejects_bad_parameters(kwargs):
+    kwargs.setdefault("secret", b"ok")
+    with pytest.raises(KexError):
+        TicketVault(kwargs.pop("secret"), **kwargs)
+
+
+def test_issue_validates_sizes():
+    vault, _ = make_vault()
+    with pytest.raises(KexError):
+        vault.issue(MASTER[:-1], TENANT)
+    with pytest.raises(KexError):
+        vault.issue(MASTER, TENANT[:-1])

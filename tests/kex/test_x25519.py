@@ -1,0 +1,102 @@
+"""RFC 7748 known-answer tests for the pure-Python X25519 core."""
+
+import pytest
+
+from repro.core.errors import KexError
+from repro.kex.x25519 import (
+    KEY_SIZE,
+    X25519_BASEPOINT,
+    clamp_scalar,
+    public_key,
+    shared_secret,
+    x25519,
+)
+
+# RFC 7748 section 5.2, first test vector.
+RFC_SCALAR_1 = bytes.fromhex(
+    "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+RFC_U_1 = bytes.fromhex(
+    "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+RFC_OUT_1 = bytes.fromhex(
+    "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+
+# RFC 7748 section 5.2, second test vector (u with high bit set —
+# must be masked on decode).
+RFC_SCALAR_2 = bytes.fromhex(
+    "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d")
+RFC_U_2 = bytes.fromhex(
+    "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493")
+RFC_OUT_2 = bytes.fromhex(
+    "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957")
+
+# RFC 7748 section 5.2, iterated base-point ladder after one iteration.
+RFC_ITER_1 = bytes.fromhex(
+    "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079")
+
+# RFC 7748 section 6.1, the full Diffie-Hellman example.
+ALICE_PRIVATE = bytes.fromhex(
+    "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a")
+ALICE_PUBLIC = bytes.fromhex(
+    "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+BOB_PRIVATE = bytes.fromhex(
+    "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb")
+BOB_PUBLIC = bytes.fromhex(
+    "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+SHARED = bytes.fromhex(
+    "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742")
+
+
+def test_rfc7748_vector_one():
+    assert x25519(RFC_SCALAR_1, RFC_U_1) == RFC_OUT_1
+
+
+def test_rfc7748_vector_two_masks_the_top_bit():
+    assert x25519(RFC_SCALAR_2, RFC_U_2) == RFC_OUT_2
+
+
+def test_rfc7748_iterated_ladder_one_round():
+    assert x25519(X25519_BASEPOINT, X25519_BASEPOINT) == RFC_ITER_1
+
+
+def test_rfc7748_diffie_hellman_example():
+    assert public_key(ALICE_PRIVATE) == ALICE_PUBLIC
+    assert public_key(BOB_PRIVATE) == BOB_PUBLIC
+    assert shared_secret(ALICE_PRIVATE, BOB_PUBLIC) == SHARED
+    assert shared_secret(BOB_PRIVATE, ALICE_PUBLIC) == SHARED
+
+
+def test_agreement_for_arbitrary_keys():
+    a = bytes(range(32))
+    b = bytes(range(32, 64))
+    assert shared_secret(a, public_key(b)) == shared_secret(b, public_key(a))
+
+
+def test_clamping_is_idempotent_and_pins_bits():
+    clamped = clamp_scalar(bytes([0xFF]) * 32)
+    assert clamped % 8 == 0
+    assert clamped >> 255 == 0
+    assert clamped >> 254 == 1
+    assert clamp_scalar(clamped.to_bytes(32, "little")) == clamped
+
+
+@pytest.mark.parametrize("low_order_u", [
+    bytes(32),                      # u = 0
+    (1).to_bytes(32, "little"),     # u = 1
+    # u = p - 1 (order-2 point): ladder output is all zeros too.
+    ((2 ** 255 - 19) - 1).to_bytes(32, "little"),
+])
+def test_low_order_points_are_rejected(low_order_u):
+    with pytest.raises(KexError):
+        shared_secret(ALICE_PRIVATE, low_order_u)
+
+
+def test_wrong_size_inputs_are_rejected():
+    with pytest.raises(KexError):
+        x25519(b"short", X25519_BASEPOINT)
+    with pytest.raises(KexError):
+        x25519(RFC_SCALAR_1, b"\x00" * 31)
+
+
+def test_key_size_constant():
+    assert KEY_SIZE == 32
+    assert len(X25519_BASEPOINT) == 32

@@ -31,12 +31,23 @@ CORE_MODULES = [
     "repro/net/framing.py",
     "repro/net/metrics.py",
     # The scenario harness core is sans-IO by contract; only
-    # repro/scenario/udp.py (lazily loaded) may open sockets.
+    # repro/scenario/udp.py and repro/scenario/tcp.py (lazily loaded)
+    # may open sockets.
     "repro/scenario/__init__.py",
     "repro/scenario/faults.py",
     "repro/scenario/traffic.py",
     "repro/scenario/cover.py",
     "repro/scenario/runner.py",
+    "repro/scenario/attacks.py",
+    # The key-exchange subsystem runs inside the link core, so it is
+    # held to the same sans-IO bar.
+    "repro/kex/__init__.py",
+    "repro/kex/x25519.py",
+    "repro/kex/hkdf.py",
+    "repro/kex/wire.py",
+    "repro/kex/handshake.py",
+    "repro/kex/tickets.py",
+    "repro/kex/keyring.py",
 ]
 
 #: I/O modules the sans-IO core must never import.

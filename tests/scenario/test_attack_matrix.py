@@ -1,0 +1,130 @@
+"""Active-attacker coverage: injections, the attack battery, and the
+attacker entries of the committed scenario matrix."""
+
+import pytest
+
+from repro.core.key import Key
+from repro.net.session import SessionConfig
+from repro.scenario import (
+    ATTACK_KINDS,
+    FaultyLink,
+    Scenario,
+    TrafficMix,
+    run_kex_attacks,
+    run_scenario,
+    standard_matrix,
+)
+
+
+def make_link(**kwargs):
+    link = FaultyLink(Key.generate(seed=2005),
+                      config=SessionConfig(rekey_interval=32), **kwargs)
+    link.handshake()
+    return link
+
+
+class TestInject:
+    def test_replayed_hello_lands_in_the_late_hello_bucket(self):
+        link = make_link()
+        assert link.inject("i2r", "replay-hello") == "late-hello"
+        assert link.verify() == []
+
+    def test_replayed_data_lands_in_the_replay_window(self):
+        link = make_link()
+        link.run_mix(TrafficMix.imix(10, seed=3))
+        assert link.inject("i2r", "replay-data") == "replay"
+        assert link.verify() == []
+
+    def test_forged_hello_cannot_renegotiate_an_open_link(self):
+        link = make_link()
+        assert link.inject("i2r", "forge-hello") == "late-hello"
+        assert link.verify() == []
+
+    def test_forged_junk_is_unframeable(self):
+        link = make_link()
+        assert link.inject("r2i", "forge-junk") == "unframeable"
+        assert link.verify() == []
+
+    def test_spliced_kex_hello_is_dropped_not_answered(self):
+        link = make_link()
+        fate = link.inject("i2r", "forge-kex")
+        assert fate == "late-hello"
+        # The responder produced no reply bytes for the splice: the
+        # reverse direction saw no new sends.
+        assert link.sent["r2i"] == []
+        assert link.verify() == []
+
+    def test_injections_are_counted_per_kind(self):
+        link = make_link()
+        link.inject("i2r", "replay-hello")
+        link.inject("i2r", "replay-hello")
+        link.inject("r2i", "forge-junk")
+        assert link.attacks["i2r"] == {"replay-hello": 2}
+        assert link.attacks["r2i"] == {"forge-junk": 1}
+
+    def test_unknown_kind_rejected(self):
+        link = make_link()
+        with pytest.raises(Exception, match="attack kind"):
+            link.inject("i2r", "bitflip-everything")
+
+    def test_replay_without_a_prior_send_is_an_error(self):
+        link = make_link()
+        with pytest.raises(Exception, match="no i2r data datagram"):
+            link.inject("i2r", "replay-data")
+
+
+class TestAttackScenarios:
+    @pytest.fixture(scope="class")
+    def attacker_results(self):
+        matrix = {s.name: s for s in standard_matrix()}
+        names = [n for n in matrix if n.startswith("attacker-")]
+        return {name: run_scenario(matrix[name]) for name in names}
+
+    def test_matrix_carries_the_attacker_battery(self, attacker_results):
+        assert set(attacker_results) == {
+            "attacker-replay", "attacker-forge", "attacker-under-fire"}
+
+    def test_every_attacker_scenario_reconciles(self, attacker_results):
+        for name, result in attacker_results.items():
+            assert result.ok, f"{name}: {result.problems}"
+
+    def test_injections_show_up_in_the_ledger(self, attacker_results):
+        forge = attacker_results["attacker-forge"].to_dict()
+        counted = {}
+        for direction in ("i2r", "r2i"):
+            for kind, n in forge["directions"][direction]["attacks"].items():
+                counted[kind] = counted.get(kind, 0) + n
+        assert counted == {"forge-hello": 2, "forge-junk": 2, "forge-kex": 2}
+
+    def test_attack_scenarios_are_deterministic(self):
+        scenario = Scenario("det", TrafficMix.duplex(24, seed=5),
+                            attacks=(("i2r", "replay-hello"),
+                                     ("r2i", "forge-junk")))
+        assert run_scenario(scenario).to_dict() == \
+            run_scenario(scenario).to_dict()
+
+    def test_attack_kinds_constant_matches_the_forge_table(self):
+        link = make_link()
+        link.run_mix(TrafficMix.duplex(8, seed=6))
+        for kind in ATTACK_KINDS:
+            link.inject("i2r", kind)
+        assert sorted(link.attacks["i2r"]) == sorted(ATTACK_KINDS)
+
+
+class TestKexAttackBattery:
+    @pytest.fixture(scope="class")
+    def battery(self):
+        return run_kex_attacks()
+
+    def test_battery_is_green(self, battery):
+        assert battery["ok"], battery["problems"]
+
+    def test_battery_covers_the_contract(self, battery):
+        names = {check["name"] for check in battery["checks"]}
+        # Downgrade, tamper, splice, and ticket families must all run.
+        for needle in ("downgrade", "tamper", "splice", "ticket"):
+            assert any(needle in name for name in names), needle
+
+    def test_every_check_reports_a_verdict(self, battery):
+        for check in battery["checks"]:
+            assert check["ok"], check

@@ -1,0 +1,43 @@
+"""Cross-transport kex invariants: memory vs real asyncio TCP."""
+
+import pytest
+
+from repro.scenario.tcp import MATRIX_MODES, run_tcp_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """One full run; every test reads the same result document."""
+    return run_tcp_matrix(messages=24, rekey_interval=8)
+
+
+class TestTcpMatrix:
+    def test_matrix_is_green(self, matrix):
+        assert matrix["ok"], matrix["problems"]
+
+    def test_every_mode_ran_on_both_transports(self, matrix):
+        for transport in ("memory", "tcp"):
+            assert set(matrix[transport]) >= set(MATRIX_MODES)
+
+    def test_transports_negotiate_identically(self, matrix):
+        for mode in MATRIX_MODES:
+            assert matrix["memory"][mode]["mode"] == mode
+            assert matrix["tcp"][mode]["mode"] == mode
+
+    def test_counters_match_the_schedule(self, matrix):
+        for transport in ("memory", "tcp"):
+            for mode in MATRIX_MODES:
+                entry = matrix[transport][mode]
+                assert entry["echoed"], (transport, mode)
+                assert entry["rx_packets"] == matrix["messages"]
+                assert entry["tx_rekeys"] == (matrix["messages"] - 1) // 8
+
+    def test_resumption_mints_fresh_session_roots(self, matrix):
+        for transport in ("memory", "tcp"):
+            resumed = matrix[transport]["resume"]
+            assert resumed["fingerprint"] != resumed["full_fingerprint"]
+            assert resumed["ticket_issued"]
+
+    def test_downgrade_probe_refused_not_fallen_back(self, matrix):
+        assert not matrix["downgrade"]["connected"]
+        assert matrix["downgrade"]["error"]

@@ -276,3 +276,91 @@ class TestTopLevelExports:
                      "register_engine", "get_engine", "registered_engines",
                      "UnknownEngineError"):
             assert name in repro.__all__
+
+
+class TestKexFacade:
+    def run(self, coroutine):
+        asyncio.run(coroutine)
+
+    def pump(self, initiator, responder):
+        while initiator.bytes_to_send or responder.bytes_to_send:
+            responder.receive_data(initiator.data_to_send())
+            initiator.receive_data(responder.data_to_send())
+
+    def test_codec_link_negotiates_ecdh(self, key16):
+        codec = open_codec(key16)
+        initiator = codec.link("initiator", session_id=SID, kex="ecdh")
+        responder = codec.link("responder", kex="ecdh")
+        self.pump(initiator, responder)
+        assert initiator.kex_mode == responder.kex_mode == "ecdh"
+        assert initiator.fingerprint == responder.fingerprint
+
+    def test_codec_link_resumes_from_an_issued_ticket(self, key16):
+        codec = open_codec(key16)
+        responder = codec.link("responder", kex="ecdh")
+        initiator = codec.link("initiator", session_id=SID, kex="ecdh")
+        self.pump(initiator, responder)
+        ticket = initiator.issued_ticket
+        assert ticket is not None
+        # The vault sealing secret is derived from the codec's key, so
+        # even a *fresh* responder (think: restarted server) can unseal
+        # the ticket and resume.
+        again = codec.link("initiator", session_id=SID, kex="ecdh",
+                           ticket=ticket)
+        fresh = codec.link("responder", kex="ecdh")
+        self.pump(again, fresh)
+        assert again.kex_mode == fresh.kex_mode == "resume"
+        assert again.fingerprint != initiator.fingerprint
+
+    def test_psk_spelling_matches_none(self, key16):
+        codec = open_codec(key16)
+        initiator = codec.link("initiator", session_id=SID, kex="psk")
+        responder = codec.link("responder")
+        self.pump(initiator, responder)
+        assert initiator.kex_mode == responder.kex_mode == "psk"
+
+    def test_ticket_without_kex_is_rejected(self, key16):
+        codec = open_codec(key16)
+        with pytest.raises(ValueError, match="kex='ecdh'"):
+            codec.link("initiator", ticket=object())
+
+    def test_unknown_kex_selector_rejected(self, key16):
+        codec = open_codec(key16)
+        with pytest.raises(ValueError, match="unknown kex selector"):
+            codec.link("initiator", kex="rsa")
+
+    def test_serve_connect_negotiate_and_resume(self, key16):
+        async def body():
+            codec = open_codec(key16)
+            async with serve(codec, port=0, kex="ecdh") as server:
+                async with connect(codec, port=server.port, session_id=SID,
+                                   kex="ecdh") as client:
+                    assert await client.request(b"kex") == b"kex"
+                    assert client.kex_mode == "ecdh"
+                    ticket = client.issued_ticket
+                assert ticket is not None
+                async with connect(codec, port=server.port, session_id=SID,
+                                   kex="ecdh", ticket=ticket) as client:
+                    assert await client.request(b"again") == b"again"
+                    assert client.kex_mode == "resume"
+            assert server.errors == []
+
+        self.run(body())
+
+    def test_classic_client_still_speaks_to_a_kex_server(self, key16):
+        async def body():
+            codec = open_codec(key16)
+            async with serve(codec, port=0, kex="ecdh") as server:
+                async with connect(codec, port=server.port,
+                                   session_id=SID) as client:
+                    assert await client.request(b"psk") == b"psk"
+                    assert client.kex_mode == "psk"
+
+        self.run(body())
+
+    def test_udp_transport_refuses_kex(self, key16):
+        codec = open_codec(key16)
+        with pytest.raises(ValueError, match="udp"):
+            serve(codec, transport="udp", kex="ecdh")
+        with pytest.raises(ValueError, match="udp"):
+            connect(codec, transport="udp", kex="ecdh")

@@ -419,3 +419,88 @@ class TestScenario:
         err = capsys.readouterr().err
         assert err.startswith("repro-mhhea: error:")
         assert "--list" in err
+
+
+class TestKexCli:
+    KEY_HEX = "03:25:71:46"
+
+    def _kex_server(self):
+        """A live kex-enabled TCP server on a background loop."""
+        from repro.api import Codec, _resolve_kex
+        from repro.core.key import Key
+        from repro.net import SecureLinkServer
+
+        codec = Codec(Key.from_hex(self.KEY_HEX))
+        server = SecureLinkServer(codec.key, port=0,
+                                  kex=_resolve_kex(codec, "serve", "ecdh"))
+        loop = asyncio.new_event_loop()
+        loop.run_until_complete(server.start())
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        return server, loop, thread
+
+    def test_send_negotiates_ecdh_then_resumes_from_ticket_file(
+            self, tmp_path, capsys):
+        server, loop, thread = self._kex_server()
+        try:
+            payload = tmp_path / "payload.bin"
+            payload.write_bytes(b"kex cli payload " * 32)
+            ticket_file = tmp_path / "session.ticket"
+            base = ["send", "--key", self.KEY_HEX,
+                    "--port", str(server.port), "--kex", "ecdh",
+                    "--ticket-file", str(ticket_file), str(payload)]
+            assert main(list(base)) == 0
+            first = capsys.readouterr().out
+            assert "kex mode: ecdh" in first
+            assert f"saved resumption ticket to {ticket_file}" in first
+            assert ticket_file.exists()
+            assert main(list(base)) == 0
+            second = capsys.readouterr().out
+            assert "kex mode: resume" in second
+            assert "byte-exact" in second
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5)
+            loop.run_until_complete(server.close())
+            loop.close()
+
+    def test_send_rejects_kex_over_udp(self, tmp_path, capsys):
+        payload = tmp_path / "payload.bin"
+        payload.write_bytes(b"x")
+        rc = main(["send", "--key", self.KEY_HEX, "--transport", "udp",
+                   "--kex", "ecdh", "--port", "1", str(payload)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mhhea: error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "udp" in err
+
+    def test_serve_rejects_kex_over_udp(self, capsys):
+        rc = main(["serve", "--key", self.KEY_HEX, "--transport", "udp",
+                   "--kex", "ecdh"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mhhea: error:")
+        assert "--transport tcp" in err
+
+    def test_ticket_file_requires_kex(self, tmp_path, capsys):
+        payload = tmp_path / "payload.bin"
+        payload.write_bytes(b"x")
+        rc = main(["send", "--key", self.KEY_HEX, "--port", "1",
+                   "--ticket-file", str(tmp_path / "t"), str(payload)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mhhea: error:")
+        assert "--kex ecdh" in err
+
+    def test_scenario_json_carries_the_kex_attack_battery(self, capsys):
+        import json
+
+        # The battery rides the full default run (--only skips it).
+        assert main(["scenario", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        battery = document["kex_attacks"]
+        assert battery["ok"], battery["problems"]
+        assert len(battery["checks"]) >= 10
+        names = [entry["name"] for entry in document["scenarios"]]
+        assert "attacker-forge" in names

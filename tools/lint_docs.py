@@ -71,11 +71,20 @@ AUDITED_MODULES = [
     "repro.scenario.traffic",
     "repro.scenario.cover",
     "repro.scenario.runner",
+    "repro.scenario.attacks",
+    "repro.scenario.tcp",
+    "repro.kex",
+    "repro.kex.x25519",
+    "repro.kex.hkdf",
+    "repro.kex.wire",
+    "repro.kex.handshake",
+    "repro.kex.tickets",
+    "repro.kex.keyring",
 ]
 
 #: Markdown files whose ``python`` code blocks must execute.
-DOC_FILES = ["README.md", "docs/api.md", "docs/core.md", "docs/net.md",
-             "docs/observability.md", "docs/parallel.md",
+DOC_FILES = ["README.md", "docs/api.md", "docs/core.md", "docs/kex.md",
+             "docs/net.md", "docs/observability.md", "docs/parallel.md",
              "docs/scenarios.md"]
 
 _FENCE = re.compile(r"^```(\w[\w-]*(?: [\w-]+)*)?\s*$")
