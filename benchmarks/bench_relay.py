@@ -1,0 +1,119 @@
+"""Relay hub economics: concurrent-link ramp, fan-out routing, shedding.
+
+The relay's job under load is threefold: *admit* connections cheaply
+(resumption tickets keep the ramp ladder-free), *route* payloads to
+every group member at a usable aggregate rate, and — past its
+configured capacity — *shed* with exact counters instead of wedging.
+These benches pin all three:
+
+* the ticket-backed ramp sustains hundreds of concurrent links at a
+  rate that stays comfortably interactive;
+* fan-out routing (one encrypt per receiver) delivers aggregate
+  plaintext throughput, measured end to end through each receiver's
+  decrypt;
+* the gate: a 500-link ramp against a smaller hub admits exactly to
+  capacity, sheds the overflow as ``global-quota``, and keeps routing —
+  if overload ever wedges the admission path, this fails on wall-clock
+  before it fails on counters.
+"""
+
+import time
+
+from repro.relay import ManualClock, MemoryRelayHub, RelayConfig
+
+TENANTS = ("alpha", "beta")
+
+
+def _ramp(hub, per_tenant: int, channels_per_tenant: int) -> dict:
+    """Open ``per_tenant`` ticket-resumed links per tenant; returns the
+    ``(tenant, channel) -> [clients]`` groups (admitted links only)."""
+    groups = {}
+    for tenant in TENANTS:
+        for i in range(per_tenant):
+            channel = b"bench-%d" % (i % channels_per_tenant)
+            client = hub.connect(tenant, channel=channel,
+                                 ticket=hub.mint_ticket(tenant))
+            if client is not None and client.open:
+                groups.setdefault((tenant, channel), []).append(client)
+    return groups
+
+
+def test_relay_ramp_and_fanout_throughput(emit):
+    per_tenant, channels, rounds, payload_size = 128, 16, 4, 1024
+    hub = MemoryRelayHub(
+        config=RelayConfig(max_links=2 * per_tenant,
+                           max_links_per_tenant=per_tenant,
+                           egress_queue_payloads=rounds + 8),
+        clock=ManualClock())
+
+    start = time.perf_counter()
+    groups = _ramp(hub, per_tenant, channels)
+    ramp_s = time.perf_counter() - start
+    links = hub.core.active_links
+    assert links == 2 * per_tenant
+
+    payload = bytes(payload_size)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for members in groups.values():
+            members[0].send(payload)
+    for members in groups.values():
+        for receiver in members[1:]:
+            receiver.pump()
+    route_s = time.perf_counter() - start
+    delivered = hub.core.routed_bytes
+
+    emit("relay_ramp", "\n".join([
+        f"ticket ramp      : {links} links in {ramp_s:.3f} s "
+        f"({links / ramp_s:8.1f} links/s)",
+        f"fan-out routing  : {delivered / 1e6:.2f} MB plaintext delivered "
+        f"across {len(groups)} groups in {route_s:.3f} s "
+        f"({delivered / route_s / 1e6:8.2f} MB/s aggregate)",
+        f"shed ledger      : {hub.shed_by_reason() or '(empty)'}",
+    ]))
+    assert hub.shed_by_reason() == {}
+    assert hub.core.routed_payloads == rounds * len(groups)
+
+
+def test_relay_500_link_ramp_sheds_not_wedges(emit):
+    """The overload gate: 500 connection attempts against a 384-slot
+    hub must admit exactly to capacity, shed the rest as global-quota,
+    and keep routing for the admitted population — at a ramp rate that
+    proves the admission path never wedged."""
+    hub = MemoryRelayHub(
+        config=RelayConfig(max_links=384, max_links_per_tenant=192,
+                           egress_queue_payloads=16),
+        clock=ManualClock())
+
+    start = time.perf_counter()
+    groups = _ramp(hub, per_tenant=250, channels_per_tenant=25)
+    elapsed = time.perf_counter() - start
+    attempts = 500
+    rate = attempts / elapsed
+
+    admitted = sum(len(members) for members in groups.values())
+    assert admitted == 384
+    assert hub.core.active_links == 384
+    # alpha ramps first and overflows its 192-link tenant cap; beta then
+    # fills the hub to 384, so its overflow hits the global quota.
+    assert hub.shed_by_reason() == {"tenant-quota": 58, "global-quota": 58}
+
+    # Shedding, not wedging: the survivors still route...
+    probe = next(members for members in groups.values() if len(members) >= 2)
+    probe[0].send(b"after the ramp")
+    probe[1].pump()
+    assert probe[1].received[-1] == b"after the ramp"
+    # ...and the whole overloaded ramp stayed fast.  Ticket resumption
+    # runs ~700 attempts/s in pure Python; 25/s means something in the
+    # admission or shed path has gone quadratic or blocking.
+    assert rate >= 25.0, (
+        f"500-attempt ramp crawled at {rate:.1f} attempts/s "
+        f"({elapsed:.1f} s); the overloaded relay is wedging, not shedding"
+    )
+
+    emit("relay_overload_gate", "\n".join([
+        f"attempts         : {attempts} against 384 slots",
+        f"admitted         : {admitted}",
+        f"shed             : {hub.shed_by_reason()}",
+        f"ramp rate        : {rate:8.1f} attempts/s under overload",
+    ]))

@@ -1,8 +1,8 @@
 """Unified benchmark harness — one command, one machine-readable artefact.
 
 Runs the benchmark families (core engines, fast path, sharded parallel
-pipeline, secure link, key exchange, hostile-network scenario battery)
-under a single timing convention and writes
+pipeline, secure link, key exchange, relay hub, hostile-network
+scenario battery) under a single timing convention and writes
 ``benchmarks/_artifacts/BENCH_pipeline.json``: MB/s per stage, speedups
 against the reference engine and against the single-worker fast path,
 the worker scaling curve, and the scenario reconciliation ledgers.  CI
@@ -347,16 +347,79 @@ def bench_kex(repeats: int) -> dict:
     }
 
 
+def bench_relay(n_links: int, payload_size: int, rounds: int) -> dict:
+    """Relay hub economics: ticket ramp rate, fan-out routing, shedding.
+
+    Ramps ``n_links`` ticket-resumed links across two tenants on the
+    in-memory hub, routes ``rounds`` payloads through every channel
+    group end to end (one re-encrypt per receiver, one decrypt per
+    delivery), then floods another ``n_links // 2`` attempts at the
+    full hub so the artefact records the rejection rate alongside the
+    admission rate.  benchmarks/bench_relay.py gates the overload
+    behaviour (shed, don't wedge) in CI.
+    """
+    from repro.relay import ManualClock, MemoryRelayHub, RelayConfig
+
+    tenants = ("alpha", "beta")
+    per_tenant = n_links // 2
+    channels = max(1, per_tenant // 8)
+    hub = MemoryRelayHub(
+        config=RelayConfig(max_links=n_links, max_links_per_tenant=per_tenant,
+                           egress_queue_payloads=rounds + 8),
+        clock=ManualClock())
+
+    start = time.perf_counter()
+    groups = {}
+    for tenant in tenants:
+        for i in range(per_tenant):
+            channel = b"ch-%d" % (i % channels)
+            client = hub.connect(tenant, channel=channel,
+                                 ticket=hub.mint_ticket(tenant))
+            groups.setdefault((tenant, channel), []).append(client)
+    ramp_s = time.perf_counter() - start
+    links = hub.core.active_links
+
+    payload = bytes(payload_size)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for members in groups.values():
+            members[0].send(payload)
+    for members in groups.values():
+        for receiver in members[1:]:
+            receiver.pump()
+    route_s = time.perf_counter() - start
+    delivered = hub.core.routed_bytes
+
+    flood_attempts = n_links // 2
+    start = time.perf_counter()
+    for i in range(flood_attempts):
+        hub.connect(tenants[i % 2], ticket=hub.mint_ticket(tenants[i % 2]))
+    flood_s = time.perf_counter() - start
+
+    return {
+        "links_sustained": links,
+        "ramp_links_per_s": links / ramp_s,
+        "routed_payloads": hub.core.routed_payloads,
+        "routed_mb_s": delivered / route_s / 1e6,
+        "channel_groups": len(groups),
+        "flood_attempts": flood_attempts,
+        "flood_rejects_per_s": flood_attempts / flood_s,
+        "shed": hub.shed_by_reason(),
+    }
+
+
 def run(quick: bool, output: pathlib.Path) -> dict:
     """Execute every section and write the JSON artefact."""
     if quick:
         core_size, par_size, chunk = 1 << 14, 1 << 18, 1 << 15
         workers_list, repeats = [1, 2], 2
         net_payloads, net_size = 16, 1 << 12
+        relay_links, relay_payload, relay_rounds = 128, 1 << 10, 2
     else:
         core_size, par_size, chunk = 1 << 16, 1 << 20, 1 << 16
         workers_list, repeats = [1, 2, 4], 3
         net_payloads, net_size = 64, 1 << 14
+        relay_links, relay_payload, relay_rounds = 512, 1 << 12, 4
 
     # The whole run executes under a live obs registry, so the artefact
     # carries the observability view of its own workload (op counts,
@@ -376,6 +439,10 @@ def run(quick: bool, output: pathlib.Path) -> dict:
                         parallel_workers=workers_list[-1])
         print("[run_all] key exchange (psk / ecdh / resume)...", flush=True)
         kex = bench_kex(repeats)
+        print(f"[run_all] relay hub ({relay_links} links, "
+              f"{relay_rounds} x {relay_payload >> 10} KiB fan-out)...",
+              flush=True)
+        relay = bench_relay(relay_links, relay_payload, relay_rounds)
     finally:
         obs.set_registry(previous)
     snapshot = registry.snapshot()
@@ -397,7 +464,7 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         net["linkpair_goodput_mb_s"] / core["fast_encrypt_mb_s"])
 
     report = {
-        "schema": 4,
+        "schema": 5,
         "generated_unix": int(time.time()),
         "quick": quick,
         "python": sys.version.split()[0],
@@ -406,6 +473,7 @@ def run(quick: bool, output: pathlib.Path) -> dict:
         "parallel": parallel,
         "net": net,
         "kex": kex,
+        "relay": relay,
         "scenario": scenario,
         "obs": snapshot,
     }
@@ -428,6 +496,10 @@ def run(quick: bool, output: pathlib.Path) -> dict:
     print(f"kex handshakes:   {kex['ecdh_handshakes_per_s']:8.1f}/s full "
           f"x25519, {kex['resume_handshakes_per_s']:.1f}/s resumed "
           f"({kex['resumption_speedup']:.1f}x)")
+    print(f"relay hub:        {relay['links_sustained']:6d} links "
+          f"({relay['ramp_links_per_s']:.0f}/s ramp), "
+          f"{relay['routed_mb_s']:.2f} MB/s fan-out, "
+          f"{relay['flood_rejects_per_s']:.0f}/s sheds under flood")
     n_ok = sum(1 for row in scenario["scenarios"] if row["ok"])
     print(f"scenario battery: {n_ok}/{len(scenario['scenarios'])} scenarios "
           f"reconciled, stream control "

@@ -57,6 +57,7 @@ __all__ = [
     "open_codec",
     "connect",
     "serve",
+    "relay_serve",
     "get_engine",
     "register_engine",
     "registered_engines",
@@ -79,6 +80,7 @@ _EXPORTS = {
     "open_codec": "repro.api",
     "connect": "repro.api",
     "serve": "repro.api",
+    "relay_serve": "repro.api",
     "get_engine": "repro.core",
     "register_engine": "repro.core",
     "registered_engines": "repro.core",
@@ -99,8 +101,9 @@ _EXPORTS = {
 #: ``import repro`` — the eager-import era bound (some of) these as a
 #: side effect, so the lazy loader keeps every one of them working.
 _SUBMODULES = frozenset({
-    "analysis", "api", "cli", "core", "fpga", "hdl", "link", "net",
-    "obs", "parallel", "rtl", "scenario", "security", "stego", "util",
+    "analysis", "api", "cli", "core", "fpga", "hdl", "kex", "link",
+    "net", "obs", "parallel", "relay", "rtl", "scenario", "security",
+    "stego", "util",
 })
 
 

@@ -73,6 +73,7 @@ __all__ = [
     "open_codec",
     "connect",
     "serve",
+    "relay_serve",
 ]
 
 #: Accepted spellings of the packet-format algorithm selector.
@@ -632,3 +633,38 @@ def serve(codec, host: str = "127.0.0.1", port: int = 0, *,
                             queue_depth=queue_depth,
                             metrics_port=metrics_port, kex=kex_config,
                             **extra)
+
+
+def relay_serve(keyring, host: str = "127.0.0.1", port: int = 0, *,
+                config=None, metrics_port: int | None = None,
+                poll_interval_s: float = 1.0):
+    """A multi-tenant relay/hub terminating many secure links.
+
+    Unlike :func:`serve` — one pre-shared codec, one handler — the
+    relay authenticates every connection to a *tenant* through a
+    :class:`~repro.kex.TenantKeyring` and routes decrypted payloads
+    between links that joined the same ``(tenant, channel)`` group,
+    under the admission/shedding policy of a
+    :class:`~repro.relay.RelayConfig`.  ``keyring`` is the fleet
+    :class:`~repro.kex.TenantKeyring` or the raw fleet-root bytes (>=16
+    bytes, from which one is built).
+
+    Returns an unstarted :class:`~repro.relay.RelayServer`; drive it as
+    an async context manager exactly like :func:`serve`'s default
+    transport::
+
+        async with relay_serve(keyring, port=0) as relay:
+            ...  # relay.port is bound, relay.core.stats() is live
+
+    ``metrics_port`` starts the Prometheus/healthz endpoint beside the
+    listener; ``poll_interval_s`` paces the deadline sweep (handshake
+    and idle timeouts, metrics idle eviction).
+    """
+    from repro.kex.keyring import TenantKeyring
+    from repro.relay.server import RelayServer
+
+    if isinstance(keyring, (bytes, bytearray)):
+        keyring = TenantKeyring(bytes(keyring))
+    return RelayServer(keyring, host=host, port=port, config=config,
+                       metrics_port=metrics_port,
+                       poll_interval_s=poll_interval_s)

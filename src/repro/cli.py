@@ -236,6 +236,26 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--json", action="store_true",
                           help="emit the full result document as JSON")
 
+    relay = sub.add_parser(
+        "relay",
+        help="run the multi-tenant secure-link relay hub")
+    relay.add_argument("--host", default="127.0.0.1")
+    relay.add_argument("--port", type=int, default=0,
+                       help="port (0 picks a free one)")
+    relay_keys = relay.add_mutually_exclusive_group(required=True)
+    relay_keys.add_argument(
+        "--fleet-root", metavar="HEX",
+        help="32-byte fleet root key as hex; tenant keys derive from it "
+             "and default relay policy applies")
+    relay_keys.add_argument(
+        "--tenant-config", metavar="PATH",
+        help="JSON tenant/policy config file: fleet root, tenant allow "
+             "list with revocation/expiry, and policy knobs "
+             "(see docs/relay.md)")
+    relay.add_argument("--max-links", type=int, default=None,
+                       help="override the global concurrent-link cap")
+    add_metrics_flag(relay)
+
     stats = sub.add_parser(
         "stats", help="fetch /metrics from a running --metrics-port server")
     stats.add_argument("--host", default="127.0.0.1")
@@ -568,6 +588,7 @@ def _run(args, out) -> int:
 
         from repro.scenario import (
             run_kex_attacks,
+            run_relay_floods,
             run_scenario,
             run_stream_control,
             standard_matrix,
@@ -596,6 +617,9 @@ def _run(args, out) -> int:
             attacks = run_kex_attacks()
             document["kex_attacks"] = attacks
             ok = ok and attacks["ok"]
+            floods = run_relay_floods()
+            document["relay_floods"] = floods
+            ok = ok and floods["ok"]
         if args.transports:
             from repro.scenario.tcp import run_tcp_matrix
             from repro.scenario.udp import run_transport_matrix
@@ -618,7 +642,7 @@ def _run(args, out) -> int:
                           f"{delivered}/{sent} delivered\n")
                 for problem in result.problems:
                     out.write(f"  problem: {problem}\n")
-            for name in ("stream_control", "kex_attacks",
+            for name in ("stream_control", "kex_attacks", "relay_floods",
                          "transport_matrix", "tcp_matrix"):
                 section = document.get(name)
                 if section is not None:
@@ -627,6 +651,53 @@ def _run(args, out) -> int:
                     for problem in section["problems"]:
                         out.write(f"  problem: {problem}\n")
         return 0 if ok else 1
+
+    if args.command == "relay":
+        import dataclasses
+        import json
+
+        from repro.kex.keyring import TenantKeyring
+        from repro.relay import RelayConfig, RelayServer, load_tenant_config
+
+        if args.tenant_config is not None:
+            keyring, config = load_tenant_config(args.tenant_config)
+        else:
+            try:
+                root = bytes.fromhex(args.fleet_root)
+            except ValueError:
+                raise ValueError("--fleet-root is not valid hex") from None
+            keyring = TenantKeyring(root)
+            config = RelayConfig()
+        if args.max_links is not None:
+            config = dataclasses.replace(config, max_links=args.max_links)
+        registry = _obs_registry(args)
+
+        async def _relay() -> None:
+            async with RelayServer(keyring, host=args.host, port=args.port,
+                                   config=config,
+                                   metrics_port=args.metrics_port) as server:
+                out.write(f"relay listening on {args.host}:{server.port}\n")
+                if server.metrics_endpoint is not None:
+                    out.write(
+                        f"metrics on http://{args.host}:"
+                        f"{server.metrics_endpoint.port}/metrics\n"
+                    )
+                out.flush()
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+                out.write(json.dumps(server.core.stats(), indent=2,
+                                     default=str) + "\n")
+                if registry is not None:
+                    out.write(registry.render() + "\n")
+
+        with _obs_installed(registry):
+            try:
+                asyncio.run(_relay())
+            except KeyboardInterrupt:
+                pass
+        return 0
 
     if args.command == "stats":
         from repro.obs.http import http_get

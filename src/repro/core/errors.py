@@ -19,6 +19,7 @@ __all__ = [
     "SessionError",
     "HandshakeError",
     "KexError",
+    "TenantRevokedError",
     "ReplayError",
     "UnknownEngineError",
 ]
@@ -76,6 +77,21 @@ class KexError(HandshakeError):
     downgrade attempts.  Subclassing :class:`HandshakeError` keeps
     handlers written against the pre-kex link working unchanged.
     """
+
+
+class TenantRevokedError(KexError):
+    """A tenant's key branch is revoked or expired (see repro.kex.keyring).
+
+    Raised wherever a derivation for that tenant is attempted — which
+    includes the middle of a responder handshake, since the auth secret
+    is resolved per tenant from the ClientHello — so admission layers
+    (the relay) can map it to a typed rejection rather than a generic
+    handshake failure.  ``tenant_id`` carries the 16-byte wire form.
+    """
+
+    def __init__(self, message: str, *, tenant_id: bytes = b""):
+        super().__init__(message)
+        self.tenant_id = tenant_id
 
 
 class ReplayError(SessionError):

@@ -244,11 +244,18 @@ class Handshake:
             raise self._fail(KexError(
                 "nothing to offer: no 'ecdh' mode and no resumption ticket"
             ))
+        # A resume-only offer never needs the Montgomery ladder: the
+        # responder only reads ``public`` in ECDH mode, which it cannot
+        # select without OFFER_ECDH.  Skipping it makes resumption
+        # handshakes cheap enough to open hundreds of links per second
+        # in pure Python (the relay's concurrent-link tests lean on it).
+        public = (public_key(self._private) if offers & wire.OFFER_ECDH
+                  else bytes(KEY_SIZE))
         hello = wire.ClientHello(
             offers=offers,
             width=self.config.params.width,
             n_pairs=self.config.n_pairs,
-            public=public_key(self._private),
+            public=public,
             random=self._random,
             tenant_id=self.tenant_id,
             ticket=ticket,

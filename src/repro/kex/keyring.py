@@ -24,7 +24,9 @@ below the per-session root exactly as it always has.
 
 from __future__ import annotations
 
-from repro.core.errors import KexError
+import time
+
+from repro.core.errors import KexError, TenantRevokedError
 from repro.core.key import MAX_PAIRS, Key
 from repro.core.params import PAPER_PARAMS, VectorParams
 from repro.kex.hkdf import hkdf_expand
@@ -51,18 +53,65 @@ def normalize_tenant_id(tenant: "bytes | str") -> bytes:
 
 
 class TenantKeyring:
-    """Derives per-tenant secrets from a single fleet root."""
+    """Derives per-tenant secrets from a single fleet root.
 
-    def __init__(self, fleet_root: bytes):
+    The keyring is also the fleet's *revocation authority*: a tenant
+    branch can be revoked outright (:meth:`revoke`) or given an
+    expiry instant (:meth:`set_expiry`), after which every derivation
+    for that tenant raises :class:`~repro.core.errors.TenantRevokedError`
+    — and since the handshake resolves its auth secret through the
+    keyring, an in-flight handshake for a dead tenant aborts at exactly
+    that point.  ``clock`` is injectable (wall-clock seconds) so expiry
+    is testable without sleeping.
+    """
+
+    def __init__(self, fleet_root: bytes, *, clock=time.time):
         if len(fleet_root) < 16:
             raise KexError(
                 f"fleet root must be at least 16 bytes, got {len(fleet_root)}"
             )
         self._root = bytes(fleet_root)
+        self._clock = clock
+        self._revoked: set = set()
+        self._expires: dict = {}
+
+    # -- revocation / expiry ----------------------------------------------
+
+    def revoke(self, tenant: "bytes | str") -> None:
+        """Permanently kill a tenant branch: all derivations now refuse."""
+        self._revoked.add(normalize_tenant_id(tenant))
+
+    def set_expiry(self, tenant: "bytes | str", expires_at: float) -> None:
+        """Refuse derivations for ``tenant`` once the clock passes
+        ``expires_at`` (wall-clock seconds, same scale as ``clock``)."""
+        self._expires[normalize_tenant_id(tenant)] = float(expires_at)
+
+    def is_active(self, tenant: "bytes | str", now: "float | None" = None) -> bool:
+        """True if the tenant branch may still derive secrets."""
+        tenant_id = normalize_tenant_id(tenant)
+        if tenant_id in self._revoked:
+            return False
+        expires_at = self._expires.get(tenant_id)
+        if expires_at is None:
+            return True
+        return (self._clock() if now is None else now) < expires_at
+
+    def _check_active(self, tenant_id: bytes) -> None:
+        name = tenant_id.rstrip(b"\x00")
+        if tenant_id in self._revoked:
+            raise TenantRevokedError(
+                f"tenant {name!r} is revoked", tenant_id=tenant_id)
+        expires_at = self._expires.get(tenant_id)
+        if expires_at is not None and self._clock() >= expires_at:
+            raise TenantRevokedError(
+                f"tenant {name!r} key branch expired", tenant_id=tenant_id)
+
+    # -- derivations -------------------------------------------------------
 
     def tenant_secret(self, tenant: "bytes | str") -> bytes:
         """The 32-byte handshake-authentication secret for a tenant."""
         tenant_id = normalize_tenant_id(tenant)
+        self._check_active(tenant_id)
         return hkdf_expand(self._root, b"mhhea-kex tenant auth" + tenant_id, 32)
 
     def tenant_key(self, tenant: "bytes | str", *,
@@ -74,6 +123,7 @@ class TenantKeyring:
         clients handshake: both branches hang off the same root.
         """
         tenant_id = normalize_tenant_id(tenant)
+        self._check_active(tenant_id)
         seed_bytes = hkdf_expand(
             self._root, b"mhhea-kex tenant root key" + tenant_id, 8)
         return Key.generate(seed=int.from_bytes(seed_bytes, "little"),

@@ -315,6 +315,18 @@ class LinkProtocol:
         return self._fingerprint
 
     @property
+    def tenant_id(self) -> bytes | None:
+        """The 16-byte tenant identifier of this link's key exchange.
+
+        On an initiator this is the configured tenant from construction;
+        on a responder it is learned from the peer's ClientHello (and is
+        therefore only trustworthy once the handshake *completes* — the
+        confirm MACs prove the peer holds that tenant's auth secret).
+        ``None`` on pre-shared links that never ran hello-v2.
+        """
+        return self._kex.tenant_id if self._kex is not None else None
+
+    @property
     def peer_closed(self) -> bool:
         """True once :meth:`receive_eof` accepted a clean peer close."""
         return self._peer_closed

@@ -1,0 +1,81 @@
+"""repro.relay — the multi-tenant secure-link relay/hub.
+
+The "millions of users" deployment shape: one relay terminates many
+concurrent secure links, authenticates each one to a tenant through
+the :class:`~repro.kex.TenantKeyring` hierarchy, and routes decrypted
+payloads between links that joined the same ``(tenant, channel)``
+group — re-encrypting per receiver under that receiver's own session
+keys.  Admission control (global/per-tenant quotas, handshake-rate
+limiting), per-link budgets, handshake/idle deadlines and bounded
+egress queues make every overload path an *explicit, typed, counted*
+shed decision rather than an un-accounted drop or an unbounded buffer.
+
+Layering (the PR 5 sans-IO/adapter split, applied to the hub):
+
+* :class:`RelayCore` — the sans-IO state machine; owns one responder
+  :class:`~repro.link.LinkProtocol` per link (:mod:`repro.relay.core`);
+* :class:`AdmissionController` / :class:`ChannelRouter` — the policy
+  and routing tables under it (:mod:`repro.relay.admission`,
+  :mod:`repro.relay.router`);
+* :class:`RelayConfig` / :func:`load_tenant_config` — policy knobs and
+  the operator config file (:mod:`repro.relay.config`);
+* typed events in :mod:`repro.relay.events`;
+* :class:`MemoryRelayHub` — the deterministic in-memory driver behind
+  the scale tests, flood scenarios and benchmarks
+  (:mod:`repro.relay.harness`);
+* :class:`RelayServer` / :class:`RelayClient` — the asyncio TCP
+  adapter (:mod:`repro.relay.server`; imported lazily, as it drags in
+  asyncio — everything above is sans-IO and policed by
+  ``tests/link/test_sans_io.py``).
+"""
+
+from __future__ import annotations
+
+from repro.relay.admission import AdmissionController
+from repro.relay.config import RelayConfig, load_tenant_config
+from repro.relay.core import RelayCore
+from repro.relay.events import (
+    ChannelJoined,
+    LinkAdmitted,
+    LinkOpen,
+    LinkRejected,
+    LinkRetired,
+    LinkShed,
+    PayloadDropped,
+    PayloadRouted,
+    RelayEvent,
+)
+from repro.relay.harness import ManualClock, MemoryRelayClient, MemoryRelayHub
+from repro.relay.router import ChannelRouter
+
+__all__ = [
+    "RelayCore",
+    "RelayConfig",
+    "load_tenant_config",
+    "AdmissionController",
+    "ChannelRouter",
+    "RelayEvent",
+    "LinkAdmitted",
+    "LinkRejected",
+    "LinkOpen",
+    "ChannelJoined",
+    "PayloadRouted",
+    "PayloadDropped",
+    "LinkShed",
+    "LinkRetired",
+    "ManualClock",
+    "MemoryRelayHub",
+    "MemoryRelayClient",
+    "RelayServer",
+    "RelayClient",
+]
+
+
+def __getattr__(name: str):
+    # PEP 562: the asyncio adapter stays out of the sans-IO import
+    # closure until someone actually asks for it.
+    if name in ("RelayServer", "RelayClient"):
+        from repro.relay import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,109 @@
+"""Admission control: who gets a link, and who gets shed.
+
+Two gates, matching the two moments the relay learns something about a
+connection:
+
+1. **At connect** (:meth:`AdmissionController.admit_connection`) the
+   relay knows nothing but "a socket arrived", so the only policies
+   that can apply are the global link cap and the handshake-rate
+   token bucket — both exist to keep a connection flood from buying
+   CPU-expensive handshake work with cheap SYNs.
+2. **At handshake completion** (:meth:`AdmissionController.admit_tenant`)
+   the confirm MACs have *proven* which tenant the peer is, so the
+   per-tenant quota and the allow list apply.  Checking tenant policy
+   any earlier would trust an unauthenticated ClientHello field.
+
+The controller is pure bookkeeping over an injectable clock — no IO,
+no time.sleep — so floods are testable by stepping a fake clock.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Connection quotas + handshake-rate limiting for the relay.
+
+    Returns ``None`` from the ``admit_*`` methods on success and a
+    shed-reason string (see :mod:`repro.relay.events`) on refusal; the
+    caller (:class:`~repro.relay.RelayCore`) owns the shed ledger and
+    the typed events.
+    """
+
+    def __init__(self, *, max_links: int, max_links_per_tenant: int,
+                 handshake_rate: float = 0.0, handshake_burst: int = 32,
+                 allowed_tenants: "frozenset | None" = None):
+        if max_links < 1:
+            raise ValueError(f"max_links must be >= 1, got {max_links}")
+        if max_links_per_tenant < 1:
+            raise ValueError("max_links_per_tenant must be >= 1, "
+                             f"got {max_links_per_tenant}")
+        if handshake_rate < 0:
+            raise ValueError("handshake_rate must be >= 0")
+        if handshake_burst < 1:
+            raise ValueError("handshake_burst must be >= 1")
+        self.max_links = max_links
+        self.max_links_per_tenant = max_links_per_tenant
+        self.handshake_rate = float(handshake_rate)
+        self.handshake_burst = int(handshake_burst)
+        self.allowed_tenants = allowed_tenants
+        #: Links currently holding a connection slot (admitted, not yet
+        #: released) — includes links still mid-handshake.
+        self.active_links = 0
+        #: Links per authenticated tenant (16-byte id -> count).
+        self.tenant_links: dict = {}
+        self._tokens = float(handshake_burst)
+        self._refilled_at: "float | None" = None
+
+    # -- the connect-time gate --------------------------------------------
+
+    def admit_connection(self, now: float) -> "str | None":
+        """Gate a raw connection; returns ``None`` or a shed reason."""
+        if self.active_links >= self.max_links:
+            return "global-quota"
+        if not self._take_token(now):
+            return "handshake-rate"
+        self.active_links += 1
+        return None
+
+    def _take_token(self, now: float) -> bool:
+        if self.handshake_rate <= 0:
+            return True
+        if self._refilled_at is None:
+            self._refilled_at = now
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(self.handshake_burst,
+                           self._tokens + elapsed * self.handshake_rate)
+        self._refilled_at = now
+        if self._tokens < 1.0:
+            return False
+        self._tokens -= 1.0
+        return True
+
+    # -- the handshake-time gate ------------------------------------------
+
+    def admit_tenant(self, tenant_id: bytes) -> "str | None":
+        """Gate an *authenticated* tenant; returns ``None`` or a reason."""
+        if (self.allowed_tenants is not None
+                and tenant_id not in self.allowed_tenants):
+            return "unknown-tenant"
+        count = self.tenant_links.get(tenant_id, 0)
+        if count >= self.max_links_per_tenant:
+            return "tenant-quota"
+        self.tenant_links[tenant_id] = count + 1
+        return None
+
+    # -- teardown ----------------------------------------------------------
+
+    def release(self, tenant_id: "bytes | None" = None) -> None:
+        """Return a connection slot (and the tenant slot, if one was
+        taken) when a link retires for any reason."""
+        if self.active_links > 0:
+            self.active_links -= 1
+        if tenant_id is not None:
+            count = self.tenant_links.get(tenant_id, 0)
+            if count <= 1:
+                self.tenant_links.pop(tenant_id, None)
+            else:
+                self.tenant_links[tenant_id] = count - 1

@@ -1,0 +1,138 @@
+"""Typed events emitted by the sans-IO :class:`~repro.relay.RelayCore`.
+
+Exactly the h11/h2 convention the link layer already follows: the core
+never calls the application, it *returns* immutable event objects from
+``connection_made`` / ``receive_data`` / ``receive_eof`` / ``poll`` and
+the transport adapter dispatches on their types.  Load-shedding is
+always explicit — a refused connection or a killed link produces a
+:class:`LinkRejected` / :class:`LinkShed` event *and* bumps the
+``repro_relay_shed_total{reason=}`` counter, never a silent drop —
+which is what lets the scenario harness reconcile every shed decision
+exactly against its own attack ledger.
+
+Reason vocabulary (the ``reason`` field of the shedding events, and the
+label set of the shed counter):
+
+===================  ====================================================
+``global-quota``     connection refused: relay-wide link cap reached
+``handshake-rate``   connection refused: admission token bucket empty
+``tenant-quota``     handshake done, but the tenant's link cap is reached
+``unknown-tenant``   handshake done, but the tenant is not on the allow
+                     list
+``tenant-revoked``   the keyring refused the tenant mid-handshake
+                     (revoked or expired branch)
+``handshake-timeout``  the peer dripped its handshake past the deadline
+``idle-timeout``     no traffic progress within the idle window
+``egress-drop``      one queued payload dropped from a full egress queue
+                     (``drop-oldest`` policy; the link survives)
+``egress-disconnect``  egress queue overflowed under the ``disconnect``
+                     policy; the link is shed
+``budget-frames``    per-link frame budget exhausted
+``budget-bytes``     per-link payload-byte budget exhausted
+``bad-join``         first payload was not a valid channel name
+``protocol-error``   the link state machine failed (framing damage,
+                     handshake mismatch, replay...)
+===================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RelayEvent",
+    "LinkAdmitted",
+    "LinkRejected",
+    "LinkOpen",
+    "ChannelJoined",
+    "PayloadRouted",
+    "PayloadDropped",
+    "LinkShed",
+    "LinkRetired",
+]
+
+
+@dataclass(frozen=True)
+class RelayEvent:
+    """Base class of every event a :class:`~repro.relay.RelayCore` emits."""
+
+
+@dataclass(frozen=True)
+class LinkAdmitted(RelayEvent):
+    """A new connection passed admission and got a link id."""
+
+    link_id: int
+
+
+@dataclass(frozen=True)
+class LinkRejected(RelayEvent):
+    """Admission refused a connection or an authenticated tenant.
+
+    ``link_id`` is ``None`` when the refusal happened before a link id
+    was even assigned (global quota, handshake-rate limiting);
+    ``tenant_id`` is set when the refusal is tenant-scoped (quota,
+    allow list, revocation).
+    """
+
+    link_id: "int | None"
+    reason: str
+    tenant_id: "bytes | None" = None
+
+
+@dataclass(frozen=True)
+class LinkOpen(RelayEvent):
+    """A link finished its handshake and its tenant passed admission."""
+
+    link_id: int
+    tenant_id: bytes
+
+
+@dataclass(frozen=True)
+class ChannelJoined(RelayEvent):
+    """A link bound itself to a routing channel (first payload)."""
+
+    link_id: int
+    tenant_id: bytes
+    channel: bytes
+
+
+@dataclass(frozen=True)
+class PayloadRouted(RelayEvent):
+    """One payload fanned out to every other member of the channel.
+
+    ``receivers`` is the number of peer links the payload was queued
+    to (0 if the sender is alone in the channel — the payload then
+    went nowhere, by design).
+    """
+
+    link_id: int
+    channel: bytes
+    receivers: int
+    n_bytes: int
+
+
+@dataclass(frozen=True)
+class PayloadDropped(RelayEvent):
+    """A full egress queue dropped its oldest payload (link survives)."""
+
+    link_id: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class LinkShed(RelayEvent):
+    """An admitted link was killed by policy (budgets, deadlines,
+    egress overflow under the ``disconnect`` policy, protocol failure)."""
+
+    link_id: int
+    reason: str
+    tenant_id: "bytes | None" = None
+
+
+@dataclass(frozen=True)
+class LinkRetired(RelayEvent):
+    """A link left the relay for a non-shedding reason (peer close,
+    local close); bookkeeping is complete and the id is dead."""
+
+    link_id: int
+    reason: str

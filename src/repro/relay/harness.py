@@ -1,0 +1,210 @@
+"""Deterministic in-memory driver for :class:`~repro.relay.RelayCore`.
+
+The relay twin of :class:`repro.link.memory.LinkPair`: real client-side
+:class:`~repro.link.LinkProtocol` machines speak to a real relay core
+through plain byte shuttling — no sockets, no event loop, no clock
+dependence (inject a :class:`ManualClock` to step deadlines by hand).
+This is what the 500-link scale tests, the flood scenarios and the
+benchmarks all drive, and what makes every one of them replayable.
+
+    >>> hub = MemoryRelayHub()
+    >>> a = hub.connect("alpha", channel=b"room")
+    >>> b = hub.connect("alpha", channel=b"room")
+    >>> _ = a.send(b"hi")
+    >>> b.pump()
+    >>> b.received
+    [b'hi']
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.errors import SessionError
+from repro.kex.handshake import KexConfig, ResumptionTicket
+from repro.kex.keyring import TenantKeyring, normalize_tenant_id
+from repro.link.events import PayloadReceived, ProtocolError
+from repro.link.protocol import OPEN, LinkProtocol
+from repro.net.session import SessionConfig
+from repro.relay.config import RelayConfig
+from repro.relay.core import RelayCore
+
+__all__ = ["ManualClock", "MemoryRelayHub", "MemoryRelayClient"]
+
+#: The harness's default fleet root (32 bytes, fixed so examples and
+#: doctests need no setup; never use a published constant in production).
+DEFAULT_FLEET_ROOT = b"mhhea-relay-harness-fleet-root!!"
+
+
+class ManualClock:
+    """A hand-stepped monotonic clock for deterministic deadline tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        self.now += seconds
+        return self.now
+
+
+class MemoryRelayClient:
+    """One client endpoint attached to a :class:`MemoryRelayHub`.
+
+    Holds a real initiator :class:`~repro.link.LinkProtocol`; every
+    :meth:`pump` shuttles bytes both ways until the pair is quiescent.
+    Received payloads accumulate in :attr:`received` (the JOIN ack is
+    captured separately in :attr:`ack`).  A client that is never
+    pumped models a stalled reader: the relay keeps queueing at it
+    until the egress policy bites.
+    """
+
+    def __init__(self, hub: "MemoryRelayHub", link_id: int,
+                 proto: LinkProtocol, tenant):
+        self.hub = hub
+        self.link_id = link_id
+        self.proto = proto
+        self.tenant = tenant
+        self.received: list = []
+        self.ack: "bytes | None" = None
+        self.error = None
+
+    @property
+    def open(self) -> bool:
+        """True while both this endpoint and its relay link are live."""
+        return self.proto.state == OPEN and self.hub.core.has_link(self.link_id)
+
+    def pump(self) -> list:
+        """Shuttle bytes with the relay until quiescent; returns the
+        relay events this exchange produced (also appended to
+        ``hub.events``)."""
+        core = self.hub.core
+        events: list = []
+        progress = True
+        while progress:
+            progress = False
+            out = self.proto.data_to_send()
+            if out:
+                if core.has_link(self.link_id):
+                    events.extend(core.receive_data(self.link_id, out))
+                progress = True
+            back = core.data_to_send(self.link_id)
+            if back:
+                self._absorb(back)
+                progress = True
+        self.hub.events.extend(events)
+        return events
+
+    def _absorb(self, data: bytes) -> None:
+        for event in self.proto.receive_data(data):
+            if isinstance(event, PayloadReceived):
+                if self.ack is None and event.payload[:1] == b"+":
+                    self.ack = event.payload
+                else:
+                    self.received.append(event.payload)
+            elif isinstance(event, ProtocolError):
+                self.error = event.error
+
+    def join(self, channel: bytes) -> bool:
+        """Send the JOIN payload; True once the relay acked the channel."""
+        self.proto.send_payload(channel)
+        self.pump()
+        return self.ack == b"+" + bytes(channel)
+
+    def send(self, payload: bytes) -> list:
+        """Send one routed payload (pumps; peers still need their own
+        :meth:`pump` to actually read what the relay queued at them)."""
+        self.proto.send_payload(payload)
+        return self.pump()
+
+    def close(self) -> list:
+        """Retire this link at the relay and close the local machine."""
+        events = self.hub.core.close_link(self.link_id)
+        self.hub.events.extend(events)
+        self.proto.close()
+        return events
+
+
+class MemoryRelayHub:
+    """A relay core plus byte-shuttled in-memory clients.
+
+    ``keyring`` defaults to one derived from a fixed harness root;
+    ``clock`` (e.g. a :class:`ManualClock`) reaches the core, the
+    admission token bucket and the per-link metrics.  Tenant auth
+    secrets are cached at first use so a tenant can be revoked *after*
+    its clients learned their secret — exactly the mid-life revocation
+    the tests exercise.
+    """
+
+    def __init__(self, keyring: "TenantKeyring | None" = None,
+                 config: "RelayConfig | None" = None, *, clock=None):
+        self.keyring = keyring if keyring is not None \
+            else TenantKeyring(DEFAULT_FLEET_ROOT)
+        kwargs = {} if clock is None else {"clock": clock}
+        self.core = RelayCore(self.keyring, config, **kwargs)
+        #: Every relay event any pump produced, in order.
+        self.events: list = []
+        self._secrets: dict = {}
+
+    def tenant_secret(self, tenant) -> bytes:
+        """The tenant's auth secret, cached across revocation."""
+        tenant_id = normalize_tenant_id(tenant)
+        secret = self._secrets.get(tenant_id)
+        if secret is None:
+            secret = self.keyring.tenant_secret(tenant_id)
+            self._secrets[tenant_id] = secret
+        return secret
+
+    def mint_ticket(self, tenant, master: "bytes | None" = None) -> ResumptionTicket:
+        """Pre-issue a resumption ticket (clients holding one handshake
+        without any X25519 ladder — how the scale tests open hundreds
+        of links per second)."""
+        tenant_id = normalize_tenant_id(tenant)
+        master = os.urandom(32) if master is None else bytes(master)
+        if len(master) != 32:
+            raise SessionError("ticket master secret must be 32 bytes")
+        return ResumptionTicket(self.core.vault.issue(master, tenant_id),
+                                master, tenant_id)
+
+    def connect(self, tenant, *, channel: "bytes | None" = None,
+                ticket: "ResumptionTicket | None" = None,
+                modes: "tuple | None" = None,
+                auth_secret: "bytes | None" = None,
+                pump: bool = True) -> "MemoryRelayClient | None":
+        """Open one client link; ``None`` if admission refused it.
+
+        With ``channel`` the client also JOINs once open.  ``modes``
+        defaults to resume-only when a ticket is given, else ECDH.
+        """
+        link_id, events = self.core.connection_made()
+        self.events.extend(events)
+        if link_id is None:
+            return None
+        if modes is None:
+            modes = ("resume",) if ticket is not None else ("ecdh",)
+        secret = auth_secret if auth_secret is not None \
+            else self.tenant_secret(tenant)
+        kex = KexConfig(auth_secret=secret, modes=modes,
+                        tenant_id=tenant, ticket=ticket)
+        proto = LinkProtocol(None, "initiator",
+                             SessionConfig(engine=self.core.config.engine),
+                             kex=kex)
+        client = MemoryRelayClient(self, link_id, proto, tenant)
+        if pump or channel is not None:
+            client.pump()
+        if channel is not None and client.open:
+            client.join(channel)
+        return client
+
+    def poll(self, now: "float | None" = None) -> list:
+        """Run the core's deadline sweep; events land in ``events`` too."""
+        events = self.core.poll(now)
+        self.events.extend(events)
+        return events
+
+    def shed_by_reason(self) -> dict:
+        """A copy of the core's shed ledger (reconciliation helper)."""
+        return dict(self.core.shed)

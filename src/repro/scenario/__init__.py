@@ -20,6 +20,10 @@ checks, after every run, that the protocol's own accounting reconciles
   downgrade stripping, transcript tampering, splice replays and ticket
   replay/tamper/expiry, each asserting abort-with-reconciled-counters
   (:mod:`repro.scenario.attacks`);
+* :func:`run_relay_floods` — flood / slowloris / stalled-reader attack
+  schedules against the multi-tenant relay hub (:mod:`repro.relay`),
+  each reconciling the relay's shed ledger and its obs counters
+  exactly against an independent oracle (:mod:`repro.scenario.relay`);
 * :class:`CoverCodec` — the stego cover-traffic transport framing
   (:mod:`repro.scenario.cover`);
 * :func:`run_transport_matrix` — the same schedule over in-memory and
@@ -39,6 +43,7 @@ from __future__ import annotations
 
 from repro.scenario.attacks import run_kex_attacks
 from repro.scenario.cover import CoverCodec
+from repro.scenario.relay import run_relay_floods
 from repro.scenario.faults import (
     FAULT_KINDS,
     Delivery,
@@ -75,6 +80,7 @@ __all__ = [
     "run_scenario",
     "run_stream_control",
     "run_kex_attacks",
+    "run_relay_floods",
     "standard_matrix",
     "run_transport_matrix",
     "run_tcp_matrix",

@@ -1,0 +1,302 @@
+"""Flood and slowloris attack schedules against the relay hub.
+
+The relay's whole overload story is "every shed decision is explicit,
+typed and counted"; this module is the adversarial audit of that claim.
+Each check drives a fresh :class:`~repro.relay.MemoryRelayHub` on a
+:class:`~repro.relay.ManualClock` through one attack shape —
+
+* **connection flood** — connect bursts against the handshake-rate
+  token bucket, then a sustained drip against the global link cap;
+* **slowloris** — handshakes dripped one or two bytes per second,
+  forever short of completion, against the handshake deadline;
+* **stalled readers** — a writer flooding a reader that never drains,
+  against the bounded egress queue under both overflow policies —
+
+and reconciles the relay's shed ledger **exactly** (``==``, not ``<=``)
+against an independently computed expectation, then re-checks the
+ledger against the ``repro_relay_shed_total{reason=}`` obs counters so
+the operator-facing numbers can never drift from the core's own
+bookkeeping.  Every check ends by proving the relay did not wedge: a
+fresh client connects, joins and routes after the attack.
+
+Deterministic by construction: manual clock, fixed attempt counts and
+seeded payload shapes — the X25519/ticket randomness varies per run
+but every verdict and every counter is invariant.
+
+Run the battery with :func:`run_relay_floods` (wired into the
+``scenario`` CLI command and CI's scenario smoke job).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.obs import core as _obs
+from repro.relay.config import RelayConfig
+from repro.relay.harness import ManualClock, MemoryRelayHub
+
+__all__ = ["run_relay_floods"]
+
+_SHED_SERIES = "repro_relay_shed_total{reason="
+
+
+def _shed_counters(registry) -> dict:
+    """The ``repro_relay_shed_total`` series as ``{reason: value}``."""
+    counters = {}
+    for series, value in registry.snapshot()["counters"].items():
+        if series.startswith(_SHED_SERIES):
+            reason = series[len(_SHED_SERIES):].rstrip("}")
+            counters[reason] = int(value)
+    return counters
+
+
+def _reconcile(check: dict, hub: MemoryRelayHub, registry,
+               expected: dict) -> None:
+    """Demand ledger == expectation == obs counters, exactly."""
+    ledger = hub.shed_by_reason()
+    if ledger != expected:
+        check["problems"].append(
+            f"shed ledger {ledger} != expected {expected}")
+    counters = _shed_counters(registry)
+    if counters != ledger:
+        check["problems"].append(
+            f"obs shed counters {counters} != ledger {ledger}")
+    check["shed"] = ledger
+
+
+def _prove_alive(check: dict, hub: MemoryRelayHub) -> None:
+    """After the storm: a fresh pair must still connect, join, route."""
+    a = hub.connect("probe", channel=b"alive")
+    b = hub.connect("probe", channel=b"alive")
+    if a is None or b is None or not a.open or not b.open:
+        check["problems"].append("relay wedged: probe links failed to open")
+        return
+    a.send(b"still-routing")
+    b.pump()
+    if b.received != [b"still-routing"]:
+        check["problems"].append(
+            f"relay wedged: probe payload not routed ({b.received!r})")
+    a.close()
+    b.close()
+
+
+def _check_connection_flood(rng: random.Random) -> dict:
+    """Connect bursts against the token bucket, a drip against the cap.
+
+    The oracle is the bucket contract itself: it starts full at
+    ``handshake_burst`` tokens, refills at ``handshake_rate``/s capped
+    at the burst, and the global-quota gate runs *before* the token
+    gate (a full relay spends no tokens on connections it cannot take).
+    """
+    check = {"name": "connection-flood", "problems": []}
+    fresh = _obs.ObsRegistry()
+    previous = _obs.set_registry(fresh)
+    try:
+        clock = ManualClock()
+        hub = MemoryRelayHub(
+            config=RelayConfig(max_links=24, max_links_per_tenant=24,
+                               handshake_rate=5.0, handshake_burst=4,
+                               idle_timeout_s=0.0),
+            clock=clock)
+
+        def storm_connect():
+            # Tickets keep admitted handshakes ladder-free, so the
+            # whole flood is cheap enough for tier-1 CI.
+            return hub.connect("flood", channel=b"storm",
+                               ticket=hub.mint_ticket("flood"))
+
+        admitted = []
+        expected_rate = 0
+        # Three bursts against the bucket: it holds 4 tokens at t=0,
+        # and every refill — 1 s or 3 s later — caps right back at the
+        # burst of 4, so each burst admits exactly 4 however long the
+        # gap was.  Everything past the 4th attempt is a rate shed.
+        for attempts, gap in ((10, 1.0), (12, 3.0), (20, 0.0)):
+            for _ in range(attempts):
+                client = storm_connect()
+                if client is not None:
+                    admitted.append(client)
+            expected_rate += attempts - 4
+            clock.advance(gap)
+        if len(admitted) != 12:
+            check["problems"].append(
+                f"bursts should admit exactly 12 links, got {len(admitted)}")
+        if hub.core.shed.get("global-quota"):
+            check["problems"].append(
+                "global quota fired during the bursts (12 < 24 cap)")
+        # Now a polite drip — one connect per second, never touching
+        # the rate limit — until the global cap itself refuses: 12 free
+        # slots admit, the last 5 attempts are global-quota sheds.
+        for _ in range(17):
+            clock.advance(1.0)
+            client = storm_connect()
+            if client is not None:
+                admitted.append(client)
+        expected = {"handshake-rate": expected_rate, "global-quota": 5}
+        if len(admitted) != 24:
+            check["problems"].append(
+                f"expected the 24-link cap reached, got {len(admitted)}")
+        # The flood must not have wedged routing for the links that won
+        # admission: one storm payload fans out to all 23 peers.
+        eye = bytes([rng.randrange(256)]) * rng.randrange(16, 48)
+        admitted[0].send(eye)
+        misrouted = 0
+        for client in admitted[1:]:
+            client.pump()
+            if client.received != [eye]:
+                misrouted += 1
+        if misrouted:
+            check["problems"].append(
+                f"{misrouted} storm survivors misrouted the probe payload")
+        # Retiring links must release their quota slots.
+        for client in admitted:
+            client.close()
+        if hub.core.active_links != 0:
+            check["problems"].append(
+                f"{hub.core.active_links} links leaked after close")
+        _prove_alive(check, hub)
+        _reconcile(check, hub, fresh, expected)
+        check["admitted"] = len(admitted)
+        check["attempts"] = 10 + 12 + 20 + 17
+    finally:
+        _obs.set_registry(previous)
+    return check
+
+
+def _check_slowloris(rng: random.Random) -> dict:
+    """Drip-fed handshakes against the handshake deadline."""
+    check = {"name": "slowloris", "problems": []}
+    fresh = _obs.ObsRegistry()
+    previous = _obs.set_registry(fresh)
+    try:
+        clock = ManualClock()
+        hub = MemoryRelayHub(
+            config=RelayConfig(max_links=32, max_links_per_tenant=32,
+                               handshake_timeout_s=5.0, idle_timeout_s=0.0),
+            clock=clock)
+        core = hub.core
+        # Eight attackers connect and hold a *real* ClientHello, but
+        # deliver it one or two bytes per second — never enough to
+        # finish, always enough to look busy to a byte-counting check.
+        drips = []
+        for _ in range(8):
+            client = hub.connect("loris", pump=False)
+            if client is None:
+                check["problems"].append("slowloris attacker refused early")
+                continue
+            hello = client.proto.data_to_send()
+            drips.append([client.link_id, hello, rng.randrange(1, 3), 0])
+        # One honest client races the attackers and must stay alive.
+        honest = hub.connect("honest", channel=b"good")
+        for second in range(6):
+            clock.advance(1.0)
+            for drip in drips:
+                link_id, hello, pace, sent = drip
+                if core.has_link(link_id):
+                    core.receive_data(link_id, hello[sent:sent + pace])
+                    drip[3] = sent + pace
+            hub.poll()
+            # Honest traffic keeps flowing mid-attack.
+            if honest is not None and honest.open:
+                honest.send(b"tick-%d" % second)
+        expected = {"handshake-timeout": 8}
+        survivors = [drip[0] for drip in drips if core.has_link(drip[0])]
+        if survivors:
+            check["problems"].append(
+                f"attackers survived the deadline: {survivors}")
+        if honest is None or not honest.open:
+            check["problems"].append("honest link died during the attack")
+        _prove_alive(check, hub)
+        _reconcile(check, hub, fresh, expected)
+        check["attackers"] = len(drips)
+    finally:
+        _obs.set_registry(previous)
+    return check
+
+
+def _check_stalled_readers(rng: random.Random) -> dict:
+    """Bounded egress queues under both overflow policies."""
+    check = {"name": "stalled-readers", "problems": []}
+
+    # Policy 1: drop-oldest.  Queue depth 8, 20 sends at a reader that
+    # never drains: exactly 12 oldest payloads drop, and the reader,
+    # once it wakes, receives exactly the newest 8 — byte-identical,
+    # in order, with no sequence-number gaps (the queue holds
+    # plaintext, so drops never burn session counters).
+    fresh = _obs.ObsRegistry()
+    previous = _obs.set_registry(fresh)
+    try:
+        hub = MemoryRelayHub(
+            config=RelayConfig(max_links=8, max_links_per_tenant=8,
+                               egress_queue_payloads=8,
+                               egress_policy="drop-oldest",
+                               idle_timeout_s=0.0),
+            clock=ManualClock())
+        writer = hub.connect("t", channel=b"room")
+        reader = hub.connect("t", channel=b"room")
+        payloads = [bytes([rng.randrange(256)]) * rng.randrange(8, 64)
+                    for _ in range(20)]
+        for payload in payloads:
+            writer.send(payload)  # the reader never pumps: it stalled
+        reader.pump()  # now it wakes and drains what survived
+        if reader.received != payloads[-8:]:
+            check["problems"].append(
+                "drop-oldest survivors wrong: expected the newest 8 "
+                f"payloads, got {len(reader.received)}")
+        _reconcile(check, hub, fresh, {"egress-drop": 12})
+        check["drops"] = 12
+    finally:
+        _obs.set_registry(previous)
+
+    # Policy 2: disconnect.  The ninth undrained payload sheds the
+    # stalled reader itself; the writer keeps its link, and later
+    # payloads route to nobody (receivers == 0) — never to a ghost.
+    fresh = _obs.ObsRegistry()
+    previous = _obs.set_registry(fresh)
+    try:
+        hub = MemoryRelayHub(
+            config=RelayConfig(max_links=8, max_links_per_tenant=8,
+                               egress_queue_payloads=8,
+                               egress_policy="disconnect",
+                               idle_timeout_s=0.0),
+            clock=ManualClock())
+        writer = hub.connect("t", channel=b"room")
+        reader = hub.connect("t", channel=b"room")
+        for i in range(10):
+            writer.send(b"x%d" % i)
+        if hub.core.has_link(reader.link_id):
+            check["problems"].append(
+                "disconnect policy left the stalled reader alive")
+        if not writer.open:
+            check["problems"].append(
+                "disconnect policy killed the *writer*")
+        events = writer.send(b"after the shed")
+        routed = [event for event in events
+                  if type(event).__name__ == "PayloadRouted"]
+        if not routed or routed[0].receivers != 0:
+            check["problems"].append(
+                f"post-shed payload misrouted: {routed!r}")
+        _prove_alive(check, hub)
+        _reconcile(check, hub, fresh, {"egress-disconnect": 1})
+    finally:
+        _obs.set_registry(previous)
+    return check
+
+
+def run_relay_floods(seed: int = 20050307) -> dict:
+    """Run the relay attack battery; returns ``{ok, problems, checks}``.
+
+    Each check installs a fresh obs registry (restored afterwards) so
+    the counter reconciliation sees exactly its own events.  The
+    verdicts are deterministic given ``seed``.
+    """
+    rng = random.Random(seed)
+    checks = [
+        _check_connection_flood(rng),
+        _check_slowloris(rng),
+        _check_stalled_readers(rng),
+    ]
+    problems = [f"{check['name']}: {problem}"
+                for check in checks
+                for problem in check["problems"]]
+    return {"ok": not problems, "problems": problems, "checks": checks}

@@ -1,0 +1,114 @@
+"""TenantKeyring: derivation isolation, revocation, expiry.
+
+The keyring is the fleet's revocation authority — these tests pin the
+contract the relay's admission path depends on: a revoked or expired
+tenant branch refuses *every* derivation with the typed
+:class:`~repro.core.errors.TenantRevokedError`, on an injectable clock,
+while sibling tenants are untouched.
+"""
+
+import pytest
+
+from repro.core.errors import KexError, TenantRevokedError
+from repro.kex.handshake import Handshake, KexConfig
+from repro.kex.keyring import TENANT_ID_SIZE, TenantKeyring, normalize_tenant_id
+
+ROOT = b"fleet-root-for-keyring-tests!!!!"
+
+
+class ManualClock:
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+
+# -- normalization ---------------------------------------------------------
+
+
+def test_normalize_pads_and_encodes():
+    assert normalize_tenant_id("acme") == b"acme" + b"\x00" * 12
+    assert normalize_tenant_id(b"acme") == normalize_tenant_id("acme")
+    assert len(normalize_tenant_id("x" * TENANT_ID_SIZE)) == TENANT_ID_SIZE
+
+
+def test_normalize_rejects_oversized_ids():
+    with pytest.raises(KexError, match="17 bytes"):
+        normalize_tenant_id(b"x" * 17)
+
+
+# -- derivation ------------------------------------------------------------
+
+
+def test_tenants_get_distinct_secrets_and_keys():
+    keyring = TenantKeyring(ROOT)
+    assert keyring.tenant_secret("a") != keyring.tenant_secret("b")
+    assert keyring.tenant_key("a").pairs != keyring.tenant_key("b").pairs
+    # Deterministic: the same branch always re-derives identically.
+    assert keyring.tenant_secret("a") == keyring.tenant_secret("a")
+
+
+def test_short_fleet_root_rejected():
+    with pytest.raises(KexError, match="at least 16 bytes"):
+        TenantKeyring(b"too short")
+
+
+# -- revocation ------------------------------------------------------------
+
+
+def test_revoked_tenant_refuses_every_derivation():
+    keyring = TenantKeyring(ROOT)
+    before = keyring.tenant_secret("doomed")
+    keyring.revoke("doomed")
+    assert not keyring.is_active("doomed")
+    with pytest.raises(TenantRevokedError, match="revoked") as exc_info:
+        keyring.tenant_secret("doomed")
+    assert exc_info.value.tenant_id == normalize_tenant_id("doomed")
+    with pytest.raises(TenantRevokedError):
+        keyring.tenant_key("doomed")
+    # Sibling branches are untouched, as is the fleet ticket secret.
+    assert keyring.tenant_secret("alive") != before
+    assert keyring.is_active("alive")
+    assert len(keyring.ticket_secret()) == 32
+
+
+def test_expiry_bites_on_the_injected_clock():
+    clock = ManualClock(start=100.0)
+    keyring = TenantKeyring(ROOT, clock=clock)
+    keyring.set_expiry("trial", 200.0)
+    assert keyring.is_active("trial")
+    secret = keyring.tenant_secret("trial")
+    clock.now = 200.0  # expiry is inclusive: now >= expires_at refuses
+    assert not keyring.is_active("trial")
+    with pytest.raises(TenantRevokedError, match="expired"):
+        keyring.tenant_secret("trial")
+    # is_active also answers for an explicit instant, clock untouched.
+    assert keyring.is_active("trial", now=199.9)
+    assert secret == TenantKeyring(ROOT).tenant_secret("trial")
+
+
+def test_unknown_tenant_is_active_and_derives():
+    """No allow list at the keyring layer: unknown ids derive fine
+    (admission policy, not key derivation, decides who may connect)."""
+    keyring = TenantKeyring(ROOT)
+    assert keyring.is_active(b"\x01\x02\x03")
+    assert len(keyring.tenant_secret(b"\x01\x02\x03")) == 32
+
+
+# -- the handshake integration --------------------------------------------
+
+
+def test_revocation_aborts_an_inflight_handshake():
+    """The responder resolves its auth secret through the keyring per
+    ClientHello, so a revoked tenant dies mid-handshake with the typed
+    error — not a generic MAC failure."""
+    keyring = TenantKeyring(ROOT)
+    secret = keyring.tenant_secret("acme")  # client learned it earlier
+    keyring.revoke("acme")
+    client = Handshake(KexConfig(auth_secret=secret, modes=("ecdh",),
+                                 tenant_id="acme"), "initiator")
+    server = Handshake(KexConfig(modes=("ecdh",), keyring=keyring),
+                       "responder")
+    with pytest.raises(TenantRevokedError):
+        server.absorb(client.first_message())

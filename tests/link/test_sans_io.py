@@ -39,6 +39,16 @@ CORE_MODULES = [
     "repro/scenario/cover.py",
     "repro/scenario/runner.py",
     "repro/scenario/attacks.py",
+    "repro/scenario/relay.py",
+    # The relay hub is a sans-IO state machine; only
+    # repro/relay/server.py (lazily loaded) may touch asyncio.
+    "repro/relay/__init__.py",
+    "repro/relay/events.py",
+    "repro/relay/admission.py",
+    "repro/relay/router.py",
+    "repro/relay/config.py",
+    "repro/relay/core.py",
+    "repro/relay/harness.py",
     # The key-exchange subsystem runs inside the link core, so it is
     # held to the same sans-IO bar.
     "repro/kex/__init__.py",
@@ -144,6 +154,32 @@ def test_scenario_core_pulls_no_asyncio_or_socket():
         "assert not bad, f'scenario core imported {bad}'\n"
         "repro.scenario.run_transport_matrix  # lazy attribute access\n"
         "assert 'socket' in sys.modules\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": str(SRC)},
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_relay_core_pulls_no_asyncio_or_socket():
+    """A relay hub routing real payloads never loads an event loop;
+    only the asyncio adapter (a lazy attribute) may."""
+    code = (
+        "import sys\n"
+        "import repro.relay\n"
+        "hub = repro.relay.MemoryRelayHub()\n"
+        "a = hub.connect('alpha', channel=b'room')\n"
+        "b = hub.connect('alpha', channel=b'room')\n"
+        "a.send(b'edge routed')\n"
+        "b.pump()\n"
+        "assert b.received == [b'edge routed'], b.received\n"
+        "bad = sorted(name for name in ('asyncio', 'socket', 'ssl')\n"
+        "             if name in sys.modules)\n"
+        "assert not bad, f'relay core imported {bad}'\n"
+        "repro.relay.RelayServer  # lazy attribute access\n"
+        "assert 'asyncio' in sys.modules\n"
     )
     result = subprocess.run(
         [sys.executable, "-c", code],

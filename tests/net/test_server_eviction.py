@@ -1,0 +1,59 @@
+"""SecureLinkServer's periodic metrics eviction sweep.
+
+A long-running server whose connections wedge (or whose embedder never
+calls ``metrics.remove``) must not grow its metrics table forever: the
+eviction task folds idle sessions into the retired aggregates on a
+period.  These tests pin the wiring, the disable knob, and validation.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import SecureLinkServer
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+class TestEvictionLoop:
+    def test_idle_sessions_are_swept(self, key16):
+        async def body():
+            async with SecureLinkServer(key16, port=0,
+                                        metrics_eviction_s=0.05) as server:
+                ghost = server.metrics.session("wedged-conn")
+                ghost.rx.packets = 3  # some traffic, then silence
+                for _ in range(40):  # up to 2 s for two sweep periods
+                    await asyncio.sleep(0.05)
+                    if "wedged-conn" not in server.metrics.sessions:
+                        break
+                assert "wedged-conn" not in server.metrics.sessions
+                # Folded, not lost: the lifetime aggregate keeps it.
+                _, rx = server.metrics.aggregate()
+                assert rx.packets == 3
+        run(body())
+
+    def test_zero_disables_the_sweep(self, key16):
+        async def body():
+            async with SecureLinkServer(key16, port=0,
+                                        metrics_eviction_s=0) as server:
+                assert server._eviction_task is None
+                server.metrics.session("keeper")
+                await asyncio.sleep(0.1)
+                assert "keeper" in server.metrics.sessions
+        run(body())
+
+    def test_negative_interval_rejected(self, key16):
+        with pytest.raises(ValueError, match="metrics_eviction_s"):
+            SecureLinkServer(key16, port=0, metrics_eviction_s=-1.0)
+
+    def test_close_cancels_the_task(self, key16):
+        async def body():
+            server = SecureLinkServer(key16, port=0, metrics_eviction_s=60.0)
+            await server.start()
+            task = server._eviction_task
+            assert task is not None and not task.done()
+            await server.close()
+            assert task.done()
+        run(body())

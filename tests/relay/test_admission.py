@@ -1,0 +1,168 @@
+"""Unit tests: AdmissionController, ChannelRouter, RelayConfig."""
+
+import pytest
+
+from repro.core.errors import SessionError
+from repro.kex.keyring import normalize_tenant_id
+from repro.relay import AdmissionController, ChannelRouter, RelayConfig
+
+A = normalize_tenant_id("a")
+B = normalize_tenant_id("b")
+
+
+# -- admission: connect-time gate ------------------------------------------
+
+
+def test_global_quota_caps_connections():
+    adm = AdmissionController(max_links=2, max_links_per_tenant=2)
+    assert adm.admit_connection(0.0) is None
+    assert adm.admit_connection(0.0) is None
+    assert adm.admit_connection(0.0) == "global-quota"
+    adm.release()
+    assert adm.admit_connection(0.0) is None
+
+
+def test_token_bucket_starts_full_and_caps_at_burst():
+    adm = AdmissionController(max_links=100, max_links_per_tenant=100,
+                              handshake_rate=2.0, handshake_burst=3)
+    verdicts = [adm.admit_connection(0.0) for _ in range(5)]
+    assert verdicts == [None, None, None, "handshake-rate", "handshake-rate"]
+    # 10 s at 2/s would be 20 tokens; the burst caps the bucket at 3.
+    verdicts = [adm.admit_connection(10.0) for _ in range(5)]
+    assert verdicts == [None, None, None, "handshake-rate", "handshake-rate"]
+
+
+def test_token_bucket_refills_fractionally():
+    adm = AdmissionController(max_links=100, max_links_per_tenant=100,
+                              handshake_rate=2.0, handshake_burst=1)
+    assert adm.admit_connection(0.0) is None
+    assert adm.admit_connection(0.25) == "handshake-rate"  # 0.5 tokens
+    assert adm.admit_connection(0.5) is None               # 1.0 token
+
+
+def test_rate_zero_disables_the_bucket():
+    adm = AdmissionController(max_links=1000, max_links_per_tenant=1000)
+    assert all(adm.admit_connection(0.0) is None for _ in range(100))
+
+
+def test_quota_is_checked_before_the_token():
+    """A full relay spends no tokens on connections it cannot take."""
+    adm = AdmissionController(max_links=1, max_links_per_tenant=1,
+                              handshake_rate=1.0, handshake_burst=1)
+    assert adm.admit_connection(0.0) is None
+    assert adm.admit_connection(100.0) == "global-quota"
+    adm.release()
+    # The refused attempt left the bucket's token intact.
+    assert adm.admit_connection(100.0) is None
+
+
+# -- admission: tenant gate ------------------------------------------------
+
+
+def test_tenant_quota_and_release():
+    adm = AdmissionController(max_links=10, max_links_per_tenant=2)
+    assert adm.admit_tenant(A) is None
+    assert adm.admit_tenant(A) is None
+    assert adm.admit_tenant(A) == "tenant-quota"
+    assert adm.admit_tenant(B) is None  # siblings unaffected
+    adm.release(A)
+    assert adm.admit_tenant(A) is None
+    assert adm.tenant_links == {A: 2, B: 1}
+
+
+def test_allow_list_refuses_unknown_tenants():
+    adm = AdmissionController(max_links=10, max_links_per_tenant=10,
+                              allowed_tenants=frozenset({A}))
+    assert adm.admit_tenant(A) is None
+    assert adm.admit_tenant(B) == "unknown-tenant"
+
+
+def test_release_drops_empty_tenant_entries():
+    adm = AdmissionController(max_links=10, max_links_per_tenant=10)
+    adm.admit_connection(0.0)
+    adm.admit_tenant(A)
+    adm.release(A)
+    assert adm.tenant_links == {}
+    assert adm.active_links == 0
+    adm.release()  # over-release never goes negative
+    assert adm.active_links == 0
+
+
+def test_constructor_validates():
+    with pytest.raises(ValueError, match="max_links"):
+        AdmissionController(max_links=0, max_links_per_tenant=1)
+    with pytest.raises(ValueError, match="handshake_burst"):
+        AdmissionController(max_links=1, max_links_per_tenant=1,
+                            handshake_burst=0)
+
+
+# -- router ----------------------------------------------------------------
+
+
+def test_router_scopes_channels_per_tenant():
+    router = ChannelRouter()
+    router.join(1, A, b"room")
+    router.join(2, A, b"room")
+    router.join(3, B, b"room")  # same channel name, different tenant
+    assert router.peers(1) == [2]
+    assert router.peers(3) == []
+    assert len(router) == 3
+
+
+def test_router_join_is_single_shot():
+    router = ChannelRouter()
+    router.join(1, A, b"room")
+    with pytest.raises(ValueError, match="already joined"):
+        router.join(1, A, b"other")
+
+
+def test_router_leave_cleans_empty_groups():
+    router = ChannelRouter()
+    router.join(1, A, b"room")
+    router.join(2, A, b"room")
+    assert router.leave(1) == (A, b"room")
+    assert router.peers(2) == []
+    assert router.leave(2) == (A, b"room")
+    assert router.snapshot() == {}
+    assert router.leave(2) is None  # idempotent
+    assert router.leave(99) is None  # never joined
+
+
+def test_router_group_size_and_snapshot():
+    router = ChannelRouter()
+    assert router.join(1, A, b"room") == 1
+    assert router.join(2, A, b"room") == 2
+    assert router.group_size(A, b"room") == 2
+    assert router.group_size(B, b"room") == 0
+    snap = router.snapshot()
+    assert snap == {(A, b"room"): [1, 2]}
+
+
+# -- config ----------------------------------------------------------------
+
+
+def test_config_validates_policy():
+    RelayConfig().validate()  # defaults are sane
+    with pytest.raises(SessionError, match="egress_policy"):
+        RelayConfig(egress_policy="carrier-pigeon").validate()
+    with pytest.raises(SessionError, match="max_links"):
+        RelayConfig(max_links=0).validate()
+    with pytest.raises(SessionError, match="egress_queue_payloads"):
+        RelayConfig(egress_queue_payloads=0).validate()
+
+
+def test_config_defaults_to_the_fast_engine():
+    """The relay re-encrypts once per receiver, so its links run the
+    word-level engine by default (wire-identical to reference)."""
+    assert RelayConfig().engine == "fast"
+    RelayConfig(engine="reference").validate()
+    with pytest.raises(ValueError, match="engine"):
+        RelayConfig(engine="carrier-pigeon").validate()
+
+
+def test_config_allow_list_normalizes():
+    cfg = RelayConfig(allowed_tenants=("acme", b"globex"))
+    allowed = cfg.normalized_allow_list()
+    assert allowed == frozenset({normalize_tenant_id("acme"),
+                                 normalize_tenant_id("globex")})
+    assert RelayConfig().normalized_allow_list() is None

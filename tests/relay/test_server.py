@@ -1,0 +1,147 @@
+"""The asyncio relay adapter, the facade, and the relay CLI command."""
+
+import asyncio
+import json
+
+import pytest
+
+import repro
+from repro.core.errors import HandshakeError
+from repro.kex.handshake import KexConfig
+from repro.kex.keyring import TenantKeyring
+from repro.relay import RelayConfig
+from repro.relay.server import RelayClient, RelayServer
+
+
+def run(coro):
+    """Run one async test body on a fresh event loop."""
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+ROOT = b"relay-server-test-fleet-root!!!!"
+
+
+def client_kex(keyring: TenantKeyring, tenant: str) -> KexConfig:
+    return KexConfig(auth_secret=keyring.tenant_secret(tenant),
+                     modes=("ecdh",), tenant_id=tenant)
+
+
+class TestRelayServer:
+    def test_two_clients_route_over_tcp(self):
+        keyring = TenantKeyring(ROOT)
+
+        async def body():
+            async with RelayServer(keyring, port=0) as server:
+                a = await RelayClient.connect(
+                    "127.0.0.1", server.port,
+                    kex=client_kex(keyring, "acme"), channel=b"room")
+                b = await RelayClient.connect(
+                    "127.0.0.1", server.port,
+                    kex=client_kex(keyring, "acme"), channel=b"room")
+                await a.send(b"over tcp")
+                assert await b.receive() == b"over tcp"
+                assert server.core.active_links == 2
+                await a.close()
+                await b.close()
+        run(body())
+
+    def test_revoked_tenant_refused_over_tcp(self):
+        keyring = TenantKeyring(ROOT)
+        stale = client_kex(keyring, "doomed")  # secret learned earlier
+        keyring.revoke("doomed")
+
+        async def body():
+            async with RelayServer(keyring, port=0) as server:
+                # The relay sheds the link mid-handshake; the client
+                # sees the transport die during key exchange.
+                with pytest.raises(HandshakeError, match="during the handshake"):
+                    await RelayClient.connect(
+                        "127.0.0.1", server.port, kex=stale,
+                        channel=b"room", timeout=5.0)
+                assert server.core.shed.get("tenant-revoked") == 1
+                assert server.core.active_links == 0
+        run(body())
+
+    def test_quota_refusal_closes_the_transport(self):
+        keyring = TenantKeyring(ROOT)
+        config = RelayConfig(max_links=1, max_links_per_tenant=1)
+
+        async def body():
+            async with RelayServer(keyring, config=config, port=0) as server:
+                a = await RelayClient.connect(
+                    "127.0.0.1", server.port,
+                    kex=client_kex(keyring, "acme"), channel=b"room")
+                with pytest.raises((HandshakeError, ConnectionError)):
+                    await RelayClient.connect(
+                        "127.0.0.1", server.port,
+                        kex=client_kex(keyring, "acme"),
+                        channel=b"room", timeout=5.0)
+                assert server.core.shed.get("global-quota") == 1
+                await a.close()
+        run(body())
+
+    def test_health_endpoint_reports_core_stats(self):
+        keyring = TenantKeyring(ROOT)
+
+        async def body():
+            async with RelayServer(keyring, port=0, metrics_port=0) as server:
+                a = await RelayClient.connect(
+                    "127.0.0.1", server.port,
+                    kex=client_kex(keyring, "acme"), channel=b"room")
+                from repro.obs.http import http_get
+                status, body_text = await asyncio.to_thread(
+                    http_get, "127.0.0.1", server.metrics_endpoint.port,
+                    path="/healthz")
+                assert status == 200
+                document = json.loads(body_text)
+                assert document["status"] == "ok"
+                assert document["active_links"] == 1
+                assert document["tenants"] == {"acme": 1}
+                await a.close()
+        run(body())
+
+
+class TestFacade:
+    def test_relay_serve_accepts_raw_root_and_keyring(self):
+        async def body():
+            async with repro.relay_serve(ROOT, port=0) as server:
+                keyring = TenantKeyring(ROOT)
+                a = await RelayClient.connect(
+                    "127.0.0.1", server.port,
+                    kex=client_kex(keyring, "acme"), channel=b"room")
+                b = await RelayClient.connect(
+                    "127.0.0.1", server.port,
+                    kex=client_kex(keyring, "acme"), channel=b"room")
+                await a.send(b"via facade")
+                assert await b.receive() == b"via facade"
+                await a.close()
+                await b.close()
+        run(body())
+
+    def test_relay_serve_is_lazy_and_unstarted(self):
+        server = repro.relay_serve(TenantKeyring(ROOT))
+        assert isinstance(server, RelayServer)
+        with pytest.raises(RuntimeError, match="not started"):
+            server.port
+
+
+class TestCli:
+    def test_relay_requires_a_key_source(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["relay"])
+        assert "required" in capsys.readouterr().err
+
+    def test_relay_rejects_bad_hex(self, capsys):
+        from repro.cli import main
+        assert main(["relay", "--fleet-root", "zz"]) == 2
+        assert "not valid hex" in capsys.readouterr().err
+
+    def test_relay_loads_tenant_config(self, tmp_path, capsys):
+        """A malformed tenant config dies with the CLI's one-line error
+        (the happy path is covered end-to-end in the server tests)."""
+        from repro.cli import main
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps({"tenants": {}}))
+        assert main(["relay", "--tenant-config", str(path)]) == 2
+        assert "fleet_root_hex" in capsys.readouterr().err

@@ -1,0 +1,38 @@
+"""The relay flood battery must pass with exact reconciliation."""
+
+from repro.obs import core as _obs
+from repro.scenario import run_relay_floods
+
+
+def test_relay_flood_battery_is_clean():
+    result = run_relay_floods()
+    assert result["problems"] == []
+    assert result["ok"] is True
+    names = [check["name"] for check in result["checks"]]
+    assert names == ["connection-flood", "slowloris", "stalled-readers"]
+
+
+def test_shed_ledgers_are_exact_not_bounds():
+    """The battery's value is the `==`: assert the exact shed shape of
+    every check so a silently drifting counter fails loudly here."""
+    result = run_relay_floods()
+    by_name = {check["name"]: check for check in result["checks"]}
+    flood = by_name["connection-flood"]
+    assert flood["shed"] == {"handshake-rate": 30, "global-quota": 5}
+    assert flood["admitted"] == 24
+    assert flood["attempts"] == 59
+    assert by_name["slowloris"]["shed"] == {"handshake-timeout": 8}
+    assert by_name["slowloris"]["attackers"] == 8
+    assert by_name["stalled-readers"]["drops"] == 12
+
+
+def test_battery_restores_the_obs_registry():
+    before = _obs.get_registry()
+    run_relay_floods()
+    assert _obs.get_registry() is before
+
+
+def test_battery_is_deterministic_across_runs():
+    a = run_relay_floods(seed=7)
+    b = run_relay_floods(seed=7)
+    assert [c["shed"] for c in a["checks"]] == [c["shed"] for c in b["checks"]]

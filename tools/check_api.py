@@ -36,7 +36,7 @@ SNAPSHOT = REPO / "docs" / "api_surface.txt"
 
 #: Modules whose full public signature set is part of the snapshot.
 SIGNATURE_MODULES = ["repro.api", "repro.core.engines", "repro.link",
-                     "repro.obs", "repro.scenario"]
+                     "repro.obs", "repro.relay", "repro.scenario"]
 
 HEADER = """\
 # Public API surface snapshot — the golden record of what the library

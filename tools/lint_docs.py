@@ -80,12 +80,21 @@ AUDITED_MODULES = [
     "repro.kex.handshake",
     "repro.kex.tickets",
     "repro.kex.keyring",
+    "repro.relay",
+    "repro.relay.admission",
+    "repro.relay.config",
+    "repro.relay.core",
+    "repro.relay.events",
+    "repro.relay.harness",
+    "repro.relay.router",
+    "repro.relay.server",
+    "repro.scenario.relay",
 ]
 
 #: Markdown files whose ``python`` code blocks must execute.
 DOC_FILES = ["README.md", "docs/api.md", "docs/core.md", "docs/kex.md",
              "docs/net.md", "docs/observability.md", "docs/parallel.md",
-             "docs/scenarios.md"]
+             "docs/relay.md", "docs/scenarios.md"]
 
 _FENCE = re.compile(r"^```(\w[\w-]*(?: [\w-]+)*)?\s*$")
 
